@@ -1,0 +1,59 @@
+// Command jtgen emits the synthetic evaluation workloads as
+// newline-delimited JSON on stdout:
+//
+//	jtgen -workload tpch -scale 0.01 > tpch.jsonl
+//	jtgen -workload twitter -n 50000 > tweets.jsonl
+//	jtgen -workload yelp | head
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/workload/hackernews"
+	"repro/internal/workload/tpch"
+	"repro/internal/workload/twitter"
+	"repro/internal/workload/yelp"
+)
+
+func main() {
+	workload := flag.String("workload", "tpch", "tpch | tpch-shuffled | yelp | twitter | twitter-changing | hackernews")
+	scale := flag.Float64("scale", 0.01, "TPC-H scale factor")
+	n := flag.Int("n", 20000, "document count (twitter, hackernews)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	var lines [][]byte
+	switch *workload {
+	case "tpch":
+		lines, _ = tpch.Generate(tpch.Config{ScaleFactor: *scale, Seed: *seed})
+	case "tpch-shuffled":
+		base, _ := tpch.Generate(tpch.Config{ScaleFactor: *scale, Seed: *seed})
+		lines = tpch.Shuffle(base, *seed+1)
+	case "yelp":
+		f := *scale / 0.01
+		cfg := yelp.Config{
+			Businesses: int(2000 * f), Users: int(4000 * f), Reviews: int(16000 * f),
+			Tips: int(4000 * f), Checkins: int(2000 * f), Seed: *seed,
+		}
+		lines, _ = yelp.Generate(cfg)
+	case "twitter":
+		lines = twitter.Generate(twitter.Config{Tweets: *n, DeleteRatio: 0.4, Seed: *seed})
+	case "twitter-changing":
+		lines = twitter.Generate(twitter.Config{Tweets: *n, Changing: true, Seed: *seed})
+	case "hackernews":
+		lines = hackernews.Generate(*n, false, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "jtgen: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	w := bufio.NewWriterSize(os.Stdout, 1<<20)
+	defer w.Flush()
+	for _, l := range lines {
+		w.Write(l)
+		w.WriteByte('\n')
+	}
+}

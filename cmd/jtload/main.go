@@ -1,0 +1,86 @@
+// Command jtload ingests a newline-delimited JSON file into JSON tiles
+// and prints an extraction report: tiles, materialized columns,
+// statistics, and the Table-6-style storage accounting.
+//
+//	jtgen -workload twitter | jtload
+//	jtload -f tweets.jsonl -tilesize 1024
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	jsontiles "repro"
+)
+
+func main() {
+	file := flag.String("f", "-", "input file ('-' = stdin)")
+	tileSize := flag.Int("tilesize", 1024, "tuples per tile")
+	partSize := flag.Int("partsize", 8, "tiles per reordering partition")
+	threshold := flag.Float64("threshold", 0.6, "extraction threshold")
+	noReorder := flag.Bool("no-reorder", false, "disable partition reordering")
+	verbose := flag.Bool("v", false, "print per-tile extracted columns")
+	flag.Parse()
+
+	opts := jsontiles.DefaultOptions()
+	opts.TileSize = *tileSize
+	opts.PartitionSize = *partSize
+	opts.ExtractionThreshold = *threshold
+	opts.Reorder = !*noReorder
+
+	in := os.Stdin
+	if *file != "-" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jtload:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	tbl, err := jsontiles.LoadReader("input", in, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jtload:", err)
+		os.Exit(1)
+	}
+
+	info := tbl.StorageInfo()
+	fmt.Printf("documents:          %d\n", tbl.NumRows())
+	fmt.Printf("tiles:              %d (tile size %d, partition %d, threshold %.0f%%)\n",
+		info.NumTiles, *tileSize, *partSize, *threshold*100)
+	fmt.Printf("extracted columns:  %d total", info.ExtractedColumns)
+	if info.NumTiles > 0 {
+		fmt.Printf(" (%.1f per tile)", float64(info.ExtractedColumns)/float64(info.NumTiles))
+	}
+	fmt.Println()
+	fmt.Printf("binary JSON:        %d bytes\n", info.BinaryJSONBytes)
+	fmt.Printf("tile columns:       %d bytes (+%.1f%%)\n", info.TileColumnBytes,
+		pct(info.TileColumnBytes, info.BinaryJSONBytes))
+	fmt.Printf("LZ4 tile columns:   %d bytes (+%.1f%%)\n", info.CompressedTileColumnBytes,
+		pct(info.CompressedTileColumnBytes, info.BinaryJSONBytes))
+
+	st := tbl.Stats()
+	fmt.Printf("\nmost frequent key paths:\n")
+	paths := st.TrackedPaths()
+	if len(paths) > 15 {
+		paths = paths[:15]
+	}
+	for _, p := range paths {
+		fmt.Printf("  %-40s count=%-8d distinct≈%.0f\n", p, st.PathCount(p), st.DistinctCount(p))
+	}
+
+	if *verbose {
+		fmt.Printf("\nper-tile extraction:\n")
+		for i, cols := range tbl.ExtractedPaths() {
+			fmt.Printf("  tile %d: %v\n", i, cols)
+		}
+	}
+}
+
+func pct(part, whole int) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return float64(part) / float64(whole) * 100
+}

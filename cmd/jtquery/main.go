@@ -1,0 +1,61 @@
+// Command jtquery runs ad-hoc projection queries with PostgreSQL-style
+// JSON access expressions over a newline-delimited JSON file:
+//
+//	jtgen -workload twitter | jtquery "data->'user'->>'screen_name'" "data->>'retweet_count'::BigInt"
+//	jtquery -f reviews.jsonl -where-not-null 0 -limit 10 "data->>'stars'::BigInt"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	jsontiles "repro"
+)
+
+func main() {
+	file := flag.String("f", "-", "input file ('-' = stdin)")
+	limit := flag.Int("limit", 20, "max rows to print (0 = all)")
+	notNull := flag.Int("where-not-null", -1, "keep rows where this select column is not null")
+	tileSize := flag.Int("tilesize", 1024, "tuples per tile")
+	flag.Parse()
+
+	selects := flag.Args()
+	if len(selects) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: jtquery [flags] <access-expression>...")
+		os.Exit(2)
+	}
+
+	opts := jsontiles.DefaultOptions()
+	opts.TileSize = *tileSize
+	in := os.Stdin
+	if *file != "-" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jtquery:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	tbl, err := jsontiles.LoadReader("input", in, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jtquery:", err)
+		os.Exit(1)
+	}
+
+	q := tbl.Query(selects...)
+	if *notNull >= 0 {
+		q = q.WhereNotNull(*notNull)
+	}
+	if *limit > 0 {
+		q = q.Limit(*limit)
+	}
+	res, err := q.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jtquery:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res)
+	fmt.Printf("(%d rows)\n", res.NumRows())
+}

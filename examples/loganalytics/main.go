@@ -1,0 +1,109 @@
+// Log analytics: the paper's motivating Splunk scenario — machine
+// logs from several services, each with its own JSON structure, land
+// in one collection. Defining a global schema up front is infeasible;
+// JSON tiles reorders and clusters the interleaved types into
+// homogeneous tiles and extracts each service's schema locally, so
+// typed analytics run at columnar speed.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	jsontiles "repro"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(7))
+	var docs [][]byte
+	// Three log producers, interleaved as they would arrive at a
+	// central collector.
+	for i := 0; i < 3000; i++ {
+		switch i % 3 {
+		case 0: // HTTP access logs
+			docs = append(docs, []byte(fmt.Sprintf(
+				`{"ts":"2020-06-01 %02d:%02d:%02d","service":"gateway","method":"%s","path":"/api/v1/items/%d","status":%d,"latency_ms":%.1f}`,
+				r.Intn(24), r.Intn(60), r.Intn(60),
+				[]string{"GET", "GET", "GET", "POST", "PUT"}[r.Intn(5)],
+				r.Intn(500), []int{200, 200, 200, 200, 404, 500}[r.Intn(6)],
+				r.Float64()*120)))
+		case 1: // application errors
+			docs = append(docs, []byte(fmt.Sprintf(
+				`{"ts":"2020-06-01 %02d:%02d:%02d","service":"worker","level":"%s","msg":"job processing","job":{"id":%d,"queue":"%s"},"retries":%d}`,
+				r.Intn(24), r.Intn(60), r.Intn(60),
+				[]string{"info", "info", "warn", "error"}[r.Intn(4)],
+				r.Intn(10000), []string{"mail", "billing", "index"}[r.Intn(3)],
+				r.Intn(4))))
+		default: // metrics samples
+			docs = append(docs, []byte(fmt.Sprintf(
+				`{"ts":"2020-06-01 %02d:%02d:%02d","service":"db","metric":"query_time","value":%.3f,"tags":["shard%d","primary"]}`,
+				r.Intn(24), r.Intn(60), r.Intn(60), r.Float64()*50, r.Intn(4))))
+		}
+	}
+
+	opts := jsontiles.DefaultOptions()
+	opts.TileSize = 256
+	tbl, err := jsontiles.Load("logs", docs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	info := tbl.StorageInfo()
+	fmt.Printf("loaded %d log lines into %d tiles, %d columns extracted\n",
+		tbl.NumRows(), info.NumTiles, info.ExtractedColumns)
+	fmt.Printf("(reordering clustered the three producers; without it no "+
+		"structure reaches the %.0f%% threshold in any tile)\n\n", 60.0)
+
+	// Error rate per HTTP status — only gateway documents carry
+	// "status", so tiles holding only worker/db docs are skipped.
+	res, err := tbl.Query(
+		"data->>'status'::BigInt",
+		"data->>'latency_ms'::Float",
+	).
+		WhereNotNull(0).
+		GroupBy(0).
+		Aggregate(jsontiles.CountAll("requests"), jsontiles.Avg(1, "avg_latency_ms")).
+		OrderBy(0, false).
+		Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("gateway requests by status:")
+	fmt.Print(res)
+
+	// Failed jobs by queue — a different producer's schema, same table.
+	res, err = tbl.Query(
+		"data->'job'->>'queue'",
+		"data->>'level'",
+		"data->>'retries'::BigInt",
+	).
+		WhereCmp(1, jsontiles.Eq, "error").
+		GroupBy(0).
+		Aggregate(jsontiles.CountAll("errors"), jsontiles.Max(2, "max_retries")).
+		OrderBy(1, true).
+		Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nworker errors by queue:")
+	fmt.Print(res)
+
+	// Slowest db shards.
+	res, err = tbl.Query(
+		"data->'tags'->0->>'text'", // absent: tags are plain strings -> NULL
+		"data->'tags'->0",          // JSON access of the first tag
+		"data->>'value'::Float",
+	).
+		WhereNotNull(2).
+		GroupBy(1).
+		Aggregate(jsontiles.CountAll("samples"), jsontiles.Avg(2, "avg_query_ms")).
+		OrderBy(2, true).
+		Limit(4).
+		Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndb query time by shard:")
+	fmt.Print(res)
+}

@@ -1,0 +1,62 @@
+// Quickstart: load a handful of JSON documents, let JSON tiles detect
+// and materialize their implicit structure, and run a typed analytical
+// query — no schema declared anywhere.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	jsontiles "repro"
+)
+
+func main() {
+	// The paper's Figure 2: tweets whose schema grew over time
+	// (replies appeared in 2007, geo tags in 2010).
+	docs := [][]byte{
+		[]byte(`{"id":1, "create": "2006-03-01", "text": "a", "user": {"id": 1}}`),
+		[]byte(`{"id":2, "create": "2007-03-01", "text": "b", "user": {"id": 3}}`),
+		[]byte(`{"id":3, "create": "2007-06-01", "text": "c", "user": {"id": 5}}`),
+		[]byte(`{"id":4, "create": "2008-01-01", "text": "a", "user": {"id": 1}, "replies": 9}`),
+		[]byte(`{"id":5, "create": "2010-01-01", "text": "b", "user": {"id": 7}, "replies": 3, "geo": {"lat": 1.9}}`),
+		[]byte(`{"id":6, "create": "2011-01-01", "text": "c", "user": {"id": 1}, "replies": 2, "geo": null}`),
+		[]byte(`{"id":7, "create": "2012-01-01", "text": "d", "user": {"id": 3}, "replies": 0, "geo": {"lat": 2.7}}`),
+		[]byte(`{"id":8, "create": "2013-01-01", "text": "x", "user": {"id": 3}, "replies": 1, "geo": {"lat": 3.5}}`),
+	}
+
+	opts := jsontiles.DefaultOptions()
+	opts.TileSize = 4 // tiny tiles so the demo splits like the paper's figure
+	tbl, err := jsontiles.Load("tweets", docs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// What did extraction decide, per tile?
+	for i, cols := range tbl.ExtractedPaths() {
+		fmt.Printf("tile #%d extracted: %v\n", i+1, cols)
+	}
+
+	// Average replies per user, geo-tagged tweets only. The accesses
+	// are PostgreSQL-style; the ::BigInt cast is rewritten into a
+	// typed column read.
+	res, err := tbl.Query(
+		"data->'user'->>'id'::BigInt",
+		"data->>'replies'::BigInt",
+		"data->'geo'->>'lat'::Float",
+	).
+		WhereNotNull(2).
+		GroupBy(0).
+		Aggregate(jsontiles.CountAll("tweets"), jsontiles.Avg(1, "avg_replies")).
+		OrderBy(0, false).
+		Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ngeo-tagged tweets per user:")
+	fmt.Print(res)
+
+	// The optimizer statistics the table maintains (§4.6).
+	st := tbl.Stats()
+	fmt.Printf("\nstatistics: %d rows, replies present in %d, ~%.0f distinct users\n",
+		st.Rows(), st.PathCount("replies"), st.DistinctCount("user.id"))
+}

@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/bson"
+	"repro/internal/cbor"
+	"repro/internal/jsonb"
+	"repro/internal/jsontext"
+	"repro/internal/jsonvalue"
+	"repro/internal/keypath"
+	"repro/internal/workload/simdjsonfiles"
+)
+
+// The §6.9 experiments compare the three binary formats on documents
+// with the shapes of the SIMD-JSON repository files.
+
+func (c *Context) fileDoc(name string) jsonvalue.Value {
+	return cached(c, "simdjson-"+name, func() jsonvalue.Value {
+		return simdjsonfiles.MustGenerate(name, 1, 99)
+	})
+}
+
+// fig18 — Figure 18: (de)serialization slowdown of BSON and CBOR
+// relative to JSONB (values > 1 mean slower than JSONB).
+func fig18(w io.Writer, c *Context) error {
+	fmt.Fprintln(w, "serialize (slowdown vs JSONB)")
+	ts := &table{header: []string{"file", "BSON", "CBOR"}}
+	td := &table{header: []string{"file", "BSON", "CBOR"}}
+	for _, name := range simdjsonfiles.Names() {
+		doc := c.fileDoc(name)
+		var enc jsonb.Encoder
+		jb := c.timeIt(func() { enc.Encode(doc) })
+		bs := c.timeIt(func() { bson.Marshal(doc) })
+		cb := c.timeIt(func() { cbor.Marshal(doc) })
+		ts.row(name, ratio(bs, jb), ratio(cb, jb))
+
+		jbBuf := enc.Encode(doc)
+		bsBuf := bson.Marshal(doc)
+		cbBuf := cbor.Marshal(doc)
+		jbD := c.timeIt(func() { jsonb.NewDoc(jbBuf).Decode() })
+		bsD := c.timeIt(func() {
+			if _, err := bson.Unmarshal(bsBuf); err != nil {
+				panic(err)
+			}
+		})
+		cbD := c.timeIt(func() {
+			if _, err := cbor.Unmarshal(cbBuf); err != nil {
+				panic(err)
+			}
+		})
+		td.row(name, ratio(bsD, jbD), ratio(cbD, jbD))
+	}
+	ts.write(w)
+	fmt.Fprintln(w, "\ndeserialize (slowdown vs JSONB)")
+	td.write(w)
+	return nil
+}
+
+func ratio(a, b interface{ Seconds() float64 }) string {
+	bs := b.Seconds()
+	if bs == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", a.Seconds()/bs)
+}
+
+// fig19 — Figure 19: encoded size relative to the JSON text.
+func fig19(w io.Writer, c *Context) error {
+	t := &table{header: []string{"file", "JSON(B)", "BSON", "CBOR", "JSONB"}}
+	for _, name := range simdjsonfiles.Names() {
+		doc := c.fileDoc(name)
+		text := len(jsontext.Serialize(doc))
+		bs := len(bson.Marshal(doc))
+		cb := len(cbor.Marshal(doc))
+		jb := len(jsonb.Encode(doc))
+		rel := func(n int) string { return fmt.Sprintf("%.2f", float64(n)/float64(text)) }
+		t.row(name, fmt.Sprintf("%d", text), rel(bs), rel(cb), rel(jb))
+	}
+	t.write(w)
+	return nil
+}
+
+// fig20 — Figure 20: random accesses per second. Each access follows a
+// randomly chosen leaf path collected from the document, exercising
+// nested lookups: binary search per level for JSONB, linear scans for
+// BSON, sequential decode for CBOR.
+func fig20(w io.Writer, c *Context) error {
+	t := &table{header: []string{"file", "BSON acc/s", "CBOR acc/s", "JSONB acc/s"}}
+	for _, name := range simdjsonfiles.Names() {
+		doc := c.fileDoc(name)
+		paths := samplePaths(doc, 64)
+		if len(paths) == 0 {
+			t.row(name, "-", "-", "-")
+			continue
+		}
+		jbBuf := jsonb.Encode(doc)
+		bsBuf := bson.Marshal(doc)
+		cbBuf := cbor.Marshal(doc)
+
+		perAccess := func(fn func(p []pathStep)) string {
+			const rounds = 200
+			d := c.timeIt(func() {
+				for i := 0; i < rounds; i++ {
+					fn(paths[i%len(paths)])
+				}
+			})
+			if d <= 0 {
+				return "inf"
+			}
+			return fmt.Sprintf("%.0f", float64(rounds)/d.Seconds())
+		}
+
+		bsCol := perAccess(func(p []pathStep) { bsonAccess(bsBuf, p) })
+		cbCol := perAccess(func(p []pathStep) { cborAccess(cbBuf, p) })
+		jbCol := perAccess(func(p []pathStep) { jsonbAccess(jbBuf, p) })
+		t.row(name, bsCol, cbCol, jbCol)
+	}
+	t.write(w)
+	return nil
+}
+
+// pathStep mirrors keypath segments for the raw-format lookups.
+type pathStep struct {
+	key   string
+	index int
+	isIdx bool
+}
+
+func samplePaths(doc jsonvalue.Value, n int) [][]pathStep {
+	var all [][]pathStep
+	keypath.Collect(doc, 16, func(p keypath.Path, _ keypath.ValueType, _ jsonvalue.Value) {
+		steps := make([]pathStep, len(p.Segs))
+		for i, s := range p.Segs {
+			steps[i] = pathStep{key: s.Key, index: s.Index, isIdx: s.IsIndex}
+		}
+		all = append(all, steps)
+	})
+	if len(all) == 0 {
+		return nil
+	}
+	r := rand.New(rand.NewSource(5))
+	r.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+func jsonbAccess(buf []byte, steps []pathStep) bool {
+	cur := jsonb.NewDoc(buf)
+	for _, s := range steps {
+		var ok bool
+		if s.isIdx {
+			cur, ok = cur.Index(s.index)
+		} else {
+			cur, ok = cur.Get(s.key)
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func bsonAccess(buf []byte, steps []pathStep) bool {
+	// BSON arrays are documents with decimal-string keys.
+	keys := make([]string, len(steps))
+	for i, s := range steps {
+		if s.isIdx {
+			keys[i] = fmt.Sprintf("%d", s.index)
+		} else {
+			keys[i] = s.key
+		}
+	}
+	_, ok := bson.LookupPath(buf, keys...)
+	return ok
+}
+
+func cborAccess(buf []byte, steps []pathStep) bool {
+	// CBOR arrays need positional skipping; reuse LookupPath for maps
+	// and decode arrays via Unmarshal fallback when an index step is
+	// hit (the extraction cost the paper describes).
+	keys := make([]string, 0, len(steps))
+	for i, s := range steps {
+		if s.isIdx {
+			// Decode the remaining subtree and walk it.
+			var v jsonvalue.Value
+			var ok bool
+			if len(keys) > 0 {
+				v, ok = cbor.LookupPath(buf, keys...)
+			} else {
+				var err error
+				v, err = cbor.Unmarshal(buf)
+				ok = err == nil
+			}
+			if !ok {
+				return false
+			}
+			return walkValue(v, steps[i:])
+		}
+		keys = append(keys, s.key)
+	}
+	_, ok := cbor.LookupPath(buf, keys...)
+	return ok
+}
+
+func walkValue(v jsonvalue.Value, steps []pathStep) bool {
+	cur := v
+	for _, s := range steps {
+		if s.isIdx {
+			if cur.Kind() != jsonvalue.KindArray || s.index >= cur.Len() {
+				return false
+			}
+			cur = cur.Elem(s.index)
+		} else {
+			var ok bool
+			cur, ok = cur.Lookup(s.key)
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}

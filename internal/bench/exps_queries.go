@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/workload/tpch"
+	"repro/internal/workload/twitter"
+	"repro/internal/workload/yelp"
+)
+
+// fig7 — Figure 7: Q1/Q18 throughput across formats at full
+// parallelism. The paper's external systems (PostgreSQL, Spark+Mongo,
+// Spark+Parquet, Hyper) are substituted by the internal baselines that
+// model their storage designs (see DESIGN.md §2): raw JSON ≈ Hyper's
+// JSON column, Shredded ≈ Spark/Parquet.
+func fig7(w io.Writer, c *Context) error {
+	workers := c.Opts.workers()
+	for _, num := range []int{1, 18} {
+		fmt.Fprintf(w, "Q%d (queries/sec, %d workers)\n", num, workers)
+		t := &table{header: []string{"format", "q/s", "seconds"}}
+		for _, kind := range allFormats {
+			d := c.runTPCHQuery(c.tpchRel(kind), num, workers)
+			t.row(string(kind), qps(d), secs(d))
+		}
+		t.write(w)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// fig8 — Figure 8: scalability of the internal competitors.
+func fig8(w io.Writer, c *Context) error {
+	maxW := c.Opts.workers()
+	var sweep []int
+	for n := 1; n <= maxW; n *= 2 {
+		sweep = append(sweep, n)
+	}
+	if sweep[len(sweep)-1] != maxW {
+		sweep = append(sweep, maxW)
+	}
+	for _, num := range []int{1, 18} {
+		fmt.Fprintf(w, "Q%d queries/sec by #workers\n", num)
+		t := &table{header: append([]string{"format"}, intHeaders(sweep)...)}
+		for _, kind := range internalFormats {
+			rel := c.tpchRel(kind)
+			cells := []string{string(kind)}
+			for _, n := range sweep {
+				cells = append(cells, qps(c.runTPCHQuery(rel, num, n)))
+			}
+			t.row(cells...)
+		}
+		t.write(w)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func intHeaders(ns []int) []string {
+	out := make([]string, len(ns))
+	for i, n := range ns {
+		out[i] = fmt.Sprintf("w=%d", n)
+	}
+	return out
+}
+
+// tab1 — Table 1: all 22 TPC-H queries across formats.
+func tab1(w io.Writer, c *Context) error {
+	workers := c.Opts.workers()
+	t := &table{header: append([]string{"Q"}, formatHeaders(allFormats)...)}
+	for _, q := range tpch.Queries() {
+		cells := []string{fmt.Sprintf("%d", q.Num)}
+		for _, kind := range allFormats {
+			d := c.timeIt(func() { q.Run(c.tpchRel(kind), workers) })
+			cells = append(cells, secs(d))
+		}
+		t.row(cells...)
+	}
+	t.write(w)
+	return nil
+}
+
+func formatHeaders(kinds []storage.FormatKind) []string {
+	out := make([]string, len(kinds))
+	for i, k := range kinds {
+		out[i] = string(k)
+	}
+	return out
+}
+
+// tab2 — Table 2: the five Yelp queries.
+func tab2(w io.Writer, c *Context) error {
+	workers := c.Opts.workers()
+	t := &table{header: append([]string{"Q"}, formatHeaders(allFormats)...)}
+	for _, q := range yelp.Queries() {
+		cells := []string{fmt.Sprintf("%d", q.Num)}
+		for _, kind := range allFormats {
+			d := c.timeIt(func() { q.Run(c.yelpRel(kind), workers) })
+			cells = append(cells, secs(d))
+		}
+		t.row(cells...)
+	}
+	t.write(w)
+	return nil
+}
+
+// tab3 — Table 3: the five Twitter queries, plus Tiles-* which joins
+// extracted high-cardinality array relations (§6.3).
+func tab3(w io.Writer, c *Context) error {
+	workers := c.Opts.workers()
+	star := c.twitterStar(false)
+	t := &table{header: append(append([]string{"Q"}, formatHeaders(allFormats)...), "Tiles-*")}
+	for _, q := range twitter.Queries() {
+		cells := []string{fmt.Sprintf("%d", q.Num)}
+		for _, kind := range allFormats {
+			d := c.timeIt(func() { q.Run(c.twitterRel(kind), workers) })
+			cells = append(cells, secs(d))
+		}
+		if q.RunStar != nil {
+			d := c.timeIt(func() { q.RunStar(star, workers) })
+			cells = append(cells, secs(d))
+		} else {
+			d := c.timeIt(func() { q.Run(star.Main, workers) })
+			cells = append(cells, secs(d))
+		}
+		t.row(cells...)
+	}
+	t.write(w)
+	return nil
+}
+
+// tab4 — Table 4: Twitter geo-means on the static and the changing
+// (schema-evolution) data sets.
+func tab4(w io.Writer, c *Context) error {
+	workers := c.Opts.workers()
+	kinds := []storage.FormatKind{storage.KindJSON, storage.KindJSONB,
+		storage.KindSinew, storage.KindTiles}
+	t := &table{header: append(append([]string{"dataset"}, formatHeaders(kinds)...), "Tiles-*")}
+	for _, changing := range []bool{false, true} {
+		name := "Twitter"
+		if changing {
+			name = "Changing"
+		}
+		lines := func() [][]byte { return c.twitterLines(changing) }
+		cells := []string{name}
+		for _, kind := range kinds {
+			rel := c.relation("twitter-"+name, kind, lines)
+			var ds []time.Duration
+			for _, q := range twitter.Queries() {
+				ds = append(ds, c.timeIt(func() { q.Run(rel, workers) }))
+			}
+			cells = append(cells, fmt.Sprintf("%.4f", geoMean(ds)))
+		}
+		star := c.twitterStar(changing)
+		var ds []time.Duration
+		for _, q := range twitter.Queries() {
+			q := q
+			if q.RunStar != nil {
+				ds = append(ds, c.timeIt(func() { q.RunStar(star, workers) }))
+			} else {
+				ds = append(ds, c.timeIt(func() { q.Run(star.Main, workers) }))
+			}
+		}
+		cells = append(cells, fmt.Sprintf("%.4f", geoMean(ds)))
+		t.row(cells...)
+	}
+	t.write(w)
+	return nil
+}
+
+// fig9 — Figure 9: geometric mean over all 22 queries on *shuffled*
+// TPC-H, the robustness headline.
+func fig9(w io.Writer, c *Context) error {
+	workers := c.Opts.workers()
+	t := &table{header: []string{"format", "geo-mean (s)"}}
+	for _, kind := range internalFormats {
+		rel := c.relation("tpch-shuffled", kind, c.tpchShuffled)
+		var ds []time.Duration
+		for _, q := range tpch.Queries() {
+			q := q
+			ds = append(ds, c.timeIt(func() { q.Run(rel, workers) }))
+		}
+		t.row(string(kind), fmt.Sprintf("%.4f", geoMean(ds)))
+	}
+	t.write(w)
+	return nil
+}

@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/tile"
+	"repro/internal/workload/tpch"
+	"repro/internal/workload/yelp"
+)
+
+// Representative query subset for the tuning sweeps: the full set on
+// every grid point would dominate runtime without changing the shape
+// (Q1 scan-heavy, Q3/Q18 join-heavy, Q6 selective).
+var sweepQueries = []int{1, 3, 6, 18}
+
+func (c *Context) sweepGeoMean(rel storage.Relation) float64 {
+	workers := c.Opts.workers()
+	var ds []time.Duration
+	for _, num := range sweepQueries {
+		q, _ := tpch.QueryByNum(num)
+		ds = append(ds, c.timeIt(func() { q.Run(rel, workers) }))
+	}
+	return geoMean(ds)
+}
+
+func tileSizes() []int { return []int{1 << 8, 1 << 10, 1 << 12, 1 << 14} }
+
+// fig10 — Figure 10: shuffled-TPC-H geo-mean across tile sizes and
+// partition sizes. More partitions = better reordering.
+func fig10(w io.Writer, c *Context) error {
+	parts := []int{1, 4, 8, 16}
+	t := &table{header: append([]string{"tile size"}, partHeaders(parts)...)}
+	lines := c.tpchShuffled()
+	for _, ts := range tileSizes() {
+		cells := []string{fmt.Sprintf("2^%d", log2(ts))}
+		for _, ps := range parts {
+			tcfg := tile.DefaultConfig()
+			tcfg.TileSize = ts
+			tcfg.PartitionSize = ps
+			rel := c.loadTiles(lines, tcfg, ps > 1)
+			cells = append(cells, fmt.Sprintf("%.4f", c.sweepGeoMean(rel)))
+		}
+		t.row(cells...)
+	}
+	t.write(w)
+	return nil
+}
+
+func partHeaders(ps []int) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = fmt.Sprintf("part=%d", p)
+	}
+	return out
+}
+
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// fig11 — Figure 11: loading time over the same grid.
+func fig11(w io.Writer, c *Context) error {
+	parts := []int{1, 4, 8, 16}
+	t := &table{header: append([]string{"tile size"}, partHeaders(parts)...)}
+	lines := c.tpchShuffled()
+	for _, ts := range tileSizes() {
+		cells := []string{fmt.Sprintf("2^%d", log2(ts))}
+		for _, ps := range parts {
+			tcfg := tile.DefaultConfig()
+			tcfg.TileSize = ts
+			tcfg.PartitionSize = ps
+			d := c.timeIt(func() { c.loadTiles(lines, tcfg, ps > 1) })
+			cells = append(cells, secs(d))
+		}
+		t.row(cells...)
+	}
+	t.write(w)
+	return nil
+}
+
+// fig12 — Figure 12: Yelp geo-mean vs tile size (partition size 8).
+func fig12(w io.Writer, c *Context) error {
+	return tileSizeSweep(w, c, c.yelpLines(), func(rel storage.Relation) float64 {
+		workers := c.Opts.workers()
+		var ds []time.Duration
+		for _, q := range yelp.Queries() {
+			q := q
+			ds = append(ds, c.timeIt(func() { q.Run(rel, workers) }))
+		}
+		return geoMean(ds)
+	})
+}
+
+// fig13 — Figure 13: Twitter geo-mean vs tile size (partition size 8).
+func fig13(w io.Writer, c *Context) error {
+	return tileSizeSweep(w, c, c.twitterLines(false), func(rel storage.Relation) float64 {
+		workers := c.Opts.workers()
+		var ds []time.Duration
+		for _, q := range twitterQueriesPlain() {
+			run := q
+			ds = append(ds, c.timeIt(func() { run(rel, workers) }))
+		}
+		return geoMean(ds)
+	})
+}
+
+func tileSizeSweep(w io.Writer, c *Context, lines [][]byte, measure func(storage.Relation) float64) error {
+	t := &table{header: []string{"tile size", "geo-mean (s)"}}
+	for _, ts := range tileSizes() {
+		tcfg := tile.DefaultConfig()
+		tcfg.TileSize = ts
+		rel := c.loadTiles(lines, tcfg, true)
+		t.row(fmt.Sprintf("2^%d", log2(ts)), fmt.Sprintf("%.4f", measure(rel)))
+	}
+	t.write(w)
+	return nil
+}
+
+// fig14 — Figure 14: optimization ablations. "no Date" disables
+// timestamp extraction (§4.9), "no Skip" disables tile skipping
+// (§4.8), "no Opt" disables both.
+func fig14(w io.Writer, c *Context) error {
+	workers := c.Opts.workers()
+	levels := []struct {
+		name        string
+		dates, skip bool
+	}{
+		{"no Opt", false, false},
+		{"no Date", false, true},
+		{"no Skip", true, false},
+		{"Tiles", true, true},
+	}
+	datasets := []struct {
+		name  string
+		lines [][]byte
+		geo   func(storage.Relation) float64
+	}{
+		{"TPC-H", c.tpchLines(), c.sweepGeoMean},
+		{"Shuffled", c.tpchShuffled(), c.sweepGeoMean},
+		{"Yelp", c.yelpLines(), func(rel storage.Relation) float64 {
+			var ds []time.Duration
+			for _, q := range yelp.Queries() {
+				q := q
+				ds = append(ds, c.timeIt(func() { q.Run(rel, workers) }))
+			}
+			return geoMean(ds)
+		}},
+	}
+	t := &table{header: []string{"dataset", "no Opt", "no Date", "no Skip", "Tiles"}}
+	for _, ds := range datasets {
+		cells := []string{ds.name}
+		for _, lv := range levels {
+			cfg := c.loaderConfig()
+			cfg.Tile.DetectDates = lv.dates
+			cfg.SkipTiles = lv.skip
+			l, _ := storage.NewLoader(storage.KindTiles, cfg)
+			rel, err := l.Load("ablate", ds.lines, workers)
+			if err != nil {
+				return err
+			}
+			cells = append(cells, fmt.Sprintf("%.4f", ds.geo(rel)))
+		}
+		t.row(cells...)
+	}
+	t.write(w)
+	return nil
+}

@@ -1,0 +1,111 @@
+// Package bloom implements the bloom filter used by the JSON tile
+// header to remember key paths that were *seen* but not extracted
+// (paper §4.4): the tile-skipping optimization (§4.8) must never skip
+// a tile that might contain an accessed path, so the filter's
+// one-sided error (no false negatives) is exactly what is required.
+//
+// Hashing follows Kirsch & Mitzenmacher [35]: two base hashes combined
+// as g_i(x) = h1(x) + i·h2(x) give the accuracy of k independent hash
+// functions at the cost of two.
+package bloom
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Filter is a standard bloom filter over strings. The zero value is
+// unusable; construct with New or FromBits.
+type Filter struct {
+	bits  []uint64
+	nbits uint64
+	k     int
+}
+
+// New sizes a filter for n expected entries at false-positive rate p.
+// n and p are clamped to sane minimums so degenerate inputs still give
+// a working filter.
+func New(n int, p float64) *Filter {
+	if n < 1 {
+		n = 1
+	}
+	if p <= 0 || p >= 1 {
+		p = 0.01
+	}
+	// Optimal m = -n ln p / (ln 2)^2, k = (m/n) ln 2.
+	m := uint64(math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	words := (m + 63) / 64
+	return &Filter{bits: make([]uint64, words), nbits: words * 64, k: k}
+}
+
+// Add inserts s.
+func (f *Filter) Add(s string) {
+	h1, h2 := hash2(s)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+}
+
+// MayContain reports whether s may have been added. False means
+// definitely absent.
+func (f *Filter) MayContain(s string) bool {
+	h1, h2 := hash2(s)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FillRatio returns the fraction of set bits, a health signal for
+// sizing decisions.
+func (f *Filter) FillRatio() float64 {
+	set := 0
+	for _, w := range f.bits {
+		set += bits.OnesCount64(w)
+	}
+	return float64(set) / float64(f.nbits)
+}
+
+// SizeBytes returns the memory footprint of the bit array.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// hash2 derives two 64-bit hashes from one FNV-1a pass plus an
+// avalanche remix, avoiding a second scan over the key.
+func hash2(s string) (uint64, uint64) {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h2 := mix(h ^ 0x9E3779B97F4A7C15)
+	if h2 == 0 {
+		// h2 = 0 would collapse all k probes onto one position.
+		h2 = 1
+	}
+	return h, h2
+}
+
+// mix is the finalizer from SplitMix64.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

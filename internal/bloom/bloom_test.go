@@ -1,0 +1,103 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.Add(fmt.Sprintf("key-path-%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.MayContain(fmt.Sprintf("key-path-%d", i)) {
+			t.Fatalf("false negative for key-path-%d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	f := New(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.Add(fmt.Sprintf("present-%d", i))
+	}
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if f.MayContain(fmt.Sprintf("absent-%d", i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 { // 3x headroom over the target 1%
+		t.Errorf("false positive rate %.4f too high", rate)
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	f := New(100, 0.01)
+	for i := 0; i < 100; i++ {
+		if f.MayContain(fmt.Sprintf("x%d", i)) {
+			t.Fatalf("empty filter claims to contain x%d", i)
+		}
+	}
+	if f.FillRatio() != 0 {
+		t.Errorf("fill ratio %f", f.FillRatio())
+	}
+}
+
+func TestDegenerateParams(t *testing.T) {
+	for _, f := range []*Filter{New(0, 0.01), New(-5, 0.5), New(10, 0), New(10, 1.5)} {
+		f.Add("a")
+		if !f.MayContain("a") {
+			t.Error("degenerate-parameter filter lost an element")
+		}
+	}
+}
+
+func TestEmptyStringKey(t *testing.T) {
+	f := New(10, 0.01)
+	f.Add("")
+	if !f.MayContain("") {
+		t.Error("empty string lost")
+	}
+}
+
+// Property: anything added is always contained.
+func TestQuickMembership(t *testing.T) {
+	f := New(500, 0.01)
+	var added []string
+	check := func(s string) bool {
+		f.Add(s)
+		added = append(added, s)
+		for _, a := range added {
+			if !f.MayContain(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFillRatioGrows(t *testing.T) {
+	f := New(100, 0.01)
+	prev := f.FillRatio()
+	for i := 0; i < 100; i += 10 {
+		for j := 0; j < 10; j++ {
+			f.Add(fmt.Sprintf("k%d-%d", i, j))
+		}
+		cur := f.FillRatio()
+		if cur < prev {
+			t.Fatal("fill ratio decreased")
+		}
+		prev = cur
+	}
+	if f.SizeBytes() == 0 {
+		t.Error("zero size")
+	}
+}

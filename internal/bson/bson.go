@@ -1,0 +1,376 @@
+// Package bson implements enough of the BSON specification
+// (bsonspec.org, as used by MongoDB's drivers [45]) to reproduce the
+// paper's §6.9 binary-format comparison: serialization from and
+// deserialization to the shared JSON value model, plus key lookup.
+//
+// The design property under test is BSON's *linear-time* element scan:
+// documents store elements as a flat sequence of
+// (type, cstring name, payload), so finding a key walks elements one
+// by one — the contrast to JSONB's sorted keys with binary search.
+package bson
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/jsonvalue"
+)
+
+// Element type tags (subset sufficient for JSON data).
+const (
+	typeDouble = 0x01
+	typeString = 0x02
+	typeDoc    = 0x03
+	typeArray  = 0x04
+	typeBool   = 0x08
+	typeNull   = 0x0A
+	typeInt32  = 0x10
+	typeInt64  = 0x12
+)
+
+// ErrCorrupt reports an undecodable document.
+var ErrCorrupt = errors.New("bson: corrupt document")
+
+// Marshal encodes a JSON value as a BSON document. Non-object roots
+// are wrapped per convention into a document with key "" (BSON can
+// only encode documents at the top level).
+func Marshal(v jsonvalue.Value) []byte {
+	if v.Kind() == jsonvalue.KindObject {
+		return appendDoc(nil, v.Members(), false)
+	}
+	return appendDoc(nil, []jsonvalue.Member{{Key: "", Value: v}}, false)
+}
+
+func appendDoc(dst []byte, members []jsonvalue.Member, _ bool) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length placeholder
+	for _, m := range members {
+		dst = appendElement(dst, m.Key, m.Value)
+	}
+	dst = append(dst, 0x00)
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start))
+	return dst
+}
+
+func appendArray(dst []byte, elems []jsonvalue.Value) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	for i, e := range elems {
+		dst = appendElement(dst, strconv.Itoa(i), e)
+	}
+	dst = append(dst, 0x00)
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start))
+	return dst
+}
+
+func appendElement(dst []byte, name string, v jsonvalue.Value) []byte {
+	switch v.Kind() {
+	case jsonvalue.KindNull:
+		dst = append(dst, typeNull)
+		dst = appendCString(dst, name)
+	case jsonvalue.KindBool:
+		dst = append(dst, typeBool)
+		dst = appendCString(dst, name)
+		if v.BoolVal() {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case jsonvalue.KindInt:
+		i := v.IntVal()
+		if i >= math.MinInt32 && i <= math.MaxInt32 {
+			dst = append(dst, typeInt32)
+			dst = appendCString(dst, name)
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(i)))
+		} else {
+			dst = append(dst, typeInt64)
+			dst = appendCString(dst, name)
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(i))
+		}
+	case jsonvalue.KindFloat:
+		dst = append(dst, typeDouble)
+		dst = appendCString(dst, name)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.FloatVal()))
+	case jsonvalue.KindString:
+		dst = append(dst, typeString)
+		dst = appendCString(dst, name)
+		s := v.StringVal()
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)+1))
+		dst = append(dst, s...)
+		dst = append(dst, 0x00)
+	case jsonvalue.KindObject:
+		dst = append(dst, typeDoc)
+		dst = appendCString(dst, name)
+		dst = appendDoc(dst, v.Members(), false)
+	case jsonvalue.KindArray:
+		dst = append(dst, typeArray)
+		dst = appendCString(dst, name)
+		dst = appendArray(dst, v.Elems())
+	}
+	return dst
+}
+
+func appendCString(dst []byte, s string) []byte {
+	// BSON cstrings cannot contain NUL; JSON keys can. Escape NUL as
+	// 0x01 0x01 (private convention — the comparison never hits it).
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0 {
+			dst = append(dst, 0x01, 0x01)
+		} else {
+			dst = append(dst, s[i])
+		}
+	}
+	return append(dst, 0x00)
+}
+
+// Unmarshal decodes a BSON document into the JSON value model. Object
+// key order follows the document.
+func Unmarshal(data []byte) (jsonvalue.Value, error) {
+	v, rest, err := readDoc(data, false)
+	if err != nil {
+		return jsonvalue.Null(), err
+	}
+	if len(rest) != 0 {
+		return jsonvalue.Null(), ErrCorrupt
+	}
+	// Unwrap the non-object root convention.
+	if v.Len() == 1 && v.Members()[0].Key == "" {
+		return v.Members()[0].Value, nil
+	}
+	return v, nil
+}
+
+func readDoc(data []byte, asArray bool) (jsonvalue.Value, []byte, error) {
+	if len(data) < 5 {
+		return jsonvalue.Null(), nil, ErrCorrupt
+	}
+	total := int(binary.LittleEndian.Uint32(data))
+	if total < 5 || total > len(data) {
+		return jsonvalue.Null(), nil, ErrCorrupt
+	}
+	body := data[4 : total-1]
+	if data[total-1] != 0x00 {
+		return jsonvalue.Null(), nil, ErrCorrupt
+	}
+	var members []jsonvalue.Member
+	for len(body) > 0 {
+		var m jsonvalue.Member
+		var err error
+		m, body, err = readElement(body)
+		if err != nil {
+			return jsonvalue.Null(), nil, err
+		}
+		members = append(members, m)
+	}
+	if asArray {
+		elems := make([]jsonvalue.Value, len(members))
+		for i, m := range members {
+			elems[i] = m.Value
+		}
+		return jsonvalue.Array(elems...), data[total:], nil
+	}
+	return jsonvalue.Object(members...), data[total:], nil
+}
+
+func readElement(data []byte) (jsonvalue.Member, []byte, error) {
+	if len(data) < 2 {
+		return jsonvalue.Member{}, nil, ErrCorrupt
+	}
+	t := data[0]
+	name, rest, err := readCString(data[1:])
+	if err != nil {
+		return jsonvalue.Member{}, nil, err
+	}
+	var v jsonvalue.Value
+	switch t {
+	case typeNull:
+		v = jsonvalue.Null()
+	case typeBool:
+		if len(rest) < 1 {
+			return jsonvalue.Member{}, nil, ErrCorrupt
+		}
+		v = jsonvalue.Bool(rest[0] != 0)
+		rest = rest[1:]
+	case typeInt32:
+		if len(rest) < 4 {
+			return jsonvalue.Member{}, nil, ErrCorrupt
+		}
+		v = jsonvalue.Int(int64(int32(binary.LittleEndian.Uint32(rest))))
+		rest = rest[4:]
+	case typeInt64:
+		if len(rest) < 8 {
+			return jsonvalue.Member{}, nil, ErrCorrupt
+		}
+		v = jsonvalue.Int(int64(binary.LittleEndian.Uint64(rest)))
+		rest = rest[8:]
+	case typeDouble:
+		if len(rest) < 8 {
+			return jsonvalue.Member{}, nil, ErrCorrupt
+		}
+		v = jsonvalue.Float(math.Float64frombits(binary.LittleEndian.Uint64(rest)))
+		rest = rest[8:]
+	case typeString:
+		if len(rest) < 4 {
+			return jsonvalue.Member{}, nil, ErrCorrupt
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		if n < 1 || 4+n > len(rest) || rest[4+n-1] != 0 {
+			return jsonvalue.Member{}, nil, ErrCorrupt
+		}
+		v = jsonvalue.String(string(rest[4 : 4+n-1]))
+		rest = rest[4+n:]
+	case typeDoc:
+		var err error
+		v, rest, err = readDoc(rest, false)
+		if err != nil {
+			return jsonvalue.Member{}, nil, err
+		}
+	case typeArray:
+		var err error
+		v, rest, err = readDoc(rest, true)
+		if err != nil {
+			return jsonvalue.Member{}, nil, err
+		}
+	default:
+		return jsonvalue.Member{}, nil, ErrCorrupt
+	}
+	return jsonvalue.Member{Key: name, Value: v}, rest, nil
+}
+
+func readCString(data []byte) (string, []byte, error) {
+	for i := 0; i < len(data); i++ {
+		if data[i] == 0 {
+			return string(data[:i]), data[i+1:], nil
+		}
+	}
+	return "", nil, ErrCorrupt
+}
+
+// Lookup finds a top-level key without decoding the whole document —
+// BSON's native access pattern: a linear scan over the element
+// sequence, skipping payloads by their sizes. It returns the decoded
+// value.
+func Lookup(data []byte, key string) (jsonvalue.Value, bool) {
+	if len(data) < 5 {
+		return jsonvalue.Null(), false
+	}
+	total := int(binary.LittleEndian.Uint32(data))
+	if total < 5 || total > len(data) {
+		return jsonvalue.Null(), false
+	}
+	body := data[4 : total-1]
+	for len(body) > 0 {
+		t := body[0]
+		name, rest, err := readCString(body[1:])
+		if err != nil {
+			return jsonvalue.Null(), false
+		}
+		size, ok := payloadSize(t, rest)
+		if !ok {
+			return jsonvalue.Null(), false
+		}
+		if name == key {
+			m, _, err := readElement(body)
+			if err != nil {
+				return jsonvalue.Null(), false
+			}
+			return m.Value, true
+		}
+		body = rest[size:]
+	}
+	return jsonvalue.Null(), false
+}
+
+// LookupPath chains Lookup through nested documents.
+func LookupPath(data []byte, keys ...string) (jsonvalue.Value, bool) {
+	// Walk nested docs without re-encoding: find sub-document bytes.
+	cur := data
+	for i, k := range keys {
+		if len(cur) < 5 {
+			return jsonvalue.Null(), false
+		}
+		total := int(binary.LittleEndian.Uint32(cur))
+		if total < 5 || total > len(cur) {
+			return jsonvalue.Null(), false
+		}
+		body := cur[4 : total-1]
+		found := false
+		for len(body) > 0 {
+			t := body[0]
+			name, rest, err := readCString(body[1:])
+			if err != nil {
+				return jsonvalue.Null(), false
+			}
+			size, ok := payloadSize(t, rest)
+			if !ok {
+				return jsonvalue.Null(), false
+			}
+			if name == k {
+				if i == len(keys)-1 {
+					m, _, err := readElement(body)
+					if err != nil {
+						return jsonvalue.Null(), false
+					}
+					return m.Value, true
+				}
+				if t != typeDoc && t != typeArray {
+					return jsonvalue.Null(), false
+				}
+				cur = rest[:size]
+				found = true
+				break
+			}
+			body = rest[size:]
+		}
+		if !found {
+			return jsonvalue.Null(), false
+		}
+	}
+	return jsonvalue.Null(), false
+}
+
+// payloadSize returns the byte size of an element payload (after the
+// name) so scans can skip it.
+func payloadSize(t byte, rest []byte) (int, bool) {
+	switch t {
+	case typeNull:
+		return 0, true
+	case typeBool:
+		return 1, len(rest) >= 1
+	case typeInt32:
+		return 4, len(rest) >= 4
+	case typeInt64, typeDouble:
+		return 8, len(rest) >= 8
+	case typeString:
+		if len(rest) < 4 {
+			return 0, false
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		return 4 + n, 4+n <= len(rest)
+	case typeDoc, typeArray:
+		if len(rest) < 4 {
+			return 0, false
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		return n, n >= 5 && n <= len(rest)
+	default:
+		return 0, false
+	}
+}
+
+// Keys returns the top-level keys in document order (diagnostics).
+func Keys(data []byte) []string {
+	v, err := Unmarshal(data)
+	if err != nil || v.Kind() != jsonvalue.KindObject {
+		return nil
+	}
+	keys := make([]string, 0, v.Len())
+	for _, m := range v.Members() {
+		keys = append(keys, m.Key)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,120 @@
+package bson
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/jsongen"
+	"repro/internal/jsontext"
+	"repro/internal/jsonvalue"
+)
+
+func rt(t *testing.T, src string) {
+	t.Helper()
+	v, err := jsontext.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := Marshal(v)
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("unmarshal %s: %v", src, err)
+	}
+	if !back.Equal(v) {
+		t.Fatalf("round trip %s -> %#v", src, back)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	srcs := []string{
+		`{}`, `{"a":1}`, `{"a":null,"b":true,"c":false}`,
+		`{"i32":2147483647,"i64":2147483648,"neg":-9223372036854775808}`,
+		`{"f":2.5,"s":"hello","empty":""}`,
+		`{"nested":{"deep":{"deeper":[1,2,3]}}}`,
+		`{"arr":[{"x":1},{"y":2},[],{}]}`,
+		`{"unicode":"héllo 😀"}`,
+		`[1,2,3]`, `"scalar"`, `42`, `null`, `true`,
+	}
+	for _, s := range srcs {
+		rt(t, s)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	v, _ := jsontext.ParseString(`{"id":7,"user":{"name":"bo","id":3},"tags":["a","b"],"z":1.5}`)
+	data := Marshal(v)
+	got, ok := Lookup(data, "id")
+	if !ok || got.IntVal() != 7 {
+		t.Errorf("Lookup(id) = %#v, %v", got, ok)
+	}
+	if _, ok := Lookup(data, "missing"); ok {
+		t.Error("missing key found")
+	}
+	nested, ok := LookupPath(data, "user", "name")
+	if !ok || nested.StringVal() != "bo" {
+		t.Errorf("LookupPath(user.name) = %#v", nested)
+	}
+	if _, ok := LookupPath(data, "user", "none"); ok {
+		t.Error("user.none found")
+	}
+	if _, ok := LookupPath(data, "id", "deeper"); ok {
+		t.Error("scalar traversal succeeded")
+	}
+	arr, ok := Lookup(data, "tags")
+	if !ok || arr.Kind() != jsonvalue.KindArray || arr.Len() != 2 {
+		t.Errorf("tags = %#v", arr)
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	v, _ := jsontext.ParseString(`{"a":[1,{"b":"c"}],"d":2.5}`)
+	data := Marshal(v)
+	for i := 0; i < len(data); i++ {
+		Unmarshal(data[:i]) // must not panic
+	}
+	for i := 0; i < len(data); i++ {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0xFF
+		Unmarshal(bad) // must not panic
+		Lookup(bad, "a")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(g jsongen.Gen) bool {
+		data := Marshal(g.V)
+		back, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		return back.Equal(g.V)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLookupAgrees(t *testing.T) {
+	f := func(g jsongen.Gen) bool {
+		if g.V.Kind() != jsonvalue.KindObject {
+			return true
+		}
+		data := Marshal(g.V)
+		for _, m := range g.V.Members() {
+			want := g.V.Get(m.Key) // duplicate keys: last wins in model
+			got, ok := Lookup(data, m.Key)
+			if !ok {
+				return false
+			}
+			// BSON keeps duplicates; Lookup returns the first. Accept
+			// either occurrence.
+			if !got.Equal(want) && !got.Equal(m.Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

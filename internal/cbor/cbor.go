@@ -1,0 +1,381 @@
+// Package cbor implements the RFC 7049 (CBOR) subset needed for the
+// paper's §6.9 comparison against the JsonCons CBOR implementation
+// [49]: serialization from and deserialization to the JSON value
+// model, with canonical-style minimal integer widths and
+// smallest-lossless float encoding — CBOR is an exchange format
+// optimized for wire size, which is why Figure 19 shows it smallest.
+//
+// The design property under test is that CBOR has no random access at
+// all: maps are a length-prefixed sequence of key/value pairs with no
+// offsets, so "accessing keys within a document requires the object to
+// be extracted" — Lookup sequentially decodes (skips) pairs.
+package cbor
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"repro/internal/float16"
+	"repro/internal/jsonvalue"
+)
+
+// Major types.
+const (
+	majorUint   = 0
+	majorNegInt = 1
+	majorBytes  = 2
+	majorText   = 3
+	majorArray  = 4
+	majorMap    = 5
+	majorTag    = 6
+	majorSimple = 7
+)
+
+// ErrCorrupt reports an undecodable item.
+var ErrCorrupt = errors.New("cbor: corrupt item")
+
+// Marshal encodes a JSON value as a CBOR data item.
+func Marshal(v jsonvalue.Value) []byte { return appendValue(nil, v) }
+
+func appendValue(dst []byte, v jsonvalue.Value) []byte {
+	switch v.Kind() {
+	case jsonvalue.KindNull:
+		return append(dst, 0xF6)
+	case jsonvalue.KindBool:
+		if v.BoolVal() {
+			return append(dst, 0xF5)
+		}
+		return append(dst, 0xF4)
+	case jsonvalue.KindInt:
+		i := v.IntVal()
+		if i >= 0 {
+			return appendHead(dst, majorUint, uint64(i))
+		}
+		return appendHead(dst, majorNegInt, uint64(-1-i))
+	case jsonvalue.KindFloat:
+		return appendFloat(dst, v.FloatVal())
+	case jsonvalue.KindString:
+		dst = appendHead(dst, majorText, uint64(len(v.StringVal())))
+		return append(dst, v.StringVal()...)
+	case jsonvalue.KindArray:
+		dst = appendHead(dst, majorArray, uint64(v.Len()))
+		for _, e := range v.Elems() {
+			dst = appendValue(dst, e)
+		}
+		return dst
+	case jsonvalue.KindObject:
+		dst = appendHead(dst, majorMap, uint64(v.Len()))
+		for _, m := range v.Members() {
+			dst = appendHead(dst, majorText, uint64(len(m.Key)))
+			dst = append(dst, m.Key...)
+			dst = appendValue(dst, m.Value)
+		}
+		return dst
+	}
+	return append(dst, 0xF6)
+}
+
+func appendHead(dst []byte, major byte, n uint64) []byte {
+	mb := major << 5
+	switch {
+	case n < 24:
+		return append(dst, mb|byte(n))
+	case n <= 0xFF:
+		return append(dst, mb|24, byte(n))
+	case n <= 0xFFFF:
+		return append(dst, mb|25, byte(n>>8), byte(n))
+	case n <= 0xFFFFFFFF:
+		dst = append(dst, mb|26)
+		return binary.BigEndian.AppendUint32(dst, uint32(n))
+	default:
+		dst = append(dst, mb|27)
+		return binary.BigEndian.AppendUint64(dst, n)
+	}
+}
+
+func appendFloat(dst []byte, f float64) []byte {
+	if h, ok := float16.FromFloat64(f); ok {
+		return append(dst, 0xF9, byte(h>>8), byte(h))
+	}
+	if s, ok := float16.SingleFromFloat64(f); ok {
+		dst = append(dst, 0xFA)
+		return binary.BigEndian.AppendUint32(dst, s)
+	}
+	dst = append(dst, 0xFB)
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+// Unmarshal decodes a single CBOR item (trailing bytes are an error).
+func Unmarshal(data []byte) (jsonvalue.Value, error) {
+	v, rest, err := readValue(data)
+	if err != nil {
+		return jsonvalue.Null(), err
+	}
+	if len(rest) != 0 {
+		return jsonvalue.Null(), ErrCorrupt
+	}
+	return v, nil
+}
+
+func readHead(data []byte) (major byte, n uint64, rest []byte, err error) {
+	if len(data) == 0 {
+		return 0, 0, nil, ErrCorrupt
+	}
+	major = data[0] >> 5
+	ai := data[0] & 0x1F
+	switch {
+	case ai < 24:
+		return major, uint64(ai), data[1:], nil
+	case ai == 24:
+		if len(data) < 2 {
+			return 0, 0, nil, ErrCorrupt
+		}
+		return major, uint64(data[1]), data[2:], nil
+	case ai == 25:
+		if len(data) < 3 {
+			return 0, 0, nil, ErrCorrupt
+		}
+		return major, uint64(binary.BigEndian.Uint16(data[1:])), data[3:], nil
+	case ai == 26:
+		if len(data) < 5 {
+			return 0, 0, nil, ErrCorrupt
+		}
+		return major, uint64(binary.BigEndian.Uint32(data[1:])), data[5:], nil
+	case ai == 27:
+		if len(data) < 9 {
+			return 0, 0, nil, ErrCorrupt
+		}
+		return major, binary.BigEndian.Uint64(data[1:]), data[9:], nil
+	default:
+		return 0, 0, nil, ErrCorrupt // indefinite lengths unsupported
+	}
+}
+
+func readValue(data []byte) (jsonvalue.Value, []byte, error) {
+	if len(data) == 0 {
+		return jsonvalue.Null(), nil, ErrCorrupt
+	}
+	// Simple values and floats.
+	if data[0]>>5 == majorSimple {
+		switch data[0] {
+		case 0xF4:
+			return jsonvalue.Bool(false), data[1:], nil
+		case 0xF5:
+			return jsonvalue.Bool(true), data[1:], nil
+		case 0xF6, 0xF7:
+			return jsonvalue.Null(), data[1:], nil
+		case 0xF9:
+			if len(data) < 3 {
+				return jsonvalue.Null(), nil, ErrCorrupt
+			}
+			h := uint16(data[1])<<8 | uint16(data[2])
+			return jsonvalue.Float(float16.ToFloat64(h)), data[3:], nil
+		case 0xFA:
+			if len(data) < 5 {
+				return jsonvalue.Null(), nil, ErrCorrupt
+			}
+			return jsonvalue.Float(float64(math.Float32frombits(binary.BigEndian.Uint32(data[1:])))), data[5:], nil
+		case 0xFB:
+			if len(data) < 9 {
+				return jsonvalue.Null(), nil, ErrCorrupt
+			}
+			return jsonvalue.Float(math.Float64frombits(binary.BigEndian.Uint64(data[1:]))), data[9:], nil
+		default:
+			return jsonvalue.Null(), nil, ErrCorrupt
+		}
+	}
+	major, n, rest, err := readHead(data)
+	if err != nil {
+		return jsonvalue.Null(), nil, err
+	}
+	switch major {
+	case majorUint:
+		if n > math.MaxInt64 {
+			return jsonvalue.Float(float64(n)), rest, nil
+		}
+		return jsonvalue.Int(int64(n)), rest, nil
+	case majorNegInt:
+		if n > math.MaxInt64 {
+			return jsonvalue.Null(), nil, ErrCorrupt
+		}
+		return jsonvalue.Int(-1 - int64(n)), rest, nil
+	case majorText, majorBytes:
+		if uint64(len(rest)) < n {
+			return jsonvalue.Null(), nil, ErrCorrupt
+		}
+		return jsonvalue.String(string(rest[:n])), rest[n:], nil
+	case majorArray:
+		if n > uint64(len(rest)) {
+			return jsonvalue.Null(), nil, ErrCorrupt
+		}
+		elems := make([]jsonvalue.Value, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var e jsonvalue.Value
+			e, rest, err = readValue(rest)
+			if err != nil {
+				return jsonvalue.Null(), nil, err
+			}
+			elems = append(elems, e)
+		}
+		return jsonvalue.Array(elems...), rest, nil
+	case majorMap:
+		if n > uint64(len(rest)) {
+			return jsonvalue.Null(), nil, ErrCorrupt
+		}
+		members := make([]jsonvalue.Member, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var k jsonvalue.Value
+			k, rest, err = readValue(rest)
+			if err != nil {
+				return jsonvalue.Null(), nil, err
+			}
+			if k.Kind() != jsonvalue.KindString {
+				return jsonvalue.Null(), nil, ErrCorrupt
+			}
+			var v jsonvalue.Value
+			v, rest, err = readValue(rest)
+			if err != nil {
+				return jsonvalue.Null(), nil, err
+			}
+			members = append(members, jsonvalue.Member{Key: k.StringVal(), Value: v})
+		}
+		return jsonvalue.Object(members...), rest, nil
+	default:
+		return jsonvalue.Null(), nil, ErrCorrupt
+	}
+}
+
+// skipValue advances past one item without materializing it.
+func skipValue(data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, ErrCorrupt
+	}
+	if data[0]>>5 == majorSimple {
+		switch data[0] {
+		case 0xF9:
+			if len(data) < 3 {
+				return nil, ErrCorrupt
+			}
+			return data[3:], nil
+		case 0xFA:
+			if len(data) < 5 {
+				return nil, ErrCorrupt
+			}
+			return data[5:], nil
+		case 0xFB:
+			if len(data) < 9 {
+				return nil, ErrCorrupt
+			}
+			return data[9:], nil
+		default:
+			return data[1:], nil
+		}
+	}
+	major, n, rest, err := readHead(data)
+	if err != nil {
+		return nil, err
+	}
+	switch major {
+	case majorUint, majorNegInt:
+		return rest, nil
+	case majorText, majorBytes:
+		if uint64(len(rest)) < n {
+			return nil, ErrCorrupt
+		}
+		return rest[n:], nil
+	case majorArray:
+		for i := uint64(0); i < n; i++ {
+			rest, err = skipValue(rest)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return rest, nil
+	case majorMap:
+		for i := uint64(0); i < n; i++ {
+			rest, err = skipValue(rest)
+			if err != nil {
+				return nil, err
+			}
+			rest, err = skipValue(rest)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return rest, nil
+	default:
+		return nil, ErrCorrupt
+	}
+}
+
+// Lookup finds a key in a CBOR map by sequentially decoding pairs —
+// the access pattern the paper measures: no offsets exist, so every
+// preceding value must be skipped byte-by-byte.
+func Lookup(data []byte, key string) (jsonvalue.Value, bool) {
+	major, n, rest, err := readHead(data)
+	if err != nil || major != majorMap {
+		return jsonvalue.Null(), false
+	}
+	for i := uint64(0); i < n; i++ {
+		km, kn, krest, err := readHead(rest)
+		if err != nil || km != majorText || uint64(len(krest)) < kn {
+			return jsonvalue.Null(), false
+		}
+		k := string(krest[:kn])
+		rest = krest[kn:]
+		if k == key {
+			v, _, err := readValue(rest)
+			if err != nil {
+				return jsonvalue.Null(), false
+			}
+			return v, true
+		}
+		rest, err = skipValue(rest)
+		if err != nil {
+			return jsonvalue.Null(), false
+		}
+	}
+	return jsonvalue.Null(), false
+}
+
+// LookupPath chains Lookup through nested maps. Every level pays the
+// sequential scan.
+func LookupPath(data []byte, keys ...string) (jsonvalue.Value, bool) {
+	cur := data
+	for i, k := range keys {
+		major, n, rest, err := readHead(cur)
+		if err != nil || major != majorMap {
+			return jsonvalue.Null(), false
+		}
+		found := false
+		for j := uint64(0); j < n; j++ {
+			km, kn, krest, err := readHead(rest)
+			if err != nil || km != majorText || uint64(len(krest)) < kn {
+				return jsonvalue.Null(), false
+			}
+			name := string(krest[:kn])
+			rest = krest[kn:]
+			if name == k {
+				if i == len(keys)-1 {
+					v, _, err := readValue(rest)
+					if err != nil {
+						return jsonvalue.Null(), false
+					}
+					return v, true
+				}
+				cur = rest
+				found = true
+				break
+			}
+			rest, err = skipValue(rest)
+			if err != nil {
+				return jsonvalue.Null(), false
+			}
+		}
+		if !found {
+			return jsonvalue.Null(), false
+		}
+	}
+	return jsonvalue.Null(), false
+}

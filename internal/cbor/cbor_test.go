@@ -1,0 +1,139 @@
+package cbor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/jsongen"
+	"repro/internal/jsontext"
+	"repro/internal/jsonvalue"
+)
+
+func rt(t *testing.T, src string) []byte {
+	t.Helper()
+	v, err := jsontext.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := Marshal(v)
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("unmarshal %s: %v", src, err)
+	}
+	if !back.Equal(v) {
+		t.Fatalf("round trip %s -> %#v", src, back)
+	}
+	return data
+}
+
+func TestRoundTrip(t *testing.T) {
+	srcs := []string{
+		`null`, `true`, `false`, `0`, `23`, `24`, `255`, `256`, `65535`,
+		`65536`, `4294967295`, `4294967296`, `-1`, `-24`, `-25`, `-9223372036854775808`,
+		`0.5`, `2.5`, `3.141592653589793`, `1e100`,
+		`""`, `"a"`, `"héllo 😀"`,
+		`[]`, `[1,[2,[3]]]`, `{}`, `{"a":1,"b":{"c":[true,null]}}`,
+	}
+	for _, s := range srcs {
+		rt(t, s)
+	}
+}
+
+func TestMinimalHeads(t *testing.T) {
+	sizes := map[string]int{
+		`0`:     1, // inline
+		`23`:    1,
+		`24`:    2, // one extra byte
+		`255`:   2,
+		`256`:   3,
+		`65535`: 3,
+		`65536`: 5,
+		`-1`:    1,
+		`0.5`:   3, // half-precision float
+	}
+	for src, want := range sizes {
+		data := rt(t, src)
+		if len(data) != want {
+			t.Errorf("Marshal(%s) = %d bytes, want %d", src, len(data), want)
+		}
+	}
+}
+
+func TestCompactnessVsText(t *testing.T) {
+	// CBOR's raison d'être: smaller than JSON text on numeric data.
+	v, _ := jsontext.ParseString(`{"values":[100,200,300,400,500,600,12345,99999]}`)
+	data := Marshal(v)
+	text := jsontext.Serialize(v)
+	if len(data) >= len(text) {
+		t.Errorf("CBOR %d bytes >= text %d bytes", len(data), len(text))
+	}
+}
+
+func TestLookup(t *testing.T) {
+	v, _ := jsontext.ParseString(`{"id":7,"user":{"name":"bo"},"last":"z"}`)
+	data := Marshal(v)
+	got, ok := Lookup(data, "last")
+	if !ok || got.StringVal() != "z" {
+		t.Errorf("Lookup(last) = %#v, %v", got, ok)
+	}
+	if _, ok := Lookup(data, "none"); ok {
+		t.Error("missing key found")
+	}
+	nested, ok := LookupPath(data, "user", "name")
+	if !ok || nested.StringVal() != "bo" {
+		t.Errorf("LookupPath = %#v", nested)
+	}
+	if _, ok := LookupPath(data, "id", "x"); ok {
+		t.Error("traversed a scalar")
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	v, _ := jsontext.ParseString(`{"a":[1,{"b":"c"}],"d":2.5,"e":"str"}`)
+	data := Marshal(v)
+	for i := 0; i < len(data); i++ {
+		Unmarshal(data[:i])
+	}
+	for i := 0; i < len(data); i++ {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0xFF
+		Unmarshal(bad)
+		Lookup(bad, "a")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(g jsongen.Gen) bool {
+		back, err := Unmarshal(Marshal(g.V))
+		if err != nil {
+			return false
+		}
+		return back.Equal(g.V)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLookupAgrees(t *testing.T) {
+	f := func(g jsongen.Gen) bool {
+		if g.V.Kind() != jsonvalue.KindObject {
+			return true
+		}
+		data := Marshal(g.V)
+		for _, m := range g.V.Members() {
+			got, ok := Lookup(data, m.Key)
+			if !ok {
+				return false
+			}
+			want := g.V.Get(m.Key)
+			if !got.Equal(want) && !got.Equal(m.Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package column implements the typed columnar chunks that JSON tiles
+// materialize extracted key paths into. A column stores one value type
+// (BigInt, Double, Text, Bool, or Timestamp) plus a null bitmap; null
+// marks tuples whose document lacks the path or carries an
+// outlier-typed value — those are answered from the binary JSON
+// fallback (paper §3.4).
+//
+// Strings live in a single byte arena with offsets, so a column's
+// memory is a handful of flat slices: cheap to scan, cheap to measure
+// (Table 6), and trivially compressible (LZ4).
+package column
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/keypath"
+	"repro/internal/lz4"
+)
+
+// Column is an append-only typed column with a null bitmap.
+type Column struct {
+	typ   keypath.ValueType
+	n     int
+	nulls []uint64 // bit i set = row i is null
+
+	ints     []int64   // BigInt and Timestamp (microseconds since epoch)
+	floats   []float64 // Double
+	bools    []uint64  // Bool bitmap
+	strOff   []uint32  // Text: end offsets into strBytes (start = off[i-1])
+	strBytes []byte
+}
+
+// New returns an empty column of the given storage type.
+func New(t keypath.ValueType) *Column { return &Column{typ: t} }
+
+// Type returns the storage type.
+func (c *Column) Type() keypath.ValueType { return c.typ }
+
+// Len returns the number of rows.
+func (c *Column) Len() int { return c.n }
+
+func (c *Column) setNull(i int) {
+	w := i >> 6
+	for len(c.nulls) <= w {
+		c.nulls = append(c.nulls, 0)
+	}
+	c.nulls[w] |= 1 << (uint(i) & 63)
+}
+
+// IsNull reports whether row i is null.
+func (c *Column) IsNull(i int) bool {
+	w := i >> 6
+	if w >= len(c.nulls) {
+		return false
+	}
+	return c.nulls[w]&(1<<(uint(i)&63)) != 0
+}
+
+// HasNulls reports whether any row is null.
+func (c *Column) HasNulls() bool {
+	for _, w := range c.nulls {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// NullCount returns the number of null rows.
+func (c *Column) NullCount() int {
+	total := 0
+	for _, w := range c.nulls {
+		total += popcount(w)
+	}
+	return total
+}
+
+func popcount(w uint64) int {
+	n := 0
+	for w != 0 {
+		w &= w - 1
+		n++
+	}
+	return n
+}
+
+// AppendNull adds a null row.
+func (c *Column) AppendNull() {
+	c.setNull(c.n)
+	switch c.typ {
+	case keypath.TypeBigInt, keypath.TypeTimestamp:
+		c.ints = append(c.ints, 0)
+	case keypath.TypeDouble:
+		c.floats = append(c.floats, 0)
+	case keypath.TypeString:
+		var last uint32
+		if len(c.strOff) > 0 {
+			last = c.strOff[len(c.strOff)-1]
+		}
+		c.strOff = append(c.strOff, last)
+	case keypath.TypeBool:
+		// bitmap grows lazily
+	}
+	c.n++
+}
+
+// AppendInt adds a BigInt or Timestamp row.
+func (c *Column) AppendInt(v int64) {
+	c.ints = append(c.ints, v)
+	c.n++
+}
+
+// AppendFloat adds a Double row.
+func (c *Column) AppendFloat(v float64) {
+	c.floats = append(c.floats, v)
+	c.n++
+}
+
+// AppendString adds a Text row.
+func (c *Column) AppendString(v string) {
+	c.strBytes = append(c.strBytes, v...)
+	c.strOff = append(c.strOff, uint32(len(c.strBytes)))
+	c.n++
+}
+
+// AppendBool adds a Bool row.
+func (c *Column) AppendBool(v bool) {
+	if v {
+		w := c.n >> 6
+		for len(c.bools) <= w {
+			c.bools = append(c.bools, 0)
+		}
+		c.bools[w] |= 1 << (uint(c.n) & 63)
+	}
+	c.n++
+}
+
+// Int returns the integer value of row i (BigInt or Timestamp).
+func (c *Column) Int(i int) int64 { return c.ints[i] }
+
+// Float returns the double value of row i.
+func (c *Column) Float(i int) float64 { return c.floats[i] }
+
+// Bool returns the boolean value of row i.
+func (c *Column) Bool(i int) bool {
+	w := i >> 6
+	if w >= len(c.bools) {
+		return false
+	}
+	return c.bools[w]&(1<<(uint(i)&63)) != 0
+}
+
+// String returns the text value of row i.
+func (c *Column) String(i int) string {
+	var start uint32
+	if i > 0 {
+		start = c.strOff[i-1]
+	}
+	return string(c.strBytes[start:c.strOff[i]])
+}
+
+// StringBytes returns the text of row i without copying. Callers must
+// not retain or mutate the slice.
+func (c *Column) StringBytes(i int) []byte {
+	var start uint32
+	if i > 0 {
+		start = c.strOff[i-1]
+	}
+	return c.strBytes[start:c.strOff[i]]
+}
+
+// SetInt updates row i in place (update path, §4.7).
+func (c *Column) SetInt(i int, v int64) {
+	c.ints[i] = v
+	c.clearNull(i)
+}
+
+// SetFloat updates row i in place.
+func (c *Column) SetFloat(i int, v float64) {
+	c.floats[i] = v
+	c.clearNull(i)
+}
+
+// SetNull marks row i null in place.
+func (c *Column) SetNull(i int) { c.setNull(i) }
+
+func (c *Column) clearNull(i int) {
+	w := i >> 6
+	if w < len(c.nulls) {
+		c.nulls[w] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// SizeBytes returns the in-memory footprint of the column data.
+func (c *Column) SizeBytes() int {
+	return len(c.nulls)*8 + len(c.ints)*8 + len(c.floats)*8 +
+		len(c.bools)*8 + len(c.strOff)*4 + len(c.strBytes)
+}
+
+// Serialize flattens the column into one contiguous buffer — the form
+// measured (and LZ4-compressed) for the Table 6 storage accounting.
+func (c *Column) Serialize() []byte {
+	out := make([]byte, 0, c.SizeBytes()+16)
+	out = append(out, byte(c.typ))
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], uint64(c.n))
+	out = append(out, tmp[:]...)
+	for _, w := range c.nulls {
+		binary.LittleEndian.PutUint64(tmp[:], w)
+		out = append(out, tmp[:]...)
+	}
+	switch c.typ {
+	case keypath.TypeBigInt, keypath.TypeTimestamp:
+		for _, v := range c.ints {
+			binary.LittleEndian.PutUint64(tmp[:], uint64(v))
+			out = append(out, tmp[:]...)
+		}
+	case keypath.TypeDouble:
+		for _, v := range c.floats {
+			binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+			out = append(out, tmp[:]...)
+		}
+	case keypath.TypeBool:
+		for _, w := range c.bools {
+			binary.LittleEndian.PutUint64(tmp[:], w)
+			out = append(out, tmp[:]...)
+		}
+	case keypath.TypeString:
+		for _, o := range c.strOff {
+			binary.LittleEndian.PutUint32(tmp[:4], o)
+			out = append(out, tmp[:4]...)
+		}
+		out = append(out, c.strBytes...)
+	}
+	return out
+}
+
+// CompressedSize returns the LZ4-compressed size of the serialized
+// column.
+func (c *Column) CompressedSize() int {
+	return len(lz4.Compress(nil, c.Serialize()))
+}

@@ -1,0 +1,158 @@
+package column
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/keypath"
+)
+
+func TestIntColumn(t *testing.T) {
+	c := New(keypath.TypeBigInt)
+	c.AppendInt(10)
+	c.AppendNull()
+	c.AppendInt(-5)
+	if c.Len() != 3 || c.Type() != keypath.TypeBigInt {
+		t.Fatalf("len=%d type=%v", c.Len(), c.Type())
+	}
+	if c.Int(0) != 10 || c.Int(2) != -5 {
+		t.Error("values wrong")
+	}
+	if c.IsNull(0) || !c.IsNull(1) || c.IsNull(2) {
+		t.Error("null bitmap wrong")
+	}
+	if !c.HasNulls() || c.NullCount() != 1 {
+		t.Error("null accounting wrong")
+	}
+}
+
+func TestStringColumn(t *testing.T) {
+	c := New(keypath.TypeString)
+	c.AppendString("hello")
+	c.AppendString("")
+	c.AppendNull()
+	c.AppendString("world")
+	want := []string{"hello", "", "", "world"}
+	for i, w := range want {
+		if got := c.String(i); got != w {
+			t.Errorf("String(%d) = %q, want %q", i, got, w)
+		}
+		if got := string(c.StringBytes(i)); got != w {
+			t.Errorf("StringBytes(%d) = %q", i, got)
+		}
+	}
+	if !c.IsNull(2) || c.IsNull(1) {
+		t.Error("null vs empty-string confusion")
+	}
+}
+
+func TestFloatAndBoolColumns(t *testing.T) {
+	f := New(keypath.TypeDouble)
+	f.AppendFloat(1.5)
+	f.AppendNull()
+	if f.Float(0) != 1.5 || !f.IsNull(1) {
+		t.Error("float column wrong")
+	}
+	b := New(keypath.TypeBool)
+	b.AppendBool(true)
+	b.AppendBool(false)
+	b.AppendNull()
+	b.AppendBool(true)
+	if !b.Bool(0) || b.Bool(1) || !b.Bool(3) {
+		t.Error("bool column wrong")
+	}
+	if !b.IsNull(2) {
+		t.Error("bool null wrong")
+	}
+}
+
+func TestSetInPlace(t *testing.T) {
+	c := New(keypath.TypeBigInt)
+	c.AppendNull()
+	c.AppendInt(1)
+	c.SetInt(0, 99) // null -> value
+	if c.IsNull(0) || c.Int(0) != 99 {
+		t.Error("SetInt on null row failed")
+	}
+	c.SetNull(1)
+	if !c.IsNull(1) {
+		t.Error("SetNull failed")
+	}
+	f := New(keypath.TypeDouble)
+	f.AppendFloat(1)
+	f.SetFloat(0, 2.5)
+	if f.Float(0) != 2.5 {
+		t.Error("SetFloat failed")
+	}
+}
+
+func TestNullBitmapAcrossWords(t *testing.T) {
+	c := New(keypath.TypeBigInt)
+	for i := 0; i < 200; i++ {
+		if i%3 == 0 {
+			c.AppendNull()
+		} else {
+			c.AppendInt(int64(i))
+		}
+	}
+	for i := 0; i < 200; i++ {
+		if got := c.IsNull(i); got != (i%3 == 0) {
+			t.Fatalf("IsNull(%d) = %v", i, got)
+		}
+	}
+	if c.NullCount() != 67 {
+		t.Errorf("NullCount = %d", c.NullCount())
+	}
+}
+
+func TestSerializeAndCompress(t *testing.T) {
+	c := New(keypath.TypeString)
+	for i := 0; i < 500; i++ {
+		c.AppendString("repetitive-value")
+	}
+	raw := c.Serialize()
+	if len(raw) == 0 {
+		t.Fatal("empty serialization")
+	}
+	if cs := c.CompressedSize(); cs >= len(raw) {
+		t.Errorf("compression did not help: %d -> %d", len(raw), cs)
+	}
+	if c.SizeBytes() <= 0 {
+		t.Error("SizeBytes")
+	}
+}
+
+// Property: appended values read back identically in order.
+func TestQuickAppendRead(t *testing.T) {
+	f := func(vals []int64, nullMask []bool) bool {
+		c := New(keypath.TypeBigInt)
+		expect := make([]struct {
+			v    int64
+			null bool
+		}, 0, len(vals))
+		for i, v := range vals {
+			null := i < len(nullMask) && nullMask[i]
+			if null {
+				c.AppendNull()
+			} else {
+				c.AppendInt(v)
+			}
+			expect = append(expect, struct {
+				v    int64
+				null bool
+			}{v, null})
+		}
+		for i, e := range expect {
+			if c.IsNull(i) != e.null {
+				return false
+			}
+			if !e.null && c.Int(i) != e.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package dates
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseFormats(t *testing.T) {
+	ok := []string{
+		"2020-06-01",
+		"2020-06-01 13:45:09",
+		"2020-06-01T13:45:09Z",
+		"2020-06-01T13:45:09+02:00",
+		"2020-06-01T13:45:09",
+		"Mon Jun 01 13:45:09 +0000 2020",
+		"2020/06/01",
+		"06/01/2020",
+	}
+	for _, s := range ok {
+		if _, got := Parse(s); !got {
+			t.Errorf("Parse(%q) failed", s)
+		}
+	}
+	bad := []string{
+		"", "hello", "12345678", "2020-13-40", "not a date at all",
+		"2020-06-01x", "99.99", "June first", "1/10",
+	}
+	for _, s := range bad {
+		if _, got := Parse(s); got {
+			t.Errorf("Parse(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	m, ok := Parse("2020-06-01 00:00:00")
+	if !ok {
+		t.Fatal("parse failed")
+	}
+	want := time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC).UnixMicro()
+	if m != want {
+		t.Errorf("micros = %d, want %d", m, want)
+	}
+	if Format(m) != "2020-06-01 00:00:00" {
+		t.Errorf("Format = %s", Format(m))
+	}
+	if FormatDate(m) != "2020-06-01" {
+		t.Errorf("FormatDate = %s", FormatDate(m))
+	}
+}
+
+func TestRoundTripThroughTime(t *testing.T) {
+	now := time.Date(2021, 3, 14, 15, 9, 26, 535000, time.UTC)
+	m := FromTime(now)
+	if !ToTime(m).Equal(now) {
+		t.Errorf("round trip: %v != %v", ToTime(m), now)
+	}
+}
+
+func TestDetectColumn(t *testing.T) {
+	dates := []string{"2020-06-01", "2020-06-02", "2020-06-03"}
+	if !DetectColumn(dates, 0) {
+		t.Error("all-dates column not detected")
+	}
+	mixed := []string{"2020-06-01", "not-a-date", "2020-06-03"}
+	if DetectColumn(mixed, 0) {
+		t.Error("mixed column detected as dates")
+	}
+	if DetectColumn(nil, 0) {
+		t.Error("empty column detected")
+	}
+	names := []string{"alice", "bob"}
+	if DetectColumn(names, 0) {
+		t.Error("names detected as dates")
+	}
+}
+
+func TestDetectColumnSampling(t *testing.T) {
+	// Large column: detection must stay cheap but still correct.
+	many := make([]string, 100000)
+	for i := range many {
+		many[i] = "2020-06-01 10:00:00"
+	}
+	if !DetectColumn(many, 64) {
+		t.Error("large date column not detected")
+	}
+}

@@ -1,0 +1,355 @@
+package engine
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/expr"
+)
+
+// AggFunc enumerates the aggregate functions.
+type AggFunc uint8
+
+// Aggregate functions. CountStar counts rows; Count counts non-null
+// arguments; Sum/Avg/Min/Max skip NULLs per SQL.
+const (
+	CountStar AggFunc = iota
+	Count
+	Sum
+	Avg
+	Min
+	Max
+)
+
+// AggSpec is one aggregate in a GROUP BY.
+type AggSpec struct {
+	Func     AggFunc
+	Arg      expr.Expr // nil for CountStar
+	Name     string
+	Distinct bool // COUNT(DISTINCT x) style
+}
+
+// GroupBy is a hash aggregation operator: per-worker hash tables are
+// merged at the end, so the input runs fully parallel.
+type GroupBy struct {
+	In     Operator
+	Groups []expr.Expr
+	Names  []string
+	Aggs   []AggSpec
+}
+
+// NewGroupBy builds a hash aggregation.
+func NewGroupBy(in Operator, groups []expr.Expr, names []string, aggs []AggSpec) *GroupBy {
+	return &GroupBy{In: in, Groups: groups, Names: names, Aggs: aggs}
+}
+
+// Columns implements Operator.
+func (g *GroupBy) Columns() []ColumnDesc {
+	out := make([]ColumnDesc, 0, len(g.Groups)+len(g.Aggs))
+	for i, e := range g.Groups {
+		name := ""
+		if i < len(g.Names) {
+			name = g.Names[i]
+		}
+		out = append(out, ColumnDesc{Name: name, Type: e.Type()})
+	}
+	for _, a := range g.Aggs {
+		out = append(out, ColumnDesc{Name: a.Name, Type: a.resultType()})
+	}
+	return out
+}
+
+func (a AggSpec) resultType() expr.SQLType {
+	switch a.Func {
+	case CountStar, Count:
+		return expr.TBigInt
+	case Avg:
+		return expr.TFloat
+	case Sum:
+		if a.Arg != nil && a.Arg.Type() == expr.TBigInt {
+			return expr.TBigInt
+		}
+		return expr.TFloat
+	default:
+		if a.Arg != nil {
+			return a.Arg.Type()
+		}
+		return expr.TNull
+	}
+}
+
+// aggState is the running state of one aggregate for one group.
+type aggState struct {
+	count    int64
+	sumI     int64
+	sumF     float64
+	isFloat  bool
+	minmax   expr.Value
+	hasMM    bool
+	distinct map[string]bool
+}
+
+func (s *aggState) update(spec AggSpec, row []expr.Value) {
+	if spec.Func == CountStar {
+		s.count++
+		return
+	}
+	v := spec.Arg.Eval(row)
+	if v.Null {
+		return
+	}
+	if spec.Distinct {
+		if s.distinct == nil {
+			s.distinct = map[string]bool{}
+		}
+		s.distinct[v.GroupKey()] = true
+		return
+	}
+	switch spec.Func {
+	case Count:
+		s.count++
+	case Sum, Avg:
+		s.count++
+		switch v.Typ {
+		case expr.TBigInt:
+			s.sumI += v.I
+			s.sumF += float64(v.I)
+		case expr.TFloat:
+			s.isFloat = true
+			s.sumF += v.F
+		}
+	case Min:
+		if !s.hasMM {
+			s.minmax, s.hasMM = v, true
+		} else if c, ok := expr.Compare(v, s.minmax); ok && c < 0 {
+			s.minmax = v
+		}
+	case Max:
+		if !s.hasMM {
+			s.minmax, s.hasMM = v, true
+		} else if c, ok := expr.Compare(v, s.minmax); ok && c > 0 {
+			s.minmax = v
+		}
+	}
+}
+
+func (s *aggState) merge(spec AggSpec, o *aggState) {
+	s.count += o.count
+	s.sumI += o.sumI
+	s.sumF += o.sumF
+	s.isFloat = s.isFloat || o.isFloat
+	if o.hasMM {
+		if !s.hasMM {
+			s.minmax, s.hasMM = o.minmax, true
+		} else {
+			c, ok := expr.Compare(o.minmax, s.minmax)
+			if ok && ((spec.Func == Min && c < 0) || (spec.Func == Max && c > 0)) {
+				s.minmax = o.minmax
+			}
+		}
+	}
+	if o.distinct != nil {
+		if s.distinct == nil {
+			s.distinct = map[string]bool{}
+		}
+		for k := range o.distinct {
+			s.distinct[k] = true
+		}
+	}
+}
+
+func (s *aggState) result(spec AggSpec) expr.Value {
+	if spec.Distinct {
+		return expr.IntValue(int64(len(s.distinct)))
+	}
+	switch spec.Func {
+	case CountStar, Count:
+		return expr.IntValue(s.count)
+	case Sum:
+		if s.count == 0 {
+			return expr.NullValue()
+		}
+		if !s.isFloat && spec.resultType() == expr.TBigInt {
+			return expr.IntValue(s.sumI)
+		}
+		return expr.FloatValue(s.sumF)
+	case Avg:
+		if s.count == 0 {
+			return expr.NullValue()
+		}
+		return expr.FloatValue(s.sumF / float64(s.count))
+	default:
+		if !s.hasMM {
+			return expr.NullValue()
+		}
+		return s.minmax
+	}
+}
+
+type group struct {
+	keyVals []expr.Value
+	states  []aggState
+}
+
+// Run implements Operator.
+func (g *GroupBy) Run(workers int, emit EmitFunc) {
+	// One hash table per worker id, preallocated so the per-row path
+	// is lock-free (ids are bounded by the requested parallelism).
+	// Unexpected ids share a mutex-guarded overflow table.
+	tables := make([]map[string]*group, workers+1)
+	for i := range tables {
+		tables[i] = map[string]*group{}
+	}
+	overflow := map[string]*group{}
+	var mu sync.Mutex
+
+	g.In.Run(workers, func(w int, row []expr.Value) {
+		var t map[string]*group
+		if w >= 0 && w < len(tables) {
+			t = tables[w]
+		} else {
+			mu.Lock()
+			defer mu.Unlock()
+			t = overflow
+		}
+		var keyB []byte
+		keyVals := make([]expr.Value, len(g.Groups))
+		for i, e := range g.Groups {
+			keyVals[i] = e.Eval(row)
+			keyB = append(keyB, keyVals[i].GroupKey()...)
+			keyB = append(keyB, 0)
+		}
+		key := string(keyB)
+		grp, ok := t[key]
+		if !ok {
+			grp = &group{keyVals: keyVals, states: make([]aggState, len(g.Aggs))}
+			t[key] = grp
+		}
+		for i := range g.Aggs {
+			grp.states[i].update(g.Aggs[i], row)
+		}
+	})
+
+	// Merge per-worker tables.
+	merged := map[string]*group{}
+	for _, t := range append(tables, overflow) {
+		for key, grp := range t {
+			if m, ok := merged[key]; ok {
+				for i := range g.Aggs {
+					m.states[i].merge(g.Aggs[i], &grp.states[i])
+				}
+			} else {
+				merged[key] = grp
+			}
+		}
+	}
+
+	// Global aggregation with zero groups over empty input still
+	// yields one row (SQL semantics for e.g. SELECT count(*)).
+	if len(g.Groups) == 0 && len(merged) == 0 {
+		merged[""] = &group{states: make([]aggState, len(g.Aggs))}
+	}
+
+	// Deterministic output order.
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]expr.Value, len(g.Groups)+len(g.Aggs))
+	for _, k := range keys {
+		grp := merged[k]
+		copy(out, grp.keyVals)
+		for i := range g.Aggs {
+			out[len(g.Groups)+i] = grp.states[i].result(g.Aggs[i])
+		}
+		emit(0, out)
+	}
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	E    expr.Expr
+	Desc bool
+}
+
+// OrderBy sorts the whole input (then usually feeds a Limit).
+type OrderBy struct {
+	In   Operator
+	Keys []OrderKey
+}
+
+// NewOrderBy builds a sort.
+func NewOrderBy(in Operator, keys ...OrderKey) *OrderBy { return &OrderBy{In: in, Keys: keys} }
+
+// Columns implements Operator.
+func (o *OrderBy) Columns() []ColumnDesc { return o.In.Columns() }
+
+// Run implements Operator.
+func (o *OrderBy) Run(workers int, emit EmitFunc) {
+	var mu sync.Mutex
+	var rows [][]expr.Value
+	o.In.Run(workers, func(w int, row []expr.Value) {
+		cp := append([]expr.Value(nil), row...)
+		mu.Lock()
+		rows = append(rows, cp)
+		mu.Unlock()
+	})
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range o.Keys {
+			a := k.E.Eval(rows[i])
+			b := k.E.Eval(rows[j])
+			if a.Null && b.Null {
+				continue
+			}
+			if a.Null {
+				return !k.Desc // NULLS FIRST ascending
+			}
+			if b.Null {
+				return k.Desc
+			}
+			c, ok := expr.Compare(a, b)
+			if !ok || c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for _, r := range rows {
+		emit(0, r)
+	}
+}
+
+// Limit passes through the first N rows (input must be serial —
+// place after OrderBy or GroupBy).
+type Limit struct {
+	In Operator
+	N  int
+}
+
+// NewLimit builds a limit.
+func NewLimit(in Operator, n int) *Limit { return &Limit{In: in, N: n} }
+
+// Columns implements Operator.
+func (l *Limit) Columns() []ColumnDesc { return l.In.Columns() }
+
+// Run implements Operator.
+func (l *Limit) Run(workers int, emit EmitFunc) {
+	var mu sync.Mutex
+	seen := 0
+	l.In.Run(workers, func(w int, row []expr.Value) {
+		mu.Lock()
+		ok := seen < l.N
+		if ok {
+			seen++
+		}
+		mu.Unlock()
+		if ok {
+			emit(w, row)
+		}
+	})
+}

@@ -1,0 +1,339 @@
+// Package engine implements the relational operators the evaluation
+// queries run on: table scans with pushed-down JSON access expressions
+// (paper §4.2), selections, projections, hash joins, hash aggregation,
+// sorting and limits. Scans parallelize morsel-style over tiles (or
+// row ranges); stateful operators keep per-worker state and merge, so
+// the scalability experiment (Figure 8) sweeps one knob.
+package engine
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/expr"
+	"repro/internal/storage"
+)
+
+// ColumnDesc names one output column of an operator.
+type ColumnDesc struct {
+	Name string
+	Type expr.SQLType
+}
+
+// EmitFunc consumes operator output. Implementations may be called
+// concurrently with distinct worker ids; the row slice is reused and
+// must be copied if retained.
+type EmitFunc func(worker int, row []expr.Value)
+
+// Operator is a push-based relational operator.
+type Operator interface {
+	Columns() []ColumnDesc
+	Run(workers int, emit EmitFunc)
+}
+
+// Scan reads a relation with pushed-down accesses and an optional
+// residual filter over the access slots.
+type Scan struct {
+	Rel      storage.Relation
+	Accesses []storage.Access
+	Names    []string
+	Filter   expr.Expr
+}
+
+// NewScan builds a scan and derives the null-rejection flags for tile
+// skipping (§4.8) from the filter.
+func NewScan(rel storage.Relation, accesses []storage.Access, names []string, filter expr.Expr) *Scan {
+	s := &Scan{Rel: rel, Accesses: accesses, Names: names, Filter: filter}
+	if filter != nil {
+		for slot := range expr.NullRejectedSlots(filter) {
+			if slot >= 0 && slot < len(s.Accesses) {
+				s.Accesses[slot].NullRejecting = true
+			}
+		}
+	}
+	return s
+}
+
+// MarkNullRejecting flags an access slot whose NULL cannot survive an
+// operator above (e.g. an inner-join key): tiles provably lacking the
+// path are skipped.
+func (s *Scan) MarkNullRejecting(slot int) {
+	if slot >= 0 && slot < len(s.Accesses) {
+		s.Accesses[slot].NullRejecting = true
+	}
+}
+
+// Columns implements Operator.
+func (s *Scan) Columns() []ColumnDesc {
+	out := make([]ColumnDesc, len(s.Accesses))
+	for i, a := range s.Accesses {
+		name := a.PathEnc
+		if i < len(s.Names) && s.Names[i] != "" {
+			name = s.Names[i]
+		}
+		out[i] = ColumnDesc{Name: name, Type: a.Type}
+	}
+	return out
+}
+
+// Run implements Operator.
+func (s *Scan) Run(workers int, emit EmitFunc) {
+	if s.Filter == nil {
+		s.Rel.Scan(s.Accesses, workers, storage.EmitFunc(emit))
+		return
+	}
+	s.Rel.Scan(s.Accesses, workers, func(w int, row []expr.Value) {
+		if s.Filter.Eval(row).IsTrue() {
+			emit(w, row)
+		}
+	})
+}
+
+// Select filters rows by a predicate.
+type Select struct {
+	In   Operator
+	Pred expr.Expr
+}
+
+// NewSelect builds a selection.
+func NewSelect(in Operator, pred expr.Expr) *Select { return &Select{In: in, Pred: pred} }
+
+// Columns implements Operator.
+func (s *Select) Columns() []ColumnDesc { return s.In.Columns() }
+
+// Run implements Operator.
+func (s *Select) Run(workers int, emit EmitFunc) {
+	s.In.Run(workers, func(w int, row []expr.Value) {
+		if s.Pred.Eval(row).IsTrue() {
+			emit(w, row)
+		}
+	})
+}
+
+// Project computes output expressions.
+type Project struct {
+	In    Operator
+	Exprs []expr.Expr
+	Names []string
+}
+
+// NewProject builds a projection.
+func NewProject(in Operator, exprs []expr.Expr, names []string) *Project {
+	return &Project{In: in, Exprs: exprs, Names: names}
+}
+
+// Columns implements Operator.
+func (p *Project) Columns() []ColumnDesc {
+	out := make([]ColumnDesc, len(p.Exprs))
+	for i, e := range p.Exprs {
+		name := ""
+		if i < len(p.Names) {
+			name = p.Names[i]
+		}
+		out[i] = ColumnDesc{Name: name, Type: e.Type()}
+	}
+	return out
+}
+
+// Run implements Operator.
+func (p *Project) Run(workers int, emit EmitFunc) {
+	// One output buffer per worker id, preallocated: worker ids are
+	// bounded by the requested parallelism in every operator, so the
+	// hot path is lock-free. Unexpected ids get a private buffer.
+	bufs := make([][]expr.Value, workers+1)
+	for i := range bufs {
+		bufs[i] = make([]expr.Value, len(p.Exprs))
+	}
+	p.In.Run(workers, func(w int, row []expr.Value) {
+		var out []expr.Value
+		if w >= 0 && w < len(bufs) {
+			out = bufs[w]
+		} else {
+			out = make([]expr.Value, len(p.Exprs))
+		}
+		for i, e := range p.Exprs {
+			out[i] = e.Eval(row)
+		}
+		emit(w, out)
+	})
+}
+
+// JoinType selects hash-join semantics.
+type JoinType uint8
+
+// Join types. Build side is Left; probe side is Right. Inner emits
+// probe++build columns; Semi and Anti emit only probe columns; Outer
+// (left-outer over the probe side) emits probe++build with NULL build
+// columns for unmatched probes.
+const (
+	InnerJoin JoinType = iota
+	SemiJoin
+	AntiJoin
+	OuterJoin
+)
+
+// HashJoin joins Right (probe) against Left (build) on equi-keys.
+type HashJoin struct {
+	Left, Right         Operator // build, probe
+	LeftKeys, RightKeys []int    // slot indexes
+	Type                JoinType
+}
+
+// NewHashJoin builds a hash join.
+func NewHashJoin(build, probe Operator, buildKeys, probeKeys []int, jt JoinType) *HashJoin {
+	return &HashJoin{Left: build, Right: probe, LeftKeys: buildKeys, RightKeys: probeKeys, Type: jt}
+}
+
+// Columns implements Operator.
+func (j *HashJoin) Columns() []ColumnDesc {
+	probe := j.Right.Columns()
+	switch j.Type {
+	case SemiJoin, AntiJoin:
+		return probe
+	default:
+		return append(append([]ColumnDesc{}, probe...), j.Left.Columns()...)
+	}
+}
+
+// Run implements Operator.
+func (j *HashJoin) Run(workers int, emit EmitFunc) {
+	// Build phase: materialize the build side into a hash table.
+	var mu sync.Mutex
+	table := map[string][][]expr.Value{}
+	j.Left.Run(workers, func(w int, row []expr.Value) {
+		key, ok := joinKey(row, j.LeftKeys)
+		if !ok {
+			return // NULL keys never match
+		}
+		cp := append([]expr.Value(nil), row...)
+		mu.Lock()
+		table[key] = append(table[key], cp)
+		mu.Unlock()
+	})
+
+	buildWidth := len(j.Left.Columns())
+	// Probe phase. Per-worker output buffers, preallocated (see
+	// Project.Run for the id-bound invariant).
+	type probeState struct{ out []expr.Value }
+	states := make([]probeState, workers+1)
+	getState := func(w int) *probeState {
+		if w >= 0 && w < len(states) {
+			return &states[w]
+		}
+		return &probeState{} // unexpected id: private state
+	}
+	j.Right.Run(workers, func(w int, row []expr.Value) {
+		key, ok := joinKey(row, j.RightKeys)
+		var matches [][]expr.Value
+		if ok {
+			matches = table[key]
+		}
+		switch j.Type {
+		case SemiJoin:
+			if len(matches) > 0 {
+				emit(w, row)
+			}
+		case AntiJoin:
+			if len(matches) == 0 {
+				emit(w, row)
+			}
+		case InnerJoin:
+			if len(matches) == 0 {
+				return
+			}
+			st := getState(w)
+			for _, m := range matches {
+				st.out = st.out[:0]
+				st.out = append(st.out, row...)
+				st.out = append(st.out, m...)
+				emit(w, st.out)
+			}
+		case OuterJoin:
+			st := getState(w)
+			if len(matches) == 0 {
+				st.out = st.out[:0]
+				st.out = append(st.out, row...)
+				for i := 0; i < buildWidth; i++ {
+					st.out = append(st.out, expr.NullValue())
+				}
+				emit(w, st.out)
+				return
+			}
+			for _, m := range matches {
+				st.out = st.out[:0]
+				st.out = append(st.out, row...)
+				st.out = append(st.out, m...)
+				emit(w, st.out)
+			}
+		}
+	})
+}
+
+func joinKey(row []expr.Value, keys []int) (string, bool) {
+	var sb []byte
+	for _, k := range keys {
+		if row[k].Null {
+			return "", false
+		}
+		sb = append(sb, row[k].GroupKey()...)
+		sb = append(sb, 0)
+	}
+	return string(sb), true
+}
+
+// Materialize runs an operator and collects all rows (single
+// synchronized sink) — the terminal consumer for tests, tools and
+// benchmarks.
+func Materialize(op Operator, workers int) *Result {
+	res := &Result{Cols: op.Columns()}
+	var mu sync.Mutex
+	op.Run(workers, func(w int, row []expr.Value) {
+		cp := append([]expr.Value(nil), row...)
+		mu.Lock()
+		res.Rows = append(res.Rows, cp)
+		mu.Unlock()
+	})
+	return res
+}
+
+// CountRows runs an operator and counts rows without materializing them.
+func CountRows(op Operator, workers int) int64 {
+	var mu sync.Mutex
+	var n int64
+	op.Run(workers, func(int, []expr.Value) {
+		mu.Lock()
+		n++
+		mu.Unlock()
+	})
+	return n
+}
+
+// Result is a materialized query result.
+type Result struct {
+	Cols []ColumnDesc
+	Rows [][]expr.Value
+}
+
+// SortRows orders the result deterministically by every column (tests
+// compare results across formats).
+func (r *Result) SortRows() {
+	sort.Slice(r.Rows, func(i, j int) bool {
+		for c := range r.Rows[i] {
+			a, b := r.Rows[i][c], r.Rows[j][c]
+			if a.Null != b.Null {
+				return a.Null
+			}
+			if a.Null {
+				continue
+			}
+			if cv, ok := expr.Compare(a, b); ok && cv != 0 {
+				return cv < 0
+			}
+			as, bs := a.String(), b.String()
+			if as != bs {
+				return as < bs
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,340 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/storage"
+)
+
+// rel loads documents into the JSONB format (the simplest full
+// Relation implementation) for operator tests.
+func rel(t *testing.T, srcs ...string) storage.Relation {
+	t.Helper()
+	lines := make([][]byte, len(srcs))
+	for i, s := range srcs {
+		lines[i] = []byte(s)
+	}
+	l, err := storage.NewLoader(storage.KindJSONB, storage.DefaultLoaderConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := l.Load("test", lines, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func ordersRel(t *testing.T) storage.Relation {
+	t.Helper()
+	var srcs []string
+	for i := 0; i < 20; i++ {
+		srcs = append(srcs, fmt.Sprintf(
+			`{"id":%d, "cust":%d, "total":%d.5, "status":"%s"}`,
+			i, i%5, i*10, []string{"open", "shipped"}[i%2]))
+	}
+	return rel(t, srcs...)
+}
+
+func scanAll(r storage.Relation, filter expr.Expr, accs ...storage.Access) *Scan {
+	return NewScan(r, accs, nil, filter)
+}
+
+func TestScanWithFilter(t *testing.T) {
+	r := ordersRel(t)
+	idAcc := storage.NewAccess(expr.TBigInt, "id")
+	scan := scanAll(r, expr.NewCmp(expr.LT, expr.NewCol(0, expr.TBigInt), expr.NewConst(expr.IntValue(5))), idAcc)
+	res := Materialize(scan, 1)
+	if len(res.Rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(res.Rows))
+	}
+	// Filter must set the null-rejecting flag for slot 0.
+	if !scan.Accesses[0].NullRejecting {
+		t.Error("filter did not mark access null-rejecting")
+	}
+}
+
+func TestScanParallelMatchesSerial(t *testing.T) {
+	r := ordersRel(t)
+	acc := storage.NewAccess(expr.TBigInt, "id")
+	for _, w := range []int{1, 2, 4, 8} {
+		res := Materialize(scanAll(r, nil, acc), w)
+		if len(res.Rows) != 20 {
+			t.Errorf("workers=%d: %d rows", w, len(res.Rows))
+		}
+	}
+}
+
+func TestProjectAndSelect(t *testing.T) {
+	r := ordersRel(t)
+	scan := scanAll(r, nil,
+		storage.NewAccess(expr.TBigInt, "id"),
+		storage.NewAccess(expr.TFloat, "total"))
+	sel := NewSelect(scan, expr.NewCmp(expr.GE, expr.NewCol(1, expr.TFloat), expr.NewConst(expr.FloatValue(100))))
+	proj := NewProject(sel, []expr.Expr{
+		expr.NewArith(expr.Mul, expr.NewCol(0, expr.TBigInt), expr.NewConst(expr.IntValue(2))),
+	}, []string{"id2"})
+	res := Materialize(proj, 2)
+	res.SortRows()
+	if len(res.Rows) != 10 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	if res.Cols[0].Name != "id2" || res.Cols[0].Type != expr.TBigInt {
+		t.Errorf("cols = %+v", res.Cols)
+	}
+	if res.Rows[0][0].I != 20 { // smallest id with total>=100 is 10
+		t.Errorf("first row %v", res.Rows[0])
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	r := ordersRel(t)
+	scan := scanAll(r, nil,
+		storage.NewAccess(expr.TBigInt, "cust"),
+		storage.NewAccess(expr.TFloat, "total"),
+		storage.NewAccess(expr.TText, "status"))
+	gb := NewGroupBy(scan,
+		[]expr.Expr{expr.NewCol(0, expr.TBigInt)},
+		[]string{"cust"},
+		[]AggSpec{
+			{Func: CountStar, Name: "n"},
+			{Func: Sum, Arg: expr.NewCol(1, expr.TFloat), Name: "sum_total"},
+			{Func: Min, Arg: expr.NewCol(1, expr.TFloat), Name: "min_total"},
+			{Func: Max, Arg: expr.NewCol(1, expr.TFloat), Name: "max_total"},
+			{Func: Avg, Arg: expr.NewCol(1, expr.TFloat), Name: "avg_total"},
+		})
+	for _, workers := range []int{1, 4} {
+		res := Materialize(gb, workers)
+		if len(res.Rows) != 5 {
+			t.Fatalf("workers=%d: %d groups", workers, len(res.Rows))
+		}
+		res.SortRows()
+		// cust 0 has ids 0,5,10,15 -> totals 0.5, 50.5, 100.5, 150.5.
+		r0 := res.Rows[0]
+		if r0[0].I != 0 || r0[1].I != 4 {
+			t.Fatalf("group row %v", r0)
+		}
+		if r0[2].F != 302.0 {
+			t.Errorf("sum = %v", r0[2])
+		}
+		if r0[3].F != 0.5 || r0[4].F != 150.5 {
+			t.Errorf("min/max = %v/%v", r0[3], r0[4])
+		}
+		if r0[5].F != 75.5 {
+			t.Errorf("avg = %v", r0[5])
+		}
+	}
+}
+
+func TestGroupByNullHandling(t *testing.T) {
+	r := rel(t, `{"g":1,"v":5}`, `{"g":1}`, `{"g":2,"v":null}`, `{"v":7}`)
+	scan := scanAll(r, nil,
+		storage.NewAccess(expr.TBigInt, "g"),
+		storage.NewAccess(expr.TBigInt, "v"))
+	gb := NewGroupBy(scan, []expr.Expr{expr.NewCol(0, expr.TBigInt)}, []string{"g"},
+		[]AggSpec{
+			{Func: CountStar, Name: "all"},
+			{Func: Count, Arg: expr.NewCol(1, expr.TBigInt), Name: "vals"},
+			{Func: Sum, Arg: expr.NewCol(1, expr.TBigInt), Name: "sum"},
+		})
+	res := Materialize(gb, 1)
+	res.SortRows()
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d groups (NULL must form its own group)", len(res.Rows))
+	}
+	// NULL group first after sort.
+	if !res.Rows[0][0].Null || res.Rows[0][1].I != 1 || res.Rows[0][2].I != 1 || res.Rows[0][3].I != 7 {
+		t.Errorf("null group = %v", res.Rows[0])
+	}
+	// Group 1: count(*)=2, count(v)=1, sum=5.
+	if res.Rows[1][1].I != 2 || res.Rows[1][2].I != 1 || res.Rows[1][3].I != 5 {
+		t.Errorf("group 1 = %v", res.Rows[1])
+	}
+	// Group 2: v is JSON null -> SQL NULL; sum over empty = NULL.
+	if res.Rows[2][2].I != 0 || !res.Rows[2][3].Null {
+		t.Errorf("group 2 = %v", res.Rows[2])
+	}
+}
+
+func TestGlobalAggregateOnEmptyInput(t *testing.T) {
+	r := rel(t, `{"v":1}`)
+	scan := scanAll(r,
+		expr.NewCmp(expr.GT, expr.NewCol(0, expr.TBigInt), expr.NewConst(expr.IntValue(100))),
+		storage.NewAccess(expr.TBigInt, "v"))
+	gb := NewGroupBy(scan, nil, nil, []AggSpec{
+		{Func: CountStar, Name: "n"},
+		{Func: Sum, Arg: expr.NewCol(0, expr.TBigInt), Name: "s"},
+	})
+	res := Materialize(gb, 2)
+	if len(res.Rows) != 1 {
+		t.Fatalf("global agg on empty input: %d rows, want 1", len(res.Rows))
+	}
+	if res.Rows[0][0].I != 0 || !res.Rows[0][1].Null {
+		t.Errorf("row = %v", res.Rows[0])
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	r := rel(t, `{"v":1}`, `{"v":1}`, `{"v":2}`, `{"v":3}`, `{"v":3}`)
+	scan := scanAll(r, nil, storage.NewAccess(expr.TBigInt, "v"))
+	gb := NewGroupBy(scan, nil, nil, []AggSpec{
+		{Func: Count, Arg: expr.NewCol(0, expr.TBigInt), Name: "d", Distinct: true},
+	})
+	res := Materialize(gb, 3)
+	if res.Rows[0][0].I != 3 {
+		t.Errorf("count distinct = %v", res.Rows[0][0])
+	}
+}
+
+func TestHashJoinInner(t *testing.T) {
+	orders := ordersRel(t)
+	cust := rel(t,
+		`{"cid":0,"name":"alice"}`,
+		`{"cid":1,"name":"bob"}`,
+		`{"cid":2,"name":"carol"}`,
+	)
+	buildScan := scanAll(cust, nil,
+		storage.NewAccess(expr.TBigInt, "cid"),
+		storage.NewAccess(expr.TText, "name"))
+	probeScan := scanAll(orders, nil,
+		storage.NewAccess(expr.TBigInt, "id"),
+		storage.NewAccess(expr.TBigInt, "cust"))
+	join := NewHashJoin(buildScan, probeScan, []int{0}, []int{1}, InnerJoin)
+	for _, workers := range []int{1, 4} {
+		res := Materialize(join, workers)
+		// custs 0,1,2 each have 4 orders = 12 rows.
+		if len(res.Rows) != 12 {
+			t.Fatalf("workers=%d: %d rows", workers, len(res.Rows))
+		}
+		// Output: probe columns then build columns.
+		if len(res.Cols) != 4 {
+			t.Fatalf("cols = %v", res.Cols)
+		}
+		res.SortRows()
+		if res.Rows[0][0].I != 0 || res.Rows[0][3].S != "alice" {
+			t.Errorf("first joined row %v", res.Rows[0])
+		}
+	}
+}
+
+func TestHashJoinSemiAnti(t *testing.T) {
+	left := rel(t, `{"k":1}`, `{"k":2}`)
+	right := rel(t, `{"k":1,"x":"a"}`, `{"k":3,"x":"b"}`, `{"k":null,"x":"c"}`)
+	build := scanAll(left, nil, storage.NewAccess(expr.TBigInt, "k"))
+	probe := scanAll(right, nil,
+		storage.NewAccess(expr.TBigInt, "k"),
+		storage.NewAccess(expr.TText, "x"))
+
+	semi := Materialize(NewHashJoin(build, probe, []int{0}, []int{0}, SemiJoin), 1)
+	if len(semi.Rows) != 1 || semi.Rows[0][1].S != "a" {
+		t.Errorf("semi join rows: %v", semi.Rows)
+	}
+	anti := Materialize(NewHashJoin(build, probe, []int{0}, []int{0}, AntiJoin), 1)
+	// k=3 unmatched; k=NULL also unmatched (NULL never matches).
+	if len(anti.Rows) != 2 {
+		t.Errorf("anti join rows: %v", anti.Rows)
+	}
+}
+
+func TestHashJoinOuter(t *testing.T) {
+	build := scanAll(rel(t, `{"k":1,"v":"x"}`), nil,
+		storage.NewAccess(expr.TBigInt, "k"),
+		storage.NewAccess(expr.TText, "v"))
+	probe := scanAll(rel(t, `{"k":1}`, `{"k":2}`), nil,
+		storage.NewAccess(expr.TBigInt, "k"))
+	outer := Materialize(NewHashJoin(build, probe, []int{0}, []int{0}, OuterJoin), 1)
+	if len(outer.Rows) != 2 {
+		t.Fatalf("outer rows: %v", outer.Rows)
+	}
+	outer.SortRows()
+	if outer.Rows[0][0].I != 1 || outer.Rows[0][2].S != "x" {
+		t.Errorf("matched row %v", outer.Rows[0])
+	}
+	if outer.Rows[1][0].I != 2 || !outer.Rows[1][2].Null {
+		t.Errorf("unmatched row %v", outer.Rows[1])
+	}
+}
+
+func TestJoinNullKeysNeverMatch(t *testing.T) {
+	build := scanAll(rel(t, `{"k":null,"v":1}`), nil,
+		storage.NewAccess(expr.TBigInt, "k"),
+		storage.NewAccess(expr.TBigInt, "v"))
+	probe := scanAll(rel(t, `{"k":null}`), nil,
+		storage.NewAccess(expr.TBigInt, "k"))
+	res := Materialize(NewHashJoin(build, probe, []int{0}, []int{0}, InnerJoin), 1)
+	if len(res.Rows) != 0 {
+		t.Errorf("NULL = NULL matched: %v", res.Rows)
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	r := ordersRel(t)
+	scan := scanAll(r, nil,
+		storage.NewAccess(expr.TBigInt, "id"),
+		storage.NewAccess(expr.TFloat, "total"))
+	ob := NewOrderBy(scan, OrderKey{E: expr.NewCol(1, expr.TFloat), Desc: true})
+	lim := NewLimit(ob, 3)
+	res := Materialize(lim, 4)
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	if res.Rows[0][0].I != 19 || res.Rows[1][0].I != 18 || res.Rows[2][0].I != 17 {
+		t.Errorf("top-3 by total: %v %v %v", res.Rows[0][0], res.Rows[1][0], res.Rows[2][0])
+	}
+}
+
+func TestOrderByMultiKeyWithNulls(t *testing.T) {
+	r := rel(t, `{"a":1,"b":2}`, `{"a":1,"b":1}`, `{"a":null,"b":9}`, `{"a":2,"b":0}`)
+	scan := scanAll(r, nil,
+		storage.NewAccess(expr.TBigInt, "a"),
+		storage.NewAccess(expr.TBigInt, "b"))
+	ob := NewOrderBy(scan,
+		OrderKey{E: expr.NewCol(0, expr.TBigInt)},
+		OrderKey{E: expr.NewCol(1, expr.TBigInt), Desc: true})
+	res := Materialize(ob, 2)
+	var got []string
+	for _, row := range res.Rows {
+		got = append(got, row[0].String()+"/"+row[1].String())
+	}
+	want := []string{"NULL/9", "1/2", "1/1", "2/0"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCountRows(t *testing.T) {
+	r := ordersRel(t)
+	scan := scanAll(r, nil, storage.NewAccess(expr.TBigInt, "id"))
+	if n := CountRows(scan, 4); n != 20 {
+		t.Errorf("CountRows = %d", n)
+	}
+}
+
+func TestValuesOperator(t *testing.T) {
+	r := ordersRel(t)
+	scan := scanAll(r, nil,
+		storage.NewAccess(expr.TBigInt, "cust"),
+		storage.NewAccess(expr.TFloat, "total"))
+	agg := NewGroupBy(scan, []expr.Expr{expr.NewCol(0, expr.TBigInt)}, []string{"cust"},
+		[]AggSpec{{Func: Sum, Arg: expr.NewCol(1, expr.TFloat), Name: "t"}})
+	first := Materialize(agg, 2)
+
+	// Replaying through Values must be identical and joinable.
+	vals := NewValues(first)
+	if len(vals.Columns()) != 2 {
+		t.Fatalf("columns = %v", vals.Columns())
+	}
+	again := Materialize(vals, 4)
+	if len(again.Rows) != len(first.Rows) {
+		t.Fatalf("replay rows = %d", len(again.Rows))
+	}
+	join := NewHashJoin(vals, scan, []int{0}, []int{0}, InnerJoin)
+	res := Materialize(join, 2)
+	if len(res.Rows) != 20 {
+		t.Errorf("join through Values = %d rows", len(res.Rows))
+	}
+}

@@ -1,0 +1,21 @@
+package engine
+
+// Values replays a materialized result as an operator — the bridge
+// for multi-phase queries (scalar subqueries, HAVING over a prior
+// aggregation joined back, TPC-H Q2/Q11/Q15/Q17/Q18/Q22).
+type Values struct {
+	Res *Result
+}
+
+// NewValues wraps a result.
+func NewValues(res *Result) *Values { return &Values{Res: res} }
+
+// Columns implements Operator.
+func (v *Values) Columns() []ColumnDesc { return v.Res.Cols }
+
+// Run implements Operator.
+func (v *Values) Run(workers int, emit EmitFunc) {
+	for _, row := range v.Res.Rows {
+		emit(0, row)
+	}
+}

@@ -1,0 +1,31 @@
+package exprparse
+
+import "testing"
+
+// FuzzParse: arbitrary access-expression strings must parse or error,
+// never panic; successful parses yield a well-formed access whose
+// path re-parses from its canonical encoding.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`data->>'l_orderkey'::BigInt`,
+		`data->'user'->>'id'::Float`,
+		`x->'a'->0->>'b'`,
+		`data->'hashtags'->-1`,
+		`d->>'it''s'`,
+		`data->>'x'::`,
+		`->'x'`,
+		`data->'a'->`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if a.PathEnc != a.Path.Encode() {
+			t.Fatalf("PathEnc %q != Encode() %q", a.PathEnc, a.Path.Encode())
+		}
+	})
+}

@@ -1,0 +1,110 @@
+// Package float16 implements IEEE 754 binary16 (and lossless
+// binary32) conversion, shared by the JSONB encoder (§5.1) and the
+// CBOR codec: both store a double in a narrower width only when the
+// round-trip is exact, so decoding never makes rounding decisions.
+package float16
+
+import "math"
+
+// FromFloat64 converts f to binary16 and reports whether the
+// conversion is exact (converting back yields bit-identical f).
+func FromFloat64(f float64) (uint16, bool) {
+	h := roundFromFloat64(f)
+	return h, ToFloat64(h) == f || (math.IsNaN(f) && isNaN16(h))
+}
+
+func isNaN16(h uint16) bool {
+	return h&0x7C00 == 0x7C00 && h&0x03FF != 0
+}
+
+// roundFromFloat64 rounds f to the nearest binary16 value.
+func roundFromFloat64(f float64) uint16 {
+	b := math.Float64bits(f)
+	sign := uint16(b>>48) & 0x8000
+	exp := int((b >> 52) & 0x7FF)
+	frac := b & 0xFFFFFFFFFFFFF
+
+	switch {
+	case exp == 0x7FF: // Inf or NaN
+		if frac != 0 {
+			return sign | 0x7C00 | 0x0200 // quiet NaN
+		}
+		return sign | 0x7C00
+	case exp == 0 && frac == 0: // zero
+		return sign
+	}
+
+	// Unbiased exponent.
+	e := exp - 1023
+	switch {
+	case e > 15: // overflow to infinity — never lossless, caller rejects
+		return sign | 0x7C00
+	case e >= -14: // normal half
+		he := uint16(e+15) << 10
+		hf := uint16(frac >> 42)
+		// Round to nearest even on the truncated bits.
+		rem := frac & ((1 << 42) - 1)
+		half := uint64(1) << 41
+		if rem > half || (rem == half && hf&1 == 1) {
+			hf++
+			if hf == 0x400 {
+				hf = 0
+				he += 1 << 10
+			}
+		}
+		return sign | he | hf
+	case e >= -24: // subnormal half
+		shift := uint(-e - 14)
+		mant := (uint64(1) << 52) | frac
+		hf := uint16(mant >> (42 + shift))
+		rem := mant & ((1 << (42 + shift)) - 1)
+		half := uint64(1) << (41 + shift)
+		if rem > half || (rem == half && hf&1 == 1) {
+			hf++
+		}
+		return sign | hf
+	default: // underflow to zero
+		return sign
+	}
+}
+
+// ToFloat64 widens a binary16 value to float64 exactly.
+func ToFloat64(h uint16) float64 {
+	sign := uint64(h&0x8000) << 48
+	exp := uint64(h>>10) & 0x1F
+	frac := uint64(h & 0x3FF)
+
+	switch exp {
+	case 0:
+		if frac == 0 { // zero
+			return math.Float64frombits(sign)
+		}
+		// Subnormal half: value is frac × 2⁻²⁴, i.e. 0.frac × 2⁻¹⁴.
+		e := -14
+		for frac&0x400 == 0 {
+			frac <<= 1
+			e--
+		}
+		frac &= 0x3FF
+		return math.Float64frombits(sign | uint64(e+1023)<<52 | frac<<42)
+	case 0x1F:
+		if frac == 0 {
+			return math.Float64frombits(sign | 0x7FF<<52)
+		}
+		return math.Float64frombits(sign | 0x7FF<<52 | frac<<42)
+	default:
+		return math.Float64frombits(sign | (exp-15+1023)<<52 | frac<<42)
+	}
+}
+
+// SingleFromFloat64 converts f to binary32 and reports losslessness.
+func SingleFromFloat64(f float64) (uint32, bool) {
+	s := float32(f)
+	if float64(s) == f {
+		return math.Float32bits(s), true
+	}
+	if math.IsNaN(f) {
+		return math.Float32bits(float32(math.NaN())), true
+	}
+	return 0, false
+}

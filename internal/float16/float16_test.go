@@ -1,0 +1,101 @@
+package float16
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactValues(t *testing.T) {
+	exact := []float64{0, 1, -1, 0.5, 0.25, 2048, 65504, -65504,
+		6.103515625e-05,        // smallest normal half
+		5.960464477539063e-08,  // smallest subnormal half
+		-5.960464477539063e-08, // negative subnormal
+	}
+	for _, f := range exact {
+		h, ok := FromFloat64(f)
+		if !ok {
+			t.Errorf("%g should be half-exact", f)
+			continue
+		}
+		if back := ToFloat64(h); back != f {
+			t.Errorf("half(%g) round trips to %g", f, back)
+		}
+	}
+}
+
+func TestInexactValues(t *testing.T) {
+	inexact := []float64{0.1, math.Pi, 65505, 1e300, 1e-300, 2049}
+	for _, f := range inexact {
+		if _, ok := FromFloat64(f); ok {
+			t.Errorf("%g should not be half-exact", f)
+		}
+	}
+}
+
+func TestSpecials(t *testing.T) {
+	if h, ok := FromFloat64(math.Inf(1)); !ok || !math.IsInf(ToFloat64(h), 1) {
+		t.Error("+Inf")
+	}
+	if h, ok := FromFloat64(math.Inf(-1)); !ok || !math.IsInf(ToFloat64(h), -1) {
+		t.Error("-Inf")
+	}
+	if h, ok := FromFloat64(math.NaN()); !ok || !math.IsNaN(ToFloat64(h)) {
+		t.Error("NaN")
+	}
+	nz := math.Copysign(0, -1)
+	if h, ok := FromFloat64(nz); !ok || !math.Signbit(ToFloat64(h)) {
+		t.Error("-0")
+	}
+}
+
+// Property: FromFloat64 never lies — if it reports exact, the round
+// trip is bit-identical.
+func TestQuickExactnessHonest(t *testing.T) {
+	f := func(bits uint64) bool {
+		fv := math.Float64frombits(bits)
+		h, ok := FromFloat64(fv)
+		if !ok {
+			return true
+		}
+		back := ToFloat64(h)
+		if math.IsNaN(fv) {
+			return math.IsNaN(back)
+		}
+		return math.Float64bits(back) == bits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every half pattern widens and narrows consistently.
+func TestAllHalfPatternsRoundTrip(t *testing.T) {
+	for h := 0; h <= 0xFFFF; h++ {
+		f := ToFloat64(uint16(h))
+		h2, ok := FromFloat64(f)
+		if !ok {
+			t.Fatalf("half 0x%04x widened to %g reported inexact", h, f)
+		}
+		f2 := ToFloat64(h2)
+		if f != f2 && !(math.IsNaN(f) && math.IsNaN(f2)) {
+			t.Fatalf("half 0x%04x: %g != %g", h, f, f2)
+		}
+	}
+}
+
+func TestSingleFromFloat64(t *testing.T) {
+	if s, ok := SingleFromFloat64(0.5); !ok || math.Float32frombits(s) != 0.5 {
+		t.Error("0.5 single")
+	}
+	if _, ok := SingleFromFloat64(1e300); ok {
+		t.Error("1e300 single-exact?")
+	}
+	f32 := float64(float32(0.1))
+	if _, ok := SingleFromFloat64(f32); !ok {
+		t.Error("float32(0.1) should be single-exact")
+	}
+	if _, ok := SingleFromFloat64(0.1); ok {
+		t.Error("0.1 should not be single-exact")
+	}
+}

@@ -1,0 +1,210 @@
+// Package hist implements small equi-width histograms over numeric
+// key-path values. The paper uses HyperLogLog sketches as the primary
+// domain statistic and notes that "the collection of regular
+// histograms would work analogously" (§4.6); this package is that
+// analogous collection: per-tile histograms are built during
+// materialization and merged into relation statistics, giving the
+// optimizer real range selectivities instead of the 1/3 default.
+package hist
+
+import "math"
+
+// Buckets is the fixed resolution. 32 buckets keep a histogram at
+// ~300 bytes — well inside the optimizer memory budget.
+const Buckets = 32
+
+// Histogram is an equi-width histogram over float64-projected values.
+// It is built in two phases: observe min/max bounds (or grow them
+// lazily with out-of-range spill), then count.
+type Histogram struct {
+	min, max float64
+	width    float64
+	counts   [Buckets]int64
+	total    int64
+	// underflow/overflow absorb values outside the initial bounds
+	// after a merge of histograms with different ranges.
+	underflow, overflow int64
+}
+
+// New returns a histogram covering [min, max]. Degenerate bounds
+// (min >= max) produce a single-point histogram.
+func New(min, max float64) *Histogram {
+	h := &Histogram{min: min, max: max}
+	if max > min {
+		h.width = (max - min) / Buckets
+	}
+	return h
+}
+
+// FromValues builds a histogram with bounds taken from the data.
+func FromValues(values []float64) *Histogram {
+	if len(values) == 0 {
+		return New(0, 0)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	h := New(lo, hi)
+	for _, v := range values {
+		h.Add(v)
+	}
+	return h
+}
+
+// Add counts one value.
+func (h *Histogram) Add(v float64) {
+	h.total++
+	switch {
+	case v < h.min:
+		h.underflow++
+	case v > h.max:
+		h.overflow++
+	case h.width == 0:
+		h.counts[0]++
+	default:
+		b := int((v - h.min) / h.width)
+		if b >= Buckets {
+			b = Buckets - 1
+		}
+		h.counts[b]++
+	}
+}
+
+// Total returns the number of counted values.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Min and Max return the covered bounds.
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max returns the upper bound.
+func (h *Histogram) Max() float64 { return h.max }
+
+// SelLess estimates the fraction of values strictly below x with
+// intra-bucket linear interpolation.
+func (h *Histogram) SelLess(x float64) float64 {
+	if h.total == 0 {
+		return 1.0 / 3
+	}
+	switch {
+	case x <= h.min:
+		return frac(h.underflow, h.total)
+	case x > h.max:
+		return frac(h.total-h.overflow, h.total) + frac(h.overflow, h.total)
+	case h.width == 0:
+		return frac(h.underflow, h.total)
+	}
+	b := int((x - h.min) / h.width)
+	if b >= Buckets {
+		b = Buckets - 1
+	}
+	cum := h.underflow
+	for i := 0; i < b; i++ {
+		cum += h.counts[i]
+	}
+	within := (x - (h.min + float64(b)*h.width)) / h.width
+	est := float64(cum) + within*float64(h.counts[b])
+	return clamp01(est / float64(h.total))
+}
+
+// SelGreater estimates the fraction of values strictly above x.
+func (h *Histogram) SelGreater(x float64) float64 {
+	return clamp01(1 - h.SelLess(x) - h.SelPoint(x))
+}
+
+// SelPoint estimates the fraction of values equal to x (one bucket
+// spread uniformly; callers usually prefer 1/distinct from HLL).
+func (h *Histogram) SelPoint(x float64) float64 {
+	if h.total == 0 || x < h.min || x > h.max {
+		return 0
+	}
+	if h.width == 0 {
+		return frac(h.counts[0], h.total)
+	}
+	b := int((x - h.min) / h.width)
+	if b >= Buckets {
+		b = Buckets - 1
+	}
+	// Assume ~width distinct values per bucket; a point takes an even
+	// share. Without distinct info per bucket, spread over the width.
+	share := float64(h.counts[b]) / math.Max(h.width, 1)
+	return clamp01(share / float64(h.total))
+}
+
+// SelRange estimates the fraction of values in [lo, hi].
+func (h *Histogram) SelRange(lo, hi float64) float64 {
+	if hi < lo {
+		return 0
+	}
+	return clamp01(h.SelLess(hi) + h.SelPoint(hi) - h.SelLess(lo))
+}
+
+// Merge folds other into h, rebucketing both inputs over the union of
+// their ranges (each source bucket's mass is placed at its center).
+// Coarser than rebuilding from values, but the tile→relation
+// aggregation only needs range-selectivity accuracy at bucket
+// granularity.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.total == 0 {
+		return
+	}
+	if h.total == 0 {
+		*h = *other
+		return
+	}
+	if h.min == other.min && h.max == other.max {
+		// Fast path: identical ranges merge bucket-wise exactly.
+		for i, c := range other.counts {
+			h.counts[i] += c
+		}
+		h.total += other.total
+		h.underflow += other.underflow
+		h.overflow += other.overflow
+		return
+	}
+	merged := New(math.Min(h.min, other.min), math.Max(h.max, other.max))
+	for _, src := range []*Histogram{h, other} {
+		merged.total += src.total
+		merged.underflow += src.underflow
+		merged.overflow += src.overflow
+		for i, c := range src.counts {
+			if c == 0 {
+				continue
+			}
+			center := src.min + (float64(i)+0.5)*math.Max(src.width, 0)
+			if merged.width == 0 {
+				merged.counts[0] += c
+				continue
+			}
+			b := int((center - merged.min) / merged.width)
+			if b < 0 {
+				b = 0
+			}
+			if b >= Buckets {
+				b = Buckets - 1
+			}
+			merged.counts[b] += c
+		}
+	}
+	*h = *merged
+}
+
+// SizeBytes returns the approximate memory footprint.
+func (h *Histogram) SizeBytes() int { return Buckets*8 + 5*8 }
+
+func frac(a, b int64) float64 { return float64(a) / float64(b) }
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

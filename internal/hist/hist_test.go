@@ -1,0 +1,137 @@
+package hist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestUniformSelectivities(t *testing.T) {
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = float64(i) // uniform 0..9999
+	}
+	h := FromValues(vals)
+	if h.Total() != 10000 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Min() != 0 || h.Max() != 9999 {
+		t.Fatalf("bounds = [%f, %f]", h.Min(), h.Max())
+	}
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{2500, 0.25}, {5000, 0.5}, {9999, 1.0}, {0, 0}, {-5, 0},
+	}
+	for _, c := range cases {
+		got := h.SelLess(c.x)
+		if math.Abs(got-c.want) > 0.05 {
+			t.Errorf("SelLess(%g) = %f, want ~%f", c.x, got, c.want)
+		}
+	}
+	if got := h.SelGreater(7500); math.Abs(got-0.25) > 0.05 {
+		t.Errorf("SelGreater(7500) = %f", got)
+	}
+	if got := h.SelRange(2500, 5000); math.Abs(got-0.25) > 0.05 {
+		t.Errorf("SelRange = %f", got)
+	}
+}
+
+func TestSkewedData(t *testing.T) {
+	// 90% of mass at small values.
+	var vals []float64
+	for i := 0; i < 9000; i++ {
+		vals = append(vals, float64(i%100))
+	}
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, 1000+float64(i))
+	}
+	h := FromValues(vals)
+	if got := h.SelLess(500); got < 0.85 {
+		t.Errorf("SelLess(500) = %f on skewed data, want ≥0.85 (default 1/3 would be wrong)", got)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	if got := New(0, 0).SelLess(5); got != 1.0/3 {
+		t.Errorf("empty histogram SelLess = %f, want the default", got)
+	}
+	// Single-point histogram.
+	h := FromValues([]float64{7, 7, 7})
+	if got := h.SelLess(7); got != 0 {
+		t.Errorf("SelLess(point) = %f", got)
+	}
+	if got := h.SelLess(8); got != 1 {
+		t.Errorf("SelLess(above point) = %f", got)
+	}
+	if FromValues(nil).Total() != 0 {
+		t.Error("empty FromValues")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := FromValues([]float64{0, 1, 2, 3, 4})
+	b := FromValues([]float64{5, 6, 7, 8, 9})
+	a.Merge(b)
+	if a.Total() != 10 {
+		t.Fatalf("merged total = %d", a.Total())
+	}
+	// b's mass lands in overflow (outside a's range); SelLess above
+	// a's max must account for it.
+	if got := a.SelLess(100); math.Abs(got-1) > 0.01 {
+		t.Errorf("SelLess(100) after merge = %f", got)
+	}
+	if got := a.SelLess(4.5); got < 0.4 || got > 0.6 {
+		t.Errorf("SelLess(4.5) after merge = %f, want ~0.5", got)
+	}
+	// Merging into empty adopts the other.
+	e := New(0, 0)
+	e.Merge(b)
+	if e.Total() != 5 {
+		t.Errorf("merge into empty: %d", e.Total())
+	}
+}
+
+func TestMergeSameRange(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var all, h1v, h2v []float64
+	for i := 0; i < 4000; i++ {
+		v := r.Float64() * 100
+		all = append(all, v)
+		if i%2 == 0 {
+			h1v = append(h1v, v)
+		} else {
+			h2v = append(h2v, v)
+		}
+	}
+	whole := FromValues(all)
+	h1 := FromValues(h1v)
+	h1.Merge(FromValues(h2v))
+	for _, x := range []float64{10, 33, 50, 90} {
+		a, b := whole.SelLess(x), h1.SelLess(x)
+		if math.Abs(a-b) > 0.08 {
+			t.Errorf("merged SelLess(%g) = %f vs direct %f", x, b, a)
+		}
+	}
+}
+
+func TestSelPoint(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i % 10)
+	}
+	h := FromValues(vals)
+	if got := h.SelPoint(50); got != 0 {
+		t.Errorf("out-of-range point = %f", got)
+	}
+	if got := h.SelPoint(5); got <= 0 || got > 1 {
+		t.Errorf("SelPoint(5) = %f", got)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if New(0, 1).SizeBytes() < Buckets*8 {
+		t.Error("SizeBytes too small")
+	}
+}

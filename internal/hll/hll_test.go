@@ -1,0 +1,105 @@
+package hll
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func relErr(est, actual float64) float64 {
+	return math.Abs(est-actual) / actual
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	for _, n := range []int{10, 100, 1000, 10000, 100000} {
+		s := New()
+		for i := 0; i < n; i++ {
+			s.AddString(fmt.Sprintf("value-%d", i))
+		}
+		est := s.Estimate()
+		// p=12 gives ~1.6% standard error; allow 5 sigma plus
+		// small-range slack.
+		tol := 0.10
+		if re := relErr(est, float64(n)); re > tol {
+			t.Errorf("n=%d: estimate %.0f off by %.2f%%", n, est, re*100)
+		}
+	}
+}
+
+func TestDuplicatesDoNotInflate(t *testing.T) {
+	s := New()
+	for i := 0; i < 100000; i++ {
+		s.AddString(fmt.Sprintf("v%d", i%50))
+	}
+	if est := s.Estimate(); est < 40 || est > 60 {
+		t.Errorf("estimate %.1f for 50 distinct", est)
+	}
+}
+
+func TestEmptyEstimateZero(t *testing.T) {
+	if est := New().Estimate(); est != 0 {
+		t.Errorf("empty sketch estimates %f", est)
+	}
+}
+
+func TestMergeEqualsUnion(t *testing.T) {
+	a, b, u := New(), New(), New()
+	for i := 0; i < 5000; i++ {
+		v := fmt.Sprintf("a%d", i)
+		a.AddString(v)
+		u.AddString(v)
+	}
+	for i := 0; i < 5000; i++ {
+		v := fmt.Sprintf("b%d", i)
+		b.AddString(v)
+		u.AddString(v)
+	}
+	a.Merge(b)
+	if ae, ue := a.Estimate(), u.Estimate(); ae != ue {
+		t.Errorf("merged estimate %.2f != union estimate %.2f", ae, ue)
+	}
+}
+
+func TestMergeOverlap(t *testing.T) {
+	a, b := New(), New()
+	for i := 0; i < 1000; i++ {
+		a.AddString(fmt.Sprintf("x%d", i))
+		b.AddString(fmt.Sprintf("x%d", i+500)) // 500 overlap
+	}
+	a.Merge(b)
+	if est := a.Estimate(); relErr(est, 1500) > 0.10 {
+		t.Errorf("overlap merge estimate %.0f, want ~1500", est)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New()
+	a.AddString("x")
+	c := a.Clone()
+	c.AddString("y")
+	// a must be unaffected by additions to the clone; estimates of
+	// one- and two-element sketches differ.
+	if a.Estimate() == c.Estimate() {
+		t.Error("clone shares registers with original")
+	}
+}
+
+func TestIntAndStringHashesDiffer(t *testing.T) {
+	s1, s2 := New(), New()
+	for i := int64(0); i < 1000; i++ {
+		s1.AddInt64(i)
+		s2.AddString(fmt.Sprintf("%d", i))
+	}
+	if relErr(s1.Estimate(), 1000) > 0.10 {
+		t.Errorf("int estimate %.0f", s1.Estimate())
+	}
+	if relErr(s2.Estimate(), 1000) > 0.10 {
+		t.Errorf("string estimate %.0f", s2.Estimate())
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if got := New().SizeBytes(); got != m {
+		t.Errorf("SizeBytes = %d, want %d", got, m)
+	}
+}

@@ -1,0 +1,162 @@
+// Package jsonb implements the paper's optimized binary JSON format
+// (§5). Design goals, as stated there: O(log n) key lookup in objects,
+// O(1) array indexing, typed values, forward-iterable contiguous
+// storage (nested values live inside their parent's payload, so a
+// depth-first walk never jumps backwards), and RFC 8259 conformance.
+//
+// Layout. Every value starts with an 8-bit header: the top four bits
+// are the type tag, the low four bits carry type-specific information.
+//
+//	Null / True / False   header only
+//	Int                   inline values 0..7 in the header (paper:
+//	                      "small values (< 2^3)"), otherwise the low
+//	                      bits give the byte width (1..8) of the
+//	                      sign-extended little-endian integer that
+//	                      follows
+//	Float                 low bits give the width: 2 (binary16),
+//	                      4 (binary32) or 8 (binary64); narrower
+//	                      encodings are used only when the conversion
+//	                      from double is lossless (§5.1)
+//	String                low bits encode the byte length like Int
+//	                      (inline 0..7 or a 1..8-byte length), then the
+//	                      UTF-8 bytes
+//	NumericString         a string detected to hold a decimal numeral
+//	                      (§5.2): mantissa encoded like Int, then one
+//	                      scale byte (digits after the decimal point;
+//	                      0 means integral form)
+//	Object / Array        low bits pack two 2-bit width codes (count
+//	                      width, offset width ∈ {1,2,4,8}); then the
+//	                      element count, then one offset per element,
+//	                      then the element slots
+//
+// Object slots follow Figure 6: each slot is the element payload
+// followed by its key; offset[i] is the end of payload i relative to
+// the start of the slot region, which is exactly where key i begins.
+// Keys are length-prefixed (uvarint) and sorted, so binary search
+// jumps to offset[mid] and reads the key directly — O(log n) lookups
+// with no per-slot scan. Array slots have no keys, so offset[i] both
+// ends payload i and starts payload i+1 — O(1) indexing.
+package jsonb
+
+import "fmt"
+
+// Type tags (top four bits of the header byte).
+const (
+	tagNull    = 0x0
+	tagFalse   = 0x1
+	tagTrue    = 0x2
+	tagInt     = 0x3
+	tagFloat   = 0x4
+	tagString  = 0x5
+	tagNumStr  = 0x6
+	tagObject  = 0x7
+	tagArray   = 0x8
+	tagInvalid = 0xF
+)
+
+// inlineFlag marks an Int or String header whose low three bits hold
+// the value (or length) itself.
+const inlineFlag = 0x8
+
+// Kind is the logical type of an encoded value.
+type Kind uint8
+
+// Logical kinds exposed by the accessor API. NumericString is
+// surfaced as KindString by default (it *is* a JSON string) but can be
+// inspected via Doc.IsNumericString.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindObject
+	KindArray
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindObject:
+		return "object"
+	case KindArray:
+		return "array"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// widthCode maps a 2-bit code to a byte width and back.
+var widthForCode = [4]int{1, 2, 4, 8}
+
+func codeForWidth(n uint64) int {
+	switch {
+	case n <= 0xFF:
+		return 0
+	case n <= 0xFFFF:
+		return 1
+	case n <= 0xFFFFFFFF:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// intWidth returns the minimal number of bytes (1..8) needed to store
+// v as a sign-extended little-endian integer.
+func intWidth(v int64) int {
+	for w := 1; w < 8; w++ {
+		shift := uint(8 * w)
+		// Sign-extend the low w bytes and compare.
+		if int64(v<<(64-shift))>>(64-shift) == v {
+			return w
+		}
+	}
+	return 8
+}
+
+func putIntLE(dst []byte, v int64, w int) {
+	for i := 0; i < w; i++ {
+		dst[i] = byte(v >> (8 * i))
+	}
+}
+
+func getIntLE(src []byte, w int) int64 {
+	var u uint64
+	for i := 0; i < w; i++ {
+		u |= uint64(src[i]) << (8 * i)
+	}
+	shift := uint(64 - 8*w)
+	return int64(u<<shift) >> shift
+}
+
+func putUintLE(dst []byte, v uint64, w int) {
+	for i := 0; i < w; i++ {
+		dst[i] = byte(v >> (8 * i))
+	}
+}
+
+func getUintLE(src []byte, w int) uint64 {
+	var u uint64
+	for i := 0; i < w; i++ {
+		u |= uint64(src[i]) << (8 * i)
+	}
+	return u
+}
+
+// FormatError reports a malformed JSONB buffer.
+type FormatError struct{ Msg string }
+
+func (e *FormatError) Error() string { return "jsonb: " + e.Msg }
+
+func errf(format string, args ...any) error {
+	return &FormatError{Msg: fmt.Sprintf(format, args...)}
+}

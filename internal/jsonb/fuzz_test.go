@@ -1,0 +1,51 @@
+package jsonb
+
+import (
+	"testing"
+
+	"repro/internal/jsontext"
+)
+
+// FuzzParse drives the full ingestion pipeline with arbitrary bytes:
+// parse → serialize → reparse must be a fixed point, and every parsed
+// document must survive the binary JSON round trip. `go test` runs
+// the seed corpus; `go test -fuzz=FuzzParse ./internal/jsonb` digs.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`{}`, `[]`, `null`, `0`, `-0.5e2`, `"str"`,
+		`{"id":1,"user":{"id":3,"tags":["a","b"]},"geo":null}`,
+		`[{"a":[[]]},2,"x"]`,
+		`{"n":"12.50","big":9223372036854775807}`,
+		"{\"u\":\"\\u00e9\\ud83d\\ude00\"}",
+		`{"dup":1,"dup":2}`,
+		"[1,2",
+		`{"a":`,
+		"\"\\ud800\"",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := jsontext.Parse(data)
+		if err != nil {
+			return // malformed input: rejection is the correct outcome
+		}
+		// Text round trip.
+		out := jsontext.Serialize(v)
+		v2, err := jsontext.Parse(out)
+		if err != nil {
+			t.Fatalf("serialized output unparseable: %q from %q", out, data)
+		}
+		if !v2.Equal(v) {
+			t.Fatalf("text round trip changed value: %q", data)
+		}
+		// Binary round trip.
+		buf := Encode(v)
+		if !Valid(buf) {
+			t.Fatalf("encoder produced invalid JSONB for %q", data)
+		}
+		if !NewDoc(buf).Decode().Equal(v) {
+			t.Fatalf("binary round trip changed value: %q", data)
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package jsonb
+
+import "strconv"
+
+// Numeric-string detection (§5.2). Strings whose entire content is a
+// decimal numeral are stored typed so that the common cast to a
+// numeric SQL type skips string parsing, while the exact original
+// text can always be reconstructed from (mantissa, scale).
+//
+// The detector is deliberately conservative: the reconstruction must
+// be byte-exact, so forms whose text is not uniquely determined by
+// (mantissa, scale) are rejected — leading zeros ("007"), a negative
+// zero integer part with zero mantissa ("-0"), exponents, and
+// numerals longer than 18 digits (mantissa must fit int64 with room
+// for the sign).
+
+// detectNumeric parses s as a decimal numeral. ok is false when s is
+// not representable. scale is the number of digits after the decimal
+// point; scale 0 means the integral form (no point).
+func detectNumeric(s string) (mantissa int64, scale uint8, ok bool) {
+	if len(s) == 0 || len(s) > 20 {
+		return 0, 0, false
+	}
+	i := 0
+	neg := false
+	if s[0] == '-' {
+		neg = true
+		i++
+		if i == len(s) {
+			return 0, 0, false
+		}
+	}
+	// Integer part: "0" or nonzero-leading digit run.
+	intStart := i
+	if s[i] == '0' {
+		i++
+		if i < len(s) && s[i] != '.' {
+			return 0, 0, false // leading zero
+		}
+	} else {
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			i++
+		}
+		if i == intStart {
+			return 0, 0, false // no digits
+		}
+	}
+	fracDigits := 0
+	if i < len(s) {
+		if s[i] != '.' {
+			return 0, 0, false
+		}
+		i++
+		fracStart := i
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			i++
+		}
+		fracDigits = i - fracStart
+		if fracDigits == 0 || i != len(s) {
+			return 0, 0, false // "1." or trailing junk
+		}
+	}
+	totalDigits := len(s) - intStart
+	if fracDigits > 0 {
+		totalDigits-- // the point
+	}
+	if totalDigits > 18 || fracDigits > 18 {
+		return 0, 0, false
+	}
+	var m int64
+	for _, c := range []byte(s[intStart:]) {
+		if c == '.' {
+			continue
+		}
+		m = m*10 + int64(c-'0')
+	}
+	if neg {
+		if m == 0 {
+			return 0, 0, false // "-0", "-0.0": sign unrecoverable
+		}
+		m = -m
+	}
+	return m, uint8(fracDigits), true
+}
+
+// formatNumeric reconstructs the exact original text of a detected
+// numeric string.
+func formatNumeric(mantissa int64, scale uint8) string {
+	if scale == 0 {
+		return strconv.FormatInt(mantissa, 10)
+	}
+	neg := mantissa < 0
+	if neg {
+		mantissa = -mantissa
+	}
+	digits := strconv.FormatInt(mantissa, 10)
+	for len(digits) <= int(scale) {
+		digits = "0" + digits
+	}
+	point := len(digits) - int(scale)
+	out := digits[:point] + "." + digits[point:]
+	if neg {
+		out = "-" + out
+	}
+	return out
+}

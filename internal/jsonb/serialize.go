@@ -1,0 +1,64 @@
+package jsonb
+
+import (
+	"strconv"
+
+	"repro/internal/jsontext"
+)
+
+// AppendJSON serializes the encoded value back to JSON text without
+// materializing a value tree — a single forward walk over the buffer,
+// exercising the contiguous-layout property the format is built for.
+func (d Doc) AppendJSON(dst []byte) []byte {
+	switch d.Kind() {
+	case KindNull:
+		return append(dst, "null"...)
+	case KindBool:
+		b, _ := d.Bool()
+		if b {
+			return append(dst, "true"...)
+		}
+		return append(dst, "false"...)
+	case KindInt:
+		i, _ := d.Int64()
+		return strconv.AppendInt(dst, i, 10)
+	case KindFloat:
+		f, _ := d.Float64()
+		return jsontext.AppendFloat(dst, f)
+	case KindString:
+		s, _ := d.String()
+		return jsontext.AppendQuoted(dst, s)
+	case KindArray:
+		dst = append(dst, '[')
+		first := true
+		d.Each(func(_ string, v Doc) bool {
+			if !first {
+				dst = append(dst, ',')
+			}
+			first = false
+			dst = v.AppendJSON(dst)
+			return true
+		})
+		return append(dst, ']')
+	case KindObject:
+		dst = append(dst, '{')
+		first := true
+		d.Each(func(k string, v Doc) bool {
+			if !first {
+				dst = append(dst, ',')
+			}
+			first = false
+			dst = jsontext.AppendQuoted(dst, k)
+			dst = append(dst, ':')
+			dst = v.AppendJSON(dst)
+			return true
+		})
+		return append(dst, '}')
+	}
+	return dst
+}
+
+// JSON returns the value as JSON text.
+func (d Doc) JSON() string { return string(d.AppendJSON(nil)) }
+
+func jsonvalueText(d Doc) string { return d.JSON() }

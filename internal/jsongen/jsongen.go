@@ -1,0 +1,147 @@
+// Package jsongen produces pseudo-random JSON documents for property
+// tests and fuzz-style round-trip checks. All generation is driven by
+// an explicit *rand.Rand so failures are reproducible from the seed.
+package jsongen
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+
+	"repro/internal/jsonvalue"
+)
+
+// Gen wraps a generated value and implements testing/quick.Generator,
+// so property tests can take a Gen parameter and receive random
+// documents.
+type Gen struct{ V jsonvalue.Value }
+
+// Generate implements quick.Generator.
+func (Gen) Generate(r *rand.Rand, size int) reflect.Value {
+	depth := 1 + r.Intn(4)
+	return reflect.ValueOf(Gen{V: Random(r, depth)})
+}
+
+// Random returns a random JSON value with at most maxDepth levels of
+// nesting below it.
+func Random(r *rand.Rand, maxDepth int) jsonvalue.Value {
+	if maxDepth <= 0 {
+		return randomScalar(r)
+	}
+	switch r.Intn(8) {
+	case 0:
+		return randomArray(r, maxDepth)
+	case 1, 2:
+		return randomObject(r, maxDepth)
+	default:
+		return randomScalar(r)
+	}
+}
+
+// RandomObject returns a random JSON object (never a scalar root),
+// which is what document stores ingest.
+func RandomObject(r *rand.Rand, maxDepth int) jsonvalue.Value {
+	return randomObject(r, maxDepth)
+}
+
+func randomScalar(r *rand.Rand) jsonvalue.Value {
+	switch r.Intn(10) {
+	case 0:
+		return jsonvalue.Null()
+	case 1:
+		return jsonvalue.Bool(r.Intn(2) == 0)
+	case 2, 3:
+		// Mix of small and large magnitudes to exercise all integer
+		// widths of the binary format.
+		switch r.Intn(4) {
+		case 0:
+			return jsonvalue.Int(int64(r.Intn(8)))
+		case 1:
+			return jsonvalue.Int(int64(int8(r.Int())))
+		case 2:
+			return jsonvalue.Int(int64(int32(r.Int())))
+		default:
+			return jsonvalue.Int(int64(r.Uint64()))
+		}
+	case 4, 5:
+		switch r.Intn(4) {
+		case 0:
+			return jsonvalue.Float(float64(int16(r.Int()))) // half-exact
+		case 1:
+			return jsonvalue.Float(float64(float32(r.NormFloat64()))) // single-exact
+		case 2:
+			return jsonvalue.Float(r.NormFloat64() * math.Pow(10, float64(r.Intn(20)-10)))
+		default:
+			return jsonvalue.Float(r.Float64())
+		}
+	default:
+		return jsonvalue.String(RandomString(r))
+	}
+}
+
+// RandomString generates strings that stress escaping, unicode, and
+// numeric-string detection.
+func RandomString(r *rand.Rand) string {
+	switch r.Intn(6) {
+	case 0:
+		// Numeric-looking strings to hit the §5.2 detector, including
+		// shapes it must reject (leading zeros, exponents).
+		cands := []string{"0", "12", "-7", "3.50", "0.001", "-0.5", "007",
+			"1e5", "12.", ".5", "-0", "999999999999999999999", "19.99", "100.00"}
+		return cands[r.Intn(len(cands))]
+	case 1:
+		return "" // empty
+	case 2:
+		var sb strings.Builder
+		n := r.Intn(12)
+		specials := []rune{'"', '\\', '\n', '\t', 'é', '😀', 'a', 'b', ' ', '/', '\x01'}
+		for i := 0; i < n; i++ {
+			sb.WriteRune(specials[r.Intn(len(specials))])
+		}
+		return sb.String()
+	default:
+		const letters = "abcdefghijklmnopqrstuvwxyzABC 0123456789_-"
+		n := r.Intn(20)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = letters[r.Intn(len(letters))]
+		}
+		return string(b)
+	}
+}
+
+func randomArray(r *rand.Rand, maxDepth int) jsonvalue.Value {
+	n := r.Intn(6)
+	elems := make([]jsonvalue.Value, n)
+	for i := range elems {
+		elems[i] = Random(r, maxDepth-1)
+	}
+	return jsonvalue.Array(elems...)
+}
+
+func randomObject(r *rand.Rand, maxDepth int) jsonvalue.Value {
+	n := r.Intn(6)
+	seen := map[string]bool{}
+	var members []jsonvalue.Member
+	for i := 0; i < n; i++ {
+		key := RandomKey(r)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		members = append(members, jsonvalue.Member{Key: key, Value: Random(r, maxDepth-1)})
+	}
+	return jsonvalue.Object(members...)
+}
+
+// RandomKey returns a key from a small pool (so generated documents
+// share structure, as real data sets do) plus occasional fresh keys.
+func RandomKey(r *rand.Rand) string {
+	pool := []string{"id", "name", "user", "text", "create", "geo", "lat",
+		"lon", "replies", "tags", "score", "type", "url", "k"}
+	if r.Intn(10) == 0 {
+		return "x" + RandomString(r)
+	}
+	return pool[r.Intn(len(pool))]
+}

@@ -1,0 +1,408 @@
+// Package jsontext implements an RFC 8259 JSON text parser and
+// serializer over the jsonvalue document model. It is the ingestion
+// path for every storage format in this repository: raw strings,
+// per-document JSONB, and JSON tiles all start from Parse.
+//
+// The parser is a hand-written recursive-descent parser: no
+// reflection, no interface{} trees, a single []byte cursor. Integers
+// that fit int64 become KindInt, everything else numeric becomes
+// KindFloat — the distinction feeds the type-paired key paths of the
+// tile extraction algorithm (paper §3.4).
+package jsontext
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"unicode/utf16"
+	"unicode/utf8"
+
+	"repro/internal/jsonvalue"
+)
+
+// SyntaxError describes a malformed JSON input.
+type SyntaxError struct {
+	Offset int    // byte offset of the error
+	Msg    string // what went wrong
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("json: %s at offset %d", e.Msg, e.Offset)
+}
+
+type parser struct {
+	data []byte
+	pos  int
+	// depth guards against stack exhaustion from pathological nesting.
+	depth int
+}
+
+// MaxDepth bounds the nesting level the parser accepts. RFC 8259
+// permits implementations to set such a limit.
+const MaxDepth = 512
+
+// Parse parses a single JSON document and requires that nothing but
+// whitespace follows it.
+func Parse(data []byte) (jsonvalue.Value, error) {
+	p := parser{data: data}
+	p.skipSpace()
+	v, err := p.parseValue()
+	if err != nil {
+		return jsonvalue.Null(), err
+	}
+	p.skipSpace()
+	if p.pos != len(p.data) {
+		return jsonvalue.Null(), p.errf("trailing data after document")
+	}
+	return v, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (jsonvalue.Value, error) { return Parse([]byte(s)) }
+
+// Valid reports whether data is a syntactically valid JSON document.
+func Valid(data []byte) bool {
+	_, err := Parse(data)
+	return err == nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Offset: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.data) {
+		switch p.data[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) parseValue() (jsonvalue.Value, error) {
+	if p.pos >= len(p.data) {
+		return jsonvalue.Null(), p.errf("unexpected end of input")
+	}
+	switch c := p.data[p.pos]; {
+	case c == '{':
+		return p.parseObject()
+	case c == '[':
+		return p.parseArray()
+	case c == '"':
+		s, err := p.parseString()
+		if err != nil {
+			return jsonvalue.Null(), err
+		}
+		return jsonvalue.String(s), nil
+	case c == 't':
+		if err := p.expect("true"); err != nil {
+			return jsonvalue.Null(), err
+		}
+		return jsonvalue.Bool(true), nil
+	case c == 'f':
+		if err := p.expect("false"); err != nil {
+			return jsonvalue.Null(), err
+		}
+		return jsonvalue.Bool(false), nil
+	case c == 'n':
+		if err := p.expect("null"); err != nil {
+			return jsonvalue.Null(), err
+		}
+		return jsonvalue.Null(), nil
+	case c == '-' || (c >= '0' && c <= '9'):
+		return p.parseNumber()
+	default:
+		return jsonvalue.Null(), p.errf("unexpected character %q", c)
+	}
+}
+
+func (p *parser) expect(lit string) error {
+	if p.pos+len(lit) > len(p.data) || string(p.data[p.pos:p.pos+len(lit)]) != lit {
+		return p.errf("invalid literal, expected %q", lit)
+	}
+	p.pos += len(lit)
+	return nil
+}
+
+func (p *parser) parseObject() (jsonvalue.Value, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > MaxDepth {
+		return jsonvalue.Null(), p.errf("nesting too deep (> %d)", MaxDepth)
+	}
+	p.pos++ // consume '{'
+	p.skipSpace()
+	if p.pos < len(p.data) && p.data[p.pos] == '}' {
+		p.pos++
+		return jsonvalue.Object(), nil
+	}
+	var members []jsonvalue.Member
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.data) || p.data[p.pos] != '"' {
+			return jsonvalue.Null(), p.errf("expected object key string")
+		}
+		key, err := p.parseString()
+		if err != nil {
+			return jsonvalue.Null(), err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.data) || p.data[p.pos] != ':' {
+			return jsonvalue.Null(), p.errf("expected ':' after object key")
+		}
+		p.pos++
+		p.skipSpace()
+		val, err := p.parseValue()
+		if err != nil {
+			return jsonvalue.Null(), err
+		}
+		members = append(members, jsonvalue.Member{Key: key, Value: val})
+		p.skipSpace()
+		if p.pos >= len(p.data) {
+			return jsonvalue.Null(), p.errf("unterminated object")
+		}
+		switch p.data[p.pos] {
+		case ',':
+			p.pos++
+		case '}':
+			p.pos++
+			return jsonvalue.Object(members...), nil
+		default:
+			return jsonvalue.Null(), p.errf("expected ',' or '}' in object")
+		}
+	}
+}
+
+func (p *parser) parseArray() (jsonvalue.Value, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > MaxDepth {
+		return jsonvalue.Null(), p.errf("nesting too deep (> %d)", MaxDepth)
+	}
+	p.pos++ // consume '['
+	p.skipSpace()
+	if p.pos < len(p.data) && p.data[p.pos] == ']' {
+		p.pos++
+		return jsonvalue.Array(), nil
+	}
+	var elems []jsonvalue.Value
+	for {
+		p.skipSpace()
+		v, err := p.parseValue()
+		if err != nil {
+			return jsonvalue.Null(), err
+		}
+		elems = append(elems, v)
+		p.skipSpace()
+		if p.pos >= len(p.data) {
+			return jsonvalue.Null(), p.errf("unterminated array")
+		}
+		switch p.data[p.pos] {
+		case ',':
+			p.pos++
+		case ']':
+			p.pos++
+			return jsonvalue.Array(elems...), nil
+		default:
+			return jsonvalue.Null(), p.errf("expected ',' or ']' in array")
+		}
+	}
+}
+
+// parseString parses a JSON string starting at the opening quote. The
+// fast path copies a run of plain bytes; escapes fall into the slow
+// path that appends rune by rune.
+func (p *parser) parseString() (string, error) {
+	p.pos++ // consume '"'
+	start := p.pos
+	// Fast path: scan for the closing quote with no escapes.
+	for p.pos < len(p.data) {
+		c := p.data[p.pos]
+		if c == '"' {
+			s := string(p.data[start:p.pos])
+			p.pos++
+			return sanitizeUTF8(s), nil
+		}
+		if c == '\\' || c < 0x20 {
+			break
+		}
+		p.pos++
+	}
+	// Slow path with escape handling.
+	buf := make([]byte, 0, p.pos-start+16)
+	buf = append(buf, p.data[start:p.pos]...)
+	for p.pos < len(p.data) {
+		c := p.data[p.pos]
+		switch {
+		case c == '"':
+			p.pos++
+			return sanitizeUTF8(string(buf)), nil
+		case c < 0x20:
+			return "", p.errf("unescaped control character 0x%02x in string", c)
+		case c == '\\':
+			p.pos++
+			if p.pos >= len(p.data) {
+				return "", p.errf("unterminated escape")
+			}
+			switch e := p.data[p.pos]; e {
+			case '"', '\\', '/':
+				buf = append(buf, e)
+				p.pos++
+			case 'b':
+				buf = append(buf, '\b')
+				p.pos++
+			case 'f':
+				buf = append(buf, '\f')
+				p.pos++
+			case 'n':
+				buf = append(buf, '\n')
+				p.pos++
+			case 'r':
+				buf = append(buf, '\r')
+				p.pos++
+			case 't':
+				buf = append(buf, '\t')
+				p.pos++
+			case 'u':
+				r, err := p.parseUnicodeEscape()
+				if err != nil {
+					return "", err
+				}
+				buf = utf8.AppendRune(buf, r)
+			default:
+				return "", p.errf("invalid escape character %q", e)
+			}
+		default:
+			buf = append(buf, c)
+			p.pos++
+		}
+	}
+	return "", p.errf("unterminated string")
+}
+
+// sanitizeUTF8 replaces invalid UTF-8 sequences with U+FFFD, matching
+// encoding/json: RFC 8259 requires UTF-8 for interchange, and keeping
+// strings valid makes text serialization a fixed point.
+func sanitizeUTF8(s string) string {
+	if utf8.ValidString(s) {
+		return s
+	}
+	return strings.ToValidUTF8(s, "�")
+}
+
+// parseUnicodeEscape handles \uXXXX, including UTF-16 surrogate pairs.
+// The cursor is on the 'u'.
+func (p *parser) parseUnicodeEscape() (rune, error) {
+	r1, err := p.hex4()
+	if err != nil {
+		return 0, err
+	}
+	if utf16.IsSurrogate(r1) {
+		// A high surrogate must be followed by \uXXXX low surrogate;
+		// anything else decodes to U+FFFD, matching encoding/json.
+		if p.pos+1 < len(p.data) && p.data[p.pos] == '\\' && p.data[p.pos+1] == 'u' {
+			save := p.pos
+			p.pos += 2
+			r2, err := p.hex4()
+			if err != nil {
+				return 0, err
+			}
+			if dec := utf16.DecodeRune(r1, r2); dec != utf8.RuneError {
+				return dec, nil
+			}
+			p.pos = save
+		}
+		return utf8.RuneError, nil
+	}
+	return r1, nil
+}
+
+// hex4 reads the four hex digits after \u; the cursor is on 'u'.
+func (p *parser) hex4() (rune, error) {
+	p.pos++ // consume 'u'
+	if p.pos+4 > len(p.data) {
+		return 0, p.errf("truncated \\u escape")
+	}
+	var r rune
+	for i := 0; i < 4; i++ {
+		c := p.data[p.pos+i]
+		switch {
+		case c >= '0' && c <= '9':
+			r = r<<4 | rune(c-'0')
+		case c >= 'a' && c <= 'f':
+			r = r<<4 | rune(c-'a'+10)
+		case c >= 'A' && c <= 'F':
+			r = r<<4 | rune(c-'A'+10)
+		default:
+			return 0, p.errf("invalid hex digit %q in \\u escape", c)
+		}
+	}
+	p.pos += 4
+	return r, nil
+}
+
+// parseNumber parses the RFC 8259 number grammar. A number without
+// fraction or exponent that fits int64 becomes KindInt; everything
+// else becomes KindFloat.
+func (p *parser) parseNumber() (jsonvalue.Value, error) {
+	start := p.pos
+	if p.data[p.pos] == '-' {
+		p.pos++
+	}
+	// int part
+	if p.pos >= len(p.data) {
+		return jsonvalue.Null(), p.errf("truncated number")
+	}
+	switch {
+	case p.data[p.pos] == '0':
+		p.pos++
+	case p.data[p.pos] >= '1' && p.data[p.pos] <= '9':
+		for p.pos < len(p.data) && p.data[p.pos] >= '0' && p.data[p.pos] <= '9' {
+			p.pos++
+		}
+	default:
+		return jsonvalue.Null(), p.errf("invalid number")
+	}
+	isFloat := false
+	// fraction
+	if p.pos < len(p.data) && p.data[p.pos] == '.' {
+		isFloat = true
+		p.pos++
+		if p.pos >= len(p.data) || p.data[p.pos] < '0' || p.data[p.pos] > '9' {
+			return jsonvalue.Null(), p.errf("digit expected after decimal point")
+		}
+		for p.pos < len(p.data) && p.data[p.pos] >= '0' && p.data[p.pos] <= '9' {
+			p.pos++
+		}
+	}
+	// exponent
+	if p.pos < len(p.data) && (p.data[p.pos] == 'e' || p.data[p.pos] == 'E') {
+		isFloat = true
+		p.pos++
+		if p.pos < len(p.data) && (p.data[p.pos] == '+' || p.data[p.pos] == '-') {
+			p.pos++
+		}
+		if p.pos >= len(p.data) || p.data[p.pos] < '0' || p.data[p.pos] > '9' {
+			return jsonvalue.Null(), p.errf("digit expected in exponent")
+		}
+		for p.pos < len(p.data) && p.data[p.pos] >= '0' && p.data[p.pos] <= '9' {
+			p.pos++
+		}
+	}
+	lit := string(p.data[start:p.pos])
+	if !isFloat {
+		if i, err := strconv.ParseInt(lit, 10, 64); err == nil {
+			return jsonvalue.Int(i), nil
+		}
+		// Out-of-range integer literals degrade to float, like most
+		// double-based JSON implementations (RFC 8259 §6).
+	}
+	f, err := strconv.ParseFloat(lit, 64)
+	if err != nil || math.IsInf(f, 0) {
+		return jsonvalue.Null(), p.errf("number %q out of range", lit)
+	}
+	return jsonvalue.Float(f), nil
+}

@@ -1,0 +1,219 @@
+package jsontext
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/jsongen"
+	"repro/internal/jsonvalue"
+)
+
+func mustParse(t *testing.T, s string) jsonvalue.Value {
+	t.Helper()
+	v, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("ParseString(%q): %v", s, err)
+	}
+	return v
+}
+
+func TestParseScalars(t *testing.T) {
+	tests := []struct {
+		in   string
+		want jsonvalue.Value
+	}{
+		{`null`, jsonvalue.Null()},
+		{`true`, jsonvalue.Bool(true)},
+		{`false`, jsonvalue.Bool(false)},
+		{`0`, jsonvalue.Int(0)},
+		{`-0`, jsonvalue.Int(0)},
+		{`42`, jsonvalue.Int(42)},
+		{`-17`, jsonvalue.Int(-17)},
+		{`9223372036854775807`, jsonvalue.Int(math.MaxInt64)},
+		{`-9223372036854775808`, jsonvalue.Int(math.MinInt64)},
+		{`1.5`, jsonvalue.Float(1.5)},
+		{`-2.25`, jsonvalue.Float(-2.25)},
+		{`1e3`, jsonvalue.Float(1000)},
+		{`1E-2`, jsonvalue.Float(0.01)},
+		{`2.5e+1`, jsonvalue.Float(25)},
+		{`""`, jsonvalue.String("")},
+		{`"abc"`, jsonvalue.String("abc")},
+		{`"a\"b"`, jsonvalue.String(`a"b`)},
+		{`"\\\/\b\f\n\r\t"`, jsonvalue.String("\\/\b\f\n\r\t")},
+		{`"A"`, jsonvalue.String("A")},
+		{`"é"`, jsonvalue.String("é")},
+		{`"😀"`, jsonvalue.String("😀")},
+		{`  42  `, jsonvalue.Int(42)},
+	}
+	for _, tt := range tests {
+		got := mustParse(t, tt.in)
+		if !got.Equal(tt.want) {
+			t.Errorf("Parse(%q) = %#v, want %#v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseIntOverflowBecomesFloat(t *testing.T) {
+	v := mustParse(t, `9223372036854775808`) // MaxInt64+1
+	if v.Kind() != jsonvalue.KindFloat {
+		t.Fatalf("kind = %v, want float", v.Kind())
+	}
+	if v.FloatVal() != 9.223372036854776e18 {
+		t.Errorf("value = %g", v.FloatVal())
+	}
+}
+
+func TestParseContainers(t *testing.T) {
+	v := mustParse(t, `{"id":1, "user": {"name":"bo","tags":["a","b"]}, "geo": null}`)
+	if v.Kind() != jsonvalue.KindObject || v.Len() != 3 {
+		t.Fatalf("bad object: %#v", v)
+	}
+	if got := v.GetPath("user", "name"); !got.Equal(jsonvalue.String("bo")) {
+		t.Errorf("user.name = %#v", got)
+	}
+	tags := v.GetPath("user", "tags")
+	if tags.Kind() != jsonvalue.KindArray || tags.Len() != 2 {
+		t.Fatalf("tags = %#v", tags)
+	}
+	if !tags.Elem(1).Equal(jsonvalue.String("b")) {
+		t.Errorf("tags[1] = %#v", tags.Elem(1))
+	}
+	if g, ok := v.Lookup("geo"); !ok || !g.IsNull() {
+		t.Errorf("geo = %#v, ok=%v", g, ok)
+	}
+	if _, ok := v.Lookup("missing"); ok {
+		t.Error("missing key reported present")
+	}
+}
+
+func TestParseEmptyContainers(t *testing.T) {
+	if v := mustParse(t, `{}`); v.Kind() != jsonvalue.KindObject || v.Len() != 0 {
+		t.Errorf("empty object: %#v", v)
+	}
+	if v := mustParse(t, `[]`); v.Kind() != jsonvalue.KindArray || v.Len() != 0 {
+		t.Errorf("empty array: %#v", v)
+	}
+	if v := mustParse(t, `[[],{}]`); v.Len() != 2 {
+		t.Errorf("nested empties: %#v", v)
+	}
+}
+
+func TestParseDuplicateKeysLastWins(t *testing.T) {
+	v := mustParse(t, `{"a":1,"a":2}`)
+	if got := v.Get("a"); !got.Equal(jsonvalue.Int(2)) {
+		t.Errorf("a = %#v, want 2", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``, `  `, `{`, `}`, `[`, `]`, `{]`, `[}`,
+		`{"a"}`, `{"a":}`, `{"a":1,}`, `{,}`, `{1:2}`,
+		`[1,]`, `[,1]`, `[1 2]`,
+		`"`, `"abc`, `"\x"`, `"\u12"`, `"\u12zz"`,
+		"\"a\x01b\"",
+		`tru`, `truee`, `nul`, `falsee`,
+		`01`, `1.`, `.5`, `1e`, `1e+`, `+1`, `--1`, `1..2`, `NaN`, `Infinity`,
+		`{"a":1} extra`, `1 2`,
+	}
+	for _, s := range bad {
+		if _, err := ParseString(s); err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseDeepNestingLimit(t *testing.T) {
+	deep := strings.Repeat("[", MaxDepth+1) + strings.Repeat("]", MaxDepth+1)
+	if _, err := ParseString(deep); err == nil {
+		t.Fatal("expected depth-limit error")
+	}
+	okDepth := strings.Repeat("[", MaxDepth-1) + "1" + strings.Repeat("]", MaxDepth-1)
+	if _, err := ParseString(okDepth); err != nil {
+		t.Fatalf("depth %d should parse: %v", MaxDepth-1, err)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	docs := []string{
+		`null`, `true`, `false`, `0`, `-17`, `3.5`, `"hi"`, `""`,
+		`{"id":1,"create":"3/06","text":"a","user":{"id":1}}`,
+		`[1,2.5,"x",null,true,[],{}]`,
+		`{"a":{"b":{"c":[1,2,3]}}}`,
+		`{"quote":"a\"b","newline":"a\nb","unicode":"é😀"}`,
+	}
+	for _, s := range docs {
+		v := mustParse(t, s)
+		out := SerializeString(v)
+		v2 := mustParse(t, out)
+		if !v.Equal(v2) {
+			t.Errorf("round trip %q -> %q changed value", s, out)
+		}
+	}
+}
+
+func TestSerializePreservesKeyOrder(t *testing.T) {
+	v := mustParse(t, `{"z":1,"a":2,"m":3}`)
+	if got := SerializeString(v); got != `{"z":1,"a":2,"m":3}` {
+		t.Errorf("serialize = %s", got)
+	}
+}
+
+func TestSerializeEscapes(t *testing.T) {
+	v := jsonvalue.String("a\"b\\c\nd\x01e")
+	got := SerializeString(v)
+	want := "\"a\\\"b\\\\c\\nd\\u0001e\""
+	if got != want {
+		t.Errorf("serialize = %s, want %s", got, want)
+	}
+	if _, err := ParseString(got); err != nil {
+		t.Errorf("serialized output does not re-parse: %v", err)
+	}
+}
+
+func TestSerializeInvalidUTF8Replaced(t *testing.T) {
+	v := jsonvalue.String("a\xffb")
+	got := SerializeString(v)
+	back := mustParse(t, got)
+	if back.StringVal() != "a�b" {
+		t.Errorf("got %q", back.StringVal())
+	}
+}
+
+func TestSerializeNaNInfAsNull(t *testing.T) {
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		got := SerializeString(jsonvalue.Float(f))
+		if got != "null" {
+			t.Errorf("Serialize(%v) = %s, want null", f, got)
+		}
+	}
+}
+
+// Property: parse(serialize(v)) == v for generated values.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(g jsongen.Gen) bool {
+		v := g.V
+		out := Serialize(v)
+		back, err := Parse(out)
+		if err != nil {
+			return false
+		}
+		return v.Equal(back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Valid agrees with Parse.
+func TestQuickValidMatchesParse(t *testing.T) {
+	f := func(data []byte) bool {
+		_, err := Parse(data)
+		return Valid(data) == (err == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

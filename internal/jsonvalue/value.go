@@ -1,0 +1,306 @@
+// Package jsonvalue defines the typed document tree that every storage
+// format in this repository consumes and produces. A Value is an
+// immutable-by-convention JSON datum: null, bool, integer, float,
+// string, array, or object. Objects preserve the key order of the
+// input; duplicate keys keep the last occurrence, matching the
+// behaviour of most JSON processors.
+//
+// Integers and floats are separate kinds even though RFC 8259 has a
+// single number production: the tile extraction algorithm (paper §3.4)
+// pairs every key path with its primitive type, and "some values are
+// integer and some are float" must be observable.
+package jsonvalue
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Kind enumerates the primitive JSON types used throughout the system.
+type Kind uint8
+
+// The Kind values. Their order is stable and used as a tie-breaker in
+// itemset dictionaries, so new kinds must be appended.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindObject
+	KindArray
+)
+
+// String returns a human-readable type name.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindObject:
+		return "object"
+	case KindArray:
+		return "array"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Member is one key-value pair of an object.
+type Member struct {
+	Key   string
+	Value Value
+}
+
+// Value is a JSON datum. The zero Value is JSON null.
+type Value struct {
+	kind Kind
+	b    bool
+	i    int64
+	f    float64
+	s    string
+	arr  []Value
+	obj  []Member
+}
+
+// Null returns the JSON null value.
+func Null() Value { return Value{kind: KindNull} }
+
+// Bool returns a JSON boolean.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Int returns a JSON integer.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a JSON floating-point number.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// String returns a JSON string.
+func String(s string) Value { return Value{kind: KindString, s: s} }
+
+// Array returns a JSON array wrapping elems. The slice is not copied.
+func Array(elems ...Value) Value { return Value{kind: KindArray, arr: elems} }
+
+// Object returns a JSON object wrapping members. The slice is not
+// copied and key order is preserved.
+func Object(members ...Member) Value { return Value{kind: KindObject, obj: members} }
+
+// M is a convenience constructor for a Member.
+func M(key string, v Value) Member { return Member{Key: key, Value: v} }
+
+// Kind reports the type of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is JSON null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// BoolVal returns the boolean payload; it is only meaningful for KindBool.
+func (v Value) BoolVal() bool { return v.b }
+
+// IntVal returns the integer payload; it is only meaningful for KindInt.
+func (v Value) IntVal() int64 { return v.i }
+
+// FloatVal returns the float payload; it is only meaningful for KindFloat.
+func (v Value) FloatVal() float64 { return v.f }
+
+// StringVal returns the string payload; it is only meaningful for KindString.
+func (v Value) StringVal() string { return v.s }
+
+// Len returns the number of elements (array) or members (object), and
+// zero for scalars.
+func (v Value) Len() int {
+	switch v.kind {
+	case KindArray:
+		return len(v.arr)
+	case KindObject:
+		return len(v.obj)
+	default:
+		return 0
+	}
+}
+
+// Elem returns the i-th array element. It panics if v is not an array
+// or i is out of range, mirroring slice indexing.
+func (v Value) Elem(i int) Value { return v.arr[i] }
+
+// Elems returns the backing element slice of an array (nil otherwise).
+// Callers must not mutate it.
+func (v Value) Elems() []Value { return v.arr }
+
+// Members returns the backing member slice of an object (nil
+// otherwise). Callers must not mutate it.
+func (v Value) Members() []Member { return v.obj }
+
+// Member returns the i-th member of an object.
+func (v Value) Member(i int) Member { return v.obj[i] }
+
+// Lookup finds the value for key in an object. The second result
+// reports whether the key is present. Lookup on a non-object returns
+// (Null, false). When the input contained duplicate keys the last
+// occurrence wins.
+func (v Value) Lookup(key string) (Value, bool) {
+	if v.kind != KindObject {
+		return Null(), false
+	}
+	for i := len(v.obj) - 1; i >= 0; i-- {
+		if v.obj[i].Key == key {
+			return v.obj[i].Value, true
+		}
+	}
+	return Null(), false
+}
+
+// Get is Lookup without the presence flag: missing keys yield null,
+// matching PostgreSQL's -> semantics on absent keys.
+func (v Value) Get(key string) Value {
+	r, _ := v.Lookup(key)
+	return r
+}
+
+// GetPath follows a chain of object keys, returning null as soon as a
+// segment is missing or a non-object is traversed.
+func (v Value) GetPath(keys ...string) Value {
+	cur := v
+	for _, k := range keys {
+		var ok bool
+		cur, ok = cur.Lookup(k)
+		if !ok {
+			return Null()
+		}
+	}
+	return cur
+}
+
+// Equal reports deep structural equality. Objects compare by key set
+// and per-key value regardless of member order, since key order is not
+// semantically significant in JSON. Int and Float compare as distinct
+// kinds (Int(1) != Float(1)).
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindBool:
+		return v.b == o.b
+	case KindInt:
+		return v.i == o.i
+	case KindFloat:
+		return v.f == o.f || (math.IsNaN(v.f) && math.IsNaN(o.f))
+	case KindString:
+		return v.s == o.s
+	case KindArray:
+		if len(v.arr) != len(o.arr) {
+			return false
+		}
+		for i := range v.arr {
+			if !v.arr[i].Equal(o.arr[i]) {
+				return false
+			}
+		}
+		return true
+	case KindObject:
+		// Effective (last-wins) semantics: duplicate keys collapse to
+		// their final occurrence, so an object equals itself even when
+		// the input carried duplicates.
+		for _, m := range v.obj {
+			ov, ok := o.Lookup(m.Key)
+			if !ok || !v.Get(m.Key).Equal(ov) {
+				return false
+			}
+		}
+		for _, m := range o.obj {
+			if _, ok := v.Lookup(m.Key); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// SortedMembers returns the object's members sorted by key. When the
+// input is already sorted (common for machine-generated data) the
+// backing slice is returned without copying; otherwise a sorted copy
+// is made and the receiver is unchanged. Used by the JSONB encoder,
+// whose format requires sorted keys for binary search.
+func (v Value) SortedMembers() []Member {
+	sorted := true
+	for i := 1; i < len(v.obj); i++ {
+		if v.obj[i].Key < v.obj[i-1].Key {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return v.obj
+	}
+	ms := make([]Member, len(v.obj))
+	copy(ms, v.obj)
+	sort.SliceStable(ms, func(i, j int) bool { return ms[i].Key < ms[j].Key })
+	return ms
+}
+
+// NumberAsFloat returns the numeric payload of an Int or Float as a
+// float64, and reports whether v is numeric at all.
+func (v Value) NumberAsFloat() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	default:
+		return 0, false
+	}
+}
+
+// GoString implements fmt.GoStringer for debugging output.
+func (v Value) GoString() string {
+	var sb strings.Builder
+	v.goString(&sb)
+	return sb.String()
+}
+
+func (v Value) goString(sb *strings.Builder) {
+	switch v.kind {
+	case KindNull:
+		sb.WriteString("null")
+	case KindBool:
+		fmt.Fprintf(sb, "%v", v.b)
+	case KindInt:
+		fmt.Fprintf(sb, "%d", v.i)
+	case KindFloat:
+		fmt.Fprintf(sb, "%g", v.f)
+	case KindString:
+		fmt.Fprintf(sb, "%q", v.s)
+	case KindArray:
+		sb.WriteByte('[')
+		for i, e := range v.arr {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			e.goString(sb)
+		}
+		sb.WriteByte(']')
+	case KindObject:
+		sb.WriteByte('{')
+		for i, m := range v.obj {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(sb, "%q:", m.Key)
+			m.Value.goString(sb)
+		}
+		sb.WriteByte('}')
+	}
+}

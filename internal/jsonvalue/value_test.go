@@ -1,0 +1,130 @@
+package jsonvalue
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() || Null().Kind() != KindNull {
+		t.Error("Null")
+	}
+	if v := Bool(true); v.Kind() != KindBool || !v.BoolVal() {
+		t.Error("Bool")
+	}
+	if v := Int(-7); v.Kind() != KindInt || v.IntVal() != -7 {
+		t.Error("Int")
+	}
+	if v := Float(2.5); v.Kind() != KindFloat || v.FloatVal() != 2.5 {
+		t.Error("Float")
+	}
+	if v := String("x"); v.Kind() != KindString || v.StringVal() != "x" {
+		t.Error("String")
+	}
+	arr := Array(Int(1), Int(2))
+	if arr.Kind() != KindArray || arr.Len() != 2 || arr.Elem(1).IntVal() != 2 {
+		t.Error("Array")
+	}
+	obj := Object(M("a", Int(1)), M("b", Int(2)))
+	if obj.Kind() != KindObject || obj.Len() != 2 || obj.Member(1).Key != "b" {
+		t.Error("Object")
+	}
+	if len(arr.Elems()) != 2 || len(obj.Members()) != 2 {
+		t.Error("backing slices")
+	}
+	if Null().Len() != 0 || Int(1).Len() != 0 {
+		t.Error("scalar Len")
+	}
+}
+
+func TestLookupSemantics(t *testing.T) {
+	obj := Object(M("k", Int(1)), M("k", Int(2)), M("z", Null()))
+	// Duplicate keys: last wins.
+	if got := obj.Get("k"); got.IntVal() != 2 {
+		t.Errorf("duplicate key lookup = %#v", got)
+	}
+	if v, ok := obj.Lookup("z"); !ok || !v.IsNull() {
+		t.Error("null member lookup")
+	}
+	if _, ok := obj.Lookup("missing"); ok {
+		t.Error("missing found")
+	}
+	if _, ok := Int(5).Lookup("x"); ok {
+		t.Error("lookup on scalar")
+	}
+	nested := Object(M("a", Object(M("b", Int(3)))))
+	if got := nested.GetPath("a", "b"); got.IntVal() != 3 {
+		t.Error("GetPath")
+	}
+	if got := nested.GetPath("a", "missing", "c"); !got.IsNull() {
+		t.Error("GetPath missing")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Null(), Null(), true},
+		{Int(1), Int(1), true},
+		{Int(1), Float(1), false}, // kinds differ deliberately
+		{Float(math.NaN()), Float(math.NaN()), true},
+		{String("a"), String("a"), true},
+		{Array(Int(1)), Array(Int(1)), true},
+		{Array(Int(1)), Array(Int(2)), false},
+		{Array(Int(1)), Array(Int(1), Int(2)), false},
+		{Object(M("a", Int(1)), M("b", Int(2))),
+			Object(M("b", Int(2)), M("a", Int(1))), true}, // order-insensitive
+		{Object(M("a", Int(1))), Object(M("a", Int(2))), false},
+		{Object(M("a", Int(1))), Object(M("x", Int(1))), false},
+		{Bool(true), Bool(false), false},
+	}
+	for i, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("case %d: Equal = %v, want %v", i, got, c.want)
+		}
+		if got := c.b.Equal(c.a); got != c.want {
+			t.Errorf("case %d: Equal not symmetric", i)
+		}
+	}
+}
+
+func TestSortedMembers(t *testing.T) {
+	// Unsorted input: a sorted copy, original untouched.
+	obj := Object(M("z", Int(1)), M("a", Int(2)))
+	ms := obj.SortedMembers()
+	if !sort.SliceIsSorted(ms, func(i, j int) bool { return ms[i].Key < ms[j].Key }) {
+		t.Error("not sorted")
+	}
+	if obj.Members()[0].Key != "z" {
+		t.Error("receiver mutated")
+	}
+	// Already sorted: the backing slice comes back without copying.
+	sortedObj := Object(M("a", Int(1)), M("b", Int(2)))
+	if got := sortedObj.SortedMembers(); &got[0] != &sortedObj.Members()[0] {
+		t.Error("sorted input copied unnecessarily")
+	}
+}
+
+func TestNumberAsFloat(t *testing.T) {
+	if f, ok := Int(3).NumberAsFloat(); !ok || f != 3 {
+		t.Error("int")
+	}
+	if f, ok := Float(2.5).NumberAsFloat(); !ok || f != 2.5 {
+		t.Error("float")
+	}
+	if _, ok := String("3").NumberAsFloat(); ok {
+		t.Error("string is not numeric")
+	}
+}
+
+func TestGoString(t *testing.T) {
+	v := Object(M("a", Array(Int(1), Null(), Bool(true), Float(0.5), String("s"))))
+	got := v.GoString()
+	want := `{"a":[1,null,true,0.5,"s"]}`
+	if got != want {
+		t.Errorf("GoString = %s", got)
+	}
+}

@@ -1,0 +1,233 @@
+// Package lz4 implements the LZ4 block format (compressor and
+// decompressor) from scratch — the repository is stdlib-only, and the
+// paper's Table 6 reports JSON tile storage "+LZ4-Tiles". The
+// compressor is the classic greedy hash-chain-free scheme of the LZ4
+// reference implementation: a 4-byte hash table proposes one candidate
+// match per position.
+//
+// Block layout per sequence:
+//
+//	token (1B): high nibble = literal length (15 = extended),
+//	            low nibble = match length - 4 (15 = extended)
+//	[literal length extension: 255* + last byte]
+//	literals
+//	match offset (2B little endian, 1..65535)
+//	[match length extension: 255* + last byte]
+//
+// The final sequence carries only literals. The format requires the
+// last 5 bytes to be literals and the last match to begin at least 12
+// bytes before the end; the compressor honors both.
+package lz4
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+const (
+	minMatch     = 4
+	lastLiterals = 5  // spec: last 5 bytes must be literals
+	mfLimit      = 12 // spec: matches must not start within 12 bytes of the end
+	maxOffset    = 65535
+	hashLog      = 16
+)
+
+// ErrCorrupt reports an undecodable block.
+var ErrCorrupt = errors.New("lz4: corrupt block")
+
+// ErrShortDst reports a destination too small for the decompressed data.
+var ErrShortDst = errors.New("lz4: destination too small")
+
+// CompressBound returns the maximum compressed size for an input of
+// length n (the spec's worst-case expansion bound).
+func CompressBound(n int) int { return n + n/255 + 16 }
+
+func hash4(u uint32) uint32 {
+	return (u * 2654435761) >> (32 - hashLog)
+}
+
+// Compress appends the LZ4 block encoding of src to dst and returns
+// the extended slice. An empty src yields an empty block.
+func Compress(dst, src []byte) []byte {
+	if len(src) == 0 {
+		return dst
+	}
+	if len(src) < mfLimit+minMatch {
+		return emitLastLiterals(dst, src)
+	}
+	var table [1 << hashLog]int32 // candidate position + 1 per hash bucket
+	anchor := 0
+	pos := 0
+	limit := len(src) - mfLimit
+	for pos < limit {
+		seq := binary.LittleEndian.Uint32(src[pos:])
+		h := hash4(seq)
+		cand := int(table[h]) - 1
+		table[h] = int32(pos) + 1
+		if cand < 0 || pos-cand > maxOffset ||
+			binary.LittleEndian.Uint32(src[cand:]) != seq {
+			pos++
+			continue
+		}
+		// Extend the match forward; it must stop short of the final
+		// literal region.
+		matchEnd := pos + minMatch
+		candEnd := cand + minMatch
+		hardEnd := len(src) - lastLiterals
+		for matchEnd < hardEnd && src[matchEnd] == src[candEnd] {
+			matchEnd++
+			candEnd++
+		}
+		// Extend the match backwards over pending literals.
+		for pos > anchor && cand > 0 && src[pos-1] == src[cand-1] {
+			pos--
+			cand--
+		}
+		matchLen := matchEnd - pos
+		offset := pos - cand
+		dst = emitSequence(dst, src[anchor:pos], offset, matchLen)
+		pos = matchEnd
+		anchor = pos
+		if pos < limit && pos >= 2 {
+			// Prime the table with an interior position to improve
+			// the next search, as the reference implementation does.
+			mid := pos - 2
+			table[hash4(binary.LittleEndian.Uint32(src[mid:]))] = int32(mid) + 1
+		}
+	}
+	return emitLastLiterals(dst, src[anchor:])
+}
+
+func emitSequence(dst, literals []byte, offset, matchLen int) []byte {
+	litLen := len(literals)
+	mlCode := matchLen - minMatch
+	token := byte(0)
+	if litLen >= 15 {
+		token = 15 << 4
+	} else {
+		token = byte(litLen) << 4
+	}
+	if mlCode >= 15 {
+		token |= 15
+	} else {
+		token |= byte(mlCode)
+	}
+	dst = append(dst, token)
+	if litLen >= 15 {
+		dst = appendLenExt(dst, litLen-15)
+	}
+	dst = append(dst, literals...)
+	dst = append(dst, byte(offset), byte(offset>>8))
+	if mlCode >= 15 {
+		dst = appendLenExt(dst, mlCode-15)
+	}
+	return dst
+}
+
+func emitLastLiterals(dst, literals []byte) []byte {
+	litLen := len(literals)
+	if litLen >= 15 {
+		dst = append(dst, 15<<4)
+		dst = appendLenExt(dst, litLen-15)
+	} else {
+		dst = append(dst, byte(litLen)<<4)
+	}
+	return append(dst, literals...)
+}
+
+func appendLenExt(dst []byte, v int) []byte {
+	for v >= 255 {
+		dst = append(dst, 255)
+		v -= 255
+	}
+	return append(dst, byte(v))
+}
+
+// Decompress decodes an LZ4 block into dst, which must be exactly the
+// original length. It returns the number of bytes written.
+func Decompress(dst, src []byte) (int, error) {
+	if len(src) == 0 {
+		return 0, nil
+	}
+	d := 0
+	s := 0
+	for {
+		if s >= len(src) {
+			return 0, ErrCorrupt
+		}
+		token := src[s]
+		s++
+		// Literals.
+		litLen := int(token >> 4)
+		if litLen == 15 {
+			n, ns, err := readLenExt(src, s)
+			if err != nil {
+				return 0, err
+			}
+			litLen += n
+			s = ns
+		}
+		if s+litLen > len(src) || d+litLen > len(dst) {
+			return 0, corruptOrShort(d+litLen, len(dst))
+		}
+		copy(dst[d:], src[s:s+litLen])
+		s += litLen
+		d += litLen
+		if s == len(src) {
+			return d, nil // final sequence: literals only
+		}
+		// Match.
+		if s+2 > len(src) {
+			return 0, ErrCorrupt
+		}
+		offset := int(src[s]) | int(src[s+1])<<8
+		s += 2
+		if offset == 0 || offset > d {
+			return 0, ErrCorrupt
+		}
+		matchLen := int(token&0xF) + minMatch
+		if token&0xF == 15 {
+			n, ns, err := readLenExt(src, s)
+			if err != nil {
+				return 0, err
+			}
+			matchLen += n
+			s = ns
+		}
+		if d+matchLen > len(dst) {
+			return 0, ErrShortDst
+		}
+		// Overlapping copy: byte-wise when the regions overlap.
+		if offset >= matchLen {
+			copy(dst[d:], dst[d-offset:d-offset+matchLen])
+			d += matchLen
+		} else {
+			for i := 0; i < matchLen; i++ {
+				dst[d] = dst[d-offset]
+				d++
+			}
+		}
+	}
+}
+
+func readLenExt(src []byte, s int) (int, int, error) {
+	n := 0
+	for {
+		if s >= len(src) {
+			return 0, 0, ErrCorrupt
+		}
+		b := src[s]
+		s++
+		n += int(b)
+		if b != 255 {
+			return n, s, nil
+		}
+	}
+}
+
+func corruptOrShort(need, have int) error {
+	if need > have {
+		return ErrShortDst
+	}
+	return ErrCorrupt
+}

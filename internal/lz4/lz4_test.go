@@ -1,0 +1,165 @@
+package lz4
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte) []byte {
+	t.Helper()
+	comp := Compress(nil, src)
+	dst := make([]byte, len(src))
+	n, err := Decompress(dst, comp)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if n != len(src) {
+		t.Fatalf("decompressed %d bytes, want %d", n, len(src))
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatal("round trip mismatch")
+	}
+	return comp
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("a"),
+		[]byte("hello"),
+		[]byte("hello world hello world hello world"),
+		bytes.Repeat([]byte("x"), 10000),
+		bytes.Repeat([]byte("abcd"), 5000),
+		[]byte(strings.Repeat(`{"id":1,"name":"test","tags":["a","b"]}`, 200)),
+	}
+	for i, src := range cases {
+		t.Run(string(rune('a'+i)), func(t *testing.T) { roundTrip(t, src) })
+	}
+}
+
+func TestCompressionRatioOnRepetitive(t *testing.T) {
+	src := bytes.Repeat([]byte(`{"l_orderkey":1,"l_partkey":155190,"l_quantity":17},`), 1000)
+	comp := roundTrip(t, src)
+	ratio := float64(len(src)) / float64(len(comp))
+	if ratio < 5 {
+		t.Errorf("ratio %.1f too low for highly repetitive input (%d -> %d)",
+			ratio, len(src), len(comp))
+	}
+}
+
+func TestIncompressibleWithinBound(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	src := make([]byte, 100000)
+	r.Read(src)
+	comp := roundTrip(t, src)
+	if len(comp) > CompressBound(len(src)) {
+		t.Errorf("compressed %d exceeds bound %d", len(comp), CompressBound(len(src)))
+	}
+}
+
+func TestShortInputs(t *testing.T) {
+	for n := 0; n < 32; n++ {
+		src := bytes.Repeat([]byte("ab"), n)[:n]
+		roundTrip(t, src)
+	}
+}
+
+func TestOverlappingMatches(t *testing.T) {
+	// RLE-style data forces offset < matchLen (overlapping copies).
+	roundTrip(t, bytes.Repeat([]byte{0xAA}, 1000))
+	roundTrip(t, bytes.Repeat([]byte{1, 2}, 1000))
+	roundTrip(t, bytes.Repeat([]byte{1, 2, 3}, 1000))
+}
+
+func TestLongLiteralRuns(t *testing.T) {
+	// Random data produces literal runs needing length extension bytes.
+	r := rand.New(rand.NewSource(7))
+	src := make([]byte, 1000)
+	r.Read(src)
+	roundTrip(t, src)
+}
+
+func TestLongMatches(t *testing.T) {
+	// >270-byte matches need match-length extension bytes.
+	src := append([]byte("prefix-data-1234"), bytes.Repeat([]byte("z"), 5000)...)
+	roundTrip(t, src)
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	src := bytes.Repeat([]byte("hello world "), 100)
+	comp := Compress(nil, src)
+	dst := make([]byte, len(src))
+
+	// Truncations must error or return short, never panic.
+	for i := 0; i < len(comp); i++ {
+		n, err := Decompress(dst, comp[:i])
+		if err == nil && n == len(src) {
+			t.Errorf("truncation at %d decoded fully", i)
+		}
+	}
+	// Bit flips must never panic.
+	for i := 0; i < len(comp); i++ {
+		bad := append([]byte(nil), comp...)
+		bad[i] ^= 0xFF
+		Decompress(dst, bad)
+	}
+}
+
+func TestDecompressShortDst(t *testing.T) {
+	src := bytes.Repeat([]byte("abcdefgh"), 100)
+	comp := Compress(nil, src)
+	dst := make([]byte, len(src)/2)
+	if _, err := Decompress(dst, comp); err == nil {
+		t.Error("expected error on short destination")
+	}
+}
+
+func TestZeroOffsetRejected(t *testing.T) {
+	// token: 1 literal, match len 4; literal 'x'; offset 0 (invalid).
+	bad := []byte{0x10, 'x', 0x00, 0x00}
+	dst := make([]byte, 64)
+	if _, err := Decompress(dst, bad); err == nil {
+		t.Error("zero offset accepted")
+	}
+}
+
+func TestOffsetBeyondStartRejected(t *testing.T) {
+	// offset 5 with only 1 byte produced.
+	bad := []byte{0x10, 'x', 0x05, 0x00}
+	dst := make([]byte, 64)
+	if _, err := Decompress(dst, bad); err == nil {
+		t.Error("out-of-range offset accepted")
+	}
+}
+
+// Property: compress→decompress is the identity for arbitrary bytes.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(src []byte) bool {
+		comp := Compress(nil, src)
+		dst := make([]byte, len(src))
+		n, err := Decompress(dst, comp)
+		return err == nil && n == len(src) && bytes.Equal(dst, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: structured JSON-ish data compresses below 60%.
+func TestStructuredDataCompresses(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 500; i++ {
+		sb.WriteString(`{"id":`)
+		sb.WriteString(strings.Repeat("9", 1+i%5))
+		sb.WriteString(`,"status":"shipped","region":"EUROPE"}`)
+	}
+	src := []byte(sb.String())
+	comp := roundTrip(t, src)
+	if float64(len(comp)) > 0.6*float64(len(src)) {
+		t.Errorf("only compressed %d -> %d", len(src), len(comp))
+	}
+}

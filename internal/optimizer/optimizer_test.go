@@ -1,0 +1,210 @@
+package optimizer
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/exprparse"
+	"repro/internal/storage"
+)
+
+// fixture builds three Tiles relations with very different sizes so
+// join ordering has something to optimize: dim (10 rows), mid (200),
+// fact (2000).
+func fixture(t *testing.T) (dim, mid, fact storage.Relation) {
+	t.Helper()
+	load := func(name string, lines [][]byte) storage.Relation {
+		cfg := storage.DefaultLoaderConfig()
+		cfg.Tile.TileSize = 256
+		l, _ := storage.NewLoader(storage.KindTiles, cfg)
+		rel, err := l.Load(name, lines, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rel
+	}
+	var dimL, midL, factL [][]byte
+	for i := 0; i < 10; i++ {
+		dimL = append(dimL, []byte(fmt.Sprintf(`{"d_id":%d,"d_name":"dim%d"}`, i, i)))
+	}
+	for i := 0; i < 200; i++ {
+		midL = append(midL, []byte(fmt.Sprintf(`{"m_id":%d,"m_d":%d}`, i, i%10)))
+	}
+	for i := 0; i < 2000; i++ {
+		factL = append(factL, []byte(fmt.Sprintf(`{"f_id":%d,"f_m":%d,"f_v":%d}`, i, i%200, i%7)))
+	}
+	return load("dim", dimL), load("mid", midL), load("fact", factL)
+}
+
+func acc(s string) storage.Access { return exprparse.MustParse(s) }
+
+func TestPlanThreeWayJoin(t *testing.T) {
+	dim, mid, fact := fixture(t)
+	op, m, err := Plan(Query{
+		Tables: []TableSpec{
+			{Alias: "d", Rel: dim, Accesses: []storage.Access{
+				acc(`data->>'d_id'::BigInt`), acc(`data->>'d_name'`)}},
+			{Alias: "m", Rel: mid, Accesses: []storage.Access{
+				acc(`data->>'m_id'::BigInt`), acc(`data->>'m_d'::BigInt`)}},
+			{Alias: "f", Rel: fact, Accesses: []storage.Access{
+				acc(`data->>'f_m'::BigInt`), acc(`data->>'f_v'::BigInt`)}},
+		},
+		Joins: []JoinSpec{
+			{LeftAlias: "d", LeftSlot: 0, RightAlias: "m", RightSlot: 1},
+			{LeftAlias: "m", LeftSlot: 0, RightAlias: "f", RightSlot: 0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := engine.Materialize(op, 2)
+	if len(res.Rows) != 2000 {
+		t.Fatalf("join produced %d rows, want 2000", len(res.Rows))
+	}
+	// Slot map must address every column.
+	row := res.Rows[0]
+	for _, probe := range []struct {
+		alias string
+		slot  int
+	}{{"d", 0}, {"d", 1}, {"m", 0}, {"m", 1}, {"f", 0}, {"f", 1}} {
+		idx := m.Slot(probe.alias, probe.slot)
+		if idx < 0 || idx >= len(row) {
+			t.Errorf("slot %s.%d out of range: %d", probe.alias, probe.slot, idx)
+		}
+	}
+	// Spot-check join correctness: f_m joins m_id; m_d joins d_id.
+	for _, r := range res.Rows[:20] {
+		fm := r[m.Slot("f", 0)].I
+		mid := r[m.Slot("m", 0)].I
+		if fm != mid {
+			t.Fatalf("join key mismatch: f_m=%d m_id=%d", fm, mid)
+		}
+		md := r[m.Slot("m", 1)].I
+		did := r[m.Slot("d", 0)].I
+		if md != did {
+			t.Fatalf("join key mismatch: m_d=%d d_id=%d", md, did)
+		}
+	}
+}
+
+func TestPlanWithFilters(t *testing.T) {
+	dim, mid, _ := fixture(t)
+	op, m, err := Plan(Query{
+		Tables: []TableSpec{
+			{Alias: "d", Rel: dim,
+				Accesses: []storage.Access{acc(`data->>'d_id'::BigInt`), acc(`data->>'d_name'`)},
+				Filter: expr.NewCmp(expr.EQ, expr.NewCol(1, expr.TText),
+					expr.NewConst(expr.TextValue("dim3")))},
+			{Alias: "m", Rel: mid, Accesses: []storage.Access{
+				acc(`data->>'m_id'::BigInt`), acc(`data->>'m_d'::BigInt`)}},
+		},
+		Joins: []JoinSpec{{LeftAlias: "d", LeftSlot: 0, RightAlias: "m", RightSlot: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := engine.Materialize(op, 1)
+	if len(res.Rows) != 20 { // 200 mids / 10 dims
+		t.Fatalf("%d rows, want 20", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r[m.Slot("d", 1)].S != "dim3" {
+			t.Fatal("filter leaked")
+		}
+	}
+}
+
+func TestCrossProductFallback(t *testing.T) {
+	dim, _, _ := fixture(t)
+	op, _, err := Plan(Query{
+		Tables: []TableSpec{
+			{Alias: "a", Rel: dim, Accesses: []storage.Access{acc(`data->>'d_id'::BigInt`)}},
+			{Alias: "b", Rel: dim, Accesses: []storage.Access{acc(`data->>'d_id'::BigInt`)}},
+		},
+		// No join edges: cross product.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := engine.CountRows(op, 1); n != 100 {
+		t.Fatalf("cross product = %d rows, want 100", n)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	if _, _, err := Plan(Query{}); err == nil {
+		t.Error("empty query accepted")
+	}
+}
+
+func TestJoinOrderPrefersSelectiveSide(t *testing.T) {
+	// The estimator must rate (filtered dim ⋈ mid) cheaper than
+	// (mid ⋈ fact): with statistics present, estimateBase shrinks the
+	// filtered dim.
+	dim, mid, fact := fixture(t)
+	dSpec := TableSpec{Alias: "d", Rel: dim,
+		Accesses: []storage.Access{acc(`data->>'d_id'::BigInt`), acc(`data->>'d_name'`)},
+		Filter: expr.NewCmp(expr.EQ, expr.NewCol(1, expr.TText),
+			expr.NewConst(expr.TextValue("dim3")))}
+	if est := estimateBase(dSpec); est >= 10 {
+		t.Errorf("filtered dim estimate %f not reduced", est)
+	}
+	mSpec := TableSpec{Alias: "m", Rel: mid, Accesses: []storage.Access{
+		acc(`data->>'m_id'::BigInt`), acc(`data->>'m_d'::BigInt`)}}
+	fSpec := TableSpec{Alias: "f", Rel: fact, Accesses: []storage.Access{
+		acc(`data->>'f_m'::BigInt`)}}
+	if em, ef := estimateBase(mSpec), estimateBase(fSpec); em >= ef {
+		t.Errorf("mid (%f) should estimate smaller than fact (%f)", em, ef)
+	}
+}
+
+func TestJoinKeysMarkedNullRejecting(t *testing.T) {
+	dim, mid, _ := fixture(t)
+	q := Query{
+		Tables: []TableSpec{
+			{Alias: "d", Rel: dim, Accesses: []storage.Access{acc(`data->>'d_id'::BigInt`)}},
+			{Alias: "m", Rel: mid, Accesses: []storage.Access{
+				acc(`data->>'m_id'::BigInt`), acc(`data->>'m_d'::BigInt`)}},
+		},
+		Joins: []JoinSpec{{LeftAlias: "d", LeftSlot: 0, RightAlias: "m", RightSlot: 1}},
+	}
+	// Plan mutates copies of the accesses; correctness is observable
+	// through results (rows with NULL keys never join), but we can at
+	// least check the plan runs and agrees with a manual join count.
+	op, _, err := Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := engine.CountRows(op, 1); n != 200 {
+		t.Errorf("join rows = %d, want 200", n)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	dim, mid, fact := fixture(t)
+	steps, err := Explain(Query{
+		Tables: []TableSpec{
+			{Alias: "d", Rel: dim, Accesses: []storage.Access{acc(`data->>'d_id'::BigInt`)}},
+			{Alias: "m", Rel: mid, Accesses: []storage.Access{
+				acc(`data->>'m_id'::BigInt`), acc(`data->>'m_d'::BigInt`)}},
+			{Alias: "f", Rel: fact, Accesses: []storage.Access{acc(`data->>'f_m'::BigInt`)}},
+		},
+		Joins: []JoinSpec{
+			{LeftAlias: "d", LeftSlot: 0, RightAlias: "m", RightSlot: 1},
+			{LeftAlias: "m", LeftSlot: 0, RightAlias: "f", RightSlot: 0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 2 {
+		t.Fatalf("steps = %v", steps)
+	}
+	// The small dim ⋈ mid join must be chosen before touching the fact
+	// table — the statistics-driven order the paper's §4.6 argues for.
+	if steps[0] != "d ⋈ m (est=200)" {
+		t.Errorf("first join = %q", steps[0])
+	}
+}

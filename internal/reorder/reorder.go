@@ -1,0 +1,283 @@
+// Package reorder implements the tile-partition tuple reordering of
+// paper §3.2. Workloads without spatial locality (Figure 3's news
+// items, shuffled inserts, parallel loading) spread each document
+// structure thinly over all tiles, so no structure reaches the
+// extraction threshold anywhere. Reordering clusters tuples with the
+// same frequent itemset into the same tiles of a partition so the
+// original threshold is met again.
+//
+// The six steps of the paper:
+//
+//  1. mine each tile with the threshold reduced to threshold/partitionSize
+//  2. exchange itemsets across the partition; keep those whose exact
+//     partition-wide frequency reaches threshold × tileSize
+//  3. match every tuple to the itemset that describes it best (most
+//     items in common, then largest, ties by minimal item-id sum so
+//     every equal tuple matches the same itemset)
+//  4. aggregate per-itemset counts and greedily map itemset groups to
+//     tiles so the original threshold is reached where possible
+//  5. move tuples to their assigned tiles (we apply the computed
+//     permutation directly — the in-place swap schedule of the paper
+//     is an artifact of paged storage and yields the same layout)
+//  6. the caller re-mines each reordered tile with the original
+//     threshold to find the final extraction columns (tile.Builder.Build)
+package reorder
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/fpgrowth"
+	"repro/internal/jsonvalue"
+	"repro/internal/keypath"
+	"repro/internal/tile"
+)
+
+// Result reports what reordering did, for tests and diagnostics.
+type Result struct {
+	// SurvivingItemsets is the number of partition-wide frequent
+	// itemsets used as cluster targets.
+	SurvivingItemsets int
+	// Matched is the number of tuples matched to some itemset.
+	Matched int
+	// Moved is the number of tuples whose position changed.
+	Moved int
+}
+
+// Partition reorders one partition's documents in place. docs holds
+// up to PartitionSize × TileSize documents in insertion order; after
+// the call they are permuted so that tiles (consecutive TileSize
+// runs) cluster tuples of equal frequent structure.
+func Partition(docs []jsonvalue.Value, cfg tile.Config, m *tile.Metrics) Result {
+	start := time.Now()
+	defer func() {
+		if m != nil {
+			m.ReorderNanos.Add(time.Since(start).Nanoseconds())
+		}
+	}()
+	if len(docs) == 0 || cfg.PartitionSize <= 1 {
+		return Result{}
+	}
+	tileSize := cfg.TileSize
+	if tileSize <= 0 {
+		tileSize = tile.DefaultConfig().TileSize
+	}
+	if len(docs) <= tileSize {
+		return Result{} // a single tile: nothing to redistribute
+	}
+
+	dict := keypath.NewDict()
+	txs := tile.CollectTransactions(docs, cfg.MaxArraySlots, dict)
+
+	// Step 1: per-tile mining with the reduced threshold.
+	reduced := cfg.Threshold / float64(cfg.PartitionSize)
+	var candidates []fpgrowth.Itemset
+	for lo := 0; lo < len(txs); lo += tileSize {
+		hi := lo + tileSize
+		if hi > len(txs) {
+			hi = len(txs)
+		}
+		support := int(math.Ceil(reduced * float64(hi-lo)))
+		if support < 1 {
+			support = 1
+		}
+		miner := fpgrowth.Miner{MinSupport: support, Budget: cfg.Budget}
+		sets := miner.Mine(txs[lo:hi])
+		candidates = append(candidates, fpgrowth.Maximal(sets)...)
+	}
+
+	// Step 2: exchange and filter. Deduplicate the candidates, then
+	// count each one's exact partition-wide frequency; survivors need
+	// threshold × tileSize matches.
+	seen := map[string]bool{}
+	var unique []fpgrowth.Itemset
+	for _, s := range candidates {
+		k := itemsKey(s.Items)
+		if !seen[k] {
+			seen[k] = true
+			unique = append(unique, s)
+		}
+	}
+	need := int(math.Ceil(cfg.Threshold * float64(tileSize)))
+	var survivors []fpgrowth.Itemset
+	for _, s := range unique {
+		count := 0
+		for _, tx := range txs {
+			if containsAll(tx, s.Items) {
+				count++
+			}
+		}
+		if count >= need {
+			s.Count = count
+			survivors = append(survivors, s)
+		}
+	}
+	if len(survivors) == 0 {
+		return Result{}
+	}
+	// Deterministic survivor order: size desc, count desc, items asc.
+	sort.Slice(survivors, func(i, j int) bool {
+		a, b := survivors[i], survivors[j]
+		if len(a.Items) != len(b.Items) {
+			return len(a.Items) > len(b.Items)
+		}
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		return itemsKey(a.Items) < itemsKey(b.Items)
+	})
+
+	// Step 3: match each tuple to its best itemset.
+	matchOf := make([]int, len(txs)) // survivor index, -1 = unmatched
+	matched := 0
+	for i, tx := range txs {
+		matchOf[i] = -1
+		bestOverlap, bestSize := 0, 0
+		bestSum := int64(math.MaxInt64)
+		for si, s := range survivors {
+			ov := fpgrowth.Overlap(s.Items, tx)
+			if ov == 0 {
+				continue
+			}
+			sum := itemSum(s.Items)
+			better := false
+			switch {
+			case ov > bestOverlap:
+				better = true
+			case ov == bestOverlap && len(s.Items) > bestSize:
+				better = true
+			case ov == bestOverlap && len(s.Items) == bestSize && sum < bestSum:
+				better = true
+			}
+			if better {
+				bestOverlap, bestSize, bestSum = ov, len(s.Items), sum
+				matchOf[i] = si
+			}
+		}
+		if matchOf[i] >= 0 {
+			matched++
+		}
+	}
+
+	// Step 4+5: group tuples by matched itemset and map groups to
+	// tiles greedily so each tile reaches the original threshold where
+	// possible. Every tile is anchored by the largest remaining group;
+	// leftover space is filled from unmatched tuples and the smallest
+	// groups (which could not have filled a tile anyway), so large
+	// groups are never diluted across tile boundaries — plain
+	// contiguous packing would create boundary tiles where two groups
+	// both miss the threshold. Within a group the original order is
+	// kept (stable clustering preserves existing locality).
+	groups := make([][]int, len(survivors))
+	var unmatched []int
+	for i, si := range matchOf {
+		if si < 0 {
+			unmatched = append(unmatched, i)
+		} else {
+			groups[si] = append(groups[si], i)
+		}
+	}
+	groupIdx := make([]int, 0, len(groups))
+	for gi := range groups {
+		if len(groups[gi]) > 0 {
+			groupIdx = append(groupIdx, gi)
+		}
+	}
+	// Largest groups first; unmatched tuples act as the very smallest
+	// "group" and are consumed as filler from the end of the list.
+	sort.SliceStable(groupIdx, func(a, b int) bool {
+		return len(groups[groupIdx[a]]) > len(groups[groupIdx[b]])
+	})
+	pools := make([][]int, 0, len(groupIdx)+1)
+	for _, gi := range groupIdx {
+		pools = append(pools, groups[gi])
+	}
+	pools = append(pools, unmatched)
+
+	order := make([]int, 0, len(txs))
+	head, tail := 0, len(pools)-1
+	for len(order) < len(txs) {
+		space := tileSize
+		if remaining := len(txs) - len(order); remaining < space {
+			space = remaining
+		}
+		// Anchor: the largest remaining group.
+		for head <= tail && len(pools[head]) == 0 {
+			head++
+		}
+		if head > tail {
+			break
+		}
+		take := space
+		if take > len(pools[head]) {
+			take = len(pools[head])
+		}
+		order = append(order, pools[head][:take]...)
+		pools[head] = pools[head][take:]
+		space -= take
+		// Fill remaining space from the smallest pools backwards.
+		for space > 0 {
+			for tail >= head && len(pools[tail]) == 0 {
+				tail--
+			}
+			if tail < head {
+				break
+			}
+			t := space
+			pool := pools[tail]
+			if t > len(pool) {
+				t = len(pool)
+			}
+			// Take from the pool's end: its head stays contiguous for
+			// its own anchor tile later.
+			order = append(order, pool[len(pool)-t:]...)
+			pools[tail] = pool[:len(pool)-t]
+			space -= t
+		}
+	}
+
+	// Apply the permutation.
+	moved := 0
+	newDocs := make([]jsonvalue.Value, len(docs))
+	for newPos, oldPos := range order {
+		newDocs[newPos] = docs[oldPos]
+		if newPos != oldPos {
+			moved++
+		}
+	}
+	copy(docs, newDocs)
+	return Result{SurvivingItemsets: len(survivors), Matched: matched, Moved: moved}
+}
+
+func itemsKey(items []int32) string {
+	b := make([]byte, 0, len(items)*4)
+	for _, it := range items {
+		b = append(b, byte(it), byte(it>>8), byte(it>>16), byte(it>>24))
+	}
+	return string(b)
+}
+
+func itemSum(items []int32) int64 {
+	total := int64(0)
+	for _, it := range items {
+		total += int64(it)
+	}
+	return total
+}
+
+// containsAll reports whether the sorted transaction contains every
+// item of the sorted itemset.
+func containsAll(tx, items []int32) bool {
+	i := 0
+	for _, x := range items {
+		for i < len(tx) && tx[i] < x {
+			i++
+		}
+		if i >= len(tx) || tx[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}

@@ -1,0 +1,245 @@
+package reorder
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/jsontext"
+	"repro/internal/jsonvalue"
+	"repro/internal/keypath"
+	"repro/internal/tile"
+)
+
+// mkDocs builds n docs of the given structure id. Structures are
+// disjoint (no shared key paths), like Figure 4's patterns.
+func mkDocs(n, structure int) []jsonvalue.Value {
+	out := make([]jsonvalue.Value, n)
+	for i := 0; i < n; i++ {
+		src := fmt.Sprintf(`{"s%d_a":%d, "s%d_b":"v%d", "s%d_c":%d}`,
+			structure, i, structure, i, structure, i%7)
+		v, err := jsontext.ParseString(src)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func interleave(groups ...[]jsonvalue.Value) []jsonvalue.Value {
+	var out []jsonvalue.Value
+	for i := 0; ; i++ {
+		appended := false
+		for _, g := range groups {
+			if i < len(g) {
+				out = append(out, g[i])
+				appended = true
+			}
+		}
+		if !appended {
+			return out
+		}
+	}
+}
+
+func cfg(tileSize, partSize int) tile.Config {
+	c := tile.DefaultConfig()
+	c.TileSize = tileSize
+	c.PartitionSize = partSize
+	c.DetectDates = false
+	return c
+}
+
+// extractionQuality builds tiles from docs and returns the fraction of
+// (doc, own-structure-path) pairs served by a materialized column.
+func extractionQuality(t *testing.T, docs []jsonvalue.Value, c tile.Config) float64 {
+	t.Helper()
+	b := tile.NewBuilder(c, nil)
+	totalCols := 0
+	tiles := 0
+	for lo := 0; lo < len(docs); lo += c.TileSize {
+		hi := lo + c.TileSize
+		if hi > len(docs) {
+			hi = len(docs)
+		}
+		tl := b.Build(docs[lo:hi])
+		totalCols += len(tl.Columns())
+		tiles++
+	}
+	return float64(totalCols) / float64(tiles)
+}
+
+func TestFigure4Scenario(t *testing.T) {
+	// 4 disjoint structures interleaved round-robin: before reordering
+	// each structure is 25% per tile — below the 60% threshold, so no
+	// tile can extract anything. After reordering, tiles are pure.
+	const tileSize = 40
+	groups := [][]jsonvalue.Value{
+		mkDocs(40, 0), mkDocs(40, 1), mkDocs(40, 2), mkDocs(40, 3),
+	}
+	docs := interleave(groups...)
+	c := cfg(tileSize, 4)
+
+	before := extractionQuality(t, append([]jsonvalue.Value(nil), docs...), c)
+	if before != 0 {
+		t.Fatalf("before reordering, %f columns/tile extracted; scenario broken", before)
+	}
+
+	res := Partition(docs, c, nil)
+	if res.SurvivingItemsets == 0 {
+		t.Fatal("no itemsets survived")
+	}
+	if res.Matched != len(docs) {
+		t.Errorf("matched %d of %d", res.Matched, len(docs))
+	}
+
+	after := extractionQuality(t, docs, c)
+	if after < 3 { // each structure has 3 key paths
+		t.Errorf("after reordering only %.1f columns/tile", after)
+	}
+}
+
+func TestReorderingClustersStructures(t *testing.T) {
+	const tileSize = 10
+	docs := interleave(mkDocs(20, 0), mkDocs(20, 1))
+	c := cfg(tileSize, 4)
+	Partition(docs, c, nil)
+	// Every tile must now be homogeneous: all docs in a tile share
+	// their first key's structure prefix.
+	for lo := 0; lo < len(docs); lo += tileSize {
+		first := docs[lo].Members()[0].Key
+		for i := lo; i < lo+tileSize && i < len(docs); i++ {
+			if docs[i].Members()[0].Key != first {
+				t.Fatalf("tile starting at %d mixes structures (%s vs %s)",
+					lo, first, docs[i].Members()[0].Key)
+			}
+		}
+	}
+}
+
+func TestNoReorderingNeeded(t *testing.T) {
+	// Already-clustered docs must not lose extraction quality.
+	docs := append(mkDocs(40, 0), mkDocs(40, 1)...)
+	c := cfg(40, 2)
+	before := extractionQuality(t, append([]jsonvalue.Value(nil), docs...), c)
+	Partition(docs, c, nil)
+	after := extractionQuality(t, docs, c)
+	if after < before {
+		t.Errorf("reordering degraded quality: %.1f -> %.1f", before, after)
+	}
+}
+
+func TestPermutationPreservesMultiset(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var docs []jsonvalue.Value
+	for i := 0; i < 100; i++ {
+		docs = append(docs, mkDocs(1, r.Intn(5))...)
+	}
+	idSet := map[string]int{}
+	for _, d := range docs {
+		idSet[jsontext.SerializeString(d)]++
+	}
+	Partition(docs, cfg(10, 8), nil)
+	after := map[string]int{}
+	for _, d := range docs {
+		after[jsontext.SerializeString(d)]++
+	}
+	if len(idSet) != len(after) {
+		t.Fatal("document multiset changed")
+	}
+	for k, v := range idSet {
+		if after[k] != v {
+			t.Fatalf("document %s count changed %d -> %d", k, v, after[k])
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	c := cfg(10, 8)
+	// Empty.
+	if res := Partition(nil, c, nil); res.Moved != 0 {
+		t.Error("empty partition moved tuples")
+	}
+	// Single tile: no redistribution possible.
+	docs := mkDocs(5, 0)
+	if res := Partition(docs, c, nil); res.Moved != 0 {
+		t.Error("single-tile partition moved tuples")
+	}
+	// Partition size 1 disables reordering.
+	docs2 := interleave(mkDocs(20, 0), mkDocs(20, 1))
+	c1 := cfg(10, 1)
+	if res := Partition(docs2, c1, nil); res.Moved != 0 {
+		t.Error("partitionSize=1 still reordered")
+	}
+}
+
+func TestHackerNewsFigure3(t *testing.T) {
+	// Figure 3: news items of different document types arriving
+	// interleaved (story, poll, pollop, comment).
+	mk := func(src string) jsonvalue.Value {
+		v, err := jsontext.ParseString(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	var docs []jsonvalue.Value
+	for i := 0; i < 40; i++ {
+		docs = append(docs,
+			mk(fmt.Sprintf(`{"id":%d,"date":"1/11","type":"story","score":3,"desc":2,"title":"t","url":"u"}`, i*4)),
+			mk(fmt.Sprintf(`{"id":%d,"date":"1/12","type":"poll","score":5,"desc":2,"title":"t"}`, i*4+1)),
+			mk(fmt.Sprintf(`{"id":%d,"date":"1/13","type":"pollop","score":6,"poll":2,"title":"t"}`, i*4+2)),
+			mk(fmt.Sprintf(`{"id":%d,"date":"1/14","type":"comment","parent":4,"text":"x"}`, i*4+3)),
+		)
+	}
+	c := cfg(40, 4)
+	res := Partition(docs, c, nil)
+	if res.SurvivingItemsets == 0 {
+		t.Fatal("no itemsets survived on news items")
+	}
+	after := extractionQuality(t, docs, c)
+	// Comments have 6 paths, stories 7 — after clustering each tile
+	// should extract roughly its type's full schema.
+	if after < 5 {
+		t.Errorf("columns/tile = %.1f after reordering", after)
+	}
+}
+
+func TestMetricsReorderTime(t *testing.T) {
+	var m tile.Metrics
+	docs := interleave(mkDocs(20, 0), mkDocs(20, 1))
+	Partition(docs, cfg(10, 4), &m)
+	if m.ReorderNanos.Load() <= 0 {
+		t.Error("reorder time not recorded")
+	}
+}
+
+func TestSharedKeyPathsAcrossStructures(t *testing.T) {
+	// Structures share "id" and "type" but differ otherwise (the
+	// realistic combined-log case). Reordering must still cluster, and
+	// the shared paths stay extractable everywhere.
+	mk := func(i, s int) jsonvalue.Value {
+		var src string
+		if s == 0 {
+			src = fmt.Sprintf(`{"id":%d,"type":"a","payload":%d}`, i, i)
+		} else {
+			src = fmt.Sprintf(`{"id":%d,"type":"b","msg":"m%d","level":%d}`, i, i, i%3)
+		}
+		v, _ := jsontext.ParseString(src)
+		return v
+	}
+	var docs []jsonvalue.Value
+	for i := 0; i < 80; i++ {
+		docs = append(docs, mk(i, i%2))
+	}
+	c := cfg(20, 4)
+	Partition(docs, c, nil)
+	b := tile.NewBuilder(c, nil)
+	for lo := 0; lo < len(docs); lo += c.TileSize {
+		tl := b.Build(docs[lo : lo+c.TileSize])
+		if tl.FindColumn("id", keypath.TypeBigInt) < 0 {
+			t.Errorf("tile at %d lost shared path id", lo)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package storage
+
+import (
+	"repro/internal/expr"
+	"repro/internal/jsonb"
+	"repro/internal/stats"
+)
+
+// jsonbStore keeps one binary JSON document per tuple (§5) — the
+// "JSONB" competitor. Accesses avoid parsing but still traverse each
+// document per tuple.
+type jsonbStore struct {
+	name string
+	docs [][]byte
+}
+
+type jsonbLoader struct{}
+
+func (jsonbLoader) Load(name string, lines [][]byte, workers int) (Relation, error) {
+	docs, err := parseAll(lines, workers)
+	if err != nil {
+		return nil, err
+	}
+	encoded := make([][]byte, len(docs))
+	parallelRange(len(docs), workers, func(w, lo, hi int) {
+		var enc jsonb.Encoder
+		for i := lo; i < hi; i++ {
+			encoded[i] = enc.Encode(docs[i])
+		}
+	})
+	return &jsonbStore{name: name, docs: encoded}, nil
+}
+
+func (r *jsonbStore) Name() string             { return r.name }
+func (r *jsonbStore) NumRows() int             { return len(r.docs) }
+func (r *jsonbStore) Stats() *stats.TableStats { return nil }
+
+func (r *jsonbStore) SizeBytes() int {
+	total := 0
+	for _, d := range r.docs {
+		total += len(d)
+	}
+	return total
+}
+
+func (r *jsonbStore) Scan(accesses []Access, workers int, emit EmitFunc) {
+	parallelRange(len(r.docs), workers, func(w, lo, hi int) {
+		row := make([]expr.Value, len(accesses))
+		for i := lo; i < hi; i++ {
+			d := jsonb.NewDoc(r.docs[i])
+			for ai, a := range accesses {
+				row[ai] = docAccess(d, a.Path, a.Type)
+			}
+			emit(w, row)
+		}
+	})
+}
+
+// Doc exposes row i (tests and the Tiles-* side-relation builder).
+func (r *jsonbStore) Doc(i int) jsonb.Doc { return jsonb.NewDoc(r.docs[i]) }

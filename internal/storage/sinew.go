@@ -1,0 +1,201 @@
+package storage
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/column"
+	"repro/internal/expr"
+	"repro/internal/jsonb"
+	"repro/internal/jsonvalue"
+	"repro/internal/keypath"
+	"repro/internal/stats"
+)
+
+// sinew implements the Sinew [57] baseline: one global schema,
+// extracting every key path whose table-wide frequency reaches the
+// threshold (the original paper's 60 %). There is no locality, no
+// reordering, no date detection, and no per-key statistics — the
+// paper's §6 configuration. Values whose type differs from the
+// column's (or whose key fell under the threshold) are answered from
+// the per-document binary JSON.
+type sinew struct {
+	name    string
+	numRows int
+	cols    []sinewColumn
+	byPath  map[string]int
+	raw     [][]byte
+}
+
+type sinewColumn struct {
+	path            string
+	minedType       keypath.ValueType
+	col             *column.Column
+	hasTypeOutliers bool
+}
+
+type sinewLoader struct{ cfg LoaderConfig }
+
+func (l sinewLoader) Load(name string, lines [][]byte, workers int) (Relation, error) {
+	docs, err := parseAll(lines, workers)
+	if err != nil {
+		return nil, err
+	}
+	threshold := l.cfg.SinewThreshold
+	if threshold <= 0 {
+		threshold = 0.6
+	}
+	maxSlots := l.cfg.Tile.MaxArraySlots
+
+	// Global frequency pass. Deliberately single-threaded: the paper
+	// attributes Sinew's loading drop to "the single-threaded
+	// frequency algorithm and the materialization of the detected
+	// columns" (§6.8).
+	freq := map[keypath.Item]int{}
+	for _, d := range docs {
+		keypath.Collect(d, maxSlots, func(p keypath.Path, t keypath.ValueType, v jsonvalue.Value) {
+			switch t {
+			case keypath.TypeBool, keypath.TypeBigInt, keypath.TypeDouble, keypath.TypeString:
+				freq[keypath.Item{Path: p.Encode(), Type: t}]++
+			}
+		})
+	}
+	need := int(math.Ceil(threshold * float64(len(docs))))
+	if need < 1 {
+		need = 1
+	}
+	// Pick extracted items; when several types of one path qualify
+	// (possible only with thresholds < 50 %) keep the most frequent.
+	bestForPath := map[string]keypath.Item{}
+	for it, c := range freq {
+		if c < need {
+			continue
+		}
+		if prev, ok := bestForPath[it.Path]; !ok || freq[prev] < c ||
+			(freq[prev] == c && it.Type < prev.Type) {
+			bestForPath[it.Path] = it
+		}
+	}
+	var items []keypath.Item
+	for _, it := range bestForPath {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].Path < items[j].Path })
+
+	r := &sinew{name: name, numRows: len(docs), byPath: map[string]int{}}
+	for _, it := range items {
+		r.byPath[it.Path] = len(r.cols)
+		r.cols = append(r.cols, sinewColumn{
+			path:      it.Path,
+			minedType: it.Type,
+			col:       column.New(it.Type),
+		})
+	}
+
+	// Materialize (single pass over the documents, all columns at once).
+	for _, d := range docs {
+		leaves := map[string]jsonvalue.Value{}
+		types := map[string]keypath.ValueType{}
+		keypath.Collect(d, maxSlots, func(p keypath.Path, t keypath.ValueType, v jsonvalue.Value) {
+			enc := p.Encode()
+			leaves[enc] = v
+			types[enc] = t
+		})
+		for ci := range r.cols {
+			sc := &r.cols[ci]
+			v, present := leaves[sc.path]
+			if !present || types[sc.path] != sc.minedType {
+				sc.col.AppendNull()
+				if present && types[sc.path] != keypath.TypeNull {
+					sc.hasTypeOutliers = true
+				}
+				continue
+			}
+			switch sc.minedType {
+			case keypath.TypeBigInt:
+				sc.col.AppendInt(v.IntVal())
+			case keypath.TypeDouble:
+				sc.col.AppendFloat(v.FloatVal())
+			case keypath.TypeBool:
+				sc.col.AppendBool(v.BoolVal())
+			case keypath.TypeString:
+				sc.col.AppendString(v.StringVal())
+			}
+		}
+	}
+
+	// Binary JSON fallback storage (parallel, like the JSONB format).
+	r.raw = make([][]byte, len(docs))
+	parallelRange(len(docs), workers, func(w, lo, hi int) {
+		var enc jsonb.Encoder
+		for i := lo; i < hi; i++ {
+			r.raw[i] = enc.Encode(docs[i])
+		}
+	})
+	return r, nil
+}
+
+func (r *sinew) Name() string             { return r.name }
+func (r *sinew) NumRows() int             { return r.numRows }
+func (r *sinew) Stats() *stats.TableStats { return nil }
+
+func (r *sinew) SizeBytes() int {
+	total := 0
+	for _, c := range r.cols {
+		total += c.col.SizeBytes()
+	}
+	for _, d := range r.raw {
+		total += len(d)
+	}
+	return total
+}
+
+// ColumnSizeBytes is the extraction overhead beyond the binary JSON.
+func (r *sinew) ColumnSizeBytes() int {
+	total := 0
+	for _, c := range r.cols {
+		total += c.col.SizeBytes()
+	}
+	return total
+}
+
+// ExtractedPaths lists the globally extracted paths (tests).
+func (r *sinew) ExtractedPaths() []string {
+	out := make([]string, len(r.cols))
+	for i, c := range r.cols {
+		out[i] = c.path
+	}
+	return out
+}
+
+func (r *sinew) Scan(accesses []Access, workers int, emit EmitFunc) {
+	// Resolve each access once against the single global schema.
+	res := make([]colResolver, len(accesses))
+	for i, a := range accesses {
+		if ci, ok := r.byPath[a.PathEnc]; ok {
+			res[i] = resolveColumn(r.cols[ci].col, r.cols[ci].minedType, r.cols[ci].minedType,
+				r.cols[ci].hasTypeOutliers, a.Type)
+		} else {
+			res[i] = colResolver{mode: modeFallback}
+		}
+	}
+	parallelRange(r.numRows, workers, func(w, lo, hi int) {
+		row := make([]expr.Value, len(accesses))
+		for i := lo; i < hi; i++ {
+			var d jsonb.Doc
+			haveDoc := false
+			for ai := range accesses {
+				v, needDoc := res[ai].read(i)
+				if needDoc {
+					if !haveDoc {
+						d = jsonb.NewDoc(r.raw[i])
+						haveDoc = true
+					}
+					v = docAccess(d, accesses[ai].Path, accesses[ai].Type)
+				}
+				row[ai] = v
+			}
+			emit(w, row)
+		}
+	})
+}

@@ -1,0 +1,167 @@
+// Package storage implements the competing storage formats of the
+// paper's evaluation behind one Relation interface, all sharing the
+// same engine and expression layer so that — exactly as in the paper's
+// internal comparison — measured differences isolate the storage
+// design:
+//
+//	JSON      raw text, full parse per tuple access        (§6 "JSON")
+//	JSONB     per-document binary JSON (§5)                (§6 "JSONB")
+//	Sinew     global single-schema column extraction [57]  (§6 "Sinew")
+//	Tiles     JSON tiles (this paper)                      (§6 "Tiles")
+//	Tiles-*   tiles + high-cardinality array relations     (§6.3)
+//	Shredded  Dremel-style full shredding with definition
+//	          levels — the Parquet stand-in               (§6 "Spark/Parquet")
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/expr"
+	"repro/internal/jsonvalue"
+	"repro/internal/keypath"
+	"repro/internal/stats"
+)
+
+// Access is one pushed-down JSON access expression (§4.2): the scan
+// operator receives the key path and — after cast rewriting (§4.3) —
+// the result type the query actually wants, so the storage format can
+// serve it from the best representation it has.
+type Access struct {
+	// Path is the parsed key path.
+	Path keypath.Path
+	// PathEnc is Path.Encode(), cached.
+	PathEnc string
+	// Type is the desired result type. TJSON corresponds to the ->
+	// operator, TText to ->> without a cast, anything else to a
+	// rewritten cast (e.g. ->>'x'::BigInt).
+	Type expr.SQLType
+	// NullRejecting marks accesses whose NULL makes the row's
+	// predicate not-TRUE; a tile guaranteed to lack the path can then
+	// be skipped wholesale (§4.8).
+	NullRejecting bool
+}
+
+// NewAccess builds an access from dotted segments.
+func NewAccess(t expr.SQLType, segs ...string) Access {
+	p := keypath.NewPath(segs...)
+	return Access{Path: p, PathEnc: p.Encode(), Type: t}
+}
+
+// NewAccessPath builds an access from a parsed path.
+func NewAccessPath(t expr.SQLType, p keypath.Path) Access {
+	return Access{Path: p, PathEnc: p.Encode(), Type: t}
+}
+
+// EmitFunc receives scan output. Implementations may call it from
+// `workers` goroutines concurrently, identified by worker id; the row
+// slice is reused between calls and must not be retained.
+type EmitFunc func(worker int, row []expr.Value)
+
+// Relation is a stored JSON collection in some format.
+type Relation interface {
+	// Name identifies the relation (diagnostics).
+	Name() string
+	// NumRows is the tuple count.
+	NumRows() int
+	// Scan evaluates the access expressions for every tuple.
+	Scan(accesses []Access, workers int, emit EmitFunc)
+	// SizeBytes is the storage footprint.
+	SizeBytes() int
+	// Stats returns relation statistics, or nil when the format keeps
+	// none (every format except Tiles, matching the paper).
+	Stats() *stats.TableStats
+}
+
+// FormatKind names a storage format for the benchmark harness.
+type FormatKind string
+
+// The format kinds.
+const (
+	KindJSON     FormatKind = "JSON"
+	KindJSONB    FormatKind = "JSONB"
+	KindSinew    FormatKind = "Sinew"
+	KindTiles    FormatKind = "Tiles"
+	KindShredded FormatKind = "Shredded"
+)
+
+// Loader builds a Relation of a given format from raw JSON documents.
+type Loader interface {
+	// Load parses and ingests the documents using up to `workers`
+	// goroutines, returning the finished relation.
+	Load(name string, lines [][]byte, workers int) (Relation, error)
+}
+
+// NewLoader returns the loader for a format kind with the given tile
+// configuration (ignored by formats without tiles).
+func NewLoader(kind FormatKind, cfg LoaderConfig) (Loader, error) {
+	switch kind {
+	case KindJSON:
+		return rawJSONLoader{}, nil
+	case KindJSONB:
+		return jsonbLoader{}, nil
+	case KindSinew:
+		return sinewLoader{cfg: cfg}, nil
+	case KindTiles:
+		return tilesLoader{cfg: cfg}, nil
+	case KindShredded:
+		return shredLoader{cfg: cfg}, nil
+	default:
+		return nil, fmt.Errorf("storage: unknown format %q", kind)
+	}
+}
+
+// parallelRange splits [0, n) into `workers` chunks and runs fn(worker,
+// lo, hi) concurrently.
+func parallelRange(n, workers int, fn func(worker, lo, hi int)) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// parseAll parses JSON lines into documents in parallel.
+func parseAll(lines [][]byte, workers int) ([]jsonvalue.Value, error) {
+	docs := make([]jsonvalue.Value, len(lines))
+	errs := make([]error, workers+1)
+	parallelRange(len(lines), workers, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v, err := parseDoc(lines[i])
+			if err != nil {
+				errs[w] = fmt.Errorf("document %d: %w", i, err)
+				return
+			}
+			docs[i] = v
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return docs, nil
+}

@@ -1,0 +1,301 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/jsonb"
+	"repro/internal/jsonvalue"
+	"repro/internal/keypath"
+	"repro/internal/reorder"
+	"repro/internal/stats"
+	"repro/internal/tile"
+)
+
+// tilesRelation is the paper's contribution: documents stored as JSON
+// tiles with local column extraction, partition reordering during
+// load, relation-level statistics, per-tile access resolution, and
+// tile skipping.
+type tilesRelation struct {
+	name    string
+	cfg     LoaderConfig
+	tiles   []*tile.Tile
+	numRows int
+	stats   *stats.TableStats
+	metrics *tile.Metrics
+}
+
+type tilesLoader struct {
+	cfg     LoaderConfig
+	metrics *tile.Metrics
+}
+
+// NewTilesLoader returns a Tiles loader that records build metrics
+// (Figure 16's insertion breakdown).
+func NewTilesLoader(cfg LoaderConfig, m *tile.Metrics) Loader {
+	return tilesLoader{cfg: cfg, metrics: m}
+}
+
+func (l tilesLoader) Load(name string, lines [][]byte, workers int) (Relation, error) {
+	docs, err := parseAll(lines, workers)
+	if err != nil {
+		return nil, err
+	}
+	return BuildTiles(name, docs, l.cfg, workers, l.metrics), nil
+}
+
+// BuildTiles constructs a Tiles relation from parsed documents.
+// Partitions are fully independent (§3.2: "Each thread is dedicated to
+// a disjoint subset of the data"), so they are processed in parallel.
+func BuildTiles(name string, docs []jsonvalue.Value, cfg LoaderConfig, workers int, metrics *tile.Metrics) Relation {
+	tcfg := cfg.Tile
+	if tcfg.TileSize <= 0 {
+		tcfg = tile.DefaultConfig()
+	}
+	partDocs := tcfg.TileSize * tcfg.PartitionSize
+	if partDocs <= 0 {
+		partDocs = tcfg.TileSize
+	}
+	numParts := (len(docs) + partDocs - 1) / partDocs
+
+	r := &tilesRelation{name: name, cfg: cfg, numRows: len(docs),
+		stats: stats.New(0, 0), metrics: metrics}
+	partTiles := make([][]*tile.Tile, numParts)
+
+	parallelRange(numParts, workers, func(w, lo, hi int) {
+		builder := tile.NewBuilder(tcfg, metrics)
+		for p := lo; p < hi; p++ {
+			dlo := p * partDocs
+			dhi := dlo + partDocs
+			if dhi > len(docs) {
+				dhi = len(docs)
+			}
+			part := docs[dlo:dhi]
+			if cfg.Reorder && tcfg.PartitionSize > 1 {
+				reorder.Partition(part, tcfg, metrics)
+			}
+			var tiles []*tile.Tile
+			for tlo := 0; tlo < len(part); tlo += tcfg.TileSize {
+				thi := tlo + tcfg.TileSize
+				if thi > len(part) {
+					thi = len(part)
+				}
+				tiles = append(tiles, builder.Build(part[tlo:thi]))
+			}
+			partTiles[p] = tiles
+		}
+	})
+	for _, pt := range partTiles {
+		for _, t := range pt {
+			r.tiles = append(r.tiles, t)
+			r.stats.AddTile(t)
+		}
+	}
+	return r
+}
+
+func (r *tilesRelation) Name() string             { return r.name }
+func (r *tilesRelation) NumRows() int             { return r.numRows }
+func (r *tilesRelation) Stats() *stats.TableStats { return r.stats }
+
+// Tiles exposes the underlying tiles (tests, size accounting, array
+// extraction).
+func (r *tilesRelation) Tiles() []*tile.Tile { return r.tiles }
+
+func (r *tilesRelation) SizeBytes() int {
+	total := 0
+	for _, t := range r.tiles {
+		total += t.RawSizeBytes() + t.ColumnSizeBytes()
+	}
+	return total
+}
+
+// ColumnSizeBytes returns only the materialized-column overhead (the
+// "+Tiles" column of Table 6).
+func (r *tilesRelation) ColumnSizeBytes() int {
+	total := 0
+	for _, t := range r.tiles {
+		total += t.ColumnSizeBytes()
+	}
+	return total
+}
+
+// CompressedColumnSizeBytes returns the LZ4-compressed column bytes
+// ("+LZ4-Tiles", Table 6).
+func (r *tilesRelation) CompressedColumnSizeBytes() int {
+	total := 0
+	for _, t := range r.tiles {
+		total += t.ColumnCompressedSizeBytes()
+	}
+	return total
+}
+
+// UpdateRow replaces the document at global row index i in place
+// (§4.7) and reports whether the tile now wants recomputation.
+func (r *tilesRelation) UpdateRow(i int, doc jsonvalue.Value) (needsRecompute bool, err error) {
+	if i < 0 || i >= r.numRows {
+		return false, fmt.Errorf("storage: row %d out of range (%d rows)", i, r.numRows)
+	}
+	for _, t := range r.tiles {
+		if i < t.NumRows() {
+			t.Update(i, doc, nil, r.cfg.Tile.MaxArraySlots)
+			return t.NeedsRecompute(), nil
+		}
+		i -= t.NumRows()
+	}
+	return false, fmt.Errorf("storage: row index beyond tiles")
+}
+
+// RecomputeTiles re-materializes every tile whose update-introduced
+// outliers exceed the §4.7 threshold, re-mining the (changed) frequent
+// structures. Relation statistics are rebuilt from all tiles. It
+// returns the number of tiles recomputed.
+func (r *tilesRelation) RecomputeTiles() int {
+	tcfg := r.cfg.Tile
+	if tcfg.TileSize <= 0 {
+		tcfg = tile.DefaultConfig()
+	}
+	builder := tile.NewBuilder(tcfg, r.metrics)
+	recomputed := 0
+	for i, t := range r.tiles {
+		if !t.NeedsRecompute() {
+			continue
+		}
+		r.tiles[i] = builder.Build(t.Documents())
+		recomputed++
+	}
+	if recomputed > 0 {
+		r.stats = stats.New(0, 0)
+		for _, t := range r.tiles {
+			r.stats.AddTile(t)
+		}
+	}
+	return recomputed
+}
+
+// RawSizeBytes returns the binary JSON bytes.
+func (r *tilesRelation) RawSizeBytes() int {
+	total := 0
+	for _, t := range r.tiles {
+		total += t.RawSizeBytes()
+	}
+	return total
+}
+
+func (r *tilesRelation) Scan(accesses []Access, workers int, emit EmitFunc) {
+	parallelRange(len(r.tiles), workers, func(w, lo, hi int) {
+		row := make([]expr.Value, len(accesses))
+		res := make([]colResolver, len(accesses))
+		for ti := lo; ti < hi; ti++ {
+			t := r.tiles[ti]
+			if r.cfg.SkipTiles && r.skippable(t, accesses) {
+				continue
+			}
+			// Per-tile access resolution, computed once and reused for
+			// every tuple of the tile (§4.5).
+			for ai, a := range accesses {
+				res[ai] = r.resolveTile(t, a)
+			}
+			n := t.NumRows()
+			for i := 0; i < n; i++ {
+				var d jsonb.Doc
+				haveDoc := false
+				for ai := range accesses {
+					v, needDoc := res[ai].read(i)
+					if needDoc {
+						if !haveDoc {
+							d = t.Raw(i)
+							haveDoc = true
+						}
+						v = docAccess(d, accesses[ai].Path, accesses[ai].Type)
+					}
+					row[ai] = v
+				}
+				emit(w, row)
+			}
+		}
+	})
+}
+
+func (r *tilesRelation) maxSlots() int {
+	if ms := r.cfg.Tile.MaxArraySlots; ms > 0 {
+		return ms
+	}
+	return keypath.DefaultMaxArraySlots
+}
+
+// cappedPrefix reports whether the path indexes an array slot at or
+// beyond the collection cap — such paths can exist in documents while
+// being invisible to the tile header, so header absence proves
+// nothing. The returned prefix (the array itself) is what the header
+// can answer for.
+func cappedPrefix(p keypath.Path, maxSlots int) (string, bool) {
+	for i, seg := range p.Segs {
+		if seg.IsIndex && seg.Index >= maxSlots {
+			return keypath.Path{Segs: p.Segs[:i]}.Encode(), true
+		}
+	}
+	return "", false
+}
+
+// mayContain answers MayContainPath with the capped-slot correction.
+func (r *tilesRelation) mayContain(t *tile.Tile, a Access) bool {
+	if prefix, capped := cappedPrefix(a.Path, r.maxSlots()); capped {
+		return t.MayContainPath(prefix)
+	}
+	return t.MayContainPath(a.PathEnc)
+}
+
+// skippable reports whether the tile provably contains no tuple that
+// can satisfy the query: some null-rejecting access targets a path
+// absent from the whole tile (§4.8).
+func (r *tilesRelation) skippable(t *tile.Tile, accesses []Access) bool {
+	for _, a := range accesses {
+		if a.NullRejecting && !r.mayContain(t, a) {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *tilesRelation) resolveTile(t *tile.Tile, a Access) colResolver {
+	if a.Type == expr.TJSON {
+		// The -> operator returns documents; serve from binary JSON.
+		if !r.mayContain(t, a) {
+			return colResolver{mode: modeNullAll}
+		}
+		return colResolver{mode: modeFallback}
+	}
+	if _, capped := cappedPrefix(a.Path, r.maxSlots()); capped {
+		if !r.mayContain(t, a) {
+			return colResolver{mode: modeNullAll}
+		}
+		return colResolver{mode: modeFallback}
+	}
+	cols := t.ColumnsForPath(a.PathEnc)
+	// Prefer a column that serves the type directly; fall back to any
+	// column, then to the document.
+	var fallbackish *colResolver
+	for _, ci := range cols {
+		info := t.Column(ci)
+		rv := resolveColumn(info.Col, info.MinedType, info.StorageType, info.HasTypeOutliers, a.Type)
+		if rv.mode == modeColumn {
+			// A column serves directly, but other same-path columns
+			// (different mined type) would hold the remaining values;
+			// with >1 columns stay safe and fall back on null.
+			if len(cols) > 1 {
+				rv.fallbackOnNull = true
+			}
+			return rv
+		}
+		f := rv
+		fallbackish = &f
+	}
+	if fallbackish != nil {
+		return *fallbackish
+	}
+	if !r.mayContain(t, a) {
+		return colResolver{mode: modeNullAll}
+	}
+	return colResolver{mode: modeFallback}
+}

@@ -1,0 +1,90 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/jsonvalue"
+	"repro/internal/keypath"
+)
+
+// TilesStar is the §6.3 "Tiles-*" configuration: JSON tiles for the
+// main collection plus separate JSON-tiles relations for detected
+// high-cardinality arrays. Each array element becomes one document of
+// the side relation, tagged with its parent's identifier and slot
+// index; queries join the side relation back to the base table
+// instead of probing a bounded number of leading slots.
+type TilesStar struct {
+	// Main is the base Tiles relation.
+	Main Relation
+	// Sides maps the array path (encoded) to its side relation.
+	Sides map[string]Relation
+}
+
+// ParentField and IndexField are the bookkeeping keys added to each
+// side-relation document.
+const (
+	ParentField = "_parent"
+	IndexField  = "_idx"
+)
+
+// BuildTilesStar loads the main Tiles relation and one side relation
+// per given high-cardinality array path. idPath identifies the parent
+// document (e.g. "id" for tweets). The detection of which arrays
+// deserve extraction is the orthogonal problem of [19, 54] (paper
+// §3.5); callers name them explicitly, as the paper does (hashtags,
+// mentions).
+func BuildTilesStar(name string, lines [][]byte, cfg LoaderConfig, workers int,
+	idPath keypath.Path, arrayPaths ...keypath.Path) (*TilesStar, error) {
+
+	docs, err := parseAll(lines, workers)
+	if err != nil {
+		return nil, err
+	}
+	star := &TilesStar{Sides: map[string]Relation{}}
+	star.Main = BuildTiles(name, docs, cfg, workers, nil)
+
+	for _, ap := range arrayPaths {
+		var sideDocs []jsonvalue.Value
+		for _, d := range docs {
+			parent, ok := keypath.Lookup(d, idPath)
+			if !ok {
+				continue
+			}
+			arr, ok := keypath.Lookup(d, ap)
+			if !ok || arr.Kind() != jsonvalue.KindArray {
+				continue
+			}
+			for i := 0; i < arr.Len(); i++ {
+				el := arr.Elem(i)
+				members := []jsonvalue.Member{
+					jsonvalue.M(ParentField, parent),
+					jsonvalue.M(IndexField, jsonvalue.Int(int64(i))),
+				}
+				if el.Kind() == jsonvalue.KindObject {
+					members = append(members, el.Members()...)
+				} else {
+					members = append(members, jsonvalue.M("value", el))
+				}
+				sideDocs = append(sideDocs, jsonvalue.Object(members...))
+			}
+		}
+		enc := ap.Encode()
+		star.Sides[enc] = BuildTiles(fmt.Sprintf("%s[%s]", name, enc), sideDocs, cfg, workers, nil)
+	}
+	return star, nil
+}
+
+// Side returns the side relation for an array path.
+func (s *TilesStar) Side(arrayPath keypath.Path) (Relation, bool) {
+	r, ok := s.Sides[arrayPath.Encode()]
+	return r, ok
+}
+
+// SizeBytes sums main and side storage.
+func (s *TilesStar) SizeBytes() int {
+	total := s.Main.SizeBytes()
+	for _, r := range s.Sides {
+		total += r.SizeBytes()
+	}
+	return total
+}

@@ -1,0 +1,555 @@
+// Package tile implements JSON tiles (paper §3): columnar chunks of a
+// JSON collection whose locally-frequent key paths are materialized as
+// typed relational columns, with a per-tile header describing what was
+// seen and what was extracted (§4.4), per-tile statistics for the
+// optimizer (§4.6), in-place updates (§4.7), and the information the
+// scan needs to skip tiles without matches (§4.8).
+package tile
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bloom"
+	"repro/internal/column"
+	"repro/internal/dates"
+	"repro/internal/fpgrowth"
+	"repro/internal/hist"
+	"repro/internal/hll"
+	"repro/internal/jsonb"
+	"repro/internal/jsonvalue"
+	"repro/internal/keypath"
+)
+
+// Config holds the extraction parameters. The defaults follow the
+// paper's evaluation: tile size 2¹⁰, partition size 8, extraction
+// threshold 60 %.
+type Config struct {
+	// TileSize is the number of tuples per tile.
+	TileSize int
+	// PartitionSize is the number of neighboring tiles grouped for
+	// tuple reordering (§3.2).
+	PartitionSize int
+	// Threshold is the extraction threshold: an itemset is extracted
+	// when at least Threshold × TileSize tuples contain it.
+	Threshold float64
+	// Budget bounds the number of itemsets the miner may generate
+	// (Eq. 1); zero selects fpgrowth.DefaultBudget.
+	Budget int
+	// MaxArraySlots bounds how many leading array elements receive key
+	// paths (§3.5); zero selects keypath.DefaultMaxArraySlots.
+	MaxArraySlots int
+	// DetectDates enables timestamp extraction for date-like string
+	// columns (§4.9). The fig14 "no Date" ablation turns it off.
+	DetectDates bool
+}
+
+// DefaultConfig returns the paper's recommended settings.
+func DefaultConfig() Config {
+	return Config{
+		TileSize:      1 << 10,
+		PartitionSize: 8,
+		Threshold:     0.6,
+		DetectDates:   true,
+	}
+}
+
+// MinSupport converts the relative threshold into the absolute tuple
+// count for n tuples (an itemset is frequent if its frequency count
+// divided by n exceeds the threshold).
+func (c Config) MinSupport(n int) int {
+	s := int(math.Ceil(c.Threshold * float64(n)))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Metrics accumulates loading-time breakdowns (Figure 16). Fields are
+// atomically updated nanosecond counters so parallel loaders can share
+// one Metrics.
+type Metrics struct {
+	MineNanos       atomic.Int64
+	ExtractNanos    atomic.Int64
+	WriteJSONBNanos atomic.Int64
+	ReorderNanos    atomic.Int64
+	TilesBuilt      atomic.Int64
+}
+
+// ColumnInfo describes one extracted column in the tile header.
+type ColumnInfo struct {
+	// Path is the canonical encoded key path.
+	Path string
+	// MinedType is the primitive JSON type paired with the path in the
+	// frequent itemset.
+	MinedType keypath.ValueType
+	// StorageType is the column's storage type; it differs from
+	// MinedType only for detected dates (Text mined, Timestamp stored).
+	StorageType keypath.ValueType
+	// HasTypeOutliers is set when some tuple carries the path with a
+	// different non-null type (or an unparseable date): a null in the
+	// column then requires the binary-JSON fallback to stay correct.
+	HasTypeOutliers bool
+	// Col is the materialized data.
+	Col *column.Column
+}
+
+// Tile is one materialized chunk.
+type Tile struct {
+	numRows int
+	columns []ColumnInfo
+	byItem  map[keypath.Item]int // (path, mined type) -> column index
+	byPath  map[string][]int     // path -> column indexes (usually one)
+
+	// notExtracted remembers every key path seen in the tile but not
+	// materialized; MayContainPath consults it before a tile is
+	// skipped (§4.8). Updates add new paths here (§4.7).
+	notExtracted *bloom.Filter
+
+	// pathFreq counts, per key path, the tuples carrying the path with
+	// a non-null value — the per-tile frequency database aggregated
+	// into relation statistics (§4.6).
+	pathFreq map[string]int
+
+	// sketches holds one HyperLogLog per extracted path over its
+	// values (§4.6).
+	sketches map[string]*hll.Sketch
+
+	// histograms holds one equi-width histogram per extracted numeric
+	// or timestamp path (the "regular histograms" the paper mentions
+	// as the analogous domain statistic).
+	histograms map[string]*hist.Histogram
+
+	raw [][]byte // binary JSON of every tuple (fallback storage)
+
+	outliers int // updated docs that share nothing with the schema (§4.7)
+}
+
+// Builder constructs tiles. A Builder is not safe for concurrent use;
+// parallel loading uses one Builder per worker sharing a Metrics.
+type Builder struct {
+	Config  Config
+	Metrics *Metrics
+	enc     jsonb.Encoder
+}
+
+// NewBuilder returns a Builder with the given config.
+func NewBuilder(cfg Config, m *Metrics) *Builder {
+	if cfg.TileSize <= 0 {
+		cfg = DefaultConfig()
+	}
+	return &Builder{Config: cfg, Metrics: m}
+}
+
+// CollectTransactions turns documents into itemset transactions over a
+// shared dictionary — one sorted item-id list per document. The same
+// routine serves tile building and partition reordering.
+func CollectTransactions(docs []jsonvalue.Value, maxSlots int, dict *keypath.Dict) [][]int32 {
+	txs := make([][]int32, len(docs))
+	for i, d := range docs {
+		var tx []int32
+		keypath.Collect(d, maxSlots, func(p keypath.Path, t keypath.ValueType, v jsonvalue.Value) {
+			tx = append(tx, dict.Add(p.Encode(), t))
+		})
+		tx = sortDedup(tx)
+		txs[i] = tx
+	}
+	return txs
+}
+
+// isExtractableType reports whether a mined item type can become a
+// typed column. Nulls and empty containers only mark presence.
+func isExtractableType(t keypath.ValueType) bool {
+	switch t {
+	case keypath.TypeBool, keypath.TypeBigInt, keypath.TypeDouble, keypath.TypeString:
+		return true
+	default:
+		return false
+	}
+}
+
+func sortDedup(s []int32) []int32 {
+	if len(s) < 2 {
+		return s
+	}
+	// Insertion sort: transactions are small and mostly sorted
+	// (collection order is deterministic).
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	w := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[w-1] {
+			s[w] = s[i]
+			w++
+		}
+	}
+	return s[:w]
+}
+
+// Build materializes one tile from docs: collect key paths, mine
+// frequent itemsets at the extraction threshold, extract the union of
+// the maximal itemsets as typed columns (§3.1), and encode every
+// document into binary JSON for the fallback path.
+func (b *Builder) Build(docs []jsonvalue.Value) *Tile {
+	dict := keypath.NewDict()
+	start := time.Now()
+	txs := CollectTransactions(docs, b.Config.MaxArraySlots, dict)
+	miner := fpgrowth.Miner{MinSupport: b.Config.MinSupport(len(docs)), Budget: b.Config.Budget}
+	sets := miner.Mine(txs)
+	maximal := fpgrowth.Maximal(sets)
+	if b.Metrics != nil {
+		b.Metrics.MineNanos.Add(time.Since(start).Nanoseconds())
+	}
+	return b.materialize(docs, dict, maximal)
+}
+
+func (b *Builder) materialize(docs []jsonvalue.Value, dict *keypath.Dict, maximal []fpgrowth.Itemset) *Tile {
+	start := time.Now()
+	// Union of the maximal itemsets = the extracted items (§3.1 step 3).
+	extractedIDs := map[int32]bool{}
+	for _, s := range maximal {
+		for _, id := range s.Items {
+			extractedIDs[id] = true
+		}
+	}
+
+	t := &Tile{
+		numRows:    len(docs),
+		byItem:     map[keypath.Item]int{},
+		byPath:     map[string][]int{},
+		pathFreq:   map[string]int{},
+		sketches:   map[string]*hll.Sketch{},
+		histograms: map[string]*hist.Histogram{},
+	}
+
+	// Deterministic column order: dictionary id order.
+	var orderedIDs []int32
+	for id := int32(0); id < int32(dict.Len()); id++ {
+		if extractedIDs[id] && isExtractableType(dict.Item(id).Type) {
+			orderedIDs = append(orderedIDs, id)
+		}
+	}
+
+	// Per-document path values, gathered in a single walk per doc.
+	type docLeaf struct {
+		t keypath.ValueType
+		v jsonvalue.Value
+	}
+	leaves := make([]map[string]docLeaf, len(docs))
+	seenPaths := map[string]bool{}
+	for i, d := range docs {
+		m := map[string]docLeaf{}
+		keypath.Collect(d, b.Config.MaxArraySlots, func(p keypath.Path, vt keypath.ValueType, v jsonvalue.Value) {
+			enc := p.Encode()
+			m[enc] = docLeaf{t: vt, v: v}
+			if !seenPaths[enc] {
+				seenPaths[enc] = true
+				// Every prefix is a reachable path too: an access to
+				// ->'user' on a tile holding user.id must neither skip
+				// nor return NULL-for-all.
+				for n := len(p.Segs) - 1; n >= 1; n-- {
+					prefix := keypath.Path{Segs: p.Segs[:n]}.Encode()
+					if seenPaths[prefix] {
+						break
+					}
+					seenPaths[prefix] = true
+				}
+			}
+			if vt != keypath.TypeNull {
+				t.pathFreq[enc]++
+			}
+		})
+		leaves[i] = m
+	}
+
+	for _, id := range orderedIDs {
+		item := dict.Item(id)
+		info := ColumnInfo{Path: item.Path, MinedType: item.Type, StorageType: item.Type}
+
+		// Date detection (§4.9): sample the string values first.
+		if item.Type == keypath.TypeString && b.Config.DetectDates {
+			var sample []string
+			for i := range docs {
+				if lf, ok := leaves[i][item.Path]; ok && lf.t == keypath.TypeString {
+					sample = append(sample, lf.v.StringVal())
+					if len(sample) >= 64 {
+						break
+					}
+				}
+			}
+			if dates.DetectColumn(sample, 64) {
+				info.StorageType = keypath.TypeTimestamp
+			}
+		}
+
+		col := column.New(info.StorageType)
+		sketch := hll.New()
+		var numeric []float64
+		for i := range docs {
+			lf, present := leaves[i][item.Path]
+			if !present {
+				col.AppendNull()
+				continue
+			}
+			if lf.t != item.Type {
+				col.AppendNull()
+				if lf.t != keypath.TypeNull {
+					info.HasTypeOutliers = true
+				}
+				continue
+			}
+			switch info.StorageType {
+			case keypath.TypeBigInt:
+				col.AppendInt(lf.v.IntVal())
+				sketch.AddInt64(lf.v.IntVal())
+				numeric = append(numeric, float64(lf.v.IntVal()))
+			case keypath.TypeDouble:
+				col.AppendFloat(lf.v.FloatVal())
+				sketch.AddHash(hll.HashUint64(math.Float64bits(lf.v.FloatVal())))
+				numeric = append(numeric, lf.v.FloatVal())
+			case keypath.TypeBool:
+				col.AppendBool(lf.v.BoolVal())
+				if lf.v.BoolVal() {
+					sketch.AddInt64(1)
+				} else {
+					sketch.AddInt64(0)
+				}
+			case keypath.TypeString:
+				col.AppendString(lf.v.StringVal())
+				sketch.AddString(lf.v.StringVal())
+			case keypath.TypeTimestamp:
+				if ts, ok := dates.Parse(lf.v.StringVal()); ok {
+					col.AppendInt(ts)
+					sketch.AddInt64(ts)
+					numeric = append(numeric, float64(ts))
+				} else {
+					col.AppendNull()
+					info.HasTypeOutliers = true
+				}
+			}
+		}
+		idx := len(t.columns)
+		info.Col = col
+		t.columns = append(t.columns, info)
+		t.byItem[keypath.Item{Path: item.Path, Type: item.Type}] = idx
+		t.byPath[item.Path] = append(t.byPath[item.Path], idx)
+		t.sketches[item.Path] = sketch
+		if len(numeric) > 0 {
+			t.histograms[item.Path] = hist.FromValues(numeric)
+		}
+	}
+
+	// Header bloom filter over the paths seen but not extracted (§4.4).
+	t.notExtracted = bloom.New(len(seenPaths)+8, 0.01)
+	for p := range seenPaths {
+		if _, ok := t.byPath[p]; !ok {
+			t.notExtracted.Add(p)
+		}
+	}
+	if b.Metrics != nil {
+		b.Metrics.ExtractNanos.Add(time.Since(start).Nanoseconds())
+	}
+
+	// Binary JSON for every tuple (the fallback and outlier storage).
+	start = time.Now()
+	t.raw = make([][]byte, len(docs))
+	for i, d := range docs {
+		t.raw[i] = b.enc.Encode(d)
+	}
+	if b.Metrics != nil {
+		b.Metrics.WriteJSONBNanos.Add(time.Since(start).Nanoseconds())
+		b.Metrics.TilesBuilt.Add(1)
+	}
+	return t
+}
+
+// NumRows returns the tuple count.
+func (t *Tile) NumRows() int { return t.numRows }
+
+// Columns returns the header's extracted-column descriptors.
+func (t *Tile) Columns() []ColumnInfo { return t.columns }
+
+// Raw returns the binary JSON document of row i.
+func (t *Tile) Raw(i int) jsonb.Doc { return jsonb.NewDoc(t.raw[i]) }
+
+// RawBytes returns the encoded buffer of row i.
+func (t *Tile) RawBytes(i int) []byte { return t.raw[i] }
+
+// FindColumn returns the column index for (path, mined type), or -1.
+func (t *Tile) FindColumn(path string, mined keypath.ValueType) int {
+	if idx, ok := t.byItem[keypath.Item{Path: path, Type: mined}]; ok {
+		return idx
+	}
+	return -1
+}
+
+// ColumnsForPath returns the indexes of all columns extracted for the
+// path (multiple when the tile holds the path with several types).
+func (t *Tile) ColumnsForPath(path string) []int { return t.byPath[path] }
+
+// Column returns the descriptor at index idx.
+func (t *Tile) Column(idx int) *ColumnInfo { return &t.columns[idx] }
+
+// MayContainPath reports whether any tuple might carry the path: true
+// when the path is extracted or the seen-paths bloom filter matches.
+// False guarantees every access to the path yields null, which is
+// what tile skipping needs (§4.8).
+func (t *Tile) MayContainPath(path string) bool {
+	if _, ok := t.byPath[path]; ok {
+		return true
+	}
+	return t.notExtracted.MayContain(path)
+}
+
+// PathFrequency returns the number of tuples carrying the path with a
+// non-null value.
+func (t *Tile) PathFrequency(path string) int { return t.pathFreq[path] }
+
+// PathFrequencies exposes the per-tile frequency database for
+// relation-level aggregation.
+func (t *Tile) PathFrequencies() map[string]int { return t.pathFreq }
+
+// Sketch returns the HyperLogLog sketch of an extracted path (nil if
+// the path was not extracted).
+func (t *Tile) Sketch(path string) *hll.Sketch { return t.sketches[path] }
+
+// Sketches exposes all per-path sketches for aggregation.
+func (t *Tile) Sketches() map[string]*hll.Sketch { return t.sketches }
+
+// Histogram returns the numeric histogram of an extracted path (nil
+// when the path is not extracted or not numeric).
+func (t *Tile) Histogram(path string) *hist.Histogram { return t.histograms[path] }
+
+// Histograms exposes all per-path histograms for aggregation.
+func (t *Tile) Histograms() map[string]*hist.Histogram { return t.histograms }
+
+// ColumnSizeBytes returns the memory consumed by extracted columns —
+// the "+Tiles" storage overhead of Table 6.
+func (t *Tile) ColumnSizeBytes() int {
+	total := 0
+	for _, c := range t.columns {
+		total += c.Col.SizeBytes() + len(c.Path) + 8
+	}
+	if t.notExtracted != nil {
+		total += t.notExtracted.SizeBytes()
+	}
+	return total
+}
+
+// ColumnCompressedSizeBytes returns the LZ4-compressed column bytes —
+// the "+LZ4-Tiles" row of Table 6.
+func (t *Tile) ColumnCompressedSizeBytes() int {
+	total := 0
+	for _, c := range t.columns {
+		total += c.Col.CompressedSize() + len(c.Path) + 8
+	}
+	if t.notExtracted != nil {
+		total += t.notExtracted.SizeBytes()
+	}
+	return total
+}
+
+// RawSizeBytes returns the binary JSON bytes stored in the tile.
+func (t *Tile) RawSizeBytes() int {
+	total := 0
+	for _, r := range t.raw {
+		total += len(r)
+	}
+	return total
+}
+
+// Update replaces the document of row i (§4.7). Extracted columns are
+// updated in place; keys the new document lacks become nulls; new key
+// paths are added to the header bloom filter so skipping stays
+// correct. It returns whether the new document was an outlier (no
+// overlap with the extracted schema).
+func (t *Tile) Update(i int, doc jsonvalue.Value, enc *jsonb.Encoder, maxSlots int) bool {
+	if enc == nil {
+		enc = &jsonb.Encoder{}
+	}
+	t.raw[i] = enc.Encode(doc)
+
+	leaves := map[string]struct {
+		t keypath.ValueType
+		v jsonvalue.Value
+	}{}
+	keypath.Collect(doc, maxSlots, func(p keypath.Path, vt keypath.ValueType, v jsonvalue.Value) {
+		enc := p.Encode()
+		leaves[enc] = struct {
+			t keypath.ValueType
+			v jsonvalue.Value
+		}{vt, v}
+		if _, extracted := t.byPath[enc]; !extracted {
+			t.notExtracted.Add(enc)
+		}
+		for n := len(p.Segs) - 1; n >= 1; n-- {
+			prefix := keypath.Path{Segs: p.Segs[:n]}.Encode()
+			if _, extracted := t.byPath[prefix]; !extracted {
+				t.notExtracted.Add(prefix)
+			}
+		}
+	})
+
+	overlap := 0
+	for ci := range t.columns {
+		info := &t.columns[ci]
+		lf, present := leaves[info.Path]
+		if !present || lf.t != info.MinedType {
+			info.Col.SetNull(i)
+			if present && lf.t != keypath.TypeNull {
+				info.HasTypeOutliers = true
+			}
+			continue
+		}
+		overlap++
+		switch info.StorageType {
+		case keypath.TypeBigInt:
+			info.Col.SetInt(i, lf.v.IntVal())
+		case keypath.TypeDouble:
+			info.Col.SetFloat(i, lf.v.FloatVal())
+		case keypath.TypeTimestamp:
+			if ts, ok := dates.Parse(lf.v.StringVal()); ok {
+				info.Col.SetInt(i, ts)
+			} else {
+				info.Col.SetNull(i)
+				info.HasTypeOutliers = true
+			}
+		default:
+			// Text and Bool updates rewrite the whole slot region in a
+			// real system; here we mark null and serve from the binary
+			// JSON, which preserves correctness.
+			info.Col.SetNull(i)
+			info.HasTypeOutliers = true
+		}
+	}
+	if overlap == 0 && len(t.columns) > 0 {
+		t.outliers++
+	}
+	return overlap == 0 && len(t.columns) > 0
+}
+
+// NeedsRecompute reports whether enough outlier documents accumulated
+// that re-materializing the tile is worthwhile (§4.7: "only ... after
+// the majority of the tuples do not match the current extracted
+// schema").
+func (t *Tile) NeedsRecompute() bool {
+	return t.outliers > t.numRows/2
+}
+
+// Documents decodes the tile's current contents from the binary JSON
+// column — the input for recomputation. Object key order reflects the
+// binary format (sorted), which does not affect extraction.
+func (t *Tile) Documents() []jsonvalue.Value {
+	docs := make([]jsonvalue.Value, t.numRows)
+	for i := range docs {
+		docs[i] = t.Raw(i).Decode()
+	}
+	return docs
+}
+
+// OutlierCount returns the number of update-introduced outliers.
+func (t *Tile) OutlierCount() int { return t.outliers }

@@ -1,0 +1,53 @@
+// Package hackernews generates the news-item mix of the paper's
+// Figure 3: a collection where every document is one of several item
+// types (story, poll, pollopt, comment) with little spatial locality —
+// the motivating case for tile-partition tuple reordering (§3.2).
+package hackernews
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ItemTypes lists the document types in the mix.
+func ItemTypes() []string { return []string{"story", "poll", "pollopt", "comment"} }
+
+// Generate emits n interleaved items, round-robin across types when
+// shuffle is false (the worst case for locality) or i.i.d. random when
+// shuffle is true.
+func Generate(n int, shuffle bool, seed int64) [][]byte {
+	r := rand.New(rand.NewSource(seed + 13))
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		var t string
+		if shuffle {
+			t = ItemTypes()[r.Intn(4)]
+		} else {
+			t = ItemTypes()[i%4]
+		}
+		out = append(out, item(r, i, t))
+	}
+	return out
+}
+
+func item(r *rand.Rand, id int, typ string) []byte {
+	date := fmt.Sprintf("2020-0%d-%02d", 1+r.Intn(9), 1+r.Intn(28))
+	switch typ {
+	case "story":
+		return []byte(fmt.Sprintf(
+			`{"id":%d,"date":"%s","type":"story","score":%d,"descendants":%d,"title":"story %d","url":"https://example.com/%d","by":"user%d"}`,
+			id, date, r.Intn(500), r.Intn(100), id, id, r.Intn(1000)))
+	case "poll":
+		return []byte(fmt.Sprintf(
+			`{"id":%d,"date":"%s","type":"poll","score":%d,"descendants":%d,"title":"poll %d","parts":[%d,%d],"by":"user%d"}`,
+			id, date, r.Intn(200), r.Intn(50), id, id+1, id+2, r.Intn(1000)))
+	case "pollopt":
+		return []byte(fmt.Sprintf(
+			`{"id":%d,"date":"%s","type":"pollopt","score":%d,"poll":%d,"title":"option %d"}`,
+			id, date, r.Intn(100), id-1, id))
+	default: // comment
+		return []byte(fmt.Sprintf(
+			`{"id":%d,"date":"%s","type":"comment","parent":%d,"text":"comment text %d","by":"user%d"}`,
+			id, date, r.Intn(id+1), id, r.Intn(1000)))
+	}
+}

@@ -1,0 +1,48 @@
+package hackernews
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/jsontext"
+)
+
+func TestGenerate(t *testing.T) {
+	lines := Generate(100, false, 1)
+	if len(lines) != 100 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	counts := map[string]int{}
+	for i, l := range lines {
+		if !jsontext.Valid(l) {
+			t.Fatalf("doc %d invalid: %s", i, l)
+		}
+		for _, typ := range ItemTypes() {
+			if bytes.Contains(l, []byte(`"type":"`+typ+`"`)) {
+				counts[typ]++
+			}
+		}
+	}
+	// Round-robin: exactly 25 of each.
+	for _, typ := range ItemTypes() {
+		if counts[typ] != 25 {
+			t.Errorf("%s count = %d", typ, counts[typ])
+		}
+	}
+	// Interleaved: consecutive docs differ in type.
+	if bytes.Contains(lines[0], []byte(`"type":"story"`)) == bytes.Contains(lines[1], []byte(`"type":"story"`)) {
+		t.Error("not interleaved")
+	}
+}
+
+func TestGenerateShuffled(t *testing.T) {
+	lines := Generate(200, true, 1)
+	if len(lines) != 200 {
+		t.Fatal("count")
+	}
+	for _, l := range lines {
+		if !jsontext.Valid(l) {
+			t.Fatal("invalid doc")
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package simdjsonfiles synthesizes documents with the shape
+// characteristics of the standardized test files from the SIMD-JSON
+// repository [37], which §6.9 uses to compare binary JSON formats on
+// "a wide variety of complex and nested JSON documents". The real
+// files are third-party data; each generator here matches its
+// namesake's structural profile — nesting depth, container fan-out,
+// and type mix — which is what (de)serialization speed, encoded size
+// and random-access cost respond to.
+package simdjsonfiles
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/jsonvalue"
+)
+
+// Names lists the modeled files in the paper's figure order.
+func Names() []string {
+	return []string{"apache", "canada", "gsoc-2018", "marine_ik",
+		"mesh", "numbers", "random", "twitter_api"}
+}
+
+// Generate returns one document with the named file's shape. Scale
+// stretches the element counts (1 = a few hundred KB equivalent).
+func Generate(name string, scale int, seed int64) (jsonvalue.Value, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	r := rand.New(rand.NewSource(seed + int64(len(name))))
+	switch name {
+	case "apache":
+		return apacheBuilds(r, scale), nil
+	case "canada":
+		return canada(r, scale), nil
+	case "gsoc-2018":
+		return gsoc(r, scale), nil
+	case "marine_ik":
+		return marineIK(r, scale), nil
+	case "mesh":
+		return mesh(r, scale), nil
+	case "numbers":
+		return numbers(r, scale), nil
+	case "random":
+		return randomUsers(r, scale), nil
+	case "twitter_api":
+		return twitterAPI(r, scale), nil
+	default:
+		return jsonvalue.Null(), fmt.Errorf("simdjsonfiles: unknown file %q", name)
+	}
+}
+
+// MustGenerate panics on unknown names (static benchmark tables).
+func MustGenerate(name string, scale int, seed int64) jsonvalue.Value {
+	v, err := Generate(name, scale, seed)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func word(r *rand.Rand) string {
+	pool := []string{"build", "stable", "jenkins", "module", "commit", "tree",
+		"release", "linux", "windows", "failed", "success", "pending", "x86"}
+	return pool[r.Intn(len(pool))]
+}
+
+// apacheBuilds: a flat-ish object with a large "jobs" array of small,
+// uniform string-heavy objects.
+func apacheBuilds(r *rand.Rand, scale int) jsonvalue.Value {
+	n := 120 * scale
+	jobs := make([]jsonvalue.Value, n)
+	for i := range jobs {
+		jobs[i] = jsonvalue.Object(
+			jsonvalue.M("name", jsonvalue.String(fmt.Sprintf("%s-%s-%d", word(r), word(r), i))),
+			jsonvalue.M("url", jsonvalue.String(fmt.Sprintf("https://builds.apache.org/job/j%d/", i))),
+			jsonvalue.M("color", jsonvalue.String([]string{"blue", "red", "disabled"}[r.Intn(3)])),
+		)
+	}
+	return jsonvalue.Object(
+		jsonvalue.M("mode", jsonvalue.String("NORMAL")),
+		jsonvalue.M("nodeDescription", jsonvalue.String("the master Jenkins node")),
+		jsonvalue.M("numExecutors", jsonvalue.Int(0)),
+		jsonvalue.M("useSecurity", jsonvalue.Bool(true)),
+		jsonvalue.M("jobs", jsonvalue.Array(jobs...)),
+	)
+}
+
+// canada: GeoJSON — overwhelmingly float coordinate pairs in deep
+// array nesting.
+func canada(r *rand.Rand, scale int) jsonvalue.Value {
+	nPolys := 12 * scale
+	features := make([]jsonvalue.Value, 0, nPolys)
+	for p := 0; p < nPolys; p++ {
+		nPts := 80 + r.Intn(120)
+		ring := make([]jsonvalue.Value, nPts)
+		for i := range ring {
+			ring[i] = jsonvalue.Array(
+				jsonvalue.Float(-141+r.Float64()*88),
+				jsonvalue.Float(41+r.Float64()*42),
+			)
+		}
+		features = append(features, jsonvalue.Object(
+			jsonvalue.M("type", jsonvalue.String("Feature")),
+			jsonvalue.M("properties", jsonvalue.Object(
+				jsonvalue.M("name", jsonvalue.String("Canada")))),
+			jsonvalue.M("geometry", jsonvalue.Object(
+				jsonvalue.M("type", jsonvalue.String("Polygon")),
+				jsonvalue.M("coordinates", jsonvalue.Array(jsonvalue.Array(ring...))),
+			)),
+		))
+	}
+	return jsonvalue.Object(
+		jsonvalue.M("type", jsonvalue.String("FeatureCollection")),
+		jsonvalue.M("features", jsonvalue.Array(features...)),
+	)
+}
+
+// gsoc-2018: one huge object whose members are uniform sub-objects —
+// many keys at one level, string heavy.
+func gsoc(r *rand.Rand, scale int) jsonvalue.Value {
+	n := 100 * scale
+	members := make([]jsonvalue.Member, n)
+	for i := range members {
+		members[i] = jsonvalue.M(fmt.Sprintf("%d", i+1), jsonvalue.Object(
+			jsonvalue.M("@context", jsonvalue.Object(
+				jsonvalue.M("@vocab", jsonvalue.String("http://schema.org/")))),
+			jsonvalue.M("@type", jsonvalue.String("SoftwareSourceCode")),
+			jsonvalue.M("name", jsonvalue.String(fmt.Sprintf("project %s %d", word(r), i))),
+			jsonvalue.M("description", jsonvalue.String(fmt.Sprintf("%s %s %s %s", word(r), word(r), word(r), word(r)))),
+			jsonvalue.M("sponsor", jsonvalue.Object(
+				jsonvalue.M("@type", jsonvalue.String("Organization")),
+				jsonvalue.M("name", jsonvalue.String(word(r))),
+			)),
+			jsonvalue.M("author", jsonvalue.Object(
+				jsonvalue.M("@type", jsonvalue.String("Person")),
+				jsonvalue.M("name", jsonvalue.String(word(r))),
+			)),
+		))
+	}
+	return jsonvalue.Object(members...)
+}
+
+// marine_ik: a 3D model export — deep nesting with long float arrays
+// (keyframe tracks) and int index arrays.
+func marineIK(r *rand.Rand, scale int) jsonvalue.Value {
+	nTracks := 8 * scale
+	tracks := make([]jsonvalue.Value, nTracks)
+	for tIdx := range tracks {
+		nKeys := 200 + r.Intn(100)
+		times := make([]jsonvalue.Value, nKeys)
+		values := make([]jsonvalue.Value, nKeys*3)
+		for i := 0; i < nKeys; i++ {
+			times[i] = jsonvalue.Float(float64(i) / 30)
+		}
+		for i := range values {
+			values[i] = jsonvalue.Float(r.NormFloat64())
+		}
+		tracks[tIdx] = jsonvalue.Object(
+			jsonvalue.M("name", jsonvalue.String(fmt.Sprintf("bone%03d.position", tIdx))),
+			jsonvalue.M("type", jsonvalue.String("vector3")),
+			jsonvalue.M("times", jsonvalue.Array(times...)),
+			jsonvalue.M("values", jsonvalue.Array(values...)),
+		)
+	}
+	nVerts := 600 * scale
+	verts := make([]jsonvalue.Value, nVerts)
+	for i := range verts {
+		verts[i] = jsonvalue.Float(r.NormFloat64() * 10)
+	}
+	return jsonvalue.Object(
+		jsonvalue.M("metadata", jsonvalue.Object(
+			jsonvalue.M("version", jsonvalue.Float(4.5)),
+			jsonvalue.M("type", jsonvalue.String("Object")),
+		)),
+		jsonvalue.M("geometries", jsonvalue.Array(jsonvalue.Object(
+			jsonvalue.M("uuid", jsonvalue.String("0A8F2988-626F-411C-BCBE")),
+			jsonvalue.M("type", jsonvalue.String("BufferGeometry")),
+			jsonvalue.M("data", jsonvalue.Object(
+				jsonvalue.M("vertices", jsonvalue.Array(verts...)))),
+		))),
+		jsonvalue.M("animations", jsonvalue.Array(jsonvalue.Object(
+			jsonvalue.M("name", jsonvalue.String("idle")),
+			jsonvalue.M("tracks", jsonvalue.Array(tracks...)),
+		))),
+	)
+}
+
+// mesh: mostly integer index arrays and float vertex arrays, shallow.
+func mesh(r *rand.Rand, scale int) jsonvalue.Value {
+	nIdx := 3000 * scale
+	idx := make([]jsonvalue.Value, nIdx)
+	for i := range idx {
+		idx[i] = jsonvalue.Int(int64(r.Intn(10000)))
+	}
+	nV := 1500 * scale
+	verts := make([]jsonvalue.Value, nV)
+	for i := range verts {
+		verts[i] = jsonvalue.Float(r.NormFloat64())
+	}
+	return jsonvalue.Object(
+		jsonvalue.M("indices", jsonvalue.Array(idx...)),
+		jsonvalue.M("vertices", jsonvalue.Array(verts...)),
+		jsonvalue.M("count", jsonvalue.Int(int64(nIdx))),
+	)
+}
+
+// numbers: a flat array of doubles.
+func numbers(r *rand.Rand, scale int) jsonvalue.Value {
+	n := 3000 * scale
+	elems := make([]jsonvalue.Value, n)
+	for i := range elems {
+		elems[i] = jsonvalue.Float(r.NormFloat64() * 1000)
+	}
+	return jsonvalue.Array(elems...)
+}
+
+// random: user records with unicode strings and mixed scalar types.
+func randomUsers(r *rand.Rand, scale int) jsonvalue.Value {
+	n := 150 * scale
+	users := make([]jsonvalue.Value, n)
+	names := []string{"Дмитрий", "Олег", "Анна", "José", "François", "青木",
+		"علی", "Müller", "Ольга", "Екатерина"}
+	for i := range users {
+		users[i] = jsonvalue.Object(
+			jsonvalue.M("id", jsonvalue.Int(int64(i))),
+			jsonvalue.M("name", jsonvalue.String(names[r.Intn(len(names))])),
+			jsonvalue.M("language", jsonvalue.String([]string{"ru", "en", "de"}[r.Intn(3)])),
+			jsonvalue.M("bio", jsonvalue.String(fmt.Sprintf("%s %s %s", word(r), word(r), word(r)))),
+			jsonvalue.M("version", jsonvalue.Float(float64(r.Intn(100))/10)),
+			jsonvalue.M("verified", jsonvalue.Bool(r.Intn(2) == 0)),
+		)
+	}
+	return jsonvalue.Object(
+		jsonvalue.M("result", jsonvalue.Array(users...)))
+}
+
+// twitterAPI: nested tweet objects with entities, like the search API
+// response the file snapshots.
+func twitterAPI(r *rand.Rand, scale int) jsonvalue.Value {
+	n := 25 * scale
+	statuses := make([]jsonvalue.Value, n)
+	for i := range statuses {
+		nTags := r.Intn(4)
+		tags := make([]jsonvalue.Value, nTags)
+		for tIdx := range tags {
+			tags[tIdx] = jsonvalue.Object(
+				jsonvalue.M("text", jsonvalue.String(word(r))),
+				jsonvalue.M("indices", jsonvalue.Array(jsonvalue.Int(0), jsonvalue.Int(8))),
+			)
+		}
+		statuses[i] = jsonvalue.Object(
+			jsonvalue.M("created_at", jsonvalue.String("Sun Aug 31 00:29:15 +0000 2014")),
+			jsonvalue.M("id", jsonvalue.Int(505874924095815700+int64(i))),
+			jsonvalue.M("id_str", jsonvalue.String(fmt.Sprintf("%d", 505874924095815700+int64(i)))),
+			jsonvalue.M("text", jsonvalue.String(fmt.Sprintf("%s %s %s %s", word(r), word(r), word(r), word(r)))),
+			jsonvalue.M("user", jsonvalue.Object(
+				jsonvalue.M("id", jsonvalue.Int(int64(r.Intn(100000)))),
+				jsonvalue.M("screen_name", jsonvalue.String(word(r))),
+				jsonvalue.M("followers_count", jsonvalue.Int(int64(r.Intn(10000)))),
+				jsonvalue.M("profile_image_url", jsonvalue.String("http://pbs.twimg.com/profile_images/x.jpeg")),
+			)),
+			jsonvalue.M("entities", jsonvalue.Object(
+				jsonvalue.M("hashtags", jsonvalue.Array(tags...)),
+				jsonvalue.M("symbols", jsonvalue.Array()),
+			)),
+			jsonvalue.M("retweet_count", jsonvalue.Int(int64(r.Intn(100)))),
+			jsonvalue.M("favorited", jsonvalue.Bool(false)),
+			jsonvalue.M("lang", jsonvalue.String("en")),
+		)
+	}
+	return jsonvalue.Object(
+		jsonvalue.M("statuses", jsonvalue.Array(statuses...)),
+		jsonvalue.M("search_metadata", jsonvalue.Object(
+			jsonvalue.M("completed_in", jsonvalue.Float(0.087)),
+			jsonvalue.M("count", jsonvalue.Int(int64(n))),
+		)),
+	)
+}

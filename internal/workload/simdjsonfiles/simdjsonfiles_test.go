@@ -1,0 +1,90 @@
+package simdjsonfiles
+
+import (
+	"testing"
+
+	"repro/internal/jsontext"
+	"repro/internal/jsonvalue"
+)
+
+func TestAllFilesGenerate(t *testing.T) {
+	for _, name := range Names() {
+		v, err := Generate(name, 1, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Round-trips through text (valid JSON, no NaN/Inf leakage).
+		text := jsontext.Serialize(v)
+		back, err := jsontext.Parse(text)
+		if err != nil {
+			t.Fatalf("%s does not serialize to valid JSON: %v", name, err)
+		}
+		if !back.Equal(v) {
+			t.Errorf("%s round trip changed the document", name)
+		}
+		if len(text) < 5000 {
+			t.Errorf("%s suspiciously small: %d bytes", name, len(text))
+		}
+	}
+}
+
+func TestUnknownName(t *testing.T) {
+	if _, err := Generate("nope", 1, 1); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := MustGenerate("canada", 1, 5)
+	b := MustGenerate("canada", 1, 5)
+	if !a.Equal(b) {
+		t.Error("generation not deterministic")
+	}
+}
+
+func TestScaleGrows(t *testing.T) {
+	small := len(jsontext.Serialize(MustGenerate("numbers", 1, 1)))
+	big := len(jsontext.Serialize(MustGenerate("numbers", 3, 1)))
+	if big < 2*small {
+		t.Errorf("scale did not grow output: %d -> %d", small, big)
+	}
+}
+
+func TestShapeProfiles(t *testing.T) {
+	// canada: overwhelmingly floats in nested arrays.
+	canada := MustGenerate("canada", 1, 1)
+	floats, strings := 0, 0
+	var walk func(v jsonvalue.Value)
+	walk = func(v jsonvalue.Value) {
+		switch v.Kind() {
+		case jsonvalue.KindFloat:
+			floats++
+		case jsonvalue.KindString:
+			strings++
+		case jsonvalue.KindArray:
+			for _, e := range v.Elems() {
+				walk(e)
+			}
+		case jsonvalue.KindObject:
+			for _, m := range v.Members() {
+				walk(m.Value)
+			}
+		}
+	}
+	walk(canada)
+	if floats < strings*10 {
+		t.Errorf("canada shape wrong: %d floats vs %d strings", floats, strings)
+	}
+
+	// gsoc-2018: a single wide object.
+	gsoc := MustGenerate("gsoc-2018", 1, 1)
+	if gsoc.Kind() != jsonvalue.KindObject || gsoc.Len() < 50 {
+		t.Errorf("gsoc shape: kind=%v len=%d", gsoc.Kind(), gsoc.Len())
+	}
+
+	// numbers: a flat array root.
+	nums := MustGenerate("numbers", 1, 1)
+	if nums.Kind() != jsonvalue.KindArray {
+		t.Errorf("numbers root: %v", nums.Kind())
+	}
+}

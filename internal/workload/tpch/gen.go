@@ -1,0 +1,352 @@
+// Package tpch generates the combined TPC-H JSON workload of paper
+// §6.1 and implements its 22 queries against the JSON storage formats.
+//
+// Every row of every TPC-H relation becomes one JSON document whose
+// keys are the column names (prefixed per TPC-H convention: l_*, o_*,
+// c_*, …), and all documents live in a single combined collection —
+// the paper's simulation of combined log data. Queries tell tables
+// apart purely by their key sets: a scan for l_orderkey yields NULL on
+// customer documents, and null-rejecting predicates drop them (or,
+// with JSON tiles, skip whole tiles).
+//
+// The generator is a deterministic, seeded re-implementation of
+// dbgen's shapes: cardinality ratios, key relationships, value
+// domains, and date correlations match the specification closely
+// enough that the queries' selectivities and join fan-outs are
+// realistic. Text columns use small word pools instead of dbgen's
+// grammar.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"time"
+)
+
+// Config scales the generated data.
+type Config struct {
+	// ScaleFactor follows TPC-H: SF 1 is 6M lineitems. The evaluation
+	// here runs at small fractions (0.001-0.05).
+	ScaleFactor float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// Counts returns the per-table row counts at the scale factor.
+func (c Config) Counts() map[string]int {
+	sf := c.ScaleFactor
+	if sf <= 0 {
+		sf = 0.01
+	}
+	orders := int(1_500_000 * sf)
+	if orders < 10 {
+		orders = 10
+	}
+	cust := int(150_000 * sf)
+	if cust < 5 {
+		cust = 5
+	}
+	part := int(200_000 * sf)
+	if part < 10 {
+		part = 10
+	}
+	supp := int(10_000 * sf)
+	if supp < 3 {
+		supp = 3
+	}
+	return map[string]int{
+		"region":   5,
+		"nation":   25,
+		"supplier": supp,
+		"customer": cust,
+		"part":     part,
+		"partsupp": part * 4,
+		"orders":   orders,
+		// lineitem is generated per order (1..7 each, ~4 avg).
+	}
+}
+
+var (
+	regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	nationNames = []string{
+		"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+		"FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+		"JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+		"ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+		"UNITED STATES",
+	}
+	nationRegion = []int{0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1}
+
+	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	shipmodes  = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	instructs  = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	containers = []string{"SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "WRAP CASE", "JUMBO PKG"}
+	types      = []string{
+		"STANDARD ANODIZED TIN", "SMALL PLATED COPPER", "MEDIUM POLISHED BRASS",
+		"LARGE BURNISHED STEEL", "ECONOMY BRUSHED NICKEL", "PROMO POLISHED STEEL",
+		"PROMO BURNISHED COPPER", "STANDARD BRUSHED BRASS", "SMALL ANODIZED NICKEL",
+		"ECONOMY ANODIZED BRASS", "MEDIUM BURNISHED TIN", "LARGE POLISHED COPPER",
+	}
+	brands = []string{"Brand#11", "Brand#12", "Brand#13", "Brand#21", "Brand#22",
+		"Brand#23", "Brand#31", "Brand#32", "Brand#33", "Brand#41", "Brand#42",
+		"Brand#43", "Brand#51", "Brand#52", "Brand#53"}
+	partWords = []string{"almond", "antique", "aquamarine", "azure", "beige",
+		"bisque", "blanched", "blue", "blush", "brown", "burlywood", "chartreuse",
+		"chiffon", "chocolate", "coral", "cornflower", "cream", "cyan", "dark",
+		"deep", "dim", "dodger", "drab", "firebrick", "floral", "forest", "frosted",
+		"gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew", "hot",
+		"indian", "ivory", "khaki", "lace", "lavender"}
+	commentWords = []string{"carefully", "quickly", "furiously", "slyly", "blithely",
+		"ironic", "final", "pending", "regular", "express", "special", "bold",
+		"deposits", "requests", "accounts", "packages", "instructions", "theodolites",
+		"pinto", "beans", "foxes", "ideas", "dependencies", "platelets", "sleep",
+		"nag", "haggle", "wake", "cajole", "boost", "detect", "integrate"}
+)
+
+const dayMicros = 24 * 60 * 60 * 1_000_000
+
+var (
+	startDate = time.Date(1992, 1, 1, 0, 0, 0, 0, time.UTC)
+	endDate   = time.Date(1998, 8, 2, 0, 0, 0, 0, time.UTC)
+	totalDays = int(endDate.Sub(startDate).Hours() / 24)
+)
+
+func dateStr(day int) string {
+	return startDate.AddDate(0, 0, day).Format("2006-01-02")
+}
+
+type gen struct {
+	r   *rand.Rand
+	buf []byte
+}
+
+func (g *gen) words(n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			s += " "
+		}
+		s += commentWords[g.r.Intn(len(commentWords))]
+	}
+	return s
+}
+
+// obj builds one JSON document from alternating key, rendered-value
+// pairs (values are pre-rendered JSON fragments).
+func (g *gen) obj(kv ...string) []byte {
+	g.buf = g.buf[:0]
+	g.buf = append(g.buf, '{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			g.buf = append(g.buf, ',')
+		}
+		g.buf = append(g.buf, '"')
+		g.buf = append(g.buf, kv[i]...)
+		g.buf = append(g.buf, '"', ':')
+		g.buf = append(g.buf, kv[i+1]...)
+	}
+	g.buf = append(g.buf, '}')
+	return append([]byte(nil), g.buf...)
+}
+
+func jstr(s string) string { return `"` + s + `"` }
+func jint(i int) string    { return strconv.Itoa(i) }
+func jmoney(f float64) string {
+	return strconv.FormatFloat(float64(int(f*100))/100, 'f', 2, 64)
+}
+
+// Generate produces the combined collection: all tables' documents,
+// emitted table by table (the natural insertion order the paper's
+// sequential experiments use). The returned slice of per-table spans
+// lets callers slice out single tables.
+func Generate(cfg Config) (lines [][]byte, spans map[string][2]int) {
+	g := &gen{r: rand.New(rand.NewSource(cfg.Seed + 7))}
+	counts := cfg.Counts()
+	spans = map[string][2]int{}
+
+	mark := func(table string, body func()) {
+		start := len(lines)
+		body()
+		spans[table] = [2]int{start, len(lines)}
+	}
+
+	mark("region", func() {
+		for i := 0; i < counts["region"]; i++ {
+			lines = append(lines, g.obj(
+				"r_regionkey", jint(i),
+				"r_name", jstr(regionNames[i]),
+				"r_comment", jstr(g.words(4)),
+			))
+		}
+	})
+	mark("nation", func() {
+		for i := 0; i < counts["nation"]; i++ {
+			lines = append(lines, g.obj(
+				"n_nationkey", jint(i),
+				"n_name", jstr(nationNames[i]),
+				"n_regionkey", jint(nationRegion[i]),
+				"n_comment", jstr(g.words(4)),
+			))
+		}
+	})
+	nSupp := counts["supplier"]
+	mark("supplier", func() {
+		for i := 0; i < nSupp; i++ {
+			cmt := g.words(5)
+			// A fraction of suppliers carry the Q16/Q20-relevant
+			// "Customer Complaints" marker.
+			if g.r.Intn(100) < 3 {
+				cmt = "Customer Complaints " + cmt
+			}
+			lines = append(lines, g.obj(
+				"s_suppkey", jint(i),
+				"s_name", jstr(fmt.Sprintf("Supplier#%09d", i)),
+				"s_address", jstr(g.words(2)),
+				"s_nationkey", jint(g.r.Intn(25)),
+				"s_phone", jstr(fmt.Sprintf("%d-%03d-%03d-%04d", 10+g.r.Intn(25), g.r.Intn(1000), g.r.Intn(1000), g.r.Intn(10000))),
+				"s_acctbal", jmoney(g.r.Float64()*11000-1000),
+				"s_comment", jstr(cmt),
+			))
+		}
+	})
+	nCust := counts["customer"]
+	mark("customer", func() {
+		for i := 0; i < nCust; i++ {
+			nation := g.r.Intn(25)
+			lines = append(lines, g.obj(
+				"c_custkey", jint(i),
+				"c_name", jstr(fmt.Sprintf("Customer#%09d", i)),
+				"c_address", jstr(g.words(2)),
+				"c_nationkey", jint(nation),
+				"c_phone", jstr(fmt.Sprintf("%d-%03d-%03d-%04d", 10+nation, g.r.Intn(1000), g.r.Intn(1000), g.r.Intn(10000))),
+				"c_acctbal", jmoney(g.r.Float64()*11000-1000),
+				"c_mktsegment", jstr(segments[g.r.Intn(len(segments))]),
+				"c_comment", jstr(g.words(6)),
+			))
+		}
+	})
+	nPart := counts["part"]
+	mark("part", func() {
+		for i := 0; i < nPart; i++ {
+			lines = append(lines, g.obj(
+				"p_partkey", jint(i),
+				"p_name", jstr(partWords[g.r.Intn(len(partWords))]+" "+partWords[g.r.Intn(len(partWords))]),
+				"p_mfgr", jstr(fmt.Sprintf("Manufacturer#%d", 1+g.r.Intn(5))),
+				"p_brand", jstr(brands[g.r.Intn(len(brands))]),
+				"p_type", jstr(types[g.r.Intn(len(types))]),
+				"p_size", jint(1+g.r.Intn(50)),
+				"p_container", jstr(containers[g.r.Intn(len(containers))]),
+				"p_retailprice", jmoney(900+float64(i%1000)+g.r.Float64()*100),
+				"p_comment", jstr(g.words(3)),
+			))
+		}
+	})
+	mark("partsupp", func() {
+		for p := 0; p < nPart; p++ {
+			for s := 0; s < 4; s++ {
+				lines = append(lines, g.obj(
+					"ps_partkey", jint(p),
+					"ps_suppkey", jint((p+s*(nSupp/4+1))%nSupp),
+					"ps_availqty", jint(1+g.r.Intn(9999)),
+					"ps_supplycost", jmoney(1+g.r.Float64()*999),
+					"ps_comment", jstr(g.words(6)),
+				))
+			}
+		}
+	})
+	nOrders := counts["orders"]
+	// Lineitems are buffered during order generation so every table
+	// stays contiguous in the combined output.
+	var pendingLineitems [][]byte
+	mark("orders", func() {
+		for o := 0; o < nOrders; o++ {
+			orderDay := g.r.Intn(totalDays - 151)
+			nLines := 1 + g.r.Intn(7)
+			totalPrice := 0.0
+			lineDocs := make([][]byte, 0, nLines)
+			for ln := 1; ln <= nLines; ln++ {
+				qty := 1 + g.r.Intn(50)
+				price := 901.0 + g.r.Float64()*99099.0/50*float64(qty)/50
+				ext := float64(qty) * price / 10
+				disc := float64(g.r.Intn(11)) / 100
+				tax := float64(g.r.Intn(9)) / 100
+				shipDay := orderDay + 1 + g.r.Intn(121)
+				commitDay := orderDay + 30 + g.r.Intn(61)
+				receiptDay := shipDay + 1 + g.r.Intn(30)
+				rf := "N"
+				if receiptDay <= totalDays-365 {
+					if g.r.Intn(2) == 0 {
+						rf = "R"
+					} else {
+						rf = "A"
+					}
+				}
+				ls := "O"
+				if shipDay < totalDays-180 {
+					ls = "F"
+				}
+				totalPrice += ext * (1 + tax) * (1 - disc)
+				lineDocs = append(lineDocs, g.obj(
+					"l_orderkey", jint(o),
+					"l_partkey", jint(g.r.Intn(nPart)),
+					"l_suppkey", jint(g.r.Intn(nSupp)),
+					"l_linenumber", jint(ln),
+					"l_quantity", jint(qty),
+					"l_extendedprice", jmoney(ext),
+					"l_discount", strconv.FormatFloat(disc, 'f', 2, 64),
+					"l_tax", strconv.FormatFloat(tax, 'f', 2, 64),
+					"l_returnflag", jstr(rf),
+					"l_linestatus", jstr(ls),
+					"l_shipdate", jstr(dateStr(shipDay)),
+					"l_commitdate", jstr(dateStr(commitDay)),
+					"l_receiptdate", jstr(dateStr(receiptDay)),
+					"l_shipinstruct", jstr(instructs[g.r.Intn(len(instructs))]),
+					"l_shipmode", jstr(shipmodes[g.r.Intn(len(shipmodes))]),
+					"l_comment", jstr(g.words(3)),
+				))
+			}
+			status := "O"
+			if orderDay < totalDays-365 {
+				status = "F"
+			} else if g.r.Intn(2) == 0 {
+				status = "P"
+			}
+			lines = append(lines, g.obj(
+				"o_orderkey", jint(o),
+				"o_custkey", jint(g.r.Intn(nCust)),
+				"o_orderstatus", jstr(status),
+				"o_totalprice", jmoney(totalPrice),
+				"o_orderdate", jstr(dateStr(orderDay)),
+				"o_orderpriority", jstr(priorities[g.r.Intn(len(priorities))]),
+				"o_clerk", jstr(fmt.Sprintf("Clerk#%09d", g.r.Intn(1000))),
+				"o_shippriority", jint(0),
+				"o_comment", jstr(orderComment(g)),
+			))
+			pendingLineitems = append(pendingLineitems, lineDocs...)
+		}
+	})
+	start := len(lines)
+	lines = append(lines, pendingLineitems...)
+	spans["lineitem"] = [2]int{start, len(lines)}
+	return lines, spans
+}
+
+func orderComment(g *gen) string {
+	c := g.words(5)
+	// Q13 filters out comments matching %special%requests%.
+	if g.r.Intn(100) < 2 {
+		c = "special requests " + c
+	}
+	return c
+}
+
+// Shuffle returns a deterministically shuffled copy of the lines —
+// the shuffled-TPC-H robustness experiment (§6.4).
+func Shuffle(lines [][]byte, seed int64) [][]byte {
+	out := append([][]byte(nil), lines...)
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

@@ -1,0 +1,102 @@
+package tpch
+
+import (
+	"repro/internal/dates"
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/exprparse"
+	"repro/internal/optimizer"
+	"repro/internal/storage"
+)
+
+// Query helpers shared by the 22 query implementations. Queries are
+// written against a *single combined relation* holding all tables'
+// documents (paper §6.1): each logical table is a scan of the combined
+// relation accessing that table's key prefix; null-rejecting
+// predicates (and join keys) drop foreign documents — and let JSON
+// tiles skip foreign tiles wholesale.
+
+// acc parses a PostgreSQL-style access expression.
+func acc(s string) storage.Access { return exprparse.MustParse(s) }
+
+// col builds a column reference.
+func col(i int, t expr.SQLType) *expr.Col { return expr.NewCol(i, t) }
+
+func cInt(v int64) expr.Expr     { return expr.NewConst(expr.IntValue(v)) }
+func cFloat(v float64) expr.Expr { return expr.NewConst(expr.FloatValue(v)) }
+func cText(s string) expr.Expr   { return expr.NewConst(expr.TextValue(s)) }
+
+// cDate builds a timestamp literal from "YYYY-MM-DD".
+func cDate(s string) expr.Expr {
+	m, ok := dates.Parse(s)
+	if !ok {
+		panic("bad date literal: " + s)
+	}
+	return expr.NewConst(expr.TimestampValue(m))
+}
+
+func eq(l, r expr.Expr) expr.Expr { return expr.NewCmp(expr.EQ, l, r) }
+func ne(l, r expr.Expr) expr.Expr { return expr.NewCmp(expr.NE, l, r) }
+func lt(l, r expr.Expr) expr.Expr { return expr.NewCmp(expr.LT, l, r) }
+func le(l, r expr.Expr) expr.Expr { return expr.NewCmp(expr.LE, l, r) }
+func gt(l, r expr.Expr) expr.Expr { return expr.NewCmp(expr.GT, l, r) }
+func ge(l, r expr.Expr) expr.Expr { return expr.NewCmp(expr.GE, l, r) }
+func and(es ...expr.Expr) expr.Expr {
+	e := es[0]
+	for _, n := range es[1:] {
+		e = expr.NewAnd(e, n)
+	}
+	return e
+}
+func or(l, r expr.Expr) expr.Expr { return expr.NewOr(l, r) }
+
+func add(l, r expr.Expr) expr.Expr { return expr.NewArith(expr.Add, l, r) }
+func sub(l, r expr.Expr) expr.Expr { return expr.NewArith(expr.Sub, l, r) }
+func mul(l, r expr.Expr) expr.Expr { return expr.NewArith(expr.Mul, l, r) }
+
+// table declares one logical TPC-H table over the combined relation.
+func table(rel storage.Relation, alias string, filter expr.Expr, accs ...storage.Access) optimizer.TableSpec {
+	return optimizer.TableSpec{Alias: alias, Rel: rel, Accesses: accs, Filter: filter}
+}
+
+// join declares one equi-join edge.
+func join(la string, ls int, ra string, rs int) optimizer.JoinSpec {
+	return optimizer.JoinSpec{LeftAlias: la, LeftSlot: ls, RightAlias: ra, RightSlot: rs}
+}
+
+// plan runs the optimizer; panics on spec errors (static queries).
+func plan(q optimizer.Query) (engine.Operator, *optimizer.SlotMap) {
+	op, m, err := optimizer.Plan(q)
+	if err != nil {
+		panic(err)
+	}
+	return op, m
+}
+
+// scan1 builds a single-table scan (no joins).
+func scan1(rel storage.Relation, filter expr.Expr, accs ...storage.Access) *engine.Scan {
+	return engine.NewScan(rel, accs, nil, filter)
+}
+
+// revenue is the recurring l_extendedprice * (1 - l_discount).
+func revenue(priceSlot, discSlot int) expr.Expr {
+	return mul(col(priceSlot, expr.TFloat),
+		sub(cFloat(1), col(discSlot, expr.TFloat)))
+}
+
+// run materializes an operator.
+func run(op engine.Operator, workers int) *engine.Result {
+	res := engine.Materialize(op, workers)
+	res.SortRows()
+	return res
+}
+
+// scalarFloat extracts the single float of a 1×1 result (0 when
+// empty/NULL).
+func scalarFloat(res *engine.Result) float64 {
+	if len(res.Rows) == 0 || res.Rows[0][0].Null {
+		return 0
+	}
+	f, _ := res.Rows[0][0].AsFloat()
+	return f
+}

@@ -1,0 +1,542 @@
+package tpch
+
+import (
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/optimizer"
+	"repro/internal/storage"
+)
+
+// Query is one of the 22 TPC-H queries adapted to the combined JSON
+// collection (paper §6.1): the relational queries return the same
+// results as on the original schema, with every column reference
+// rewritten to a JSON access expression as in Figure 5. Multi-phase
+// formulations replace correlated subqueries (scalar aggregates are
+// computed first and joined back), preserving each query's chokepoint
+// characteristics — expression-heavy aggregation (Q1), selective
+// multi-way joins (Q3, Q10), high-cardinality aggregation joins (Q18).
+type Query struct {
+	Num  int
+	Name string
+	Run  func(rel storage.Relation, workers int) *engine.Result
+}
+
+// Queries returns all 22 queries.
+func Queries() []Query {
+	return []Query{
+		{1, "pricing summary report", q1},
+		{2, "minimum cost supplier", q2},
+		{3, "shipping priority", q3},
+		{4, "order priority checking", q4},
+		{5, "local supplier volume", q5},
+		{6, "forecasting revenue change", q6},
+		{7, "volume shipping", q7},
+		{8, "national market share", q8},
+		{9, "product type profit", q9},
+		{10, "returned item reporting", q10},
+		{11, "important stock identification", q11},
+		{12, "shipping modes and order priority", q12},
+		{13, "customer distribution", q13},
+		{14, "promotion effect", q14},
+		{15, "top supplier", q15},
+		{16, "parts/supplier relationship", q16},
+		{17, "small-quantity-order revenue", q17},
+		{18, "large volume customer", q18},
+		{19, "discounted revenue", q19},
+		{20, "potential part promotion", q20},
+		{21, "suppliers who kept orders waiting", q21},
+		{22, "global sales opportunity", q22},
+	}
+}
+
+// QueryByNum returns one query.
+func QueryByNum(n int) (Query, bool) {
+	for _, q := range Queries() {
+		if q.Num == n {
+			return q, true
+		}
+	}
+	return Query{}, false
+}
+
+func q1(rel storage.Relation, workers int) *engine.Result {
+	scan := scan1(rel,
+		le(col(0, expr.TTimestamp), cDate("1998-09-02")),
+		acc(`data->>'l_shipdate'::Date`),
+		acc(`data->>'l_returnflag'`),
+		acc(`data->>'l_linestatus'`),
+		acc(`data->>'l_quantity'::BigInt`),
+		acc(`data->>'l_extendedprice'::Float`),
+		acc(`data->>'l_discount'::Float`),
+		acc(`data->>'l_tax'::Float`),
+	)
+	discPrice := revenue(4, 5)
+	charge := mul(discPrice, add(cFloat(1), col(6, expr.TFloat)))
+	gb := engine.NewGroupBy(scan,
+		[]expr.Expr{col(1, expr.TText), col(2, expr.TText)},
+		[]string{"l_returnflag", "l_linestatus"},
+		[]engine.AggSpec{
+			{Func: engine.Sum, Arg: col(3, expr.TBigInt), Name: "sum_qty"},
+			{Func: engine.Sum, Arg: col(4, expr.TFloat), Name: "sum_base_price"},
+			{Func: engine.Sum, Arg: discPrice, Name: "sum_disc_price"},
+			{Func: engine.Sum, Arg: charge, Name: "sum_charge"},
+			{Func: engine.Avg, Arg: col(3, expr.TBigInt), Name: "avg_qty"},
+			{Func: engine.Avg, Arg: col(4, expr.TFloat), Name: "avg_price"},
+			{Func: engine.Avg, Arg: col(5, expr.TFloat), Name: "avg_disc"},
+			{Func: engine.CountStar, Name: "count_order"},
+		})
+	ob := engine.NewOrderBy(gb,
+		engine.OrderKey{E: col(0, expr.TText)},
+		engine.OrderKey{E: col(1, expr.TText)})
+	return run(ob, workers)
+}
+
+func q2(rel storage.Relation, workers int) *engine.Result {
+	// Phase 1: minimum supply cost per part among EUROPE suppliers.
+	minOp, minMap := plan(optimizer.Query{
+		Tables: []optimizer.TableSpec{
+			table(rel, "ps", nil,
+				acc(`data->>'ps_partkey'::BigInt`),
+				acc(`data->>'ps_suppkey'::BigInt`),
+				acc(`data->>'ps_supplycost'::Float`)),
+			table(rel, "s", nil,
+				acc(`data->>'s_suppkey'::BigInt`),
+				acc(`data->>'s_nationkey'::BigInt`)),
+			table(rel, "n", nil,
+				acc(`data->>'n_nationkey'::BigInt`),
+				acc(`data->>'n_regionkey'::BigInt`)),
+			table(rel, "r", eq(col(1, expr.TText), cText("EUROPE")),
+				acc(`data->>'r_regionkey'::BigInt`),
+				acc(`data->>'r_name'`)),
+		},
+		Joins: []optimizer.JoinSpec{
+			join("ps", 1, "s", 0), join("s", 1, "n", 0), join("n", 1, "r", 0),
+		},
+	})
+	minCost := run(engine.NewGroupBy(minOp,
+		[]expr.Expr{minMap.ColFor("ps", 0, expr.TBigInt)}, []string{"partkey"},
+		[]engine.AggSpec{{Func: engine.Min, Arg: minMap.ColFor("ps", 2, expr.TFloat), Name: "min_cost"}},
+	), workers)
+
+	// Phase 2: qualifying parts joined back to the per-part minimum.
+	op, m := plan(optimizer.Query{
+		Tables: []optimizer.TableSpec{
+			table(rel, "p",
+				and(eq(col(1, expr.TBigInt), cInt(15)),
+					expr.NewLike(col(2, expr.TText), "%BRASS")),
+				acc(`data->>'p_partkey'::BigInt`),
+				acc(`data->>'p_size'::BigInt`),
+				acc(`data->>'p_type'`),
+				acc(`data->>'p_mfgr'`)),
+			table(rel, "ps", nil,
+				acc(`data->>'ps_partkey'::BigInt`),
+				acc(`data->>'ps_suppkey'::BigInt`),
+				acc(`data->>'ps_supplycost'::Float`)),
+			table(rel, "s", nil,
+				acc(`data->>'s_suppkey'::BigInt`),
+				acc(`data->>'s_nationkey'::BigInt`),
+				acc(`data->>'s_acctbal'::Float`),
+				acc(`data->>'s_name'`),
+				acc(`data->>'s_address'`),
+				acc(`data->>'s_phone'`),
+				acc(`data->>'s_comment'`)),
+			table(rel, "n", nil,
+				acc(`data->>'n_nationkey'::BigInt`),
+				acc(`data->>'n_name'`),
+				acc(`data->>'n_regionkey'::BigInt`)),
+			table(rel, "r", eq(col(1, expr.TText), cText("EUROPE")),
+				acc(`data->>'r_regionkey'::BigInt`),
+				acc(`data->>'r_name'`)),
+		},
+		Joins: []optimizer.JoinSpec{
+			join("p", 0, "ps", 0), join("ps", 1, "s", 0),
+			join("s", 1, "n", 0), join("n", 2, "r", 0),
+		},
+	})
+	joined := engine.NewHashJoin(engine.NewValues(minCost), op,
+		[]int{0, 1}, []int{m.Slot("ps", 0), m.Slot("ps", 2)}, engine.InnerJoin)
+	proj := engine.NewProject(joined, []expr.Expr{
+		m.ColFor("s", 2, expr.TFloat), // s_acctbal
+		m.ColFor("s", 3, expr.TText),  // s_name
+		m.ColFor("n", 1, expr.TText),  // n_name
+		m.ColFor("p", 0, expr.TBigInt),
+		m.ColFor("p", 3, expr.TText),
+		m.ColFor("s", 4, expr.TText),
+		m.ColFor("s", 5, expr.TText),
+		m.ColFor("s", 6, expr.TText),
+	}, []string{"s_acctbal", "s_name", "n_name", "p_partkey", "p_mfgr", "s_address", "s_phone", "s_comment"})
+	ob := engine.NewLimit(engine.NewOrderBy(proj,
+		engine.OrderKey{E: col(0, expr.TFloat), Desc: true},
+		engine.OrderKey{E: col(2, expr.TText)},
+		engine.OrderKey{E: col(1, expr.TText)},
+		engine.OrderKey{E: col(3, expr.TBigInt)},
+	), 100)
+	return run(ob, workers)
+}
+
+func q3(rel storage.Relation, workers int) *engine.Result {
+	op, m := plan(optimizer.Query{
+		Tables: []optimizer.TableSpec{
+			table(rel, "c", eq(col(1, expr.TText), cText("BUILDING")),
+				acc(`data->>'c_custkey'::BigInt`),
+				acc(`data->>'c_mktsegment'`)),
+			table(rel, "o", lt(col(2, expr.TTimestamp), cDate("1995-03-15")),
+				acc(`data->>'o_orderkey'::BigInt`),
+				acc(`data->>'o_custkey'::BigInt`),
+				acc(`data->>'o_orderdate'::Date`),
+				acc(`data->>'o_shippriority'::BigInt`)),
+			table(rel, "l", gt(col(1, expr.TTimestamp), cDate("1995-03-15")),
+				acc(`data->>'l_orderkey'::BigInt`),
+				acc(`data->>'l_shipdate'::Date`),
+				acc(`data->>'l_extendedprice'::Float`),
+				acc(`data->>'l_discount'::Float`)),
+		},
+		Joins: []optimizer.JoinSpec{
+			join("c", 0, "o", 1), join("o", 0, "l", 0),
+		},
+	})
+	gb := engine.NewGroupBy(op,
+		[]expr.Expr{
+			m.ColFor("l", 0, expr.TBigInt),
+			m.ColFor("o", 2, expr.TTimestamp),
+			m.ColFor("o", 3, expr.TBigInt),
+		},
+		[]string{"l_orderkey", "o_orderdate", "o_shippriority"},
+		[]engine.AggSpec{{Func: engine.Sum,
+			Arg:  mul(m.ColFor("l", 2, expr.TFloat), sub(cFloat(1), m.ColFor("l", 3, expr.TFloat))),
+			Name: "revenue"}})
+	ob := engine.NewLimit(engine.NewOrderBy(gb,
+		engine.OrderKey{E: col(3, expr.TFloat), Desc: true},
+		engine.OrderKey{E: col(1, expr.TTimestamp)},
+	), 10)
+	return run(ob, workers)
+}
+
+func q4(rel storage.Relation, workers int) *engine.Result {
+	late := scan1(rel,
+		lt(col(1, expr.TTimestamp), col(2, expr.TTimestamp)),
+		acc(`data->>'l_orderkey'::BigInt`),
+		acc(`data->>'l_commitdate'::Date`),
+		acc(`data->>'l_receiptdate'::Date`),
+	)
+	orders := scan1(rel,
+		and(ge(col(1, expr.TTimestamp), cDate("1993-07-01")),
+			lt(col(1, expr.TTimestamp), cDate("1993-10-01"))),
+		acc(`data->>'o_orderkey'::BigInt`),
+		acc(`data->>'o_orderdate'::Date`),
+		acc(`data->>'o_orderpriority'`),
+	)
+	semi := engine.NewHashJoin(late, orders, []int{0}, []int{0}, engine.SemiJoin)
+	gb := engine.NewGroupBy(semi,
+		[]expr.Expr{col(2, expr.TText)}, []string{"o_orderpriority"},
+		[]engine.AggSpec{{Func: engine.CountStar, Name: "order_count"}})
+	return run(engine.NewOrderBy(gb, engine.OrderKey{E: col(0, expr.TText)}), workers)
+}
+
+func q5(rel storage.Relation, workers int) *engine.Result {
+	op, m := plan(optimizer.Query{
+		Tables: []optimizer.TableSpec{
+			table(rel, "c", nil,
+				acc(`data->>'c_custkey'::BigInt`),
+				acc(`data->>'c_nationkey'::BigInt`)),
+			table(rel, "o",
+				and(ge(col(2, expr.TTimestamp), cDate("1994-01-01")),
+					lt(col(2, expr.TTimestamp), cDate("1995-01-01"))),
+				acc(`data->>'o_orderkey'::BigInt`),
+				acc(`data->>'o_custkey'::BigInt`),
+				acc(`data->>'o_orderdate'::Date`)),
+			table(rel, "l", nil,
+				acc(`data->>'l_orderkey'::BigInt`),
+				acc(`data->>'l_suppkey'::BigInt`),
+				acc(`data->>'l_extendedprice'::Float`),
+				acc(`data->>'l_discount'::Float`)),
+			table(rel, "s", nil,
+				acc(`data->>'s_suppkey'::BigInt`),
+				acc(`data->>'s_nationkey'::BigInt`)),
+			table(rel, "n", nil,
+				acc(`data->>'n_nationkey'::BigInt`),
+				acc(`data->>'n_name'`),
+				acc(`data->>'n_regionkey'::BigInt`)),
+			table(rel, "r", eq(col(1, expr.TText), cText("ASIA")),
+				acc(`data->>'r_regionkey'::BigInt`),
+				acc(`data->>'r_name'`)),
+		},
+		Joins: []optimizer.JoinSpec{
+			join("c", 0, "o", 1), join("o", 0, "l", 0), join("l", 1, "s", 0),
+			join("c", 1, "s", 1), // local supplier: customer and supplier share the nation
+			join("s", 1, "n", 0), join("n", 2, "r", 0),
+		},
+	})
+	gb := engine.NewGroupBy(op,
+		[]expr.Expr{m.ColFor("n", 1, expr.TText)}, []string{"n_name"},
+		[]engine.AggSpec{{Func: engine.Sum,
+			Arg:  mul(m.ColFor("l", 2, expr.TFloat), sub(cFloat(1), m.ColFor("l", 3, expr.TFloat))),
+			Name: "revenue"}})
+	return run(engine.NewOrderBy(gb, engine.OrderKey{E: col(1, expr.TFloat), Desc: true}), workers)
+}
+
+func q6(rel storage.Relation, workers int) *engine.Result {
+	scan := scan1(rel,
+		and(
+			ge(col(0, expr.TTimestamp), cDate("1994-01-01")),
+			lt(col(0, expr.TTimestamp), cDate("1995-01-01")),
+			ge(col(2, expr.TFloat), cFloat(0.05)),
+			le(col(2, expr.TFloat), cFloat(0.07)),
+			lt(col(3, expr.TBigInt), cInt(24)),
+		),
+		acc(`data->>'l_shipdate'::Date`),
+		acc(`data->>'l_extendedprice'::Float`),
+		acc(`data->>'l_discount'::Float`),
+		acc(`data->>'l_quantity'::BigInt`),
+	)
+	gb := engine.NewGroupBy(scan, nil, nil,
+		[]engine.AggSpec{{Func: engine.Sum,
+			Arg:  mul(col(1, expr.TFloat), col(2, expr.TFloat)),
+			Name: "revenue"}})
+	return run(gb, workers)
+}
+
+func q7(rel storage.Relation, workers int) *engine.Result {
+	op, m := plan(optimizer.Query{
+		Tables: []optimizer.TableSpec{
+			table(rel, "s", nil,
+				acc(`data->>'s_suppkey'::BigInt`),
+				acc(`data->>'s_nationkey'::BigInt`)),
+			table(rel, "l",
+				and(ge(col(4, expr.TTimestamp), cDate("1995-01-01")),
+					le(col(4, expr.TTimestamp), cDate("1996-12-31"))),
+				acc(`data->>'l_orderkey'::BigInt`),
+				acc(`data->>'l_suppkey'::BigInt`),
+				acc(`data->>'l_extendedprice'::Float`),
+				acc(`data->>'l_discount'::Float`),
+				acc(`data->>'l_shipdate'::Date`)),
+			table(rel, "o", nil,
+				acc(`data->>'o_orderkey'::BigInt`),
+				acc(`data->>'o_custkey'::BigInt`)),
+			table(rel, "c", nil,
+				acc(`data->>'c_custkey'::BigInt`),
+				acc(`data->>'c_nationkey'::BigInt`)),
+			table(rel, "n1", expr.NewIn(col(1, expr.TText),
+				expr.TextValue("FRANCE"), expr.TextValue("GERMANY")),
+				acc(`data->>'n_nationkey'::BigInt`),
+				acc(`data->>'n_name'`)),
+			table(rel, "n2", expr.NewIn(col(1, expr.TText),
+				expr.TextValue("FRANCE"), expr.TextValue("GERMANY")),
+				acc(`data->>'n_nationkey'::BigInt`),
+				acc(`data->>'n_name'`)),
+		},
+		Joins: []optimizer.JoinSpec{
+			join("s", 0, "l", 1), join("l", 0, "o", 0), join("o", 1, "c", 0),
+			join("s", 1, "n1", 0), join("c", 1, "n2", 0),
+		},
+	})
+	// Only (FRANCE, GERMANY) and (GERMANY, FRANCE) pairs survive.
+	sel := engine.NewSelect(op,
+		ne(m.ColFor("n1", 1, expr.TText), m.ColFor("n2", 1, expr.TText)))
+	gb := engine.NewGroupBy(sel,
+		[]expr.Expr{
+			m.ColFor("n1", 1, expr.TText),
+			m.ColFor("n2", 1, expr.TText),
+			expr.NewExtractYear(m.ColFor("l", 4, expr.TTimestamp)),
+		},
+		[]string{"supp_nation", "cust_nation", "l_year"},
+		[]engine.AggSpec{{Func: engine.Sum,
+			Arg:  mul(m.ColFor("l", 2, expr.TFloat), sub(cFloat(1), m.ColFor("l", 3, expr.TFloat))),
+			Name: "revenue"}})
+	return run(engine.NewOrderBy(gb,
+		engine.OrderKey{E: col(0, expr.TText)},
+		engine.OrderKey{E: col(1, expr.TText)},
+		engine.OrderKey{E: col(2, expr.TBigInt)},
+	), workers)
+}
+
+func q8(rel storage.Relation, workers int) *engine.Result {
+	op, m := plan(optimizer.Query{
+		Tables: []optimizer.TableSpec{
+			table(rel, "p", eq(col(1, expr.TText), cText("ECONOMY ANODIZED BRASS")),
+				acc(`data->>'p_partkey'::BigInt`),
+				acc(`data->>'p_type'`)),
+			table(rel, "l", nil,
+				acc(`data->>'l_orderkey'::BigInt`),
+				acc(`data->>'l_partkey'::BigInt`),
+				acc(`data->>'l_suppkey'::BigInt`),
+				acc(`data->>'l_extendedprice'::Float`),
+				acc(`data->>'l_discount'::Float`)),
+			table(rel, "o",
+				and(ge(col(2, expr.TTimestamp), cDate("1995-01-01")),
+					le(col(2, expr.TTimestamp), cDate("1996-12-31"))),
+				acc(`data->>'o_orderkey'::BigInt`),
+				acc(`data->>'o_custkey'::BigInt`),
+				acc(`data->>'o_orderdate'::Date`)),
+			table(rel, "c", nil,
+				acc(`data->>'c_custkey'::BigInt`),
+				acc(`data->>'c_nationkey'::BigInt`)),
+			table(rel, "n1", nil,
+				acc(`data->>'n_nationkey'::BigInt`),
+				acc(`data->>'n_regionkey'::BigInt`)),
+			table(rel, "r", eq(col(1, expr.TText), cText("AMERICA")),
+				acc(`data->>'r_regionkey'::BigInt`),
+				acc(`data->>'r_name'`)),
+			table(rel, "s", nil,
+				acc(`data->>'s_suppkey'::BigInt`),
+				acc(`data->>'s_nationkey'::BigInt`)),
+			table(rel, "n2", nil,
+				acc(`data->>'n_nationkey'::BigInt`),
+				acc(`data->>'n_name'`)),
+		},
+		Joins: []optimizer.JoinSpec{
+			join("p", 0, "l", 1), join("l", 0, "o", 0), join("o", 1, "c", 0),
+			join("c", 1, "n1", 0), join("n1", 1, "r", 0),
+			join("l", 2, "s", 0), join("s", 1, "n2", 0),
+		},
+	})
+	vol := mul(m.ColFor("l", 3, expr.TFloat), sub(cFloat(1), m.ColFor("l", 4, expr.TFloat)))
+	brazilVol := expr.NewCase([]expr.When{{
+		Cond:   eq(m.ColFor("n2", 1, expr.TText), cText("BRAZIL")),
+		Result: vol,
+	}}, cFloat(0))
+	gb := engine.NewGroupBy(op,
+		[]expr.Expr{expr.NewExtractYear(m.ColFor("o", 2, expr.TTimestamp))},
+		[]string{"o_year"},
+		[]engine.AggSpec{
+			{Func: engine.Sum, Arg: brazilVol, Name: "brazil_volume"},
+			{Func: engine.Sum, Arg: vol, Name: "volume"},
+		})
+	share := engine.NewProject(gb, []expr.Expr{
+		col(0, expr.TBigInt),
+		expr.NewArith(expr.Div, col(1, expr.TFloat), col(2, expr.TFloat)),
+	}, []string{"o_year", "mkt_share"})
+	return run(engine.NewOrderBy(share, engine.OrderKey{E: col(0, expr.TBigInt)}), workers)
+}
+
+func q9(rel storage.Relation, workers int) *engine.Result {
+	op, m := plan(optimizer.Query{
+		Tables: []optimizer.TableSpec{
+			table(rel, "p", expr.NewLike(col(1, expr.TText), "%green%"),
+				acc(`data->>'p_partkey'::BigInt`),
+				acc(`data->>'p_name'`)),
+			table(rel, "l", nil,
+				acc(`data->>'l_orderkey'::BigInt`),
+				acc(`data->>'l_partkey'::BigInt`),
+				acc(`data->>'l_suppkey'::BigInt`),
+				acc(`data->>'l_quantity'::BigInt`),
+				acc(`data->>'l_extendedprice'::Float`),
+				acc(`data->>'l_discount'::Float`)),
+			table(rel, "ps", nil,
+				acc(`data->>'ps_partkey'::BigInt`),
+				acc(`data->>'ps_suppkey'::BigInt`),
+				acc(`data->>'ps_supplycost'::Float`)),
+			table(rel, "s", nil,
+				acc(`data->>'s_suppkey'::BigInt`),
+				acc(`data->>'s_nationkey'::BigInt`)),
+			table(rel, "o", nil,
+				acc(`data->>'o_orderkey'::BigInt`),
+				acc(`data->>'o_orderdate'::Date`)),
+			table(rel, "n", nil,
+				acc(`data->>'n_nationkey'::BigInt`),
+				acc(`data->>'n_name'`)),
+		},
+		Joins: []optimizer.JoinSpec{
+			join("p", 0, "l", 1),
+			join("l", 1, "ps", 0), join("l", 2, "ps", 1), // composite
+			join("l", 2, "s", 0), join("l", 0, "o", 0), join("s", 1, "n", 0),
+		},
+	})
+	amount := sub(
+		mul(m.ColFor("l", 4, expr.TFloat), sub(cFloat(1), m.ColFor("l", 5, expr.TFloat))),
+		mul(m.ColFor("ps", 2, expr.TFloat), m.ColFor("l", 3, expr.TBigInt)))
+	gb := engine.NewGroupBy(op,
+		[]expr.Expr{
+			m.ColFor("n", 1, expr.TText),
+			expr.NewExtractYear(m.ColFor("o", 1, expr.TTimestamp)),
+		},
+		[]string{"nation", "o_year"},
+		[]engine.AggSpec{{Func: engine.Sum, Arg: amount, Name: "sum_profit"}})
+	return run(engine.NewOrderBy(gb,
+		engine.OrderKey{E: col(0, expr.TText)},
+		engine.OrderKey{E: col(1, expr.TBigInt), Desc: true},
+	), workers)
+}
+
+func q10(rel storage.Relation, workers int) *engine.Result {
+	op, m := plan(optimizer.Query{
+		Tables: []optimizer.TableSpec{
+			table(rel, "c", nil,
+				acc(`data->>'c_custkey'::BigInt`),
+				acc(`data->>'c_name'`),
+				acc(`data->>'c_acctbal'::Float`),
+				acc(`data->>'c_nationkey'::BigInt`),
+				acc(`data->>'c_address'`),
+				acc(`data->>'c_phone'`),
+				acc(`data->>'c_comment'`)),
+			table(rel, "o",
+				and(ge(col(2, expr.TTimestamp), cDate("1993-10-01")),
+					lt(col(2, expr.TTimestamp), cDate("1994-01-01"))),
+				acc(`data->>'o_orderkey'::BigInt`),
+				acc(`data->>'o_custkey'::BigInt`),
+				acc(`data->>'o_orderdate'::Date`)),
+			table(rel, "l", eq(col(1, expr.TText), cText("R")),
+				acc(`data->>'l_orderkey'::BigInt`),
+				acc(`data->>'l_returnflag'`),
+				acc(`data->>'l_extendedprice'::Float`),
+				acc(`data->>'l_discount'::Float`)),
+			table(rel, "n", nil,
+				acc(`data->>'n_nationkey'::BigInt`),
+				acc(`data->>'n_name'`)),
+		},
+		Joins: []optimizer.JoinSpec{
+			join("c", 0, "o", 1), join("o", 0, "l", 0), join("c", 3, "n", 0),
+		},
+	})
+	gb := engine.NewGroupBy(op,
+		[]expr.Expr{
+			m.ColFor("c", 0, expr.TBigInt),
+			m.ColFor("c", 1, expr.TText),
+			m.ColFor("c", 2, expr.TFloat),
+			m.ColFor("n", 1, expr.TText),
+		},
+		[]string{"c_custkey", "c_name", "c_acctbal", "n_name"},
+		[]engine.AggSpec{{Func: engine.Sum,
+			Arg:  mul(m.ColFor("l", 2, expr.TFloat), sub(cFloat(1), m.ColFor("l", 3, expr.TFloat))),
+			Name: "revenue"}})
+	return run(engine.NewLimit(engine.NewOrderBy(gb,
+		engine.OrderKey{E: col(4, expr.TFloat), Desc: true}), 20), workers)
+}
+
+func q11(rel storage.Relation, workers int) *engine.Result {
+	build := func() (engine.Operator, *optimizer.SlotMap) {
+		return plan(optimizer.Query{
+			Tables: []optimizer.TableSpec{
+				table(rel, "ps", nil,
+					acc(`data->>'ps_partkey'::BigInt`),
+					acc(`data->>'ps_suppkey'::BigInt`),
+					acc(`data->>'ps_supplycost'::Float`),
+					acc(`data->>'ps_availqty'::BigInt`)),
+				table(rel, "s", nil,
+					acc(`data->>'s_suppkey'::BigInt`),
+					acc(`data->>'s_nationkey'::BigInt`)),
+				table(rel, "n", eq(col(1, expr.TText), cText("GERMANY")),
+					acc(`data->>'n_nationkey'::BigInt`),
+					acc(`data->>'n_name'`)),
+			},
+			Joins: []optimizer.JoinSpec{
+				join("ps", 1, "s", 0), join("s", 1, "n", 0),
+			},
+		})
+	}
+	// Phase 1: total value in GERMANY.
+	totOp, totMap := build()
+	total := scalarFloat(run(engine.NewGroupBy(totOp, nil, nil,
+		[]engine.AggSpec{{Func: engine.Sum,
+			Arg:  mul(totMap.ColFor("ps", 2, expr.TFloat), totMap.ColFor("ps", 3, expr.TBigInt)),
+			Name: "total"}}), workers))
+	// Phase 2: per-part value above the fraction.
+	op, m := build()
+	gb := engine.NewGroupBy(op,
+		[]expr.Expr{m.ColFor("ps", 0, expr.TBigInt)}, []string{"ps_partkey"},
+		[]engine.AggSpec{{Func: engine.Sum,
+			Arg:  mul(m.ColFor("ps", 2, expr.TFloat), m.ColFor("ps", 3, expr.TBigInt)),
+			Name: "value"}})
+	having := engine.NewSelect(gb, gt(col(1, expr.TFloat), cFloat(total*0.0001)))
+	return run(engine.NewOrderBy(having, engine.OrderKey{E: col(1, expr.TFloat), Desc: true}), workers)
+}

@@ -1,0 +1,462 @@
+package tpch
+
+import (
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/optimizer"
+	"repro/internal/storage"
+)
+
+func q12(rel storage.Relation, workers int) *engine.Result {
+	op, m := plan(optimizer.Query{
+		Tables: []optimizer.TableSpec{
+			table(rel, "o", nil,
+				acc(`data->>'o_orderkey'::BigInt`),
+				acc(`data->>'o_orderpriority'`)),
+			table(rel, "l",
+				and(
+					expr.NewIn(col(1, expr.TText), expr.TextValue("MAIL"), expr.TextValue("SHIP")),
+					lt(col(2, expr.TTimestamp), col(3, expr.TTimestamp)),
+					lt(col(4, expr.TTimestamp), col(2, expr.TTimestamp)),
+					ge(col(3, expr.TTimestamp), cDate("1994-01-01")),
+					lt(col(3, expr.TTimestamp), cDate("1995-01-01"))),
+				acc(`data->>'l_orderkey'::BigInt`),
+				acc(`data->>'l_shipmode'`),
+				acc(`data->>'l_commitdate'::Date`),
+				acc(`data->>'l_receiptdate'::Date`),
+				acc(`data->>'l_shipdate'::Date`)),
+		},
+		Joins: []optimizer.JoinSpec{join("o", 0, "l", 0)},
+	})
+	high := expr.NewCase([]expr.When{{
+		Cond: expr.NewIn(m.ColFor("o", 1, expr.TText),
+			expr.TextValue("1-URGENT"), expr.TextValue("2-HIGH")),
+		Result: cInt(1),
+	}}, cInt(0))
+	low := expr.NewCase([]expr.When{{
+		Cond: expr.NewIn(m.ColFor("o", 1, expr.TText),
+			expr.TextValue("1-URGENT"), expr.TextValue("2-HIGH")),
+		Result: cInt(0),
+	}}, cInt(1))
+	gb := engine.NewGroupBy(op,
+		[]expr.Expr{m.ColFor("l", 1, expr.TText)}, []string{"l_shipmode"},
+		[]engine.AggSpec{
+			{Func: engine.Sum, Arg: high, Name: "high_line_count"},
+			{Func: engine.Sum, Arg: low, Name: "low_line_count"},
+		})
+	return run(engine.NewOrderBy(gb, engine.OrderKey{E: col(0, expr.TText)}), workers)
+}
+
+func q13(rel storage.Relation, workers int) *engine.Result {
+	orders := scan1(rel,
+		expr.NewNot(expr.NewLike(col(2, expr.TText), "%special requests%")),
+		acc(`data->>'o_orderkey'::BigInt`),
+		acc(`data->>'o_custkey'::BigInt`),
+		acc(`data->>'o_comment'`),
+	)
+	cust := scan1(rel, nil, acc(`data->>'c_custkey'::BigInt`))
+	outer := engine.NewHashJoin(orders, cust, []int{1}, []int{0}, engine.OuterJoin)
+	// Per-customer order counts (o_orderkey is NULL for unmatched).
+	perCust := engine.NewGroupBy(outer,
+		[]expr.Expr{col(0, expr.TBigInt)}, []string{"c_custkey"},
+		[]engine.AggSpec{{Func: engine.Count, Arg: col(1, expr.TBigInt), Name: "c_count"}})
+	dist := engine.NewGroupBy(perCust,
+		[]expr.Expr{col(1, expr.TBigInt)}, []string{"c_count"},
+		[]engine.AggSpec{{Func: engine.CountStar, Name: "custdist"}})
+	return run(engine.NewOrderBy(dist,
+		engine.OrderKey{E: col(1, expr.TBigInt), Desc: true},
+		engine.OrderKey{E: col(0, expr.TBigInt), Desc: true},
+	), workers)
+}
+
+func q14(rel storage.Relation, workers int) *engine.Result {
+	op, m := plan(optimizer.Query{
+		Tables: []optimizer.TableSpec{
+			table(rel, "l",
+				and(ge(col(2, expr.TTimestamp), cDate("1995-09-01")),
+					lt(col(2, expr.TTimestamp), cDate("1995-10-01"))),
+				acc(`data->>'l_partkey'::BigInt`),
+				acc(`data->>'l_extendedprice'::Float`),
+				acc(`data->>'l_shipdate'::Date`),
+				acc(`data->>'l_discount'::Float`)),
+			table(rel, "p", nil,
+				acc(`data->>'p_partkey'::BigInt`),
+				acc(`data->>'p_type'`)),
+		},
+		Joins: []optimizer.JoinSpec{join("l", 0, "p", 0)},
+	})
+	rev := mul(m.ColFor("l", 1, expr.TFloat), sub(cFloat(1), m.ColFor("l", 3, expr.TFloat)))
+	promo := expr.NewCase([]expr.When{{
+		Cond:   expr.NewLike(m.ColFor("p", 1, expr.TText), "PROMO%"),
+		Result: rev,
+	}}, cFloat(0))
+	gb := engine.NewGroupBy(op, nil, nil, []engine.AggSpec{
+		{Func: engine.Sum, Arg: promo, Name: "promo_revenue"},
+		{Func: engine.Sum, Arg: rev, Name: "total_revenue"},
+	})
+	pct := engine.NewProject(gb, []expr.Expr{
+		expr.NewArith(expr.Div, mul(cFloat(100), col(0, expr.TFloat)), col(1, expr.TFloat)),
+	}, []string{"promo_revenue_pct"})
+	return run(pct, workers)
+}
+
+func q15(rel storage.Relation, workers int) *engine.Result {
+	// revenue0 view: per-supplier revenue for 1996 Q1.
+	lscan := scan1(rel,
+		and(ge(col(1, expr.TTimestamp), cDate("1996-01-01")),
+			lt(col(1, expr.TTimestamp), cDate("1996-04-01"))),
+		acc(`data->>'l_suppkey'::BigInt`),
+		acc(`data->>'l_shipdate'::Date`),
+		acc(`data->>'l_extendedprice'::Float`),
+		acc(`data->>'l_discount'::Float`),
+	)
+	revView := run(engine.NewGroupBy(lscan,
+		[]expr.Expr{col(0, expr.TBigInt)}, []string{"supplier_no"},
+		[]engine.AggSpec{{Func: engine.Sum, Arg: revenue(2, 3), Name: "total_revenue"}}), workers)
+
+	maxRev := 0.0
+	for _, row := range revView.Rows {
+		if f, ok := row[1].AsFloat(); ok && f > maxRev {
+			maxRev = f
+		}
+	}
+	top := &engine.Result{Cols: revView.Cols}
+	for _, row := range revView.Rows {
+		if f, ok := row[1].AsFloat(); ok && f == maxRev {
+			top.Rows = append(top.Rows, row)
+		}
+	}
+	supp := scan1(rel, nil,
+		acc(`data->>'s_suppkey'::BigInt`),
+		acc(`data->>'s_name'`),
+		acc(`data->>'s_address'`),
+		acc(`data->>'s_phone'`),
+	)
+	joined := engine.NewHashJoin(engine.NewValues(top), supp, []int{0}, []int{0}, engine.InnerJoin)
+	proj := engine.NewProject(joined, []expr.Expr{
+		col(0, expr.TBigInt), col(1, expr.TText), col(2, expr.TText),
+		col(3, expr.TText), col(5, expr.TFloat),
+	}, []string{"s_suppkey", "s_name", "s_address", "s_phone", "total_revenue"})
+	return run(engine.NewOrderBy(proj, engine.OrderKey{E: col(0, expr.TBigInt)}), workers)
+}
+
+func q16(rel storage.Relation, workers int) *engine.Result {
+	complainers := scan1(rel,
+		expr.NewLike(col(1, expr.TText), "%Customer Complaints%"),
+		acc(`data->>'s_suppkey'::BigInt`),
+		acc(`data->>'s_comment'`),
+	)
+	op, m := plan(optimizer.Query{
+		Tables: []optimizer.TableSpec{
+			table(rel, "ps", nil,
+				acc(`data->>'ps_partkey'::BigInt`),
+				acc(`data->>'ps_suppkey'::BigInt`)),
+			table(rel, "p",
+				and(ne(col(1, expr.TText), cText("Brand#45")),
+					expr.NewNot(expr.NewLike(col(2, expr.TText), "MEDIUM POLISHED%")),
+					expr.NewIn(col(3, expr.TBigInt),
+						expr.IntValue(49), expr.IntValue(14), expr.IntValue(23),
+						expr.IntValue(45), expr.IntValue(19), expr.IntValue(3),
+						expr.IntValue(36), expr.IntValue(9))),
+				acc(`data->>'p_partkey'::BigInt`),
+				acc(`data->>'p_brand'`),
+				acc(`data->>'p_type'`),
+				acc(`data->>'p_size'::BigInt`)),
+		},
+		Joins: []optimizer.JoinSpec{join("ps", 0, "p", 0)},
+	})
+	// Anti join against complaint suppliers.
+	anti := engine.NewHashJoin(complainers, op,
+		[]int{0}, []int{m.Slot("ps", 1)}, engine.AntiJoin)
+	gb := engine.NewGroupBy(anti,
+		[]expr.Expr{
+			m.ColFor("p", 1, expr.TText),
+			m.ColFor("p", 2, expr.TText),
+			m.ColFor("p", 3, expr.TBigInt),
+		},
+		[]string{"p_brand", "p_type", "p_size"},
+		[]engine.AggSpec{{Func: engine.Count, Arg: m.ColFor("ps", 1, expr.TBigInt),
+			Name: "supplier_cnt", Distinct: true}})
+	return run(engine.NewOrderBy(gb,
+		engine.OrderKey{E: col(3, expr.TBigInt), Desc: true},
+		engine.OrderKey{E: col(0, expr.TText)},
+		engine.OrderKey{E: col(1, expr.TText)},
+		engine.OrderKey{E: col(2, expr.TBigInt)},
+	), workers)
+}
+
+func q17(rel storage.Relation, workers int) *engine.Result {
+	// Phase 1: average quantity per part.
+	lAvg := scan1(rel, nil,
+		acc(`data->>'l_partkey'::BigInt`),
+		acc(`data->>'l_quantity'::BigInt`),
+	)
+	avgPerPart := run(engine.NewGroupBy(lAvg,
+		[]expr.Expr{col(0, expr.TBigInt)}, []string{"partkey"},
+		[]engine.AggSpec{{Func: engine.Avg, Arg: col(1, expr.TBigInt), Name: "avg_qty"}}), workers)
+
+	op, m := plan(optimizer.Query{
+		Tables: []optimizer.TableSpec{
+			table(rel, "l", nil,
+				acc(`data->>'l_partkey'::BigInt`),
+				acc(`data->>'l_quantity'::BigInt`),
+				acc(`data->>'l_extendedprice'::Float`)),
+			table(rel, "p",
+				and(eq(col(1, expr.TText), cText("Brand#23")),
+					eq(col(2, expr.TText), cText("MED BOX"))),
+				acc(`data->>'p_partkey'::BigInt`),
+				acc(`data->>'p_brand'`),
+				acc(`data->>'p_container'`)),
+		},
+		Joins: []optimizer.JoinSpec{join("l", 0, "p", 0)},
+	})
+	withAvg := engine.NewHashJoin(engine.NewValues(avgPerPart), op,
+		[]int{0}, []int{m.Slot("l", 0)}, engine.InnerJoin)
+	width := len(op.Columns())
+	sel := engine.NewSelect(withAvg,
+		lt(expr.NewCast(m.ColFor("l", 1, expr.TBigInt), expr.TFloat),
+			mul(cFloat(0.2), col(width+1, expr.TFloat))))
+	gb := engine.NewGroupBy(sel, nil, nil,
+		[]engine.AggSpec{{Func: engine.Sum, Arg: m.ColFor("l", 2, expr.TFloat), Name: "sum_price"}})
+	final := engine.NewProject(gb, []expr.Expr{
+		expr.NewArith(expr.Div, col(0, expr.TFloat), cFloat(7)),
+	}, []string{"avg_yearly"})
+	return run(final, workers)
+}
+
+func q18(rel storage.Relation, workers int) *engine.Result {
+	// Phase 1: orders with sum(l_quantity) > 300.
+	lscan := scan1(rel, nil,
+		acc(`data->>'l_orderkey'::BigInt`),
+		acc(`data->>'l_quantity'::BigInt`),
+	)
+	sums := engine.NewGroupBy(lscan,
+		[]expr.Expr{col(0, expr.TBigInt)}, []string{"orderkey"},
+		[]engine.AggSpec{{Func: engine.Sum, Arg: col(1, expr.TBigInt), Name: "sum_qty"}})
+	big := run(engine.NewSelect(sums, gt(col(1, expr.TBigInt), cInt(300))), workers)
+
+	op, m := plan(optimizer.Query{
+		Tables: []optimizer.TableSpec{
+			table(rel, "c", nil,
+				acc(`data->>'c_custkey'::BigInt`),
+				acc(`data->>'c_name'`)),
+			table(rel, "o", nil,
+				acc(`data->>'o_orderkey'::BigInt`),
+				acc(`data->>'o_custkey'::BigInt`),
+				acc(`data->>'o_orderdate'::Date`),
+				acc(`data->>'o_totalprice'::Float`)),
+		},
+		Joins: []optimizer.JoinSpec{join("c", 0, "o", 1)},
+	})
+	joined := engine.NewHashJoin(engine.NewValues(big), op,
+		[]int{0}, []int{m.Slot("o", 0)}, engine.InnerJoin)
+	width := len(op.Columns())
+	gb := engine.NewGroupBy(joined,
+		[]expr.Expr{
+			m.ColFor("c", 1, expr.TText),
+			m.ColFor("c", 0, expr.TBigInt),
+			m.ColFor("o", 0, expr.TBigInt),
+			m.ColFor("o", 2, expr.TTimestamp),
+			m.ColFor("o", 3, expr.TFloat),
+		},
+		[]string{"c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice"},
+		[]engine.AggSpec{{Func: engine.Sum, Arg: col(width+1, expr.TBigInt), Name: "sum_qty"}})
+	return run(engine.NewLimit(engine.NewOrderBy(gb,
+		engine.OrderKey{E: col(4, expr.TFloat), Desc: true},
+		engine.OrderKey{E: col(3, expr.TTimestamp)},
+	), 100), workers)
+}
+
+func q19(rel storage.Relation, workers int) *engine.Result {
+	op, m := plan(optimizer.Query{
+		Tables: []optimizer.TableSpec{
+			table(rel, "l",
+				expr.NewIn(col(4, expr.TText),
+					expr.TextValue("AIR"), expr.TextValue("REG AIR")),
+				acc(`data->>'l_partkey'::BigInt`),
+				acc(`data->>'l_quantity'::BigInt`),
+				acc(`data->>'l_extendedprice'::Float`),
+				acc(`data->>'l_discount'::Float`),
+				acc(`data->>'l_shipmode'`)),
+			table(rel, "p", nil,
+				acc(`data->>'p_partkey'::BigInt`),
+				acc(`data->>'p_brand'`),
+				acc(`data->>'p_size'::BigInt`)),
+		},
+		Joins: []optimizer.JoinSpec{join("l", 0, "p", 0)},
+	})
+	qty := m.ColFor("l", 1, expr.TBigInt)
+	brand := m.ColFor("p", 1, expr.TText)
+	size := m.ColFor("p", 2, expr.TBigInt)
+	cond := or(
+		and(eq(brand, cText("Brand#12")), ge(qty, cInt(1)), le(qty, cInt(11)),
+			ge(size, cInt(1)), le(size, cInt(5))),
+		or(
+			and(eq(brand, cText("Brand#23")), ge(qty, cInt(10)), le(qty, cInt(20)),
+				ge(size, cInt(1)), le(size, cInt(10))),
+			and(eq(brand, cText("Brand#33")), ge(qty, cInt(20)), le(qty, cInt(30)),
+				ge(size, cInt(1)), le(size, cInt(15)))))
+	sel := engine.NewSelect(op, cond)
+	gb := engine.NewGroupBy(sel, nil, nil,
+		[]engine.AggSpec{{Func: engine.Sum,
+			Arg:  mul(m.ColFor("l", 2, expr.TFloat), sub(cFloat(1), m.ColFor("l", 3, expr.TFloat))),
+			Name: "revenue"}})
+	return run(gb, workers)
+}
+
+func q20(rel storage.Relation, workers int) *engine.Result {
+	// Phase 1: half the quantity moved per (part, supplier) in 1994.
+	lscan := scan1(rel,
+		and(ge(col(2, expr.TTimestamp), cDate("1994-01-01")),
+			lt(col(2, expr.TTimestamp), cDate("1995-01-01"))),
+		acc(`data->>'l_partkey'::BigInt`),
+		acc(`data->>'l_suppkey'::BigInt`),
+		acc(`data->>'l_shipdate'::Date`),
+		acc(`data->>'l_quantity'::BigInt`),
+	)
+	moved := run(engine.NewGroupBy(lscan,
+		[]expr.Expr{col(0, expr.TBigInt), col(1, expr.TBigInt)},
+		[]string{"partkey", "suppkey"},
+		[]engine.AggSpec{{Func: engine.Sum, Arg: col(3, expr.TBigInt), Name: "sum_qty"}}), workers)
+
+	// Phase 2: partsupp for forest% parts with enough availability.
+	op, m := plan(optimizer.Query{
+		Tables: []optimizer.TableSpec{
+			table(rel, "ps", nil,
+				acc(`data->>'ps_partkey'::BigInt`),
+				acc(`data->>'ps_suppkey'::BigInt`),
+				acc(`data->>'ps_availqty'::BigInt`)),
+			table(rel, "p", expr.NewLike(col(1, expr.TText), "forest%"),
+				acc(`data->>'p_partkey'::BigInt`),
+				acc(`data->>'p_name'`)),
+		},
+		Joins: []optimizer.JoinSpec{join("ps", 0, "p", 0)},
+	})
+	width := len(op.Columns())
+	withMoved := engine.NewHashJoin(engine.NewValues(moved), op,
+		[]int{0, 1}, []int{m.Slot("ps", 0), m.Slot("ps", 1)}, engine.InnerJoin)
+	qualified := engine.NewSelect(withMoved,
+		gt(expr.NewCast(m.ColFor("ps", 2, expr.TBigInt), expr.TFloat),
+			mul(cFloat(0.5), expr.NewCast(col(width+2, expr.TBigInt), expr.TFloat))))
+
+	// Phase 3: suppliers in CANADA having such stock.
+	suppOp, sm := plan(optimizer.Query{
+		Tables: []optimizer.TableSpec{
+			table(rel, "s", nil,
+				acc(`data->>'s_suppkey'::BigInt`),
+				acc(`data->>'s_name'`),
+				acc(`data->>'s_address'`),
+				acc(`data->>'s_nationkey'::BigInt`)),
+			table(rel, "n", eq(col(1, expr.TText), cText("CANADA")),
+				acc(`data->>'n_nationkey'::BigInt`),
+				acc(`data->>'n_name'`)),
+		},
+		Joins: []optimizer.JoinSpec{join("s", 3, "n", 0)},
+	})
+	semi := engine.NewHashJoin(qualified, suppOp,
+		[]int{m.Slot("ps", 1)}, []int{sm.Slot("s", 0)}, engine.SemiJoin)
+	proj := engine.NewProject(semi, []expr.Expr{
+		sm.ColFor("s", 1, expr.TText), sm.ColFor("s", 2, expr.TText),
+	}, []string{"s_name", "s_address"})
+	return run(engine.NewOrderBy(proj, engine.OrderKey{E: col(0, expr.TText)}), workers)
+}
+
+func q21(rel storage.Relation, workers int) *engine.Result {
+	// Per-order supplier counts: all suppliers, and late suppliers.
+	all := scan1(rel, nil,
+		acc(`data->>'l_orderkey'::BigInt`),
+		acc(`data->>'l_suppkey'::BigInt`),
+	)
+	allCnt := run(engine.NewGroupBy(all,
+		[]expr.Expr{col(0, expr.TBigInt)}, []string{"orderkey"},
+		[]engine.AggSpec{{Func: engine.Count, Arg: col(1, expr.TBigInt), Name: "nsupp", Distinct: true}}), workers)
+	late := scan1(rel,
+		gt(col(2, expr.TTimestamp), col(3, expr.TTimestamp)),
+		acc(`data->>'l_orderkey'::BigInt`),
+		acc(`data->>'l_suppkey'::BigInt`),
+		acc(`data->>'l_receiptdate'::Date`),
+		acc(`data->>'l_commitdate'::Date`),
+	)
+	lateCnt := run(engine.NewGroupBy(late,
+		[]expr.Expr{col(0, expr.TBigInt)}, []string{"orderkey"},
+		[]engine.AggSpec{{Func: engine.Count, Arg: col(1, expr.TBigInt), Name: "nlate", Distinct: true}}), workers)
+
+	op, m := plan(optimizer.Query{
+		Tables: []optimizer.TableSpec{
+			table(rel, "s", nil,
+				acc(`data->>'s_suppkey'::BigInt`),
+				acc(`data->>'s_name'`),
+				acc(`data->>'s_nationkey'::BigInt`)),
+			table(rel, "l1",
+				gt(col(2, expr.TTimestamp), col(3, expr.TTimestamp)),
+				acc(`data->>'l_orderkey'::BigInt`),
+				acc(`data->>'l_suppkey'::BigInt`),
+				acc(`data->>'l_receiptdate'::Date`),
+				acc(`data->>'l_commitdate'::Date`)),
+			table(rel, "o", eq(col(1, expr.TText), cText("F")),
+				acc(`data->>'o_orderkey'::BigInt`),
+				acc(`data->>'o_orderstatus'`)),
+			table(rel, "n", eq(col(1, expr.TText), cText("SAUDI ARABIA")),
+				acc(`data->>'n_nationkey'::BigInt`),
+				acc(`data->>'n_name'`)),
+		},
+		Joins: []optimizer.JoinSpec{
+			join("s", 0, "l1", 1), join("l1", 0, "o", 0), join("s", 2, "n", 0),
+		},
+	})
+	// exists other supplier (nsupp >= 2) and not exists other late
+	// supplier (nlate == 1).
+	withAll := engine.NewHashJoin(engine.NewValues(allCnt), op,
+		[]int{0}, []int{m.Slot("l1", 0)}, engine.InnerJoin)
+	w1 := len(op.Columns())
+	selAll := engine.NewSelect(withAll, ge(col(w1+1, expr.TBigInt), cInt(2)))
+	withLate := engine.NewHashJoin(engine.NewValues(lateCnt), selAll,
+		[]int{0}, []int{m.Slot("l1", 0)}, engine.InnerJoin)
+	w2 := w1 + 2
+	selLate := engine.NewSelect(withLate, eq(col(w2+1, expr.TBigInt), cInt(1)))
+	gb := engine.NewGroupBy(selLate,
+		[]expr.Expr{m.ColFor("s", 1, expr.TText)}, []string{"s_name"},
+		[]engine.AggSpec{{Func: engine.CountStar, Name: "numwait"}})
+	return run(engine.NewLimit(engine.NewOrderBy(gb,
+		engine.OrderKey{E: col(1, expr.TBigInt), Desc: true},
+		engine.OrderKey{E: col(0, expr.TText)},
+	), 100), workers)
+}
+
+func q22(rel storage.Relation, workers int) *engine.Result {
+	codes := []expr.Value{
+		expr.TextValue("13"), expr.TextValue("31"), expr.TextValue("23"),
+		expr.TextValue("29"), expr.TextValue("30"), expr.TextValue("18"),
+		expr.TextValue("17"),
+	}
+	cntry := func(phoneSlot int) expr.Expr {
+		return expr.NewSubstr(col(phoneSlot, expr.TText), 1, 2)
+	}
+	// Phase 1: average positive balance among matching country codes.
+	custAll := scan1(rel,
+		and(gt(col(1, expr.TFloat), cFloat(0)),
+			expr.NewIn(cntry(0), codes...)),
+		acc(`data->>'c_phone'`),
+		acc(`data->>'c_acctbal'::Float`),
+	)
+	avgBal := scalarFloat(run(engine.NewGroupBy(custAll, nil, nil,
+		[]engine.AggSpec{{Func: engine.Avg, Arg: col(1, expr.TFloat), Name: "avg_bal"}}), workers))
+
+	// Phase 2: rich, inactive customers.
+	cust := scan1(rel,
+		and(gt(col(1, expr.TFloat), cFloat(avgBal)),
+			expr.NewIn(cntry(0), codes...)),
+		acc(`data->>'c_phone'`),
+		acc(`data->>'c_acctbal'::Float`),
+		acc(`data->>'c_custkey'::BigInt`),
+	)
+	orders := scan1(rel, nil, acc(`data->>'o_custkey'::BigInt`))
+	anti := engine.NewHashJoin(orders, cust, []int{0}, []int{2}, engine.AntiJoin)
+	gb := engine.NewGroupBy(anti,
+		[]expr.Expr{expr.NewSubstr(col(0, expr.TText), 1, 2)}, []string{"cntrycode"},
+		[]engine.AggSpec{
+			{Func: engine.CountStar, Name: "numcust"},
+			{Func: engine.Sum, Arg: col(1, expr.TFloat), Name: "totacctbal"},
+		})
+	return run(engine.NewOrderBy(gb, engine.OrderKey{E: col(0, expr.TText)}), workers)
+}

@@ -1,0 +1,189 @@
+package twitter
+
+import (
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/exprparse"
+	"repro/internal/keypath"
+	"repro/internal/storage"
+)
+
+// Query is one Twitter analytics query (§6.3). Run executes the plain
+// formulation against any storage format; RunStar, when non-nil, is
+// the Tiles-* formulation that joins a high-cardinality-array side
+// relation instead of probing leading array slots.
+type Query struct {
+	Num     int
+	Name    string
+	Run     func(rel storage.Relation, workers int) *engine.Result
+	RunStar func(star *storage.TilesStar, workers int) *engine.Result
+}
+
+func acc(s string) storage.Access         { return exprparse.MustParse(s) }
+func col(i int, t expr.SQLType) *expr.Col { return expr.NewCol(i, t) }
+
+// ArrayPaths returns the high-cardinality arrays extracted for
+// Tiles-* (the paper extracts hashtags and mentions).
+func ArrayPaths() []keypath.Path {
+	return []keypath.Path{
+		keypath.NewPath("entities", "hashtags"),
+		keypath.NewPath("entities", "user_mentions"),
+	}
+}
+
+// IDPath is the parent identifier used by the side relations.
+func IDPath() keypath.Path { return keypath.NewPath("id") }
+
+// Queries returns the five evaluation queries.
+func Queries() []Query {
+	return []Query{
+		{Num: 1, Name: "tweets of the most influential users", Run: t1},
+		{Num: 2, Name: "deleted tweets per user", Run: t2},
+		{Num: 3, Name: "tweets mentioning @ladygaga", Run: t3, RunStar: t3Star},
+		{Num: 4, Name: "tweets with hashtag #COVID", Run: t4, RunStar: t4Star},
+		{Num: 5, Name: "geo-tagged tweets per language", Run: t5},
+	}
+}
+
+// QueryByNum returns one query.
+func QueryByNum(n int) (Query, bool) {
+	for _, q := range Queries() {
+		if q.Num == n {
+			return q, true
+		}
+	}
+	return Query{}, false
+}
+
+// t1: the most influential users of the day — the user object is
+// mandatory in tweets and extracted by Tiles and Sinew alike.
+func t1(rel storage.Relation, workers int) *engine.Result {
+	scan := engine.NewScan(rel, []storage.Access{
+		acc(`data->'user'->>'id'::BigInt`),
+		acc(`data->'user'->>'screen_name'`),
+		acc(`data->'user'->>'followers_count'::BigInt`),
+	}, nil, expr.NewCmp(expr.GT, col(2, expr.TBigInt), expr.NewConst(expr.IntValue(1_000_000))))
+	gb := engine.NewGroupBy(scan,
+		[]expr.Expr{col(0, expr.TBigInt), col(1, expr.TText)},
+		[]string{"user_id", "screen_name"},
+		[]engine.AggSpec{
+			{Func: engine.CountStar, Name: "tweets"},
+			{Func: engine.Max, Arg: col(2, expr.TBigInt), Name: "followers"},
+		})
+	top := engine.NewLimit(engine.NewOrderBy(gb,
+		engine.OrderKey{E: col(3, expr.TBigInt), Desc: true},
+		engine.OrderKey{E: col(0, expr.TBigInt)}), 10)
+	return engine.Materialize(top, workers)
+}
+
+// t2: deletions use a structure that is not frequent globally;
+// reordering clusters and materializes it in some tiles.
+func t2(rel storage.Relation, workers int) *engine.Result {
+	scan := engine.NewScan(rel, []storage.Access{
+		acc(`data->'delete'->'status'->>'user_id'::BigInt`),
+	}, nil, expr.NewIsNull(col(0, expr.TBigInt), true))
+	gb := engine.NewGroupBy(scan,
+		[]expr.Expr{col(0, expr.TBigInt)}, []string{"user_id"},
+		[]engine.AggSpec{{Func: engine.CountStar, Name: "deleted"}})
+	top := engine.NewLimit(engine.NewOrderBy(gb,
+		engine.OrderKey{E: col(1, expr.TBigInt), Desc: true},
+		engine.OrderKey{E: col(0, expr.TBigInt)}), 10)
+	return engine.Materialize(top, workers)
+}
+
+// mentionSlots/hashtagSlots bound the leading-slot probes of the
+// non-star formulations; they cover the generator's maximum lengths.
+const mentionSlots = 8
+const hashtagSlots = 24
+
+// anySlotEquals builds OR(slot_i = value) over the given accesses.
+func anySlotEquals(n int, value string) expr.Expr {
+	var e expr.Expr
+	for i := 0; i < n; i++ {
+		cmp := expr.NewCmp(expr.EQ, col(i, expr.TText), expr.NewConst(expr.TextValue(value)))
+		if e == nil {
+			e = cmp
+		} else {
+			e = expr.NewOr(e, cmp)
+		}
+	}
+	return e
+}
+
+func slotAccesses(base string, n int, field string) []storage.Access {
+	out := make([]storage.Access, 0, n+1)
+	for i := 0; i < n; i++ {
+		p := keypath.NewPath("entities", base).Slot(i).Child(field)
+		out = append(out, storage.NewAccessPath(expr.TText, p))
+	}
+	return out
+}
+
+// t3: tweets that mention @ladygaga (user_mentions array).
+func t3(rel storage.Relation, workers int) *engine.Result {
+	accs := slotAccesses("user_mentions", mentionSlots, "screen_name")
+	accs = append(accs, acc(`data->>'id'::BigInt`))
+	scan := engine.NewScan(rel, accs, nil, anySlotEquals(mentionSlots, "ladygaga"))
+	gb := engine.NewGroupBy(scan, nil, nil,
+		[]engine.AggSpec{{Func: engine.CountStar, Name: "mentioning_tweets"}})
+	return engine.Materialize(gb, workers)
+}
+
+// t4: tweets that include the hashtag #COVID.
+func t4(rel storage.Relation, workers int) *engine.Result {
+	accs := slotAccesses("hashtags", hashtagSlots, "text")
+	accs = append(accs, acc(`data->>'id'::BigInt`))
+	scan := engine.NewScan(rel, accs, nil, anySlotEquals(hashtagSlots, "COVID"))
+	gb := engine.NewGroupBy(scan, nil, nil,
+		[]engine.AggSpec{{Func: engine.CountStar, Name: "covid_tweets"}})
+	return engine.Materialize(gb, workers)
+}
+
+// starCount joins a filtered side relation back to the base table and
+// counts distinct matching tweets — the Tiles-* formulation.
+func starCount(star *storage.TilesStar, arrayPath keypath.Path, field, value, outName string, workers int) *engine.Result {
+	side, ok := star.Side(arrayPath)
+	if !ok {
+		panic("side relation missing: " + arrayPath.Encode())
+	}
+	sideScan := engine.NewScan(side, []storage.Access{
+		storage.NewAccess(expr.TBigInt, storage.ParentField),
+		storage.NewAccess(expr.TText, field),
+	}, nil, expr.NewCmp(expr.EQ, col(1, expr.TText), expr.NewConst(expr.TextValue(value))))
+	mainScan := engine.NewScan(star.Main, []storage.Access{
+		acc(`data->>'id'::BigInt`),
+	}, nil, nil)
+	mainScan.MarkNullRejecting(0)
+	semi := engine.NewHashJoin(sideScan, mainScan, []int{0}, []int{0}, engine.SemiJoin)
+	gb := engine.NewGroupBy(semi, nil, nil,
+		[]engine.AggSpec{{Func: engine.CountStar, Name: outName}})
+	return engine.Materialize(gb, workers)
+}
+
+func t3Star(star *storage.TilesStar, workers int) *engine.Result {
+	return starCount(star, keypath.NewPath("entities", "user_mentions"),
+		"screen_name", "ladygaga", "mentioning_tweets", workers)
+}
+
+func t4Star(star *storage.TilesStar, workers int) *engine.Result {
+	return starCount(star, keypath.NewPath("entities", "hashtags"),
+		"text", "COVID", "covid_tweets", workers)
+}
+
+// t5: geo-tagged tweets per language with retweet statistics.
+func t5(rel storage.Relation, workers int) *engine.Result {
+	scan := engine.NewScan(rel, []storage.Access{
+		acc(`data->>'lang'`),
+		acc(`data->'geo'->>'lat'::Float`),
+		acc(`data->>'retweet_count'::BigInt`),
+	}, nil, expr.NewIsNull(col(1, expr.TFloat), true))
+	gb := engine.NewGroupBy(scan,
+		[]expr.Expr{col(0, expr.TText)}, []string{"lang"},
+		[]engine.AggSpec{
+			{Func: engine.CountStar, Name: "geo_tweets"},
+			{Func: engine.Avg, Arg: col(2, expr.TBigInt), Name: "avg_retweets"},
+		})
+	return engine.Materialize(engine.NewOrderBy(gb,
+		engine.OrderKey{E: col(1, expr.TBigInt), Desc: true},
+		engine.OrderKey{E: col(0, expr.TText)}), workers)
+}

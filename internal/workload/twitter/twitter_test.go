@@ -1,0 +1,154 @@
+package twitter
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/jsontext"
+	"repro/internal/storage"
+)
+
+func smallConfig() Config {
+	return Config{Tweets: 2000, DeleteRatio: 0.4, Seed: 3}
+}
+
+func TestGenerateValid(t *testing.T) {
+	for _, cfg := range []Config{smallConfig(), {Tweets: 2000, Changing: true, Seed: 3}} {
+		lines := Generate(cfg)
+		if len(lines) != 2000 {
+			t.Fatalf("%d lines", len(lines))
+		}
+		deletes, tweets := 0, 0
+		for i, l := range lines {
+			if !jsontext.Valid(l) {
+				t.Fatalf("doc %d invalid: %s", i, l)
+			}
+			if bytes.Contains(l, []byte(`"delete"`)) {
+				deletes++
+			} else {
+				tweets++
+			}
+		}
+		if !cfg.Changing && (deletes < 500 || deletes > 1100) {
+			t.Errorf("deletes = %d", deletes)
+		}
+		if cfg.Changing && deletes != 0 {
+			t.Errorf("changing stream has deletes")
+		}
+	}
+}
+
+func TestChangingSchemaEvolves(t *testing.T) {
+	lines := Generate(Config{Tweets: 2000, Changing: true, Seed: 3})
+	// Early tweets (2006 era) must lack entities; late tweets have them.
+	early := bytes.Contains(lines[0], []byte(`"entities"`))
+	late := bytes.Contains(lines[len(lines)-1], []byte(`"entities"`))
+	if early || !late {
+		t.Errorf("schema evolution broken: early entities=%v, late entities=%v", early, late)
+	}
+	if bytes.Contains(lines[0], []byte(`"geo"`)) {
+		t.Error("2006 tweets should have no geo")
+	}
+}
+
+func resultString(res *engine.Result) string {
+	res.SortRows()
+	var b bytes.Buffer
+	for _, row := range res.Rows {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			if !v.Null && v.Typ == expr.TFloat {
+				fmt.Fprintf(&b, "%.4f", v.F)
+			} else {
+				b.WriteString(v.String())
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestQueriesAgreeAcrossFormats(t *testing.T) {
+	lines := Generate(smallConfig())
+	cfg := storage.DefaultLoaderConfig()
+	cfg.Tile.TileSize = 128
+	kinds := []storage.FormatKind{storage.KindJSON, storage.KindJSONB,
+		storage.KindSinew, storage.KindTiles, storage.KindShredded}
+	rels := map[storage.FormatKind]storage.Relation{}
+	for _, k := range kinds {
+		l, _ := storage.NewLoader(k, cfg)
+		rel, err := l.Load(string(k), lines, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rels[k] = rel
+	}
+	star, err := storage.BuildTilesStar("twitter", lines, cfg, 2, IDPath(), ArrayPaths()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range Queries() {
+		want := ""
+		for _, k := range kinds {
+			got := resultString(q.Run(rels[k], 2))
+			if want == "" {
+				want = got
+				if got == "" {
+					t.Errorf("T%d returned nothing", q.Num)
+				}
+				continue
+			}
+			if got != want {
+				t.Errorf("T%d: %s differs\n got: %s\nwant: %s", q.Num, k, got, want)
+			}
+		}
+		// Tiles-* must agree with the slot formulation.
+		if q.RunStar != nil {
+			got := resultString(q.RunStar(star, 2))
+			if got != want {
+				t.Errorf("T%d: Tiles-* differs\n got: %s\nwant: %s", q.Num, got, want)
+			}
+		}
+	}
+}
+
+func TestSideRelationsBuilt(t *testing.T) {
+	lines := Generate(smallConfig())
+	cfg := storage.DefaultLoaderConfig()
+	cfg.Tile.TileSize = 128
+	star, err := storage.BuildTilesStar("twitter", lines, cfg, 2, IDPath(), ArrayPaths()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, ok := star.Side(ArrayPaths()[0])
+	if !ok || hs.NumRows() == 0 {
+		t.Fatal("hashtags side relation empty")
+	}
+	ms, ok := star.Side(ArrayPaths()[1])
+	if !ok || ms.NumRows() == 0 {
+		t.Fatal("mentions side relation empty")
+	}
+	if star.SizeBytes() <= star.Main.SizeBytes() {
+		t.Error("size accounting ignores sides")
+	}
+}
+
+func TestDeleteQueryOnChangingData(t *testing.T) {
+	// The changing stream has no deletes; T2 must return no groups
+	// (not crash) on every format.
+	lines := Generate(Config{Tweets: 1000, Changing: true, Seed: 3})
+	l, _ := storage.NewLoader(storage.KindTiles, storage.DefaultLoaderConfig())
+	rel, err := l.Load("changing", lines, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := t2(rel, 2)
+	if len(res.Rows) != 0 {
+		t.Errorf("deletes found in changing stream: %v", res.Rows)
+	}
+}

@@ -1,0 +1,304 @@
+// Package yelp generates a combined Yelp-style data set and the five
+// analytical queries of the paper's §6.2. The real Yelp Open Dataset
+// (~9 GB) is proprietary-licensed; this generator reproduces its
+// documented document schemas (business, review, user, checkin, tip),
+// their cardinality ratios, and their type quirks — float star
+// ratings, ISO timestamps as strings, numeric strings (postal codes),
+// nested attribute objects — which are what the storage formats react
+// to.
+package yelp
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/exprparse"
+	"repro/internal/optimizer"
+	"repro/internal/storage"
+)
+
+// Config scales generation. Reviews dominate (as in the real data
+// set: ~8M reviews vs ~200k businesses).
+type Config struct {
+	Businesses int
+	Users      int
+	Reviews    int
+	Tips       int
+	Checkins   int
+	Seed       int64
+}
+
+// DefaultConfig returns a laptop-scale data set with the real set's
+// ratios.
+func DefaultConfig() Config {
+	return Config{Businesses: 1500, Users: 3000, Reviews: 12000, Tips: 3000, Checkins: 1500, Seed: 1}
+}
+
+var (
+	cities = []string{"Phoenix", "Las Vegas", "Toronto", "Charlotte",
+		"Pittsburgh", "Montreal", "Mesa", "Henderson", "Tempe", "Chandler"}
+	states     = []string{"AZ", "NV", "ON", "NC", "PA", "QC"}
+	categories = []string{"Restaurants", "Food", "Nightlife", "Bars",
+		"Shopping", "Coffee & Tea", "Pizza", "Mexican", "Burgers", "Italian"}
+	firstNames = []string{"James", "Maria", "Wei", "Fatima", "John", "Aisha",
+		"Carlos", "Yuki", "Anna", "Omar"}
+	tipWords = []string{"great", "service", "amazing", "food", "try", "the",
+		"best", "in", "town", "love", "this", "place", "friendly", "staff"}
+)
+
+// Generate emits the combined collection, table by table.
+func Generate(cfg Config) (lines [][]byte, spans map[string][2]int) {
+	if cfg.Businesses == 0 {
+		cfg = DefaultConfig()
+	}
+	r := rand.New(rand.NewSource(cfg.Seed + 31))
+	spans = map[string][2]int{}
+	add := func(s string) { lines = append(lines, []byte(s)) }
+	mark := func(name string, body func()) {
+		start := len(lines)
+		body()
+		spans[name] = [2]int{start, len(lines)}
+	}
+
+	date := func() string {
+		return fmt.Sprintf("20%02d-%02d-%02d %02d:%02d:%02d",
+			10+r.Intn(10), 1+r.Intn(12), 1+r.Intn(28),
+			r.Intn(24), r.Intn(60), r.Intn(60))
+	}
+	text := func(n int) string {
+		s := ""
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				s += " "
+			}
+			s += tipWords[r.Intn(len(tipWords))]
+		}
+		return s
+	}
+
+	mark("business", func() {
+		for i := 0; i < cfg.Businesses; i++ {
+			stars := float64(2+r.Intn(7)) / 2 // 1.0..5.0 halves
+			attrs := ""
+			// Attribute objects are heterogeneous: present for ~70%,
+			// with varying keys — real Yelp behaviour.
+			if r.Intn(10) < 7 {
+				attrs = fmt.Sprintf(`,"attributes":{"RestaurantsPriceRange2":"%d","BusinessAcceptsCreditCards":%v`,
+					1+r.Intn(4), r.Intn(2) == 0)
+				if r.Intn(2) == 0 {
+					attrs += fmt.Sprintf(`,"WiFi":"%s"`, []string{"free", "no", "paid"}[r.Intn(3)])
+				}
+				attrs += "}"
+			}
+			add(fmt.Sprintf(`{"business_id":"b%06d","name":"%s %s","city":"%s","state":"%s","postal_code":"%05d","latitude":%.4f,"longitude":%.4f,"stars":%s,"review_count":%d,"is_open":%d,"categories":"%s, %s"%s}`,
+				i, firstNames[r.Intn(len(firstNames))], categories[r.Intn(len(categories))],
+				cities[r.Intn(len(cities))], states[r.Intn(len(states))], 10000+r.Intn(89999),
+				33+r.Float64()*10, -115+r.Float64()*10,
+				strconv.FormatFloat(stars, 'f', 1, 64),
+				r.Intn(500), r.Intn(5)/4,
+				categories[r.Intn(len(categories))], categories[r.Intn(len(categories))], attrs))
+		}
+	})
+	mark("user", func() {
+		for i := 0; i < cfg.Users; i++ {
+			elite := `""`
+			if r.Intn(10) == 0 {
+				elite = `"2017,2018"`
+			}
+			add(fmt.Sprintf(`{"user_id":"u%06d","name":"%s","review_count":%d,"yelping_since":"%s","useful":%d,"funny":%d,"cool":%d,"fans":%d,"elite":%s,"average_stars":%.2f}`,
+				i, firstNames[r.Intn(len(firstNames))], r.Intn(300), date(),
+				r.Intn(1000), r.Intn(500), r.Intn(500), r.Intn(100), elite,
+				1+r.Float64()*4))
+		}
+	})
+	mark("review", func() {
+		for i := 0; i < cfg.Reviews; i++ {
+			add(fmt.Sprintf(`{"review_id":"r%08d","user_id":"u%06d","business_id":"b%06d","stars":%d,"useful":%d,"funny":%d,"cool":%d,"text":"%s","date":"%s"}`,
+				i, r.Intn(cfg.Users), r.Intn(cfg.Businesses), 1+r.Intn(5),
+				r.Intn(50), r.Intn(20), r.Intn(20), text(8), date()))
+		}
+	})
+	mark("checkin", func() {
+		for i := 0; i < cfg.Checkins; i++ {
+			add(fmt.Sprintf(`{"business_id":"b%06d","date":"%s, %s"}`,
+				r.Intn(cfg.Businesses), date(), date()))
+		}
+	})
+	mark("tip", func() {
+		for i := 0; i < cfg.Tips; i++ {
+			add(fmt.Sprintf(`{"user_id":"u%06d","business_id":"b%06d","text":"%s","date":"%s","compliment_count":%d}`,
+				r.Intn(cfg.Users), r.Intn(cfg.Businesses), text(5), date(), r.Intn(6)))
+		}
+	})
+	return lines, spans
+}
+
+// Query is one Yelp analytics query.
+type Query struct {
+	Num  int
+	Name string
+	Run  func(rel storage.Relation, workers int) *engine.Result
+}
+
+func acc(s string) storage.Access         { return exprparse.MustParse(s) }
+func col(i int, t expr.SQLType) *expr.Col { return expr.NewCol(i, t) }
+
+// Queries returns the five business-insight queries (§6.2).
+func Queries() []Query {
+	return []Query{
+		{1, "average stars of open businesses per city", y1},
+		{2, "top cities by five-star reviews", y2},
+		{3, "elite users' review activity per state", y3},
+		{4, "review count per star rating", y4},
+		{5, "most-complimented businesses", y5},
+	}
+}
+
+// QueryByNum returns one query.
+func QueryByNum(n int) (Query, bool) {
+	for _, q := range Queries() {
+		if q.Num == n {
+			return q, true
+		}
+	}
+	return Query{}, false
+}
+
+// y1: scan-heavy aggregation over business documents.
+func y1(rel storage.Relation, workers int) *engine.Result {
+	scan := engine.NewScan(rel, []storage.Access{
+		acc(`data->>'city'`),
+		acc(`data->>'stars'::Float`),
+		acc(`data->>'is_open'::BigInt`),
+		acc(`data->>'review_count'::BigInt`),
+	}, nil, expr.NewCmp(expr.EQ, col(2, expr.TBigInt), expr.NewConst(expr.IntValue(1))))
+	gb := engine.NewGroupBy(scan,
+		[]expr.Expr{col(0, expr.TText)}, []string{"city"},
+		[]engine.AggSpec{
+			{Func: engine.Avg, Arg: col(1, expr.TFloat), Name: "avg_stars"},
+			{Func: engine.Sum, Arg: col(3, expr.TBigInt), Name: "reviews"},
+			{Func: engine.CountStar, Name: "businesses"},
+		})
+	res := engine.Materialize(engine.NewOrderBy(gb,
+		engine.OrderKey{E: col(1, expr.TFloat), Desc: true}), workers)
+	return res
+}
+
+// y2: business ⋈ review join with selective filter.
+func y2(rel storage.Relation, workers int) *engine.Result {
+	op, m, err := optimizer.Plan(optimizer.Query{
+		Tables: []optimizer.TableSpec{
+			{Alias: "b", Rel: rel, Accesses: []storage.Access{
+				acc(`data->>'business_id'`),
+				acc(`data->>'city'`),
+				acc(`data->>'review_count'::BigInt`),
+			}},
+			{Alias: "r", Rel: rel, Accesses: []storage.Access{
+				acc(`data->>'business_id'`),
+				acc(`data->>'stars'::BigInt`),
+				acc(`data->>'review_id'`),
+			}, Filter: expr.NewAnd(
+				expr.NewCmp(expr.EQ, col(1, expr.TBigInt), expr.NewConst(expr.IntValue(5))),
+				expr.NewIsNull(col(2, expr.TText), true))},
+		},
+		Joins: []optimizer.JoinSpec{{LeftAlias: "b", LeftSlot: 0, RightAlias: "r", RightSlot: 0}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	gb := engine.NewGroupBy(op,
+		[]expr.Expr{m.ColFor("b", 1, expr.TText)}, []string{"city"},
+		[]engine.AggSpec{{Func: engine.CountStar, Name: "five_star_reviews"}})
+	top := engine.NewLimit(engine.NewOrderBy(gb,
+		engine.OrderKey{E: col(1, expr.TBigInt), Desc: true},
+		engine.OrderKey{E: col(0, expr.TText)}), 10)
+	return engine.Materialize(top, workers)
+}
+
+// y3: three-way join user ⋈ review ⋈ business.
+func y3(rel storage.Relation, workers int) *engine.Result {
+	op, m, err := optimizer.Plan(optimizer.Query{
+		Tables: []optimizer.TableSpec{
+			{Alias: "u", Rel: rel, Accesses: []storage.Access{
+				acc(`data->>'user_id'`),
+				acc(`data->>'elite'`),
+				acc(`data->>'fans'::BigInt`),
+			}, Filter: expr.NewCmp(expr.NE, col(1, expr.TText), expr.NewConst(expr.TextValue("")))},
+			{Alias: "r", Rel: rel, Accesses: []storage.Access{
+				acc(`data->>'user_id'`),
+				acc(`data->>'business_id'`),
+				acc(`data->>'stars'::BigInt`),
+				acc(`data->>'review_id'`),
+			}, Filter: expr.NewIsNull(col(3, expr.TText), true)},
+			{Alias: "b", Rel: rel, Accesses: []storage.Access{
+				acc(`data->>'business_id'`),
+				acc(`data->>'state'`),
+				acc(`data->>'city'`),
+			}, Filter: expr.NewIsNull(col(2, expr.TText), true)},
+		},
+		Joins: []optimizer.JoinSpec{
+			{LeftAlias: "u", LeftSlot: 0, RightAlias: "r", RightSlot: 0},
+			{LeftAlias: "r", LeftSlot: 1, RightAlias: "b", RightSlot: 0},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	gb := engine.NewGroupBy(op,
+		[]expr.Expr{m.ColFor("b", 1, expr.TText)}, []string{"state"},
+		[]engine.AggSpec{
+			{Func: engine.CountStar, Name: "elite_reviews"},
+			{Func: engine.Avg, Arg: m.ColFor("r", 2, expr.TBigInt), Name: "avg_stars"},
+		})
+	return engine.Materialize(engine.NewOrderBy(gb,
+		engine.OrderKey{E: col(1, expr.TBigInt), Desc: true}), workers)
+}
+
+// y4: the paper's example — "counts the number of reviews in groups
+// of stars". Star ratings are integers only on review documents, so
+// the filter on review_id keeps business stars (floats) out.
+func y4(rel storage.Relation, workers int) *engine.Result {
+	scan := engine.NewScan(rel, []storage.Access{
+		acc(`data->>'stars'::BigInt`),
+		acc(`data->>'review_id'`),
+	}, nil, expr.NewIsNull(col(1, expr.TText), true))
+	gb := engine.NewGroupBy(scan,
+		[]expr.Expr{col(0, expr.TBigInt)}, []string{"stars"},
+		[]engine.AggSpec{{Func: engine.CountStar, Name: "reviews"}})
+	return engine.Materialize(engine.NewOrderBy(gb,
+		engine.OrderKey{E: col(0, expr.TBigInt)}), workers)
+}
+
+// y5: tips joined with businesses, complimented tips only.
+func y5(rel storage.Relation, workers int) *engine.Result {
+	op, m, err := optimizer.Plan(optimizer.Query{
+		Tables: []optimizer.TableSpec{
+			{Alias: "t", Rel: rel, Accesses: []storage.Access{
+				acc(`data->>'business_id'`),
+				acc(`data->>'compliment_count'::BigInt`),
+			}, Filter: expr.NewCmp(expr.GE, col(1, expr.TBigInt), expr.NewConst(expr.IntValue(2)))},
+			{Alias: "b", Rel: rel, Accesses: []storage.Access{
+				acc(`data->>'business_id'`),
+				acc(`data->>'name'`),
+				acc(`data->>'stars'::Float`),
+			}, Filter: expr.NewIsNull(col(2, expr.TFloat), true)},
+		},
+		Joins: []optimizer.JoinSpec{{LeftAlias: "t", LeftSlot: 0, RightAlias: "b", RightSlot: 0}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	gb := engine.NewGroupBy(op,
+		[]expr.Expr{m.ColFor("b", 1, expr.TText)}, []string{"name"},
+		[]engine.AggSpec{
+			{Func: engine.CountStar, Name: "good_tips"},
+			{Func: engine.Sum, Arg: m.ColFor("t", 1, expr.TBigInt), Name: "compliments"},
+		})
+	top := engine.NewLimit(engine.NewOrderBy(gb,
+		engine.OrderKey{E: col(2, expr.TBigInt), Desc: true},
+		engine.OrderKey{E: col(0, expr.TText)}), 10)
+	return engine.Materialize(top, workers)
+}

@@ -1,0 +1,111 @@
+package yelp
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/jsontext"
+	"repro/internal/storage"
+)
+
+func smallConfig() Config {
+	return Config{Businesses: 150, Users: 300, Reviews: 1200, Tips: 300, Checkins: 150, Seed: 3}
+}
+
+func TestGenerateValidAndShaped(t *testing.T) {
+	lines, spans := Generate(smallConfig())
+	for i, l := range lines {
+		if !jsontext.Valid(l) {
+			t.Fatalf("doc %d invalid: %s", i, l)
+		}
+	}
+	for _, tbl := range []string{"business", "user", "review", "checkin", "tip"} {
+		sp := spans[tbl]
+		if sp[1] <= sp[0] {
+			t.Errorf("table %s empty", tbl)
+		}
+	}
+	// Business stars are floats (halves), review stars ints.
+	b := lines[spans["business"][0]]
+	if !bytes.Contains(b, []byte(`"stars":`)) || !bytes.Contains(b, []byte(`"postal_code":"`)) {
+		t.Errorf("business doc: %s", b)
+	}
+}
+
+func resultString(res *engine.Result) string {
+	res.SortRows()
+	var b bytes.Buffer
+	for _, row := range res.Rows {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			if !v.Null && v.Typ == expr.TFloat {
+				fmt.Fprintf(&b, "%.4f", v.F)
+			} else {
+				b.WriteString(v.String())
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestQueriesAgreeAcrossFormats(t *testing.T) {
+	lines, _ := Generate(smallConfig())
+	cfg := storage.DefaultLoaderConfig()
+	cfg.Tile.TileSize = 128
+	kinds := []storage.FormatKind{storage.KindJSON, storage.KindJSONB,
+		storage.KindSinew, storage.KindTiles, storage.KindShredded}
+	rels := map[storage.FormatKind]storage.Relation{}
+	for _, k := range kinds {
+		l, _ := storage.NewLoader(k, cfg)
+		rel, err := l.Load(string(k), lines, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rels[k] = rel
+	}
+	for _, q := range Queries() {
+		want := ""
+		for _, k := range kinds {
+			got := resultString(q.Run(rels[k], 2))
+			if want == "" {
+				want = got
+				if got == "" {
+					t.Errorf("Y%d returned nothing", q.Num)
+				}
+				continue
+			}
+			if got != want {
+				t.Errorf("Y%d: %s differs\n got: %s\nwant: %s", q.Num, k, got, want)
+			}
+		}
+	}
+}
+
+func TestY4IsStarHistogram(t *testing.T) {
+	lines, _ := Generate(smallConfig())
+	l, _ := storage.NewLoader(storage.KindTiles, storage.DefaultLoaderConfig())
+	rel, err := l.Load("yelp", lines, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := y4(rel, 2)
+	if len(res.Rows) != 5 {
+		t.Fatalf("%d star groups, want 5", len(res.Rows))
+	}
+	total := int64(0)
+	for _, row := range res.Rows {
+		if row[0].I < 1 || row[0].I > 5 {
+			t.Errorf("stars = %v", row[0])
+		}
+		total += row[1].I
+	}
+	if total != 1200 {
+		t.Errorf("reviews counted = %d, want 1200 (no float business stars leaked in)", total)
+	}
+}

@@ -1,0 +1,238 @@
+// Package jsontiles is the public API of this JSON Tiles
+// implementation (Durner, Leis, Neumann: "JSON Tiles: Fast Analytics
+// on Semi-Structured Data", SIGMOD 2021). It stores collections of
+// JSON documents as *tiles* — columnar chunks whose locally-frequent
+// key paths are automatically detected (frequent itemset mining),
+// materialized as typed columns, and backed by an optimized binary
+// JSON representation for everything infrequent — and runs analytical
+// queries over them at near-columnar speed while keeping full JSON
+// flexibility.
+//
+// Quick start:
+//
+//	tbl, err := jsontiles.Load("events", docs, jsontiles.DefaultOptions())
+//	res, err := tbl.Query(
+//	        "data->>'status'",
+//	        "data->>'latency_ms'::Float",
+//	    ).
+//	    WhereNotNull(0).
+//	    GroupBy(0).
+//	    Aggregate(jsontiles.CountAll("n"), jsontiles.Avg(1, "avg_latency")).
+//	    OrderBy(1, true).
+//	    Run()
+//
+// Access expressions use PostgreSQL syntax: -> steps into objects and
+// arrays, ->> extracts text, and a trailing ::Type cast is rewritten
+// into a typed column access (paper §4.3).
+package jsontiles
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/internal/engine"
+	"repro/internal/jsontext"
+	"repro/internal/jsonvalue"
+	"repro/internal/storage"
+	"repro/internal/tile"
+)
+
+// Options configures table construction. The zero value is not valid;
+// start from DefaultOptions.
+type Options struct {
+	// TileSize is the number of documents per tile (paper default 2¹⁰).
+	TileSize int
+	// PartitionSize is the number of neighboring tiles grouped for
+	// tuple reordering (paper default 8).
+	PartitionSize int
+	// ExtractionThreshold is the fraction of a tile's documents that
+	// must share a structure for it to be materialized (default 0.6).
+	ExtractionThreshold float64
+	// Reorder enables clustering tuples with equal frequent structure
+	// into the same tiles (§3.2).
+	Reorder bool
+	// SkipTiles enables skipping tiles that provably contain no match
+	// (§4.8).
+	SkipTiles bool
+	// DetectDates extracts date-like string columns as timestamps
+	// (§4.9).
+	DetectDates bool
+	// Workers bounds loading and query parallelism (0 = all CPUs).
+	Workers int
+}
+
+// DefaultOptions returns the paper's recommended settings.
+func DefaultOptions() Options {
+	return Options{
+		TileSize:            1 << 10,
+		PartitionSize:       8,
+		ExtractionThreshold: 0.6,
+		Reorder:             true,
+		SkipTiles:           true,
+		DetectDates:         true,
+	}
+}
+
+func (o Options) loaderConfig() storage.LoaderConfig {
+	cfg := storage.DefaultLoaderConfig()
+	if o.TileSize > 0 {
+		cfg.Tile.TileSize = o.TileSize
+	}
+	if o.PartitionSize > 0 {
+		cfg.Tile.PartitionSize = o.PartitionSize
+	}
+	if o.ExtractionThreshold > 0 {
+		cfg.Tile.Threshold = o.ExtractionThreshold
+	}
+	cfg.Tile.DetectDates = o.DetectDates
+	cfg.Reorder = o.Reorder
+	cfg.SkipTiles = o.SkipTiles
+	return cfg
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Table is a JSON collection stored as JSON tiles.
+type Table struct {
+	name    string
+	opts    Options
+	rel     storage.Relation
+	pending []jsonvalue.Value
+}
+
+// Load parses and ingests a batch of JSON documents (one document per
+// element) into a new table.
+func Load(name string, docs [][]byte, opts Options) (*Table, error) {
+	if opts.TileSize == 0 {
+		opts = DefaultOptions()
+	}
+	loader := storage.NewTilesLoader(opts.loaderConfig(), &tile.Metrics{})
+	rel, err := loader.Load(name, docs, opts.workers())
+	if err != nil {
+		return nil, err
+	}
+	return &Table{name: name, opts: opts, rel: rel}, nil
+}
+
+// LoadReader ingests newline-delimited JSON from r.
+func LoadReader(name string, r io.Reader, opts Options) (*Table, error) {
+	var docs [][]byte
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(trimSpace(line)) == 0 {
+			continue
+		}
+		docs = append(docs, append([]byte(nil), line...))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return Load(name, docs, opts)
+}
+
+func trimSpace(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t' || b[0] == '\r') {
+		b = b[1:]
+	}
+	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t' || b[len(b)-1] == '\r') {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// New returns an empty table for incremental insertion. Documents are
+// buffered and materialized into tiles partition by partition; call
+// Flush to force pending documents into tiles.
+func New(name string, opts Options) *Table {
+	if opts.TileSize == 0 {
+		opts = DefaultOptions()
+	}
+	return &Table{name: name, opts: opts, rel: storage.BuildTiles(name, nil, opts.loaderConfig(), 1, nil)}
+}
+
+// Insert buffers one JSON document. A new tile partition is
+// materialized whenever TileSize × PartitionSize documents accumulate
+// (§3.2: "A new tile is created whenever the number of newly-inserted
+// tuples reaches the tile size").
+func (t *Table) Insert(doc []byte) error {
+	v, err := jsontext.Parse(doc)
+	if err != nil {
+		return err
+	}
+	t.pending = append(t.pending, v)
+	if len(t.pending) >= t.opts.TileSize*t.opts.PartitionSize {
+		t.Flush()
+	}
+	return nil
+}
+
+// Flush materializes pending documents into tiles.
+func (t *Table) Flush() {
+	if len(t.pending) == 0 {
+		return
+	}
+	docs := t.pending
+	t.pending = nil
+	newRel := storage.BuildTiles(t.name, docs, t.opts.loaderConfig(), t.opts.workers(), nil)
+	if t.rel == nil || t.rel.NumRows() == 0 {
+		t.rel = newRel
+		return
+	}
+	t.rel = storage.Concat(t.name, t.rel, newRel)
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// NumRows returns the number of materialized documents (excluding
+// pending inserts; call Flush first to count everything).
+func (t *Table) NumRows() int {
+	if t.rel == nil {
+		return 0
+	}
+	return t.rel.NumRows()
+}
+
+// Update replaces the document at row index i in place (§4.7): shared
+// extracted keys are updated in the columns, removed keys become
+// nulls, and new key paths register in the tile header. It reports
+// whether the containing tile accumulated so many structural outliers
+// that re-materialization is advisable.
+func (t *Table) Update(i int, doc []byte) (recomputeAdvised bool, err error) {
+	v, err := jsontext.Parse(doc)
+	if err != nil {
+		return false, err
+	}
+	up, ok := t.rel.(interface {
+		UpdateRow(int, jsonvalue.Value) (bool, error)
+	})
+	if !ok {
+		return false, fmt.Errorf("jsontiles: table does not support updates")
+	}
+	return up.UpdateRow(i, v)
+}
+
+// Recompute re-materializes tiles whose documents drifted away from
+// their extracted schema through updates (§4.7) and returns how many
+// tiles were rebuilt. Cheap when nothing drifted.
+func (t *Table) Recompute() int {
+	rc, ok := t.rel.(interface{ RecomputeTiles() int })
+	if !ok {
+		return 0
+	}
+	return rc.RecomputeTiles()
+}
+
+// materialize is a helper shared with Query.Run.
+func materialize(op engine.Operator, workers int) *engine.Result {
+	return engine.Materialize(op, workers)
+}

@@ -1,0 +1,123 @@
+package jsontiles
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/dates"
+	"repro/internal/engine"
+	"repro/internal/expr"
+)
+
+// Result is a materialized query result.
+type Result struct {
+	cols []engine.ColumnDesc
+	rows [][]expr.Value
+}
+
+func newResult(r *engine.Result) *Result {
+	return &Result{cols: r.Cols, rows: r.Rows}
+}
+
+// Columns returns the output column names.
+func (r *Result) Columns() []string {
+	out := make([]string, len(r.cols))
+	for i, c := range r.cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// NumRows returns the row count.
+func (r *Result) NumRows() int { return len(r.rows) }
+
+// Row returns the values of row i.
+func (r *Result) Row(i int) []Value {
+	out := make([]Value, len(r.rows[i]))
+	for j, v := range r.rows[i] {
+		out[j] = Value{v: v}
+	}
+	return out
+}
+
+// Value returns the single cell (i, j).
+func (r *Result) Value(i, j int) Value { return Value{v: r.rows[i][j]} }
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	var sb strings.Builder
+	widths := make([]int, len(r.cols))
+	cells := make([][]string, len(r.rows)+1)
+	cells[0] = r.Columns()
+	for i, c := range cells[0] {
+		widths[i] = len(c)
+	}
+	for i, row := range r.rows {
+		line := make([]string, len(row))
+		for j, v := range row {
+			line[j] = v.String()
+			if len(line[j]) > widths[j] {
+				widths[j] = len(line[j])
+			}
+		}
+		cells[i+1] = line
+	}
+	for _, line := range cells {
+		for j, c := range line {
+			if j > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[j], c)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Value is one SQL value of a query result.
+type Value struct {
+	v expr.Value
+}
+
+// IsNull reports SQL NULL.
+func (v Value) IsNull() bool { return v.v.Null }
+
+// Int64 returns the integer payload (0 for non-integers).
+func (v Value) Int64() int64 {
+	if v.v.Null {
+		return 0
+	}
+	switch v.v.Typ {
+	case expr.TBigInt, expr.TTimestamp:
+		return v.v.I
+	case expr.TFloat:
+		return int64(v.v.F)
+	}
+	return 0
+}
+
+// Float64 returns the numeric payload widened to float64.
+func (v Value) Float64() float64 {
+	f, _ := v.v.AsFloat()
+	return f
+}
+
+// Text returns the value rendered as text (strings verbatim).
+func (v Value) Text() string {
+	if v.v.Null {
+		return ""
+	}
+	return v.v.String()
+}
+
+// Bool returns the boolean payload.
+func (v Value) Bool() bool { return !v.v.Null && v.v.B }
+
+// Time returns the timestamp payload.
+func (v Value) Time() time.Time {
+	return dates.ToTime(v.v.I)
+}
+
+// String implements fmt.Stringer ("NULL" for nulls).
+func (v Value) String() string { return v.v.String() }

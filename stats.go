@@ -1,0 +1,110 @@
+package jsontiles
+
+// Statistics and storage introspection (paper §4.4, §4.6, Table 6).
+
+import (
+	"repro/internal/tile"
+)
+
+// TableStats exposes the relation-level statistics JSON tiles maintain
+// for the query optimizer: per-key-path frequency counters and
+// HyperLogLog distinct counts.
+type TableStats struct {
+	t *Table
+}
+
+// Stats returns the statistics view of the table.
+func (t *Table) Stats() TableStats { return TableStats{t: t} }
+
+// Rows returns the total tuple count covered by statistics.
+func (s TableStats) Rows() int64 {
+	if st := s.t.rel.Stats(); st != nil {
+		return st.RowCount()
+	}
+	return 0
+}
+
+// PathCount estimates how many documents carry the key path (canonical
+// dotted form, e.g. "user.id") with a non-null value.
+func (s TableStats) PathCount(path string) int64 {
+	if st := s.t.rel.Stats(); st != nil {
+		return st.PathCount(path)
+	}
+	return 0
+}
+
+// DistinctCount estimates the number of distinct values under the key
+// path.
+func (s TableStats) DistinctCount(path string) float64 {
+	if st := s.t.rel.Stats(); st != nil {
+		return st.DistinctCount(path)
+	}
+	return 0
+}
+
+// TrackedPaths lists the key paths with exact frequency counters, most
+// frequent first.
+func (s TableStats) TrackedPaths() []string {
+	if st := s.t.rel.Stats(); st != nil {
+		return st.TrackedPaths()
+	}
+	return nil
+}
+
+// StorageInfo describes the table's physical layout.
+type StorageInfo struct {
+	// NumTiles is the number of materialized tiles.
+	NumTiles int
+	// ExtractedColumns is the total number of materialized columns
+	// across all tiles.
+	ExtractedColumns int
+	// BinaryJSONBytes is the size of the per-document binary JSON.
+	BinaryJSONBytes int
+	// TileColumnBytes is the extracted-column overhead ("+Tiles").
+	TileColumnBytes int
+	// CompressedTileColumnBytes is the LZ4-compressed column size
+	// ("+LZ4-Tiles").
+	CompressedTileColumnBytes int
+}
+
+// StorageInfo reports the physical layout of the table.
+func (t *Table) StorageInfo() StorageInfo {
+	info := StorageInfo{}
+	tr, ok := t.rel.(interface {
+		Tiles() []*tile.Tile
+		RawSizeBytes() int
+		ColumnSizeBytes() int
+		CompressedColumnSizeBytes() int
+	})
+	if !ok {
+		return info
+	}
+	tiles := tr.Tiles()
+	info.NumTiles = len(tiles)
+	for _, tl := range tiles {
+		info.ExtractedColumns += len(tl.Columns())
+	}
+	info.BinaryJSONBytes = tr.RawSizeBytes()
+	info.TileColumnBytes = tr.ColumnSizeBytes()
+	info.CompressedTileColumnBytes = tr.CompressedColumnSizeBytes()
+	return info
+}
+
+// ExtractedPaths returns, per tile index, the extracted key paths with
+// their column types — a window into what the extraction algorithm
+// decided (diagnostics, demos).
+func (t *Table) ExtractedPaths() [][]string {
+	tr, ok := t.rel.(interface{ Tiles() []*tile.Tile })
+	if !ok {
+		return nil
+	}
+	var out [][]string
+	for _, tl := range tr.Tiles() {
+		var cols []string
+		for _, c := range tl.Columns() {
+			cols = append(cols, c.Path+" "+c.StorageType.String())
+		}
+		out = append(out, cols)
+	}
+	return out
+}
