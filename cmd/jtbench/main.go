@@ -52,9 +52,13 @@ func main() {
 		}
 		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
 		start := time.Now()
+		base := ctx.Metrics.Snapshot()
 		if err := e.Run(os.Stdout, ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "jtbench: %s failed: %v\n", e.ID, err)
 			os.Exit(1)
+		}
+		if delta := ctx.Metrics.Snapshot().Sub(base); delta.TilesBuilt > 0 {
+			fmt.Printf("-- load breakdown: %s --\n", delta)
 		}
 		fmt.Printf("-- %s done in %s --\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}

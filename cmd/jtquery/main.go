@@ -3,6 +3,7 @@
 //
 //	jtgen -workload twitter | jtquery "data->'user'->>'screen_name'" "data->>'retweet_count'::BigInt"
 //	jtquery -f reviews.jsonl -where-not-null 0 -limit 10 "data->>'stars'::BigInt"
+//	jtquery -f reviews.jsonl -analyze -where-not-null 0 "data->>'stars'::BigInt"
 package main
 
 import (
@@ -11,6 +12,7 @@ import (
 	"os"
 
 	jsontiles "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -18,6 +20,9 @@ func main() {
 	limit := flag.Int("limit", 20, "max rows to print (0 = all)")
 	notNull := flag.Int("where-not-null", -1, "keep rows where this select column is not null")
 	tileSize := flag.Int("tilesize", 1024, "tuples per tile")
+	explain := flag.Bool("explain", false, "print the chosen plan without executing")
+	analyze := flag.Bool("analyze", false, "execute and print the plan with measured per-operator stats")
+	metrics := flag.Bool("metrics", false, "dump the process-wide metrics registry after the query")
 	flag.Parse()
 
 	selects := flag.Args()
@@ -51,11 +56,37 @@ func main() {
 	if *limit > 0 {
 		q = q.Limit(*limit)
 	}
-	res, err := q.Run()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "jtquery:", err)
-		os.Exit(1)
+	switch {
+	case *explain:
+		plan, err := q.Explain()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jtquery:", err)
+			os.Exit(1)
+		}
+		fmt.Print(plan)
+	case *analyze:
+		res, stats, err := q.RunAnalyzed()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jtquery:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res)
+		fmt.Printf("(%d rows)\n\n", res.NumRows())
+		fmt.Print(stats)
+	default:
+		res, err := q.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jtquery:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res)
+		fmt.Printf("(%d rows)\n", res.NumRows())
 	}
-	fmt.Print(res)
-	fmt.Printf("(%d rows)\n", res.NumRows())
+	if *metrics {
+		fmt.Println()
+		if _, err := obs.Default.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "jtquery:", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -57,7 +57,8 @@ func main() {
 
 	// Error rate per HTTP status — only gateway documents carry
 	// "status", so tiles holding only worker/db docs are skipped.
-	res, err := tbl.Query(
+	// EXPLAIN ANALYZE shows the skipping at work.
+	res, stats, err := tbl.Query(
 		"data->>'status'::BigInt",
 		"data->>'latency_ms'::Float",
 	).
@@ -65,12 +66,19 @@ func main() {
 		GroupBy(0).
 		Aggregate(jsontiles.CountAll("requests"), jsontiles.Avg(1, "avg_latency_ms")).
 		OrderBy(0, false).
-		Run()
+		RunAnalyzed()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("gateway requests by status:")
 	fmt.Print(res)
+	fmt.Println("\nanalyzed plan:")
+	fmt.Print(stats)
+	if scan := stats.Plan.Find("Scan"); scan != nil && scan.Scan != nil {
+		fmt.Printf("tile skipping (§4.8): %d of %d tiles skipped (%.0f%% — "+
+			"tiles holding only worker/db logs never carry 'status')\n",
+			scan.Scan.TilesSkipped, scan.Scan.NumTiles, 100*scan.Scan.SkipRatio())
+	}
 
 	// Failed jobs by queue — a different producer's schema, same table.
 	res, err = tbl.Query(

@@ -1,0 +1,253 @@
+package jsontiles
+
+// EXPLAIN / EXPLAIN ANALYZE: the optimizer's chosen plan as a tree,
+// optionally annotated with measured per-operator wall times, row
+// counts, and per-table tile-skip ratios (paper §4.8) and column-hit
+// vs binary-JSON-fallback splits (§4.5/§5).
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// PlanNode is one operator of a query plan. A node from Explain
+// carries the plan shape and cardinality estimates; a node from
+// RunAnalyzed additionally carries measured execution statistics
+// (Analyzed is set).
+type PlanNode struct {
+	// Op is the operator kind ("Scan", "HashJoin", "GroupBy", ...).
+	Op string
+	// Detail describes the operator (table, join sides, key counts).
+	Detail string
+	// EstRows is the optimizer's cardinality estimate (< 0 when the
+	// operator has none).
+	EstRows float64
+	// Children are the input operators (build side first for joins).
+	Children []*PlanNode
+
+	// Analyzed is set when the node carries measured statistics.
+	Analyzed bool
+	// Wall is the operator's inclusive wall time (its whole subtree).
+	Wall time.Duration
+	// Rows is the number of rows the operator emitted.
+	Rows int64
+	// Scan holds the storage-level counters for scan nodes.
+	Scan *ScanStats
+}
+
+// ScanStats are the storage-level counters of one table scan.
+type ScanStats struct {
+	// Table is the scanned relation's name.
+	Table string
+	// NumTiles is the relation's total tile count (0 for formats
+	// without tiles); TilesScanned + TilesSkipped == NumTiles.
+	NumTiles     int64
+	TilesScanned int64
+	// TilesSkipped counts tiles pruned without reading any tuple
+	// (§4.8).
+	TilesSkipped int64
+	RowsScanned  int64
+	// ColumnHits counts accesses served from a materialized column;
+	// JSONBFallbacks counts accesses that fell back to the per-tuple
+	// binary JSON (§4.5/§5).
+	ColumnHits     int64
+	JSONBFallbacks int64
+	// CastErrors counts stored non-null values a requested cast could
+	// not convert.
+	CastErrors int64
+}
+
+// SkipRatio is the fraction of tiles skipped.
+func (s ScanStats) SkipRatio() float64 {
+	total := s.TilesScanned + s.TilesSkipped
+	if total == 0 {
+		return 0
+	}
+	return float64(s.TilesSkipped) / float64(total)
+}
+
+// QueryStats summarizes one query execution; Options.OnQueryDone
+// receives it after every Run/RunAnalyzed (e.g. for slow-query
+// logging).
+type QueryStats struct {
+	// Plan is the executed plan; per-operator stats are filled only
+	// when Analyzed is set (RunAnalyzed).
+	Plan *PlanNode
+	// Wall is the end-to-end query time, PlanTime the optimizer's
+	// share, ExecTime the operator execution and materialization.
+	Wall     time.Duration
+	PlanTime time.Duration
+	ExecTime time.Duration
+	// RowsReturned is the final result size.
+	RowsReturned int64
+	// Analyzed reports whether per-operator statistics were collected.
+	Analyzed bool
+}
+
+// String renders the summary line followed by the plan tree.
+func (s QueryStats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "wall %s  plan %s  exec %s  rows %d\n",
+		s.Wall.Round(time.Microsecond), s.PlanTime.Round(time.Microsecond),
+		s.ExecTime.Round(time.Microsecond), s.RowsReturned)
+	if s.Plan != nil {
+		sb.WriteString(s.Plan.String())
+	}
+	return sb.String()
+}
+
+// Explain returns the plan the optimizer chooses for the query — join
+// order, cardinality estimates, pushed-down filters — without
+// executing it.
+func (q *Query) Explain() (*PlanNode, error) {
+	root, err := q.buildPlan(true, nil)
+	if err != nil {
+		return nil, err
+	}
+	return planNode(root, false), nil
+}
+
+// RunAnalyzed executes the query with per-operator instrumentation and
+// returns the result together with the analyzed plan: measured wall
+// time and row count per operator, and per-table scan statistics
+// (tiles scanned vs skipped, column hits vs binary-JSON fallbacks).
+func (q *Query) RunAnalyzed() (*Result, *QueryStats, error) {
+	return q.run(true)
+}
+
+// planNode converts an operator (sub)tree into its plan description.
+func planNode(op engine.Operator, analyzed bool) *PlanNode {
+	if tr, ok := op.(*engine.Traced); ok {
+		n := &PlanNode{Op: tr.Label, Detail: tr.Detail, EstRows: tr.EstRows}
+		if analyzed && tr.Ran() {
+			n.Analyzed = true
+			n.Wall = tr.WallTime()
+			n.Rows = tr.Rows()
+			if tr.ScanStats != nil {
+				s := snapshotScanStats(tr.ScanStats)
+				if sc, ok := tr.In.(*engine.Scan); ok {
+					s.Table = sc.Rel.Name()
+				}
+				n.Scan = &s
+			}
+		}
+		n.Children = planChildren(tr.In)
+		return n
+	}
+	n := describeOperator(op)
+	n.Children = planChildren(op)
+	return n
+}
+
+func planChildren(op engine.Operator) []*PlanNode {
+	ins := engine.Inputs(op)
+	if len(ins) == 0 {
+		return nil
+	}
+	out := make([]*PlanNode, len(ins))
+	for i, in := range ins {
+		out[i] = planNode(in, true)
+	}
+	return out
+}
+
+// describeOperator labels an untraced operator (the plain Run path
+// still reports the plan shape to OnQueryDone).
+func describeOperator(op engine.Operator) *PlanNode {
+	switch x := op.(type) {
+	case *engine.Scan:
+		return &PlanNode{Op: "Scan", Detail: x.Rel.Name(), EstRows: -1}
+	case *engine.Select:
+		return &PlanNode{Op: "Select", EstRows: -1}
+	case *engine.Project:
+		return &PlanNode{Op: "Project", Detail: fmt.Sprintf("%d cols", len(x.Exprs)), EstRows: -1}
+	case *engine.HashJoin:
+		return &PlanNode{Op: "HashJoin", Detail: fmt.Sprintf("%d keys", len(x.LeftKeys)), EstRows: -1}
+	case *engine.GroupBy:
+		return &PlanNode{Op: "GroupBy",
+			Detail: fmt.Sprintf("%d groups, %d aggs", len(x.Groups), len(x.Aggs)), EstRows: -1}
+	case *engine.OrderBy:
+		return &PlanNode{Op: "OrderBy", Detail: fmt.Sprintf("%d keys", len(x.Keys)), EstRows: -1}
+	case *engine.Limit:
+		return &PlanNode{Op: "Limit", Detail: fmt.Sprintf("%d", x.N), EstRows: -1}
+	default:
+		return &PlanNode{Op: fmt.Sprintf("%T", op), EstRows: -1}
+	}
+}
+
+func snapshotScanStats(st *obs.ScanStats) ScanStats {
+	return ScanStats{
+		NumTiles:       st.NumTiles,
+		TilesScanned:   st.TilesScanned.Load(),
+		TilesSkipped:   st.TilesSkipped.Load(),
+		RowsScanned:    st.RowsScanned.Load(),
+		ColumnHits:     st.ColumnHits.Load(),
+		JSONBFallbacks: st.JSONBFallbacks.Load(),
+		CastErrors:     st.CastErrors.Load(),
+	}
+}
+
+// Find returns the first node (pre-order) whose Op matches, or nil —
+// a convenience for tests and tools digging into one operator.
+func (n *PlanNode) Find(op string) *PlanNode {
+	if n == nil {
+		return nil
+	}
+	if n.Op == op {
+		return n
+	}
+	for _, c := range n.Children {
+		if m := c.Find(op); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// String renders the plan as an indented tree, one operator per line:
+//
+//	GroupBy (1 groups, 2 aggs)  [rows=4 wall=1.2ms]
+//	└─ Project (2 cols)  [rows=980 wall=3.1ms]
+//	   └─ Scan t0 logs (filtered)  [rows=980 wall=2.9ms; tiles 8/12 scanned, 4 skipped (33%); hits=1960 fallbacks=0]
+func (n *PlanNode) String() string {
+	var sb strings.Builder
+	n.write(&sb, "", "")
+	return sb.String()
+}
+
+func (n *PlanNode) write(sb *strings.Builder, prefix, childPrefix string) {
+	sb.WriteString(prefix)
+	sb.WriteString(n.Op)
+	if n.Detail != "" {
+		fmt.Fprintf(sb, " (%s)", n.Detail)
+	}
+	if n.EstRows >= 0 {
+		fmt.Fprintf(sb, " est=%.0f", n.EstRows)
+	}
+	if n.Analyzed {
+		fmt.Fprintf(sb, "  [rows=%d wall=%s", n.Rows, n.Wall.Round(time.Microsecond))
+		if s := n.Scan; s != nil {
+			if s.NumTiles > 0 {
+				fmt.Fprintf(sb, "; tiles %d/%d scanned, %d skipped (%.0f%%)",
+					s.TilesScanned, s.NumTiles, s.TilesSkipped, 100*s.SkipRatio())
+			}
+			fmt.Fprintf(sb, "; hits=%d fallbacks=%d", s.ColumnHits, s.JSONBFallbacks)
+			if s.CastErrors > 0 {
+				fmt.Fprintf(sb, " cast_errors=%d", s.CastErrors)
+			}
+		}
+		sb.WriteString("]")
+	}
+	sb.WriteByte('\n')
+	for i, c := range n.Children {
+		connector, next := "├─ ", "│  "
+		if i == len(n.Children)-1 {
+			connector, next = "└─ ", "   "
+		}
+		c.write(sb, childPrefix+connector, childPrefix+next)
+	}
+}

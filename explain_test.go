@@ -1,0 +1,280 @@
+package jsontiles
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// mixedDocs interleaves two document structures so tuple reordering
+// clusters them into distinct tiles and "status" queries can skip the
+// event-only tiles.
+func mixedDocs(n int) [][]byte {
+	var out [][]byte
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			out = append(out, []byte(fmt.Sprintf(
+				`{"kind":"http","status":%d,"latency_ms":%d.5,"path":"/api/%d"}`,
+				200+(i%3)*100, i%90, i%7)))
+		} else {
+			out = append(out, []byte(fmt.Sprintf(
+				`{"kind":"event","name":"ev%d","payload":{"seq":%d}}`, i%5, i)))
+		}
+	}
+	return out
+}
+
+func usersDocs(n int) [][]byte {
+	var out [][]byte
+	for i := 0; i < n; i++ {
+		out = append(out, []byte(fmt.Sprintf(
+			`{"uid":"u%02d","plan":"%s"}`, i, []string{"free", "pro"}[i%2])))
+	}
+	return out
+}
+
+func ordersDocs(n int) [][]byte {
+	var out [][]byte
+	for i := 0; i < n; i++ {
+		out = append(out, []byte(fmt.Sprintf(
+			`{"order":%d,"user":"u%02d","total":%d}`, i, i%20, 10+i%90)))
+	}
+	return out
+}
+
+func TestExplainJoinGroupBy(t *testing.T) {
+	users, err := Load("users", usersDocs(20), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders, err := Load("orders", ordersDocs(400), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := orders.Query("data->>'user'", "data->>'total'::BigInt").
+		Join(users, []string{"data->>'uid'", "data->>'plan'"}, 0, 0).
+		GroupBy(3).
+		Aggregate(CountAll("n"), Sum(1, "revenue"))
+
+	plan, err := q.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Find("HashJoin") == nil {
+		t.Fatalf("plan lacks HashJoin:\n%s", plan)
+	}
+	if plan.Find("GroupBy") == nil {
+		t.Fatalf("plan lacks GroupBy:\n%s", plan)
+	}
+	scan := plan.Find("Scan")
+	if scan == nil {
+		t.Fatalf("plan lacks Scan:\n%s", plan)
+	}
+	if scan.EstRows < 0 {
+		t.Fatalf("scan node has no cardinality estimate:\n%s", plan)
+	}
+	// Explain must not execute: no node carries measured stats.
+	if plan.Analyzed || plan.Find("HashJoin").Analyzed {
+		t.Fatalf("Explain executed the plan:\n%s", plan)
+	}
+	if !strings.Contains(plan.String(), "HashJoin") {
+		t.Fatalf("String() misses the join:\n%s", plan)
+	}
+}
+
+func TestRunAnalyzedJoinGroupBy(t *testing.T) {
+	users, err := Load("users", usersDocs(20), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders, err := Load("orders", ordersDocs(400), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	build := func() *Query {
+		return orders.Query("data->>'user'", "data->>'total'::BigInt").
+			Join(users, []string{"data->>'uid'", "data->>'plan'"}, 0, 0).
+			GroupBy(3).
+			Aggregate(CountAll("n"), Sum(1, "revenue")).
+			OrderBy(0, false)
+	}
+
+	plain, err := build().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := build().RunAnalyzed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != plain.NumRows() || res.NumRows() != 2 {
+		t.Fatalf("analyzed rows = %d, plain rows = %d, want 2", res.NumRows(), plain.NumRows())
+	}
+	if !stats.Analyzed || stats.RowsReturned != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Wall <= 0 || stats.ExecTime <= 0 {
+		t.Fatalf("missing timings: wall=%v exec=%v", stats.Wall, stats.ExecTime)
+	}
+	if stats.PlanTime <= 0 {
+		t.Fatalf("join query should report optimizer time, got %v", stats.PlanTime)
+	}
+
+	join := stats.Plan.Find("HashJoin")
+	if join == nil || !join.Analyzed {
+		t.Fatalf("join node missing or unanalyzed:\n%s", stats.Plan)
+	}
+	if join.Rows != 400 {
+		t.Fatalf("join emitted %d rows, want 400", join.Rows)
+	}
+	// Both scans report their table and row counts.
+	seen := map[string]int64{}
+	var walk func(n *PlanNode)
+	walk = func(n *PlanNode) {
+		if n.Op == "Scan" {
+			if !n.Analyzed || n.Scan == nil {
+				t.Fatalf("scan node unanalyzed:\n%s", stats.Plan)
+			}
+			seen[n.Scan.Table] = n.Scan.RowsScanned
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(stats.Plan)
+	if seen["users"] != 20 || seen["orders"] != 400 {
+		t.Fatalf("per-table rows scanned = %v", seen)
+	}
+	out := stats.String()
+	for _, want := range []string{"HashJoin", "GroupBy", "rows=400", "users", "orders"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats.String() misses %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTileSkippingAccounting(t *testing.T) {
+	for _, skip := range []bool{true, false} {
+		o := opts()
+		o.SkipTiles = skip
+		tbl, err := Load("logs", mixedDocs(2048), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		numTiles := int64(tbl.StorageInfo().NumTiles)
+		if numTiles < 4 {
+			t.Fatalf("want several tiles, got %d", numTiles)
+		}
+
+		base := obs.Default.Snapshot()
+		_, stats, err := tbl.Query("data->>'status'::BigInt").
+			WhereNotNull(0).
+			GroupBy(0).
+			Aggregate(CountAll("n")).
+			RunAnalyzed()
+		if err != nil {
+			t.Fatal(err)
+		}
+		scan := stats.Plan.Find("Scan")
+		if scan == nil || scan.Scan == nil {
+			t.Fatalf("no scan stats:\n%s", stats.Plan)
+		}
+		s := scan.Scan
+
+		// Every tile is accounted for, scanned or skipped.
+		if s.TilesScanned+s.TilesSkipped != numTiles || s.NumTiles != numTiles {
+			t.Fatalf("skip=%v: scanned %d + skipped %d != NumTiles %d",
+				skip, s.TilesScanned, s.TilesSkipped, numTiles)
+		}
+		if skip && s.TilesSkipped == 0 {
+			t.Fatalf("SkipTiles=true but no tile was skipped (%d tiles)", numTiles)
+		}
+		if !skip && s.TilesSkipped != 0 {
+			t.Fatalf("SkipTiles=false yet %d tiles skipped", s.TilesSkipped)
+		}
+		if skip && s.SkipRatio() <= 0 {
+			t.Fatalf("skip ratio = %v", s.SkipRatio())
+		}
+
+		// The process-wide registry saw the same tile accounting.
+		d := obs.Default.Snapshot().Diff(base)
+		if d.Get("tiles_scanned")+d.Get("tiles_skipped") != numTiles {
+			t.Fatalf("registry delta %d+%d != %d",
+				d.Get("tiles_scanned"), d.Get("tiles_skipped"), numTiles)
+		}
+		if d.Get("queries_run") != 1 {
+			t.Fatalf("queries_run delta = %d", d.Get("queries_run"))
+		}
+	}
+}
+
+func TestOnQueryDoneHook(t *testing.T) {
+	o := opts()
+	var got []QueryStats
+	o.OnQueryDone = func(s QueryStats) { got = append(got, s) }
+	tbl, err := Load("reviews", reviewDocs(300), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := tbl.Query("data->>'stars'::BigInt").WhereCmp(0, Ge, 4).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("hook called %d times", len(got))
+	}
+	if got[0].Analyzed {
+		t.Fatal("plain Run reported analyzed stats")
+	}
+	if got[0].Plan == nil || got[0].Plan.Find("Scan") == nil {
+		t.Fatalf("hook stats lack a plan: %+v", got[0])
+	}
+	if got[0].Wall <= 0 {
+		t.Fatalf("hook stats lack wall time: %+v", got[0])
+	}
+
+	if _, _, err := tbl.Query("data->>'stars'::BigInt").WhereCmp(0, Ge, 4).RunAnalyzed(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !got[1].Analyzed {
+		t.Fatalf("RunAnalyzed hook: calls=%d stats=%+v", len(got), got[len(got)-1])
+	}
+}
+
+// TestConcurrentLoadMetrics exercises shared-Metrics accumulation from
+// parallel loader workers and from concurrent tables (run with -race).
+func TestConcurrentLoadMetrics(t *testing.T) {
+	o := opts()
+	o.Workers = 4
+
+	var wg sync.WaitGroup
+	tables := make([]*Table, 6)
+	errs := make([]error, len(tables))
+	for i := range tables {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tables[i], errs[i] = Load(fmt.Sprintf("t%d", i), mixedDocs(1024), o)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, tbl := range tables {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		ls := tbl.LoadStats()
+		if ls.TilesBuilt != int64(tbl.StorageInfo().NumTiles) {
+			t.Fatalf("table %d: TilesBuilt %d != NumTiles %d",
+				i, ls.TilesBuilt, tbl.StorageInfo().NumTiles)
+		}
+		if ls.Parse <= 0 || ls.Extract <= 0 || ls.WriteJSONB <= 0 {
+			t.Fatalf("table %d: empty load breakdown %+v", i, ls)
+		}
+	}
+}

@@ -91,9 +91,13 @@ func ByID(id string) (Experiment, bool) {
 // Context caches generated workloads and loaded relations across
 // experiments of one run.
 type Context struct {
-	Opts  Options
-	mu    sync.Mutex
-	cache map[string]any
+	Opts Options
+	// Metrics accumulates the tile-loading breakdown (parse, mine,
+	// extract, jsonb, reorder) across every load this context performs;
+	// the CLI prints the per-experiment delta.
+	Metrics *tile.Metrics
+	mu      sync.Mutex
+	cache   map[string]any
 }
 
 // NewContext returns a fresh cache.
@@ -104,7 +108,7 @@ func NewContext(opts Options) *Context {
 	if opts.Scale <= 0 {
 		opts.Scale = DefaultOptions().Scale
 	}
-	return &Context{Opts: opts, cache: map[string]any{}}
+	return &Context{Opts: opts, Metrics: &tile.Metrics{}, cache: map[string]any{}}
 }
 
 func cached[T any](c *Context, key string, build func() T) T {
@@ -179,7 +183,9 @@ var internalFormats = []storage.FormatKind{storage.KindJSON, storage.KindJSONB,
 	storage.KindSinew, storage.KindTiles}
 
 func (c *Context) loaderConfig() storage.LoaderConfig {
-	return storage.DefaultLoaderConfig()
+	cfg := storage.DefaultLoaderConfig()
+	cfg.Metrics = c.Metrics
+	return cfg
 }
 
 func (c *Context) relation(workload string, kind storage.FormatKind, lines func() [][]byte) storage.Relation {

@@ -191,6 +191,9 @@ type group struct {
 	states  []aggState
 }
 
+// Inputs implements the plan-walking interface.
+func (g *GroupBy) Inputs() []Operator { return []Operator{g.In} }
+
 // Run implements Operator.
 func (g *GroupBy) Run(workers int, emit EmitFunc) {
 	// One hash table per worker id, preallocated so the per-row path
@@ -285,6 +288,9 @@ func NewOrderBy(in Operator, keys ...OrderKey) *OrderBy { return &OrderBy{In: in
 // Columns implements Operator.
 func (o *OrderBy) Columns() []ColumnDesc { return o.In.Columns() }
 
+// Inputs implements the plan-walking interface.
+func (o *OrderBy) Inputs() []Operator { return []Operator{o.In} }
+
 // Run implements Operator.
 func (o *OrderBy) Run(workers int, emit EmitFunc) {
 	var mu sync.Mutex
@@ -336,6 +342,9 @@ func NewLimit(in Operator, n int) *Limit { return &Limit{In: in, N: n} }
 
 // Columns implements Operator.
 func (l *Limit) Columns() []ColumnDesc { return l.In.Columns() }
+
+// Inputs implements the plan-walking interface.
+func (l *Limit) Inputs() []Operator { return []Operator{l.In} }
 
 // Run implements Operator.
 func (l *Limit) Run(workers int, emit EmitFunc) {

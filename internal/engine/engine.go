@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -38,6 +39,10 @@ type Scan struct {
 	Accesses []storage.Access
 	Names    []string
 	Filter   expr.Expr
+	// Stats, when non-nil, receives the relation's per-scan counters
+	// (tiles scanned/skipped, column hits, fallbacks) — set by the
+	// EXPLAIN ANALYZE path, nil on plain runs.
+	Stats *obs.ScanStats
 }
 
 // NewScan builds a scan and derives the null-rejection flags for tile
@@ -76,17 +81,20 @@ func (s *Scan) Columns() []ColumnDesc {
 	return out
 }
 
+// Inputs implements the plan-walking interface (a scan is a leaf).
+func (s *Scan) Inputs() []Operator { return nil }
+
 // Run implements Operator.
 func (s *Scan) Run(workers int, emit EmitFunc) {
 	if s.Filter == nil {
-		s.Rel.Scan(s.Accesses, workers, storage.EmitFunc(emit))
+		storage.ScanWith(s.Rel, s.Accesses, workers, storage.EmitFunc(emit), s.Stats)
 		return
 	}
-	s.Rel.Scan(s.Accesses, workers, func(w int, row []expr.Value) {
+	storage.ScanWith(s.Rel, s.Accesses, workers, func(w int, row []expr.Value) {
 		if s.Filter.Eval(row).IsTrue() {
 			emit(w, row)
 		}
-	})
+	}, s.Stats)
 }
 
 // Select filters rows by a predicate.
@@ -100,6 +108,9 @@ func NewSelect(in Operator, pred expr.Expr) *Select { return &Select{In: in, Pre
 
 // Columns implements Operator.
 func (s *Select) Columns() []ColumnDesc { return s.In.Columns() }
+
+// Inputs implements the plan-walking interface.
+func (s *Select) Inputs() []Operator { return []Operator{s.In} }
 
 // Run implements Operator.
 func (s *Select) Run(workers int, emit EmitFunc) {
@@ -134,6 +145,9 @@ func (p *Project) Columns() []ColumnDesc {
 	}
 	return out
 }
+
+// Inputs implements the plan-walking interface.
+func (p *Project) Inputs() []Operator { return []Operator{p.In} }
 
 // Run implements Operator.
 func (p *Project) Run(workers int, emit EmitFunc) {
@@ -194,6 +208,9 @@ func (j *HashJoin) Columns() []ColumnDesc {
 		return append(append([]ColumnDesc{}, probe...), j.Left.Columns()...)
 	}
 }
+
+// Inputs implements the plan-walking interface (build side first).
+func (j *HashJoin) Inputs() []Operator { return []Operator{j.Left, j.Right} }
 
 // Run implements Operator.
 func (j *HashJoin) Run(workers int, emit EmitFunc) {

@@ -22,6 +22,8 @@ package lz4
 import (
 	"encoding/binary"
 	"errors"
+
+	"repro/internal/obs"
 )
 
 const (
@@ -144,8 +146,18 @@ func appendLenExt(dst []byte, v int) []byte {
 }
 
 // Decompress decodes an LZ4 block into dst, which must be exactly the
-// original length. It returns the number of bytes written.
+// original length. It returns the number of bytes written. Successful
+// decompressions report their output size to the process-wide
+// observability registry (bytes_decompressed).
 func Decompress(dst, src []byte) (int, error) {
+	n, err := decompress(dst, src)
+	if err == nil {
+		obs.BytesDecompressed.Add(int64(n))
+	}
+	return n, err
+}
+
+func decompress(dst, src []byte) (int, error) {
 	if len(src) == 0 {
 		return 0, nil
 	}

@@ -1,0 +1,143 @@
+// Package obs is the observability layer of the engine: atomic
+// counters aggregated in a process-wide Registry, a nil-safe span
+// tracer for wall-time breakdowns, and the per-scan statistics the
+// query path fills for EXPLAIN ANALYZE. Everything here is designed to
+// stay off the hot path: counters are batched per tile or chunk before
+// one atomic add, and a nil *Span makes the whole tracing API a no-op.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Registry is a named collection of counters. Counters are created on
+// first use and live for the lifetime of the registry; reads never
+// block writers (counter updates are lock-free once obtained).
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: map[string]*Counter{}}
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. The returned pointer is stable; hot paths should obtain it
+// once and keep it.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Snapshot is a point-in-time copy of every counter value.
+type Snapshot map[string]int64
+
+// Snapshot copies the current counter values.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := make(Snapshot, len(r.counters))
+	for name, c := range r.counters {
+		s[name] = c.Load()
+	}
+	return s
+}
+
+// Diff returns s minus base, counter by counter (counters absent from
+// base count from zero).
+func (s Snapshot) Diff(base Snapshot) Snapshot {
+	out := make(Snapshot, len(s))
+	for name, v := range s {
+		out[name] = v - base[name]
+	}
+	return out
+}
+
+// Get returns the snapshot value for name (0 when absent).
+func (s Snapshot) Get(name string) int64 { return s[name] }
+
+// WriteTo exports every counter as "name value" lines in sorted order
+// (expvar-style text format), implementing io.WriterTo.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	return r.Snapshot().WriteTo(w)
+}
+
+// WriteTo exports the snapshot as sorted "name value" lines.
+func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
+	names := make([]string, 0, len(s))
+	for name := range s {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var total int64
+	for _, name := range names {
+		n, err := fmt.Fprintf(w, "%s %d\n", name, s[name])
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Default is the process-wide registry every scan and load reports
+// into.
+var Default = NewRegistry()
+
+// The standard engine counters (see README "Observability" for the
+// glossary and DESIGN.md for the paper-section mapping).
+var (
+	TilesScanned      = Default.Counter("tiles_scanned")
+	TilesSkipped      = Default.Counter("tiles_skipped")
+	RowsScanned       = Default.Counter("rows_scanned")
+	RowsEmitted       = Default.Counter("rows_emitted")
+	ColumnHits        = Default.Counter("column_hits")
+	JSONBFallbacks    = Default.Counter("jsonb_fallbacks")
+	CastErrors        = Default.Counter("cast_errors")
+	BytesDecompressed = Default.Counter("bytes_decompressed")
+	DocsLoaded        = Default.Counter("docs_loaded")
+	TilesBuilt        = Default.Counter("tiles_built")
+	QueriesRun        = Default.Counter("queries_run")
+)

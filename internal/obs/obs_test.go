@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hits") // concurrent get-or-create
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Load(); got != workers*perWorker {
+		t.Fatalf("hits = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestNilCounterSafe(t *testing.T) {
+	var c *Counter
+	c.Add(5)
+	c.Inc()
+	if c.Load() != 0 {
+		t.Fatal("nil counter should load 0")
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(10)
+	r.Counter("b").Add(3)
+	base := r.Snapshot()
+	r.Counter("a").Add(5)
+	r.Counter("c").Add(7)
+	d := r.Snapshot().Diff(base)
+	if d.Get("a") != 5 || d.Get("b") != 0 || d.Get("c") != 7 {
+		t.Fatalf("diff = %v", d)
+	}
+}
+
+func TestWriteToSortedFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta").Add(2)
+	r.Counter("alpha").Add(1)
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "alpha 1\nzeta 2\n"
+	if sb.String() != want {
+		t.Fatalf("export = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	root := StartSpan("query")
+	plan := root.Child("plan")
+	plan.End()
+	exec := root.Child("execute")
+	exec.SetDuration(5 * time.Millisecond)
+	root.End()
+
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name() != "plan" || kids[1].Name() != "execute" {
+		t.Fatalf("children = %v", kids)
+	}
+	if exec.Duration() != 5*time.Millisecond {
+		t.Fatalf("synthetic duration = %v", exec.Duration())
+	}
+	out := root.String()
+	if !strings.Contains(out, "query:") || !strings.Contains(out, "  plan:") {
+		t.Fatalf("render = %q", out)
+	}
+}
+
+func TestNilSpanSafe(t *testing.T) {
+	var s *Span
+	c := s.Child("x")
+	if c != nil {
+		t.Fatal("nil span child should be nil")
+	}
+	c.End()
+	c.SetDuration(time.Second)
+	if s.Duration() != 0 || s.String() != "" || s.Children() != nil {
+		t.Fatal("nil span should be inert")
+	}
+}
+
+func TestScanStatsSkipRatio(t *testing.T) {
+	var s *ScanStats
+	if s.SkipRatio() != 0 {
+		t.Fatal("nil stats skip ratio")
+	}
+	s = &ScanStats{NumTiles: 10}
+	s.TilesScanned.Add(6)
+	s.TilesSkipped.Add(4)
+	if got := s.SkipRatio(); got != 0.4 {
+		t.Fatalf("skip ratio = %v, want 0.4", got)
+	}
+}

@@ -1,0 +1,32 @@
+package obs
+
+import "sync/atomic"
+
+// ScanStats collects the counters of one relation scan for EXPLAIN
+// ANALYZE. Relations batch their updates per tile (or per worker
+// chunk), so the atomic adds are off the per-row path. NumTiles is set
+// by the planner before the scan starts and read only after it ends.
+type ScanStats struct {
+	// NumTiles is the total tile count of the scanned relation (0 for
+	// formats without tiles).
+	NumTiles int64
+
+	TilesScanned   atomic.Int64
+	TilesSkipped   atomic.Int64
+	RowsScanned    atomic.Int64
+	ColumnHits     atomic.Int64
+	JSONBFallbacks atomic.Int64
+	CastErrors     atomic.Int64
+}
+
+// SkipRatio returns the fraction of tiles skipped of those considered.
+func (s *ScanStats) SkipRatio() float64 {
+	if s == nil {
+		return 0
+	}
+	total := s.TilesScanned.Load() + s.TilesSkipped.Load()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.TilesSkipped.Load()) / float64(total)
+}

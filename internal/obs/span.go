@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one node of an execution trace: a named wall-time interval
+// with child spans. Durations use the monotonic clock carried by
+// time.Time. All methods are nil-safe — when tracing is disabled the
+// caller holds a nil *Span and every call is a cheap no-op — so
+// instrumented code never branches on an "enabled" flag.
+type Span struct {
+	name string
+
+	mu       sync.Mutex
+	start    time.Time
+	dur      time.Duration
+	ended    bool
+	children []*Span
+}
+
+// StartSpan starts a root span.
+func StartSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Child starts a child span. Safe on a nil receiver (returns nil, so
+// whole disabled subtrees cost one pointer comparison per call).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := StartSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End stops the span's clock. Subsequent Ends are ignored.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// SetDuration overrides the measured duration — used to graft
+// externally measured intervals (e.g. the tile.Metrics load breakdown)
+// into a trace tree as synthetic spans.
+func (s *Span) SetDuration(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.dur = d
+	s.ended = true
+	s.mu.Unlock()
+}
+
+// Name returns the span name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the measured duration; a still-running span reports
+// the time elapsed so far.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		return time.Since(s.start)
+	}
+	return s.dur
+}
+
+// Children returns the child spans in start order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// String renders the span tree with durations, one node per line.
+func (s *Span) String() string {
+	if s == nil {
+		return ""
+	}
+	var sb strings.Builder
+	s.write(&sb, 0)
+	return sb.String()
+}
+
+func (s *Span) write(sb *strings.Builder, depth int) {
+	fmt.Fprintf(sb, "%s%s: %s\n", strings.Repeat("  ", depth), s.name,
+		s.Duration().Round(time.Microsecond))
+	for _, c := range s.Children() {
+		c.write(sb, depth+1)
+	}
+}

@@ -49,6 +49,11 @@ type JoinSpec struct {
 type Query struct {
 	Tables []TableSpec
 	Joins  []JoinSpec
+	// Instrument, when non-nil, wraps every scan and join the planner
+	// constructs (the EXPLAIN/ANALYZE path installs tracing operators
+	// here). label names the operator kind, detail describes it, and
+	// est is the planner's cardinality estimate.
+	Instrument func(op engine.Operator, label, detail string, est float64) engine.Operator
 }
 
 // SlotMap resolves (alias, table-local slot) to the output slot of the
@@ -133,9 +138,15 @@ func plan(q Query, trace func(a, b *component, est float64)) (engine.Operator, *
 		for slot := range rejecting[t.Alias] {
 			scan.MarkNullRejecting(slot)
 		}
+		card := estimateBase(t)
+		var op engine.Operator = scan
+		if q.Instrument != nil {
+			op = q.Instrument(scan, "Scan",
+				fmt.Sprintf("%s %s", t.Alias, t.Rel.Name()), card)
+		}
 		comps[t.Alias] = &component{
-			op:      scan,
-			card:    estimateBase(t),
+			op:      op,
+			card:    card,
 			offsets: map[string]int{t.Alias: 0},
 			width:   len(t.Accesses),
 			scans:   map[string]*engine.Scan{t.Alias: scan},
@@ -190,6 +201,10 @@ func plan(q Query, trace func(a, b *component, est float64)) (engine.Operator, *
 		}
 		merged := joinComponents(best.a, best.b, best.keys)
 		merged.card = best.estCard
+		if q.Instrument != nil {
+			merged.op = q.Instrument(merged.op, "HashJoin",
+				fmt.Sprintf("%s ⋈ %s", aliases(best.a), aliases(best.b)), best.estCard)
+		}
 		// Replace the two inputs with the merged component.
 		for alias := range comps {
 			if comps[alias] == best.a || comps[alias] == best.b {

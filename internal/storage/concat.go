@@ -1,6 +1,9 @@
 package storage
 
-import "repro/internal/stats"
+import (
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
 
 // Concat combines two relations of the same logical table — the
 // incremental-insert path appends freshly materialized partitions to
@@ -51,5 +54,13 @@ func (r *concatRelation) Stats() *stats.TableStats { return nil }
 func (r *concatRelation) Scan(accesses []Access, workers int, emit EmitFunc) {
 	for _, p := range r.parts {
 		p.Scan(accesses, workers, emit)
+	}
+}
+
+// ScanWithStats implements StatsScanner by delegating to each part, so
+// counters aggregate across the concatenated segments.
+func (r *concatRelation) ScanWithStats(accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
+	for _, p := range r.parts {
+		ScanWith(p, accesses, workers, emit, st)
 	}
 }

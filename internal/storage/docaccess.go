@@ -26,6 +26,10 @@ type LoaderConfig struct {
 	// SkipTiles enables tile skipping (§4.8); the fig14 "no Skip"
 	// ablation turns it off.
 	SkipTiles bool
+	// Metrics, when non-nil, accumulates the load-time breakdown
+	// (parse/mine/extract/JSONB/reorder nanos — Figure 16) across every
+	// load performed with this config.
+	Metrics *tile.Metrics
 }
 
 // DefaultLoaderConfig mirrors the paper's evaluation defaults.

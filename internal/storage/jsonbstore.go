@@ -3,6 +3,7 @@ package storage
 import (
 	"repro/internal/expr"
 	"repro/internal/jsonb"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -44,7 +45,18 @@ func (r *jsonbStore) SizeBytes() int {
 }
 
 func (r *jsonbStore) Scan(accesses []Access, workers int, emit EmitFunc) {
+	r.ScanWithStats(accesses, workers, emit, nil)
+}
+
+// ScanWithStats implements StatsScanner. Every access traverses the
+// per-document binary JSON, so they all count as fallbacks — the
+// baseline the tiles column-hit ratio is compared against.
+func (r *jsonbStore) ScanWithStats(accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
 	parallelRange(len(r.docs), workers, func(w, lo, hi int) {
+		var cnt scanCounters
+		defer cnt.flush(st)
+		cnt.rows = int64(hi - lo)
+		cnt.fallbacks = int64(hi-lo) * int64(len(accesses))
 		row := make([]expr.Value, len(accesses))
 		for i := lo; i < hi; i++ {
 			d := jsonb.NewDoc(r.docs[i])

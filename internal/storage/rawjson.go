@@ -3,6 +3,7 @@ package storage
 import (
 	"repro/internal/expr"
 	"repro/internal/jsontext"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -43,7 +44,16 @@ func (r *rawJSON) SizeBytes() int {
 }
 
 func (r *rawJSON) Scan(accesses []Access, workers int, emit EmitFunc) {
+	r.ScanWithStats(accesses, workers, emit, nil)
+}
+
+// ScanWithStats implements StatsScanner (rows only; the text format
+// re-parses every document, there is nothing columnar to hit).
+func (r *rawJSON) ScanWithStats(accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
 	parallelRange(len(r.lines), workers, func(w, lo, hi int) {
+		var cnt scanCounters
+		defer cnt.flush(st)
+		cnt.rows = int64(hi - lo)
 		row := make([]expr.Value, len(accesses))
 		for i := lo; i < hi; i++ {
 			doc, err := jsontext.Parse(r.lines[i])

@@ -34,21 +34,24 @@ type colResolver struct {
 }
 
 // read returns the value for row i, or needDoc=true when the caller
-// must perform a document access instead.
-func (r colResolver) read(i int) (v expr.Value, needDoc bool) {
+// must perform a document access instead. castErr reports a stored
+// non-null value the requested cast could not convert (e.g. a text
+// column accessed as ::BigInt with a non-numeric string).
+func (r colResolver) read(i int) (v expr.Value, needDoc, castErr bool) {
 	switch r.mode {
 	case modeNullAll:
-		return expr.NullValue(), false
+		return expr.NullValue(), false, false
 	case modeFallback:
-		return expr.Value{}, true
+		return expr.Value{}, true, false
 	default:
 		if r.col.IsNull(i) {
 			if r.fallbackOnNull {
-				return expr.Value{}, true
+				return expr.Value{}, true, false
 			}
-			return expr.NullValue(), false
+			return expr.NullValue(), false, false
 		}
-		return r.convert(r.col, i), false
+		v = r.convert(r.col, i)
+		return v, false, v.Null
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/jsonb"
 	"repro/internal/jsonvalue"
 	"repro/internal/keypath"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -152,7 +153,17 @@ func (r *shredded) SizeBytes() int {
 func (r *shredded) NumColumns() int { return len(r.cols) }
 
 func (r *shredded) Scan(accesses []Access, workers int, emit EmitFunc) {
+	r.ScanWithStats(accesses, workers, emit, nil)
+}
+
+// ScanWithStats implements StatsScanner (rows only: the shredded
+// format has neither tiles nor a binary-JSON fallback — record
+// reassembly is its cost model, not fallback counts).
+func (r *shredded) ScanWithStats(accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
 	parallelRange(r.numRows, workers, func(w, lo, hi int) {
+		var cnt scanCounters
+		defer cnt.flush(st)
+		cnt.rows = int64(hi - lo)
 		row := make([]expr.Value, len(accesses))
 		// Per-access cursor into the sparse columns: the def-level
 		// walk of record shredding.

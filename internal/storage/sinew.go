@@ -9,6 +9,7 @@ import (
 	"repro/internal/jsonb"
 	"repro/internal/jsonvalue"
 	"repro/internal/keypath"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -169,6 +170,13 @@ func (r *sinew) ExtractedPaths() []string {
 }
 
 func (r *sinew) Scan(accesses []Access, workers int, emit EmitFunc) {
+	r.ScanWithStats(accesses, workers, emit, nil)
+}
+
+// ScanWithStats implements StatsScanner; Sinew's global schema has no
+// tiles, but the column-hit vs fallback split is still the interesting
+// signal (accesses missing from the single schema always fall back).
+func (r *sinew) ScanWithStats(accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
 	// Resolve each access once against the single global schema.
 	res := make([]colResolver, len(accesses))
 	for i, a := range accesses {
@@ -181,17 +189,26 @@ func (r *sinew) Scan(accesses []Access, workers int, emit EmitFunc) {
 	}
 	parallelRange(r.numRows, workers, func(w, lo, hi int) {
 		row := make([]expr.Value, len(accesses))
+		var cnt scanCounters
+		defer cnt.flush(st)
+		cnt.rows = int64(hi - lo)
 		for i := lo; i < hi; i++ {
 			var d jsonb.Doc
 			haveDoc := false
 			for ai := range accesses {
-				v, needDoc := res[ai].read(i)
+				v, needDoc, castErr := res[ai].read(i)
 				if needDoc {
+					cnt.fallbacks++
 					if !haveDoc {
 						d = jsonb.NewDoc(r.raw[i])
 						haveDoc = true
 					}
 					v = docAccess(d, accesses[ai].Path, accesses[ai].Type)
+				} else if res[ai].mode == modeColumn {
+					cnt.hits++
+				}
+				if castErr {
+					cnt.castErrs++
 				}
 				row[ai] = v
 			}

@@ -20,7 +20,9 @@ import (
 	"repro/internal/expr"
 	"repro/internal/jsonvalue"
 	"repro/internal/keypath"
+	"repro/internal/obs"
 	"repro/internal/stats"
+	"repro/internal/tile"
 )
 
 // Access is one pushed-down JSON access expression (§4.2): the scan
@@ -71,6 +73,46 @@ type Relation interface {
 	// Stats returns relation statistics, or nil when the format keeps
 	// none (every format except Tiles, matching the paper).
 	Stats() *stats.TableStats
+}
+
+// StatsScanner is implemented by relations that report per-scan
+// observability counters (tiles scanned/skipped, rows, column hits vs
+// binary-JSON fallbacks). Scanning with a nil *obs.ScanStats is
+// equivalent to Scan.
+type StatsScanner interface {
+	ScanWithStats(accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats)
+}
+
+// ScanWith scans rel, routing per-scan counters into st when non-nil.
+// Relations without native stats support still report rows scanned.
+func ScanWith(rel Relation, accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
+	if ss, ok := rel.(StatsScanner); ok {
+		ss.ScanWithStats(accesses, workers, emit, st)
+		return
+	}
+	if st == nil {
+		rel.Scan(accesses, workers, emit)
+		return
+	}
+	rel.Scan(accesses, workers, func(w int, row []expr.Value) {
+		st.RowsScanned.Add(1)
+		emit(w, row)
+	})
+}
+
+// TileIntrospector is implemented by tile-backed relations and exposes
+// the physical layout for statistics and diagnostics (Table 6 size
+// accounting, per-tile extracted paths, tile counts for skip ratios).
+type TileIntrospector interface {
+	// Tiles returns the materialized tiles in row order.
+	Tiles() []*tile.Tile
+	// RawSizeBytes is the per-document binary JSON footprint.
+	RawSizeBytes() int
+	// ColumnSizeBytes is the extracted-column overhead ("+Tiles").
+	ColumnSizeBytes() int
+	// CompressedColumnSizeBytes is the LZ4-compressed column size
+	// ("+LZ4-Tiles").
+	CompressedColumnSizeBytes() int
 }
 
 // FormatKind names a storage format for the benchmark harness.

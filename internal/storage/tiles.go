@@ -2,11 +2,13 @@ package storage
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/expr"
 	"repro/internal/jsonb"
 	"repro/internal/jsonvalue"
 	"repro/internal/keypath"
+	"repro/internal/obs"
 	"repro/internal/reorder"
 	"repro/internal/stats"
 	"repro/internal/tile"
@@ -25,29 +27,44 @@ type tilesRelation struct {
 	metrics *tile.Metrics
 }
 
+var (
+	_ StatsScanner     = (*tilesRelation)(nil)
+	_ TileIntrospector = (*tilesRelation)(nil)
+)
+
 type tilesLoader struct {
-	cfg     LoaderConfig
-	metrics *tile.Metrics
+	cfg LoaderConfig
 }
 
 // NewTilesLoader returns a Tiles loader that records build metrics
-// (Figure 16's insertion breakdown).
+// (Figure 16's insertion breakdown) into m, overriding cfg.Metrics.
 func NewTilesLoader(cfg LoaderConfig, m *tile.Metrics) Loader {
-	return tilesLoader{cfg: cfg, metrics: m}
+	if m != nil {
+		cfg.Metrics = m
+	}
+	return tilesLoader{cfg: cfg}
 }
 
 func (l tilesLoader) Load(name string, lines [][]byte, workers int) (Relation, error) {
+	start := time.Now()
 	docs, err := parseAll(lines, workers)
 	if err != nil {
 		return nil, err
 	}
-	return BuildTiles(name, docs, l.cfg, workers, l.metrics), nil
+	if l.cfg.Metrics != nil {
+		l.cfg.Metrics.ParseNanos.Add(time.Since(start).Nanoseconds())
+	}
+	obs.DocsLoaded.Add(int64(len(docs)))
+	return BuildTiles(name, docs, l.cfg, workers, l.cfg.Metrics), nil
 }
 
 // BuildTiles constructs a Tiles relation from parsed documents.
 // Partitions are fully independent (§3.2: "Each thread is dedicated to
 // a disjoint subset of the data"), so they are processed in parallel.
 func BuildTiles(name string, docs []jsonvalue.Value, cfg LoaderConfig, workers int, metrics *tile.Metrics) Relation {
+	if metrics == nil {
+		metrics = cfg.Metrics
+	}
 	tcfg := cfg.Tile
 	if tcfg.TileSize <= 0 {
 		tcfg = tile.DefaultConfig()
@@ -183,31 +200,75 @@ func (r *tilesRelation) RawSizeBytes() int {
 }
 
 func (r *tilesRelation) Scan(accesses []Access, workers int, emit EmitFunc) {
+	r.ScanWithStats(accesses, workers, emit, nil)
+}
+
+// scanCounters batches per-worker observability counts so the per-row
+// path touches only local integers; they are flushed with a handful of
+// atomic adds per worker chunk.
+type scanCounters struct {
+	tilesScanned, tilesSkipped      int64
+	rows, hits, fallbacks, castErrs int64
+}
+
+func (c *scanCounters) flush(st *obs.ScanStats) {
+	obs.TilesScanned.Add(c.tilesScanned)
+	obs.TilesSkipped.Add(c.tilesSkipped)
+	obs.RowsScanned.Add(c.rows)
+	obs.ColumnHits.Add(c.hits)
+	obs.JSONBFallbacks.Add(c.fallbacks)
+	obs.CastErrors.Add(c.castErrs)
+	if st == nil {
+		return
+	}
+	st.TilesScanned.Add(c.tilesScanned)
+	st.TilesSkipped.Add(c.tilesSkipped)
+	st.RowsScanned.Add(c.rows)
+	st.ColumnHits.Add(c.hits)
+	st.JSONBFallbacks.Add(c.fallbacks)
+	st.CastErrors.Add(c.castErrs)
+}
+
+// ScanWithStats implements StatsScanner: the per-tile skip decisions
+// (§4.8) and the column-hit vs binary-JSON-fallback split (§4.5/§5)
+// are the key observability signals of the format.
+func (r *tilesRelation) ScanWithStats(accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
 	parallelRange(len(r.tiles), workers, func(w, lo, hi int) {
 		row := make([]expr.Value, len(accesses))
 		res := make([]colResolver, len(accesses))
+		var cnt scanCounters
+		defer cnt.flush(st)
 		for ti := lo; ti < hi; ti++ {
 			t := r.tiles[ti]
 			if r.cfg.SkipTiles && r.skippable(t, accesses) {
+				cnt.tilesSkipped++
 				continue
 			}
+			cnt.tilesScanned++
 			// Per-tile access resolution, computed once and reused for
 			// every tuple of the tile (§4.5).
 			for ai, a := range accesses {
 				res[ai] = r.resolveTile(t, a)
 			}
 			n := t.NumRows()
+			cnt.rows += int64(n)
 			for i := 0; i < n; i++ {
 				var d jsonb.Doc
 				haveDoc := false
 				for ai := range accesses {
-					v, needDoc := res[ai].read(i)
+					v, needDoc, castErr := res[ai].read(i)
 					if needDoc {
+						cnt.fallbacks++
 						if !haveDoc {
 							d = t.Raw(i)
 							haveDoc = true
 						}
 						v = docAccess(d, accesses[ai].Path, accesses[ai].Type)
+					} else if res[ai].mode == modeColumn {
+						cnt.hits++
+					}
+					if castErr {
+						cnt.castErrs++
 					}
 					row[ai] = v
 				}

@@ -7,6 +7,7 @@
 package tile
 
 import (
+	"fmt"
 	"math"
 	"sync/atomic"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/jsonb"
 	"repro/internal/jsonvalue"
 	"repro/internal/keypath"
+	"repro/internal/obs"
 )
 
 // Config holds the extraction parameters. The defaults follow the
@@ -70,11 +72,59 @@ func (c Config) MinSupport(n int) int {
 // atomically updated nanosecond counters so parallel loaders can share
 // one Metrics.
 type Metrics struct {
+	ParseNanos      atomic.Int64
 	MineNanos       atomic.Int64
 	ExtractNanos    atomic.Int64
 	WriteJSONBNanos atomic.Int64
 	ReorderNanos    atomic.Int64
 	TilesBuilt      atomic.Int64
+}
+
+// MetricsSnapshot is a point-in-time copy of Metrics, comparable and
+// diffable (the CLI prints per-experiment deltas).
+type MetricsSnapshot struct {
+	ParseNanos      int64
+	MineNanos       int64
+	ExtractNanos    int64
+	WriteJSONBNanos int64
+	ReorderNanos    int64
+	TilesBuilt      int64
+}
+
+// Snapshot copies the current counter values.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	if m == nil {
+		return MetricsSnapshot{}
+	}
+	return MetricsSnapshot{
+		ParseNanos:      m.ParseNanos.Load(),
+		MineNanos:       m.MineNanos.Load(),
+		ExtractNanos:    m.ExtractNanos.Load(),
+		WriteJSONBNanos: m.WriteJSONBNanos.Load(),
+		ReorderNanos:    m.ReorderNanos.Load(),
+		TilesBuilt:      m.TilesBuilt.Load(),
+	}
+}
+
+// Sub returns the delta s - base, phase by phase.
+func (s MetricsSnapshot) Sub(base MetricsSnapshot) MetricsSnapshot {
+	return MetricsSnapshot{
+		ParseNanos:      s.ParseNanos - base.ParseNanos,
+		MineNanos:       s.MineNanos - base.MineNanos,
+		ExtractNanos:    s.ExtractNanos - base.ExtractNanos,
+		WriteJSONBNanos: s.WriteJSONBNanos - base.WriteJSONBNanos,
+		ReorderNanos:    s.ReorderNanos - base.ReorderNanos,
+		TilesBuilt:      s.TilesBuilt - base.TilesBuilt,
+	}
+}
+
+// String renders the Figure-16-style insertion breakdown on one line.
+func (s MetricsSnapshot) String() string {
+	ms := func(n int64) float64 { return float64(n) / 1e6 }
+	return fmt.Sprintf(
+		"parse %.1fms  mine %.1fms  extract %.1fms  jsonb %.1fms  reorder %.1fms  (%d tiles)",
+		ms(s.ParseNanos), ms(s.MineNanos), ms(s.ExtractNanos),
+		ms(s.WriteJSONBNanos), ms(s.ReorderNanos), s.TilesBuilt)
 }
 
 // ColumnInfo describes one extracted column in the tile header.
@@ -364,6 +414,7 @@ func (b *Builder) materialize(docs []jsonvalue.Value, dict *keypath.Dict, maxima
 		b.Metrics.WriteJSONBNanos.Add(time.Since(start).Nanoseconds())
 		b.Metrics.TilesBuilt.Add(1)
 	}
+	obs.TilesBuilt.Inc()
 	return t
 }
 

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/jsontext"
@@ -61,6 +62,10 @@ type Options struct {
 	DetectDates bool
 	// Workers bounds loading and query parallelism (0 = all CPUs).
 	Workers int
+	// OnQueryDone, when set, receives a QueryStats after every
+	// Run/RunAnalyzed on this table's queries (slow-query logging,
+	// metrics export). Called synchronously before Run returns.
+	OnQueryDone func(QueryStats)
 }
 
 // DefaultOptions returns the paper's recommended settings.
@@ -105,6 +110,7 @@ type Table struct {
 	opts    Options
 	rel     storage.Relation
 	pending []jsonvalue.Value
+	metrics *tile.Metrics
 }
 
 // Load parses and ingests a batch of JSON documents (one document per
@@ -113,12 +119,13 @@ func Load(name string, docs [][]byte, opts Options) (*Table, error) {
 	if opts.TileSize == 0 {
 		opts = DefaultOptions()
 	}
-	loader := storage.NewTilesLoader(opts.loaderConfig(), &tile.Metrics{})
+	m := &tile.Metrics{}
+	loader := storage.NewTilesLoader(opts.loaderConfig(), m)
 	rel, err := loader.Load(name, docs, opts.workers())
 	if err != nil {
 		return nil, err
 	}
-	return &Table{name: name, opts: opts, rel: rel}, nil
+	return &Table{name: name, opts: opts, rel: rel, metrics: m}, nil
 }
 
 // LoadReader ingests newline-delimited JSON from r.
@@ -156,7 +163,8 @@ func New(name string, opts Options) *Table {
 	if opts.TileSize == 0 {
 		opts = DefaultOptions()
 	}
-	return &Table{name: name, opts: opts, rel: storage.BuildTiles(name, nil, opts.loaderConfig(), 1, nil)}
+	m := &tile.Metrics{}
+	return &Table{name: name, opts: opts, rel: storage.BuildTiles(name, nil, opts.loaderConfig(), 1, m), metrics: m}
 }
 
 // Insert buffers one JSON document. A new tile partition is
@@ -182,7 +190,7 @@ func (t *Table) Flush() {
 	}
 	docs := t.pending
 	t.pending = nil
-	newRel := storage.BuildTiles(t.name, docs, t.opts.loaderConfig(), t.opts.workers(), nil)
+	newRel := storage.BuildTiles(t.name, docs, t.opts.loaderConfig(), t.opts.workers(), t.metrics)
 	if t.rel == nil || t.rel.NumRows() == 0 {
 		t.rel = newRel
 		return
@@ -230,6 +238,39 @@ func (t *Table) Recompute() int {
 		return 0
 	}
 	return rc.RecomputeTiles()
+}
+
+// LoadStats breaks down where ingest time went, per loading phase
+// (paper Figure 16), accumulated over every Load/Insert/Flush into
+// this table.
+type LoadStats struct {
+	// Parse is JSON text parsing; Mine is frequent-structure mining
+	// (§3.1); Extract is column materialization; WriteJSONB is binary
+	// JSON encoding (§4.5); Reorder is tuple clustering (§3.2).
+	Parse, Mine, Extract, WriteJSONB, Reorder time.Duration
+	// TilesBuilt is the number of tiles materialized.
+	TilesBuilt int64
+}
+
+// String renders the breakdown on one line.
+func (s LoadStats) String() string {
+	return fmt.Sprintf("parse %s  mine %s  extract %s  jsonb %s  reorder %s  (%d tiles)",
+		s.Parse.Round(time.Microsecond), s.Mine.Round(time.Microsecond),
+		s.Extract.Round(time.Microsecond), s.WriteJSONB.Round(time.Microsecond),
+		s.Reorder.Round(time.Microsecond), s.TilesBuilt)
+}
+
+// LoadStats reports the table's cumulative load-time breakdown.
+func (t *Table) LoadStats() LoadStats {
+	snap := t.metrics.Snapshot()
+	return LoadStats{
+		Parse:      time.Duration(snap.ParseNanos),
+		Mine:       time.Duration(snap.MineNanos),
+		Extract:    time.Duration(snap.ExtractNanos),
+		WriteJSONB: time.Duration(snap.WriteJSONBNanos),
+		Reorder:    time.Duration(snap.ReorderNanos),
+		TilesBuilt: snap.TilesBuilt,
+	}
 }
 
 // materialize is a helper shared with Query.Run.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/expr"
 	"repro/internal/exprparse"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/storage"
 )
@@ -292,15 +293,42 @@ func (q *Query) Limit(n int) *Query {
 	return q
 }
 
-// Run executes the query.
+// Run executes the query. When Options.OnQueryDone is set, it is
+// invoked with plan-shape statistics (per-operator detail requires
+// RunAnalyzed).
 func (q *Query) Run() (*Result, error) {
+	res, _, err := q.run(false)
+	return res, err
+}
+
+// buildPlan assembles the operator tree. With analyze set, every
+// constructed operator is wrapped in an engine.Traced node measuring
+// wall time and row counts, and scans get per-scan tile counters —
+// the plain Run path constructs no wrappers and pays nothing. sp (may
+// be nil) receives a child span for the optimizer's plan search.
+func (q *Query) buildPlan(analyze bool, sp *obs.Span) (engine.Operator, error) {
 	if q.err != nil {
 		return nil, q.err
 	}
 	if len(q.tables) == 0 {
 		return nil, fmt.Errorf("jsontiles: query has no table")
 	}
-	workers := q.tables[0].table.opts.workers()
+
+	wrap := func(op engine.Operator, label, detail string, est float64) engine.Operator {
+		if !analyze {
+			return op
+		}
+		tr := engine.NewTraced(label, detail, est, op)
+		if sc, ok := op.(*engine.Scan); ok {
+			st := &obs.ScanStats{}
+			if ti, ok := sc.Rel.(storage.TileIntrospector); ok {
+				st.NumTiles = int64(len(ti.Tiles()))
+			}
+			sc.Stats = st
+			tr.ScanStats = st
+		}
+		return tr
+	}
 
 	// Assemble per-table specs.
 	specs := make([]optimizer.TableSpec, len(q.tables))
@@ -326,10 +354,20 @@ func (q *Query) Run() (*Result, error) {
 	var slotOf func(global int) int
 	if len(specs) == 1 {
 		scan := engine.NewScan(specs[0].Rel, specs[0].Accesses, specs[0].Names, specs[0].Filter)
-		root = scan
+		detail := fmt.Sprintf("%s %s", specs[0].Alias, specs[0].Rel.Name())
+		if specs[0].Filter != nil {
+			detail += " (filtered)"
+		}
+		root = wrap(scan, "Scan", detail, float64(specs[0].Rel.NumRows()))
 		slotOf = func(global int) int { return global }
 	} else {
-		op, m, err := optimizer.Plan(optimizer.Query{Tables: specs, Joins: q.joins})
+		oq := optimizer.Query{Tables: specs, Joins: q.joins}
+		if analyze {
+			oq.Instrument = wrap
+		}
+		psp := sp.Child("plan")
+		op, m, err := optimizer.Plan(oq)
+		psp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -355,7 +393,8 @@ func (q *Query) Run() (*Result, error) {
 			g++
 		}
 	}
-	root = engine.NewProject(root, projExprs, projNames)
+	root = wrap(engine.NewProject(root, projExprs, projNames),
+		"Project", fmt.Sprintf("%d cols", width), -1)
 
 	// Aggregation.
 	if q.aggs != nil {
@@ -373,7 +412,8 @@ func (q *Query) Run() (*Result, error) {
 			}
 			aggSpecs[i] = spec
 		}
-		root = engine.NewGroupBy(root, groups, names, aggSpecs)
+		root = wrap(engine.NewGroupBy(root, groups, names, aggSpecs),
+			"GroupBy", fmt.Sprintf("%d groups, %d aggs", len(groups), len(aggSpecs)), -1)
 	}
 
 	// Ordering and limit over the final schema.
@@ -386,17 +426,65 @@ func (q *Query) Run() (*Result, error) {
 			}
 			keys[i] = engine.OrderKey{E: expr.NewCol(o.col, cols[o.col].Type), Desc: o.desc}
 		}
-		root = engine.NewOrderBy(root, keys...)
+		root = wrap(engine.NewOrderBy(root, keys...),
+			"OrderBy", fmt.Sprintf("%d keys", len(keys)), -1)
 	}
 	if q.limit >= 0 {
-		root = engine.NewLimit(root, q.limit)
+		root = wrap(engine.NewLimit(root, q.limit),
+			"Limit", fmt.Sprintf("%d", q.limit), -1)
 	}
+	// The error can surface while building expressions above.
+	if q.err != nil {
+		return nil, q.err
+	}
+	return root, nil
+}
 
+// run executes the query, optionally with per-operator analysis.
+func (q *Query) run(analyze bool) (*Result, *QueryStats, error) {
+	sp := (*obs.Span)(nil)
+	var hook func(QueryStats)
+	if len(q.tables) > 0 && q.tables[0].table != nil {
+		hook = q.tables[0].table.opts.OnQueryDone
+	}
+	if analyze || hook != nil {
+		sp = obs.StartSpan("query")
+	}
+	root, err := q.buildPlan(analyze, sp)
+	if err != nil {
+		return nil, nil, err
+	}
+	workers := q.tables[0].table.opts.workers()
+
+	esp := sp.Child("execute")
 	res := materialize(root, workers)
+	esp.End()
 	if q.aggs == nil && len(q.orderBy) == 0 {
 		res.SortRows() // deterministic output for plain scans
 	}
-	return newResult(res), nil
+	sp.End()
+	obs.QueriesRun.Inc()
+	obs.RowsEmitted.Add(int64(len(res.Rows)))
+
+	var stats *QueryStats
+	if analyze || hook != nil {
+		stats = &QueryStats{
+			Plan:         planNode(root, analyze),
+			Wall:         sp.Duration(),
+			ExecTime:     esp.Duration(),
+			RowsReturned: int64(len(res.Rows)),
+			Analyzed:     analyze,
+		}
+		for _, c := range sp.Children() {
+			if c.Name() == "plan" {
+				stats.PlanTime = c.Duration()
+			}
+		}
+		if hook != nil {
+			hook(*stats)
+		}
+	}
+	return newResult(res), stats, nil
 }
 
 func (q *Query) colRefAfterProject(col int, projExprs []expr.Expr) expr.Expr {

@@ -3,7 +3,7 @@ package jsontiles
 // Statistics and storage introspection (paper §4.4, §4.6, Table 6).
 
 import (
-	"repro/internal/tile"
+	"repro/internal/storage"
 )
 
 // TableStats exposes the relation-level statistics JSON tiles maintain
@@ -70,12 +70,7 @@ type StorageInfo struct {
 // StorageInfo reports the physical layout of the table.
 func (t *Table) StorageInfo() StorageInfo {
 	info := StorageInfo{}
-	tr, ok := t.rel.(interface {
-		Tiles() []*tile.Tile
-		RawSizeBytes() int
-		ColumnSizeBytes() int
-		CompressedColumnSizeBytes() int
-	})
+	tr, ok := t.rel.(storage.TileIntrospector)
 	if !ok {
 		return info
 	}
@@ -94,7 +89,7 @@ func (t *Table) StorageInfo() StorageInfo {
 // their column types — a window into what the extraction algorithm
 // decided (diagnostics, demos).
 func (t *Table) ExtractedPaths() [][]string {
-	tr, ok := t.rel.(interface{ Tiles() []*tile.Tile })
+	tr, ok := t.rel.(storage.TileIntrospector)
 	if !ok {
 		return nil
 	}
