@@ -59,6 +59,14 @@ type ScanStats struct {
 	// CastErrors counts stored non-null values a requested cast could
 	// not convert.
 	CastErrors int64
+	// Batches counts column batches emitted when the scan took the
+	// vectorized path (0 on the row-at-a-time path). RowsVectorized
+	// counts rows whose every access came from a typed column vector;
+	// RowsFallback counts rows that needed at least one cell
+	// materialized from binary JSON.
+	Batches        int64
+	RowsVectorized int64
+	RowsFallback   int64
 }
 
 // SkipRatio is the fraction of tiles skipped.
@@ -188,6 +196,9 @@ func snapshotScanStats(st *obs.ScanStats) ScanStats {
 		ColumnHits:     st.ColumnHits.Load(),
 		JSONBFallbacks: st.JSONBFallbacks.Load(),
 		CastErrors:     st.CastErrors.Load(),
+		Batches:        st.Batches.Load(),
+		RowsVectorized: st.RowsVectorized.Load(),
+		RowsFallback:   st.RowsFallback.Load(),
 	}
 }
 
@@ -238,6 +249,10 @@ func (n *PlanNode) write(sb *strings.Builder, prefix, childPrefix string) {
 			fmt.Fprintf(sb, "; hits=%d fallbacks=%d", s.ColumnHits, s.JSONBFallbacks)
 			if s.CastErrors > 0 {
 				fmt.Fprintf(sb, " cast_errors=%d", s.CastErrors)
+			}
+			if s.Batches > 0 {
+				fmt.Fprintf(sb, "; batches=%d vec=%d rowfb=%d",
+					s.Batches, s.RowsVectorized, s.RowsFallback)
 			}
 		}
 		sb.WriteString("]")

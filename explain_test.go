@@ -213,6 +213,46 @@ func TestTileSkippingAccounting(t *testing.T) {
 	}
 }
 
+// TestExplainAnalyzeBatchCounters pins the batch-execution accounting
+// in EXPLAIN ANALYZE: a filter+aggregate over tiles takes the
+// vectorized path, the scan node reports batch/vectorized/fallback row
+// counts that add up, and the rendered plan carries them.
+func TestExplainAnalyzeBatchCounters(t *testing.T) {
+	tbl, err := Load("reviews", reviewDocs(600), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, stats, err := tbl.Query("data->>'stars'::BigInt").
+		WhereCmp(0, Ge, 4).
+		Aggregate(CountAll("n"), Sum(0, "s")).
+		RunAnalyzed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := stats.Plan.Find("Scan")
+	if scan == nil || scan.Scan == nil {
+		t.Fatalf("no scan stats:\n%s", stats.Plan)
+	}
+	s := scan.Scan
+	if s.Batches == 0 {
+		t.Fatalf("tiles scan emitted no batches: %+v", s)
+	}
+	if s.RowsVectorized == 0 {
+		t.Fatalf("uniform int column should vectorize: %+v", s)
+	}
+	if s.RowsVectorized+s.RowsFallback != s.RowsScanned {
+		t.Fatalf("vec %d + fallback %d != scanned %d",
+			s.RowsVectorized, s.RowsFallback, s.RowsScanned)
+	}
+	out := stats.String()
+	for _, want := range []string{"batches=", "vec=", "[vectorized]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("analyzed plan misses %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestOnQueryDoneHook(t *testing.T) {
 	o := opts()
 	var got []QueryStats

@@ -31,6 +31,10 @@ type Options struct {
 	// Repeats is the number of timed repetitions per measurement; the
 	// median is reported.
 	Repeats int
+	// OutDir is where experiments that record baseline artifacts
+	// (e.g. BENCH_vectorized.json) write them. Empty means the
+	// current directory.
+	OutDir string
 }
 
 // DefaultOptions is sized for a laptop-class machine.
@@ -75,6 +79,7 @@ func Experiments() []Experiment {
 		{"fig18", "Figure 18: (de)serialization slowdown vs JSONB", fig18},
 		{"fig19", "Figure 19: storage size relative to JSON text", fig19},
 		{"fig20", "Figure 20: random accesses/sec on nested documents", fig20},
+		{"vec", "Vectorized vs row-at-a-time execution over tiles (records BENCH_vectorized.json)", vecExp},
 	}
 }
 

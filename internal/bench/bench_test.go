@@ -12,7 +12,7 @@ func TestAllExperimentsRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow: runs every experiment")
 	}
-	ctx := NewContext(Options{Scale: 0.001, Workers: 2, Repeats: 1})
+	ctx := NewContext(Options{Scale: 0.001, Workers: 2, Repeats: 1, OutDir: t.TempDir()})
 	for _, e := range Experiments() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
@@ -48,8 +48,8 @@ func TestByID(t *testing.T) {
 			t.Errorf("experiment %s incomplete", e.ID)
 		}
 	}
-	if len(ids) != 20 {
-		t.Errorf("%d experiments, want 20 (every table and figure)", len(ids))
+	if len(ids) != 21 {
+		t.Errorf("%d experiments, want 21 (every table and figure + vec)", len(ids))
 	}
 }
 

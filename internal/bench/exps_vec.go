@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/exprparse"
+	"repro/internal/storage"
+)
+
+// vecBenchFile is where the vec experiment records its measurements
+// (committed next to EXPERIMENTS.md as the vectorization baseline).
+const vecBenchFile = "BENCH_vectorized.json"
+
+// vecResult is one row of the recorded baseline.
+type vecResult struct {
+	Query      string  `json:"query"`
+	RowSecs    float64 `json:"row_secs"`
+	VecSecs    float64 `json:"vec_secs"`
+	Speedup    float64 `json:"speedup"`
+	RowsPerSec float64 `json:"vec_rows_per_sec"`
+}
+
+type vecReport struct {
+	Workload string      `json:"workload"`
+	Rows     int         `json:"rows"`
+	Workers  int         `json:"workers"`
+	Results  []vecResult `json:"results"`
+}
+
+// vecQueries are the micro-pipelines both paths execute: scan+filter,
+// scan+sum, and filter+group-by over lineitem accesses that tiles
+// serve from extracted int/float columns.
+func vecQueries() []struct {
+	name string
+	run  func(rel storage.Relation, workers int)
+} {
+	accs := func() []storage.Access {
+		return []storage.Access{
+			exprparse.MustParse(`data->>'l_linenumber'::BigInt`),
+			exprparse.MustParse(`data->>'l_quantity'::Float`),
+			exprparse.MustParse(`data->>'l_partkey'::BigInt`),
+		}
+	}
+	filter := func() expr.Expr {
+		return expr.NewCmp(expr.LT, expr.NewCol(0, expr.TBigInt),
+			expr.NewConst(expr.IntValue(4)))
+	}
+	return []struct {
+		name string
+		run  func(rel storage.Relation, workers int)
+	}{
+		{"scan+filter", func(rel storage.Relation, workers int) {
+			engine.CountRows(engine.NewScan(rel, accs(), nil, filter()), workers)
+		}},
+		{"scan+sum", func(rel storage.Relation, workers int) {
+			gb := engine.NewGroupBy(engine.NewScan(rel, accs(), nil, nil), nil, nil,
+				[]engine.AggSpec{
+					{Func: engine.Sum, Arg: expr.NewCol(0, expr.TBigInt), Name: "s"},
+					{Func: engine.Sum, Arg: expr.NewCol(1, expr.TFloat), Name: "q"},
+				})
+			engine.Materialize(gb, workers)
+		}},
+		{"filter+groupby", func(rel storage.Relation, workers int) {
+			gb := engine.NewGroupBy(engine.NewScan(rel, accs(), nil, filter()),
+				[]expr.Expr{expr.NewCol(0, expr.TBigInt)}, []string{"ln"},
+				[]engine.AggSpec{
+					{Func: engine.CountStar, Name: "n"},
+					{Func: engine.Sum, Arg: expr.NewCol(1, expr.TFloat), Name: "q"},
+				})
+			engine.Materialize(gb, workers)
+		}},
+	}
+}
+
+// vecExp — vectorized vs row-at-a-time execution over the tile
+// format: the same pipelines with batch scanning enabled (default)
+// and disabled (storage.RowOnly), recording the baseline to
+// BENCH_vectorized.json.
+func vecExp(w io.Writer, c *Context) error {
+	workers := c.Opts.workers()
+	rel := c.relation("tpch-lineitem", storage.KindTiles, c.lineitemLines)
+	rowRel := storage.RowOnly(rel)
+
+	report := vecReport{Workload: "tpch-lineitem", Rows: rel.NumRows(), Workers: workers}
+	t := &table{header: []string{"query", "row s", "vec s", "speedup"}}
+	for _, q := range vecQueries() {
+		rowD := c.timeIt(func() { q.run(rowRel, workers) })
+		vecD := c.timeIt(func() { q.run(rel, workers) })
+		speedup := rowD.Seconds() / vecD.Seconds()
+		t.row(q.name, secs(rowD), secs(vecD), fmt.Sprintf("%.1fx", speedup))
+		report.Results = append(report.Results, vecResult{
+			Query:   q.name,
+			RowSecs: rowD.Seconds(),
+			VecSecs: vecD.Seconds(),
+			Speedup: speedup,
+			RowsPerSec: float64(rel.NumRows()) /
+				maxf(vecD.Seconds(), 1e-9),
+		})
+	}
+	t.write(w)
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	path := filepath.Join(c.Opts.OutDir, vecBenchFile)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "baseline written to %s\n", path)
+	return nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

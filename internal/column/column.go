@@ -170,6 +170,26 @@ func (c *Column) StringBytes(i int) []byte {
 	return c.strBytes[start:c.strOff[i]]
 }
 
+// IntSlice exposes the raw int64 backing (BigInt and Timestamp
+// columns) for zero-copy vectorized scans. Read-only.
+func (c *Column) IntSlice() []int64 { return c.ints }
+
+// FloatSlice exposes the raw float64 backing. Read-only.
+func (c *Column) FloatSlice() []float64 { return c.floats }
+
+// BoolBits exposes the boolean bitmap. Read-only.
+func (c *Column) BoolBits() []uint64 { return c.bools }
+
+// NullBits exposes the null bitmap (nil when no row is null).
+// Read-only.
+func (c *Column) NullBits() []uint64 { return c.nulls }
+
+// StringData exposes the text arena: end offsets and the shared byte
+// buffer (row i spans offsets[i-1]..offsets[i]). Read-only.
+func (c *Column) StringData() (offsets []uint32, bytes []byte) {
+	return c.strOff, c.strBytes
+}
+
 // SetInt updates row i in place (update path, §4.7).
 func (c *Column) SetInt(i int, v int64) {
 	c.ints[i] = v

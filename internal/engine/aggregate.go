@@ -1,10 +1,14 @@
 package engine
 
 import (
+	"bytes"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/expr"
+	"repro/internal/obs"
+	"repro/internal/vec"
 )
 
 // AggFunc enumerates the aggregate functions.
@@ -105,6 +109,13 @@ func (s *aggState) update(spec AggSpec, row []expr.Value) {
 		s.distinct[v.GroupKey()] = true
 		return
 	}
+	s.updateVal(spec, v)
+}
+
+// updateVal folds one non-null argument value into the state — shared
+// by the row path and the batch path's generic (boxed-vector)
+// fallback, so both accumulate identically.
+func (s *aggState) updateVal(spec AggSpec, v expr.Value) {
 	switch spec.Func {
 	case Count:
 		s.count++
@@ -118,18 +129,22 @@ func (s *aggState) update(spec AggSpec, row []expr.Value) {
 			s.isFloat = true
 			s.sumF += v.F
 		}
-	case Min:
-		if !s.hasMM {
-			s.minmax, s.hasMM = v, true
-		} else if c, ok := expr.Compare(v, s.minmax); ok && c < 0 {
-			s.minmax = v
-		}
-	case Max:
-		if !s.hasMM {
-			s.minmax, s.hasMM = v, true
-		} else if c, ok := expr.Compare(v, s.minmax); ok && c > 0 {
-			s.minmax = v
-		}
+	case Min, Max:
+		s.stepMinMax(spec, v)
+	}
+}
+
+// stepMinMax folds one candidate into the running min/max with the
+// row path's comparison (ties and incomparable values keep the
+// earlier candidate).
+func (s *aggState) stepMinMax(spec AggSpec, v expr.Value) {
+	if !s.hasMM {
+		s.minmax, s.hasMM = v, true
+		return
+	}
+	c, ok := expr.Compare(v, s.minmax)
+	if ok && ((spec.Func == Min && c < 0) || (spec.Func == Max && c > 0)) {
+		s.minmax = v
 	}
 }
 
@@ -194,8 +209,200 @@ type group struct {
 // Inputs implements the plan-walking interface.
 func (g *GroupBy) Inputs() []Operator { return []Operator{g.In} }
 
+// aggSlots returns the input slot of every aggregate argument when
+// the whole spec list is vectorizable — global aggregation (the
+// caller checks Groups is empty) with no DISTINCT and every argument
+// a bare column reference (CountStar uses slot -1).
+func (g *GroupBy) aggSlots(width int) ([]int, bool) {
+	slots := make([]int, len(g.Aggs))
+	for i, a := range g.Aggs {
+		if a.Distinct {
+			return nil, false
+		}
+		if a.Func == CountStar {
+			slots[i] = -1
+			continue
+		}
+		col, ok := a.Arg.(*expr.Col)
+		if !ok || col.Idx < 0 || col.Idx >= width {
+			return nil, false
+		}
+		slots[i] = col.Idx
+	}
+	return slots, true
+}
+
+// runBatchAgg is the vectorized global-aggregation path: aggregate
+// kernels loop directly over each batch's typed column slices into
+// per-worker states, merged at the end exactly like the row path's
+// per-worker tables.
+func (g *GroupBy) runBatchAgg(in BatchOperator, slots []int, workers int, emit EmitFunc) {
+	states := make([][]aggState, workers+1)
+	for i := range states {
+		states[i] = make([]aggState, len(g.Aggs))
+	}
+	overflow := make([]aggState, len(g.Aggs))
+	var mu sync.Mutex // guards overflow (unexpected worker ids)
+	var kernels atomic.Int64
+	in.RunBatches(workers, func(w int, b *vec.Batch) {
+		var sts []aggState
+		if w >= 0 && w < len(states) {
+			sts = states[w]
+		} else {
+			mu.Lock()
+			defer mu.Unlock()
+			sts = overflow
+		}
+		dispatched := 0
+		for ai := range g.Aggs {
+			spec := g.Aggs[ai]
+			st := &sts[ai]
+			if spec.Func == CountStar {
+				st.count += int64(b.Rows())
+				continue
+			}
+			if updateAggFromVector(st, spec, &b.Cols[slots[ai]], b.Sel, b.Len) {
+				dispatched++
+			}
+		}
+		if dispatched > 0 {
+			kernels.Add(int64(dispatched))
+		}
+	})
+	obs.KernelDispatches.Add(kernels.Load())
+
+	final := make([]aggState, len(g.Aggs))
+	for _, sts := range append(states, overflow) {
+		for i := range g.Aggs {
+			final[i].merge(g.Aggs[i], &sts[i])
+		}
+	}
+	out := make([]expr.Value, len(g.Aggs))
+	for i := range g.Aggs {
+		out[i] = final[i].result(g.Aggs[i])
+	}
+	emit(0, out)
+}
+
+// updateAggFromVector folds a whole vector into one aggregate state,
+// using a typed kernel when the vector's backing allows (reported by
+// the return value) and a cell-boxing loop otherwise.
+func updateAggFromVector(st *aggState, spec AggSpec, v *vec.Vector, sel []int32, n int) bool {
+	if v.AllNull {
+		return false
+	}
+	if v.Boxed == nil {
+		switch spec.Func {
+		case Count:
+			st.count += vec.CountNotNull(v, sel, n)
+			return true
+		case Sum, Avg:
+			switch v.Type {
+			case expr.TBigInt:
+				r := vec.SumInts(v, sel, n)
+				st.count += r.Count
+				st.sumI += r.Sum
+				st.sumF += r.FSum
+				return true
+			case expr.TFloat:
+				r := vec.SumFloats(v, sel, n)
+				st.count += r.Count
+				st.sumF += r.Sum
+				if r.Count > 0 {
+					st.isFloat = true
+				}
+				return true
+			case expr.TTimestamp, expr.TText, expr.TBool:
+				// The row path only counts these (no numeric sum).
+				st.count += vec.CountNotNull(v, sel, n)
+				return true
+			}
+		case Min, Max:
+			switch v.Type {
+			case expr.TBigInt, expr.TTimestamp:
+				if x, ok := vec.MinMaxInts(v, sel, n, spec.Func == Min); ok {
+					val := expr.IntValue(x)
+					if v.Type == expr.TTimestamp {
+						val = expr.TimestampValue(x)
+					}
+					st.stepMinMax(spec, val)
+				}
+				return true
+			case expr.TFloat:
+				if x, ok := vec.MinMaxFloats(v, sel, n, spec.Func == Min); ok {
+					st.stepMinMax(spec, expr.FloatValue(x))
+				}
+				return true
+			case expr.TText:
+				minMaxStrs(st, spec, v, sel, n)
+				return true
+			}
+		}
+	}
+	// Generic fallback: box each selected cell, then the row-path
+	// update logic.
+	if sel != nil {
+		for _, i := range sel {
+			if x := v.Value(int(i)); !x.Null {
+				st.updateVal(spec, x)
+			}
+		}
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if x := v.Value(i); !x.Null {
+			st.updateVal(spec, x)
+		}
+	}
+	return false
+}
+
+// minMaxStrs scans a text vector for its min/max without boxing: it
+// tracks the best row index by byte comparison and boxes once at the
+// end. Strict comparisons keep the earliest row on ties, matching the
+// row path.
+func minMaxStrs(st *aggState, spec AggSpec, v *vec.Vector, sel []int32, n int) {
+	best := -1
+	step := func(i int) {
+		if v.IsNull(i) {
+			return
+		}
+		if best < 0 {
+			best = i
+			return
+		}
+		c := bytes.Compare(v.StrAt(i), v.StrAt(best))
+		if (spec.Func == Min && c < 0) || (spec.Func == Max && c > 0) {
+			best = i
+		}
+	}
+	if sel != nil {
+		for _, i := range sel {
+			step(int(i))
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			step(i)
+		}
+	}
+	if best >= 0 {
+		st.stepMinMax(spec, v.Value(best))
+	}
+}
+
 // Run implements Operator.
 func (g *GroupBy) Run(workers int, emit EmitFunc) {
+	// Global aggregation over a batch-capable input with column-slot
+	// arguments takes the all-vectorized path: no rows are ever boxed
+	// between the tile columns and the aggregate states.
+	if len(g.Groups) == 0 {
+		if in, ok := AsBatch(g.In); ok {
+			if slots, ok := g.aggSlots(len(g.In.Columns())); ok {
+				g.runBatchAgg(in, slots, workers, emit)
+				return
+			}
+		}
+	}
 	// One hash table per worker id, preallocated so the per-row path
 	// is lock-free (ids are bounded by the requested parallelism).
 	// Unexpected ids share a mutex-guarded overflow table.

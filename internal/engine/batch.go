@@ -1,0 +1,265 @@
+// Batch execution: operators that can emit column batches (typed
+// vectors + selection vector) instead of boxed rows, and the adapter
+// that turns batches back into rows so every row-at-a-time operator
+// keeps working unchanged on top of a vectorized input.
+package engine
+
+import (
+	"sync/atomic"
+
+	"repro/internal/expr"
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/vec"
+)
+
+// BatchEmitFunc consumes batch-operator output. Like EmitFunc, it may
+// be called concurrently with distinct worker ids; the batch and its
+// vectors are reused between calls and must not be retained.
+type BatchEmitFunc func(worker int, b *vec.Batch)
+
+// BatchOperator is an operator that can additionally push column
+// batches. BatchCapable reports whether the batch path is actually
+// available for this instance (an operator type may implement the
+// interface while a particular plan — e.g. a scan over a format
+// without tiles — cannot vectorize); callers must check it before
+// RunBatches.
+type BatchOperator interface {
+	Operator
+	BatchCapable() bool
+	RunBatches(workers int, emit BatchEmitFunc)
+}
+
+// AsBatch returns op's batch interface when the batch path is
+// available for it.
+func AsBatch(op Operator) (BatchOperator, bool) {
+	b, ok := op.(BatchOperator)
+	if !ok || !b.BatchCapable() {
+		return nil, false
+	}
+	return b, true
+}
+
+// RunRows drives op, taking the batch path with a batch→row adapter
+// when available and falling back to the row path otherwise. The
+// adapter boxes each selected row into a per-worker reused buffer, so
+// downstream row operators see exactly the rows a plain Run would
+// deliver.
+func RunRows(op Operator, workers int, emit EmitFunc) {
+	b, ok := AsBatch(op)
+	if !ok {
+		op.Run(workers, emit)
+		return
+	}
+	runBatchesAsRows(b, workers, emit)
+}
+
+func runBatchesAsRows(b BatchOperator, workers int, emit EmitFunc) {
+	width := len(b.Columns())
+	bufs := make([][]expr.Value, workers+1)
+	for i := range bufs {
+		bufs[i] = make([]expr.Value, width)
+	}
+	b.RunBatches(workers, func(w int, bt *vec.Batch) {
+		row := bufs[0]
+		if w >= 0 && w < len(bufs) {
+			row = bufs[w]
+		} else {
+			row = make([]expr.Value, width)
+		}
+		emitBatchRows(bt, w, row, emit)
+	})
+}
+
+// emitBatchRows boxes every selected row of a batch into buf and
+// hands it to emit.
+func emitBatchRows(b *vec.Batch, w int, buf []expr.Value, emit EmitFunc) {
+	cols := b.Cols
+	if b.Sel != nil {
+		for _, i := range b.Sel {
+			for c := range cols {
+				buf[c] = cols[c].Value(int(i))
+			}
+			emit(w, buf)
+		}
+		return
+	}
+	for i := 0; i < b.Len; i++ {
+		for c := range cols {
+			buf[c] = cols[c].Value(i)
+		}
+		emit(w, buf)
+	}
+}
+
+// BatchCapable implements BatchOperator: the scan vectorizes exactly
+// when the relation can emit batches (tile-backed formats).
+func (s *Scan) BatchCapable() bool {
+	_, ok := s.Rel.(storage.BatchScanner)
+	return ok
+}
+
+// RunBatches implements BatchOperator. A compilable filter is applied
+// as a vectorized kernel tree narrowing each batch's selection
+// vector; a residual filter the compiler cannot handle is evaluated
+// row-wise over the batch (still building a selection, so downstream
+// batch consumers keep their typed vectors).
+func (s *Scan) RunBatches(workers int, emit BatchEmitFunc) {
+	bs := s.Rel.(storage.BatchScanner)
+	if s.Filter == nil {
+		bs.ScanBatches(s.Accesses, workers, storage.BatchEmitFunc(emit), s.Stats)
+		return
+	}
+	if pred, ok := vec.Compile(s.Filter, len(s.Accesses)); ok {
+		type state struct {
+			sc *vec.Scratch
+			nb vec.Batch
+		}
+		states := make([]state, workers+1)
+		for i := range states {
+			states[i].sc = pred.NewScratch()
+		}
+		var kernelCalls atomic.Int64
+		defer func() { obs.KernelDispatches.Add(kernelCalls.Load()) }()
+		bs.ScanBatches(s.Accesses, workers, func(w int, b *vec.Batch) {
+			var st *state
+			if w >= 0 && w < len(states) {
+				st = &states[w]
+			} else {
+				st = &state{sc: pred.NewScratch()} // unexpected id: private state
+			}
+			kernelCalls.Add(1)
+			out := pred.Sel(b, st.sc)
+			if len(out) == 0 {
+				return
+			}
+			st.nb = *b
+			st.nb.Sel = out
+			emit(w, &st.nb)
+		}, s.Stats)
+		return
+	}
+	// Residual filter outside the kernel grammar: evaluate per row over
+	// the batch, boxing into a per-worker row buffer.
+	type state struct {
+		row []expr.Value
+		sel []int32
+		nb  vec.Batch
+	}
+	states := make([]state, workers+1)
+	for i := range states {
+		states[i].row = make([]expr.Value, len(s.Accesses))
+	}
+	bs.ScanBatches(s.Accesses, workers, func(w int, b *vec.Batch) {
+		var st *state
+		if w >= 0 && w < len(states) {
+			st = &states[w]
+		} else {
+			st = &state{row: make([]expr.Value, len(s.Accesses))}
+		}
+		sel := st.sel[:0]
+		for i := 0; i < b.Len; i++ {
+			for c := range b.Cols {
+				st.row[c] = b.Cols[c].Value(i)
+			}
+			if s.Filter.Eval(st.row).IsTrue() {
+				sel = append(sel, int32(i))
+			}
+		}
+		st.sel = sel
+		if len(sel) == 0 {
+			return
+		}
+		st.nb = *b
+		st.nb.Sel = sel
+		emit(w, &st.nb)
+	}, s.Stats)
+}
+
+// BatchCapable implements BatchOperator: a selection vectorizes when
+// its input does and its predicate compiles to kernels.
+func (s *Select) BatchCapable() bool {
+	in, ok := AsBatch(s.In)
+	if !ok {
+		return false
+	}
+	_, ok = vec.Compile(s.Pred, len(in.Columns()))
+	return ok
+}
+
+// RunBatches implements BatchOperator.
+func (s *Select) RunBatches(workers int, emit BatchEmitFunc) {
+	in, _ := AsBatch(s.In)
+	pred, _ := vec.Compile(s.Pred, len(in.Columns()))
+	type state struct {
+		sc *vec.Scratch
+		nb vec.Batch
+	}
+	states := make([]state, workers+1)
+	for i := range states {
+		states[i].sc = pred.NewScratch()
+	}
+	var kernelCalls atomic.Int64
+	defer func() { obs.KernelDispatches.Add(kernelCalls.Load()) }()
+	in.RunBatches(workers, func(w int, b *vec.Batch) {
+		var st *state
+		if w >= 0 && w < len(states) {
+			st = &states[w]
+		} else {
+			st = &state{sc: pred.NewScratch()}
+		}
+		kernelCalls.Add(1)
+		out := pred.Sel(b, st.sc)
+		if len(out) == 0 {
+			return
+		}
+		st.nb = *b
+		st.nb.Sel = out
+		emit(w, &st.nb)
+	})
+}
+
+// BatchCapable implements BatchOperator: a projection vectorizes when
+// it only permutes/duplicates input columns (every expression is a
+// bare column reference) over a batch-capable input.
+func (p *Project) BatchCapable() bool {
+	if _, ok := AsBatch(p.In); !ok {
+		return false
+	}
+	width := len(p.In.Columns())
+	for _, e := range p.Exprs {
+		col, ok := e.(*expr.Col)
+		if !ok || col.Idx < 0 || col.Idx >= width {
+			return false
+		}
+	}
+	return true
+}
+
+// RunBatches implements BatchOperator: column-permutation projections
+// shuffle vector headers, never touching the data.
+func (p *Project) RunBatches(workers int, emit BatchEmitFunc) {
+	in, _ := AsBatch(p.In)
+	slots := make([]int, len(p.Exprs))
+	for i, e := range p.Exprs {
+		slots[i] = e.(*expr.Col).Idx
+	}
+	type state struct{ nb vec.Batch }
+	states := make([]state, workers+1)
+	for i := range states {
+		states[i].nb.Cols = make([]vec.Vector, len(slots))
+	}
+	in.RunBatches(workers, func(w int, b *vec.Batch) {
+		var st *state
+		if w >= 0 && w < len(states) {
+			st = &states[w]
+		} else {
+			st = &state{nb: vec.Batch{Cols: make([]vec.Vector, len(slots))}}
+		}
+		for i, s := range slots {
+			st.nb.Cols[i] = b.Cols[s]
+		}
+		st.nb.Len, st.nb.Sel, st.nb.Base = b.Len, b.Sel, b.Base
+		emit(w, &st.nb)
+	})
+}

@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/storage"
+)
+
+// Microbenchmarks comparing the row-at-a-time and vectorized
+// execution paths over the same tile-backed relation. The row path is
+// forced with storage.RowOnly; the vectorized path is what Scan takes
+// by default over tiles.
+
+const benchRows = 50_000
+
+var (
+	benchOnce   sync.Once
+	benchTiles  storage.Relation
+	benchRowRel storage.Relation
+)
+
+func benchRelation(b *testing.B) (vec, row storage.Relation) {
+	b.Helper()
+	benchOnce.Do(func() {
+		lines := make([][]byte, benchRows)
+		for i := range lines {
+			lines[i] = []byte(fmt.Sprintf(`{"a":%d,"b":%d.25,"g":%d,"s":"u%d"}`,
+				i%1000, i%500, i%10, i%100))
+		}
+		l, err := storage.NewLoader(storage.KindTiles, storage.DefaultLoaderConfig())
+		if err != nil {
+			panic(err)
+		}
+		benchTiles, err = l.Load("bench", lines, 4)
+		if err != nil {
+			panic(err)
+		}
+		benchRowRel = storage.RowOnly(benchTiles)
+	})
+	return benchTiles, benchRowRel
+}
+
+func benchAccesses() []storage.Access {
+	return []storage.Access{
+		storage.NewAccess(expr.TBigInt, "a"),
+		storage.NewAccess(expr.TFloat, "b"),
+		storage.NewAccess(expr.TBigInt, "g"),
+	}
+}
+
+func filterA() expr.Expr {
+	return expr.NewCmp(expr.LT, expr.NewCol(0, expr.TBigInt), expr.NewConst(expr.IntValue(500)))
+}
+
+func runScanFilter(b *testing.B, rel storage.Relation) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := CountRows(NewScan(rel, benchAccesses(), nil, filterA()), 1)
+		if n != int64(benchRows)/2 {
+			b.Fatalf("count = %d", n)
+		}
+	}
+}
+
+func BenchmarkScanFilterRow(b *testing.B) {
+	_, row := benchRelation(b)
+	runScanFilter(b, row)
+}
+
+func BenchmarkScanFilterVec(b *testing.B) {
+	vec, _ := benchRelation(b)
+	runScanFilter(b, vec)
+}
+
+func runScanSum(b *testing.B, rel storage.Relation) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gb := NewGroupBy(NewScan(rel, benchAccesses(), nil, nil), nil, nil, []AggSpec{
+			{Func: Sum, Arg: expr.NewCol(0, expr.TBigInt), Name: "sa"},
+			{Func: Sum, Arg: expr.NewCol(1, expr.TFloat), Name: "sb"},
+		})
+		res := Materialize(gb, 1)
+		if len(res.Rows) != 1 || res.Rows[0][0].Null {
+			b.Fatal("bad aggregate")
+		}
+	}
+}
+
+func BenchmarkScanSumRow(b *testing.B) {
+	_, row := benchRelation(b)
+	runScanSum(b, row)
+}
+
+func BenchmarkScanSumVec(b *testing.B) {
+	vec, _ := benchRelation(b)
+	runScanSum(b, vec)
+}
+
+func runFilterAgg(b *testing.B, rel storage.Relation) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gb := NewGroupBy(NewScan(rel, benchAccesses(), nil, filterA()), nil, nil, []AggSpec{
+			{Func: CountStar, Name: "n"},
+			{Func: Sum, Arg: expr.NewCol(1, expr.TFloat), Name: "sb"},
+			{Func: Min, Arg: expr.NewCol(0, expr.TBigInt), Name: "lo"},
+			{Func: Max, Arg: expr.NewCol(0, expr.TBigInt), Name: "hi"},
+		})
+		res := Materialize(gb, 1)
+		if res.Rows[0][0].I != int64(benchRows)/2 {
+			b.Fatalf("count = %v", res.Rows[0][0])
+		}
+	}
+}
+
+func BenchmarkScanFilterAggRow(b *testing.B) {
+	_, row := benchRelation(b)
+	runFilterAgg(b, row)
+}
+
+func BenchmarkScanFilterAggVec(b *testing.B) {
+	vec, _ := benchRelation(b)
+	runFilterAgg(b, vec)
+}
+
+func runFilterGroupBy(b *testing.B, rel storage.Relation) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gb := NewGroupBy(NewScan(rel, benchAccesses(), nil, filterA()),
+			[]expr.Expr{expr.NewCol(2, expr.TBigInt)}, []string{"g"},
+			[]AggSpec{{Func: Sum, Arg: expr.NewCol(1, expr.TFloat), Name: "sb"}})
+		res := Materialize(gb, 1)
+		if len(res.Rows) != 10 {
+			b.Fatalf("groups = %d", len(res.Rows))
+		}
+	}
+}
+
+func BenchmarkFilterGroupByRow(b *testing.B) {
+	_, row := benchRelation(b)
+	runFilterGroupBy(b, row)
+}
+
+func BenchmarkFilterGroupByVec(b *testing.B) {
+	vec, _ := benchRelation(b)
+	runFilterGroupBy(b, vec)
+}

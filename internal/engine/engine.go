@@ -9,10 +9,12 @@ package engine
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/expr"
 	"repro/internal/obs"
 	"repro/internal/storage"
+	"repro/internal/vec"
 )
 
 // ColumnDesc names one output column of an operator.
@@ -84,8 +86,15 @@ func (s *Scan) Columns() []ColumnDesc {
 // Inputs implements the plan-walking interface (a scan is a leaf).
 func (s *Scan) Inputs() []Operator { return nil }
 
-// Run implements Operator.
+// Run implements Operator. Over a batch-capable relation the scan
+// takes the vectorized path (kernel-filtered column batches) and
+// adapts back to rows, so row-at-a-time consumers transparently
+// benefit; other formats scan row-wise as before.
 func (s *Scan) Run(workers int, emit EmitFunc) {
+	if s.BatchCapable() {
+		runBatchesAsRows(s, workers, emit)
+		return
+	}
 	if s.Filter == nil {
 		storage.ScanWith(s.Rel, s.Accesses, workers, storage.EmitFunc(emit), s.Stats)
 		return
@@ -214,19 +223,41 @@ func (j *HashJoin) Inputs() []Operator { return []Operator{j.Left, j.Right} }
 
 // Run implements Operator.
 func (j *HashJoin) Run(workers int, emit EmitFunc) {
-	// Build phase: materialize the build side into a hash table.
-	var mu sync.Mutex
-	table := map[string][][]expr.Value{}
+	// Build phase: each worker accumulates (key, row) pairs locally —
+	// no lock on the per-row path — and the hash table is assembled
+	// sequentially afterwards. Unexpected worker ids fall back to a
+	// mutex-protected overflow partition.
+	type buildEntry struct {
+		key string
+		row []expr.Value
+	}
+	parts := make([][]buildEntry, workers+1)
+	var overflowMu sync.Mutex
+	var overflow []buildEntry
 	j.Left.Run(workers, func(w int, row []expr.Value) {
 		key, ok := joinKey(row, j.LeftKeys)
 		if !ok {
 			return // NULL keys never match
 		}
 		cp := append([]expr.Value(nil), row...)
-		mu.Lock()
-		table[key] = append(table[key], cp)
-		mu.Unlock()
+		if w >= 0 && w < len(parts) {
+			parts[w] = append(parts[w], buildEntry{key, cp})
+			return
+		}
+		overflowMu.Lock()
+		overflow = append(overflow, buildEntry{key, cp})
+		overflowMu.Unlock()
 	})
+	total := len(overflow)
+	for _, p := range parts {
+		total += len(p)
+	}
+	table := make(map[string][][]expr.Value, total)
+	for _, p := range append(parts, overflow) {
+		for _, e := range p {
+			table[e.key] = append(table[e.key], e.row)
+		}
+	}
 
 	buildWidth := len(j.Left.Columns())
 	// Probe phase. Per-worker output buffers, preallocated (see
@@ -313,8 +344,26 @@ func Materialize(op Operator, workers int) *Result {
 	return res
 }
 
-// CountRows runs an operator and counts rows without materializing them.
+// CountRows runs an operator and counts rows without materializing
+// them. Batch-capable inputs are counted a batch at a time from the
+// selection vector, never boxing a cell.
 func CountRows(op Operator, workers int) int64 {
+	if b, ok := AsBatch(op); ok {
+		counts := make([]int64, (workers+1)*8) // one padded slot per worker
+		var overflow atomic.Int64
+		b.RunBatches(workers, func(w int, bt *vec.Batch) {
+			if w >= 0 && w <= workers {
+				counts[w*8] += int64(bt.Rows())
+				return
+			}
+			overflow.Add(int64(bt.Rows()))
+		})
+		n := overflow.Load()
+		for i := 0; i <= workers; i++ {
+			n += counts[i*8]
+		}
+		return n
+	}
 	var mu sync.Mutex
 	var n int64
 	op.Run(workers, func(int, []expr.Value) {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/expr"
 	"repro/internal/obs"
+	"repro/internal/vec"
 )
 
 // Traced wraps an operator for EXPLAIN ANALYZE: it measures the
@@ -62,6 +63,38 @@ func (t *Traced) Run(workers int, emit EmitFunc) {
 			overflow.Add(1)
 		}
 		emit(w, row)
+	})
+	t.wallNanos.Add(time.Since(start).Nanoseconds())
+	total := overflow.Load()
+	for i := range counts {
+		total += counts[i].n
+	}
+	t.rowCount.Add(total)
+	t.ran.Store(true)
+}
+
+// BatchCapable implements BatchOperator: tracing is transparent to
+// the batch path, so a traced plan vectorizes exactly when the
+// wrapped plan does.
+func (t *Traced) BatchCapable() bool {
+	_, ok := AsBatch(t.In)
+	return ok
+}
+
+// RunBatches implements BatchOperator, counting a whole batch's
+// selected rows per emit.
+func (t *Traced) RunBatches(workers int, emit BatchEmitFunc) {
+	in, _ := AsBatch(t.In)
+	counts := make([]paddedCount, workers+1)
+	var overflow atomic.Int64
+	start := time.Now()
+	in.RunBatches(workers, func(w int, b *vec.Batch) {
+		if w >= 0 && w < len(counts) {
+			counts[w].n += int64(b.Rows())
+		} else {
+			overflow.Add(int64(b.Rows()))
+		}
+		emit(w, b)
 	})
 	t.wallNanos.Add(time.Since(start).Nanoseconds())
 	total := overflow.Load()

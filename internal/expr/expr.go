@@ -274,10 +274,13 @@ func (l *Like) Eval(row []Value) Value {
 	if v.Typ != TText {
 		return NullValue()
 	}
-	return BoolValue(matchLike(v.S, l.Pattern))
+	return BoolValue(MatchLike(v.S, l.Pattern))
 }
 
-func matchLike(s, pattern string) bool {
+// MatchLike evaluates the restricted LIKE dialect (leading/trailing
+// '%' only) — shared with the vectorized kernels so both execution
+// paths agree on pattern semantics.
+func MatchLike(s, pattern string) bool {
 	switch {
 	case strings.HasPrefix(pattern, "%") && strings.HasSuffix(pattern, "%") && len(pattern) >= 2:
 		return strings.Contains(s, pattern[1:len(pattern)-1])

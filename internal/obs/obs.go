@@ -141,3 +141,20 @@ var (
 	TilesBuilt        = Default.Counter("tiles_built")
 	QueriesRun        = Default.Counter("queries_run")
 )
+
+// Batch-execution counters (vectorized query path).
+var (
+	// BatchesEmitted counts column batches produced by batch scans.
+	BatchesEmitted = Default.Counter("batches_emitted")
+	// RowsVectorized counts rows delivered in batches whose every
+	// access was served from a typed column vector (zero-copy or
+	// cheap-cast) — no per-cell boxing.
+	RowsVectorized = Default.Counter("rows_vectorized")
+	// RowsBatchFallback counts rows delivered in batches where at
+	// least one access had to be materialized cell-by-cell (binary
+	// JSON fallback, type outliers, renders).
+	RowsBatchFallback = Default.Counter("rows_batch_fallback")
+	// KernelDispatches counts invocations of vectorized predicate or
+	// aggregate kernels (one per batch per compiled kernel tree).
+	KernelDispatches = Default.Counter("kernel_dispatches")
+)

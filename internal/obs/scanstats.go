@@ -17,6 +17,14 @@ type ScanStats struct {
 	ColumnHits     atomic.Int64
 	JSONBFallbacks atomic.Int64
 	CastErrors     atomic.Int64
+
+	// Batch-execution split: batches emitted by this scan, rows whose
+	// accesses were all served from typed vectors, and rows that
+	// needed at least one materialized (boxed) cell. Zero for scans
+	// taking the row-at-a-time path.
+	Batches        atomic.Int64
+	RowsVectorized atomic.Int64
+	RowsFallback   atomic.Int64
 }
 
 // SkipRatio returns the fraction of tiles skipped of those considered.

@@ -23,6 +23,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/tile"
+	"repro/internal/vec"
 )
 
 // Access is one pushed-down JSON access expression (§4.2): the scan
@@ -98,6 +99,46 @@ func ScanWith(rel Relation, accesses []Access, workers int, emit EmitFunc, st *o
 		st.RowsScanned.Add(1)
 		emit(w, row)
 	})
+}
+
+// BatchEmitFunc receives batch-scan output. Implementations may call
+// it from `workers` goroutines concurrently; the batch and its
+// vectors are reused between calls and must not be retained.
+type BatchEmitFunc func(worker int, b *vec.Batch)
+
+// BatchScanner is implemented by relations that can emit column
+// batches (typed vectors + selection vector) instead of boxed rows —
+// the vectorized fast path. Accesses a tile serves from a
+// materialized column are handed out as zero-copy slices; everything
+// else is materialized into boxed vectors, so batch scans are always
+// complete (never a subset of the accesses).
+type BatchScanner interface {
+	ScanBatches(accesses []Access, workers int, emit BatchEmitFunc, st *obs.ScanStats)
+}
+
+// RowOnly wraps rel so that it no longer advertises batch scanning —
+// benchmarking and conformance-testing the row-at-a-time path against
+// the vectorized one. Per-scan stats keep working.
+func RowOnly(rel Relation) Relation { return rowOnlyRel{rel: rel} }
+
+type rowOnlyRel struct{ rel Relation }
+
+func (r rowOnlyRel) Name() string             { return r.rel.Name() }
+func (r rowOnlyRel) NumRows() int             { return r.rel.NumRows() }
+func (r rowOnlyRel) SizeBytes() int           { return r.rel.SizeBytes() }
+func (r rowOnlyRel) Stats() *stats.TableStats { return r.rel.Stats() }
+func (r rowOnlyRel) Scan(accesses []Access, workers int, emit EmitFunc) {
+	r.rel.Scan(accesses, workers, emit)
+}
+
+// ScanWithStats delegates to the wrapped relation's stats-aware row
+// scan (RowOnly hides only the batch capability).
+func (r rowOnlyRel) ScanWithStats(accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
+	if ss, ok := r.rel.(StatsScanner); ok {
+		ss.ScanWithStats(accesses, workers, emit, st)
+		return
+	}
+	ScanWith(r.rel, accesses, workers, emit, st)
 }
 
 // TileIntrospector is implemented by tile-backed relations and exposes

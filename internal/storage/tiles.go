@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/expr"
@@ -209,6 +210,8 @@ func (r *tilesRelation) Scan(accesses []Access, workers int, emit EmitFunc) {
 type scanCounters struct {
 	tilesScanned, tilesSkipped      int64
 	rows, hits, fallbacks, castErrs int64
+	// Batch path only.
+	batches, rowsVec, rowsFallback int64
 }
 
 func (c *scanCounters) flush(st *obs.ScanStats) {
@@ -218,6 +221,9 @@ func (c *scanCounters) flush(st *obs.ScanStats) {
 	obs.ColumnHits.Add(c.hits)
 	obs.JSONBFallbacks.Add(c.fallbacks)
 	obs.CastErrors.Add(c.castErrs)
+	obs.BatchesEmitted.Add(c.batches)
+	obs.RowsVectorized.Add(c.rowsVec)
+	obs.RowsBatchFallback.Add(c.rowsFallback)
 	if st == nil {
 		return
 	}
@@ -227,6 +233,37 @@ func (c *scanCounters) flush(st *obs.ScanStats) {
 	st.ColumnHits.Add(c.hits)
 	st.JSONBFallbacks.Add(c.fallbacks)
 	st.CastErrors.Add(c.castErrs)
+	st.Batches.Add(c.batches)
+	st.RowsVectorized.Add(c.rowsVec)
+	st.RowsFallback.Add(c.rowsFallback)
+}
+
+// scanScratch holds a worker's reusable row buffer and per-tile
+// resolver slice, pooled across scans so repeated queries don't
+// allocate per worker per scan.
+type scanScratch struct {
+	row []expr.Value
+	res []colResolver
+}
+
+var scanScratchPool = sync.Pool{New: func() any { return new(scanScratch) }}
+
+func getScanScratch(n int) *scanScratch {
+	s := scanScratchPool.Get().(*scanScratch)
+	if cap(s.row) < n {
+		s.row = make([]expr.Value, n)
+		s.res = make([]colResolver, n)
+	}
+	s.row = s.row[:n]
+	s.res = s.res[:n]
+	return s
+}
+
+func putScanScratch(s *scanScratch) {
+	for i := range s.row {
+		s.row[i] = expr.Value{} // drop Doc references
+	}
+	scanScratchPool.Put(s)
 }
 
 // ScanWithStats implements StatsScanner: the per-tile skip decisions
@@ -234,8 +271,9 @@ func (c *scanCounters) flush(st *obs.ScanStats) {
 // are the key observability signals of the format.
 func (r *tilesRelation) ScanWithStats(accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
 	parallelRange(len(r.tiles), workers, func(w, lo, hi int) {
-		row := make([]expr.Value, len(accesses))
-		res := make([]colResolver, len(accesses))
+		scratch := getScanScratch(len(accesses))
+		defer putScanScratch(scratch)
+		row, res := scratch.row, scratch.res
 		var cnt scanCounters
 		defer cnt.flush(st)
 		for ti := lo; ti < hi; ti++ {

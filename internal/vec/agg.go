@@ -1,0 +1,178 @@
+// Aggregate kernels: tight loops over the typed backing of a vector,
+// restricted to the selected rows. Accumulation order and arithmetic
+// mirror the row-at-a-time aggregation states exactly (integer sums
+// keep a parallel float sum accumulated per element, min/max use
+// strict comparisons and keep the first value on ties) so that both
+// execution paths produce identical results.
+package vec
+
+// IntSums holds the result of a SumInts pass.
+type IntSums struct {
+	Sum   int64
+	FSum  float64
+	Count int64
+}
+
+// SumInts sums the selected non-null rows of an int-backed vector
+// (TBigInt, TTimestamp).
+func SumInts(v *Vector, sel []int32, n int) IntSums {
+	var r IntSums
+	ints := v.Ints
+	if sel != nil {
+		for _, i := range sel {
+			if !v.IsNull(int(i)) {
+				x := ints[i]
+				r.Sum += x
+				r.FSum += float64(x)
+				r.Count++
+			}
+		}
+		return r
+	}
+	if v.Nulls == nil {
+		for i := 0; i < n; i++ {
+			x := ints[i]
+			r.Sum += x
+			r.FSum += float64(x)
+		}
+		r.Count = int64(n)
+		return r
+	}
+	for i := 0; i < n; i++ {
+		if !v.IsNull(i) {
+			x := ints[i]
+			r.Sum += x
+			r.FSum += float64(x)
+			r.Count++
+		}
+	}
+	return r
+}
+
+// FloatSums holds the result of a SumFloats pass.
+type FloatSums struct {
+	Sum   float64
+	Count int64
+}
+
+// SumFloats sums the selected non-null rows of a float-backed vector.
+func SumFloats(v *Vector, sel []int32, n int) FloatSums {
+	var r FloatSums
+	fs := v.Floats
+	if sel != nil {
+		for _, i := range sel {
+			if !v.IsNull(int(i)) {
+				r.Sum += fs[i]
+				r.Count++
+			}
+		}
+		return r
+	}
+	if v.Nulls == nil {
+		for i := 0; i < n; i++ {
+			r.Sum += fs[i]
+		}
+		r.Count = int64(n)
+		return r
+	}
+	for i := 0; i < n; i++ {
+		if !v.IsNull(i) {
+			r.Sum += fs[i]
+			r.Count++
+		}
+	}
+	return r
+}
+
+// MinMaxInts returns the min or max of the selected non-null rows of
+// an int-backed vector; ok is false when no row qualified. Ties keep
+// the earlier value, matching the row-at-a-time comparison order.
+func MinMaxInts(v *Vector, sel []int32, n int, wantMin bool) (val int64, ok bool) {
+	ints := v.Ints
+	step := func(x int64) {
+		if !ok {
+			val, ok = x, true
+			return
+		}
+		if wantMin {
+			if x < val {
+				val = x
+			}
+		} else if x > val {
+			val = x
+		}
+	}
+	if sel != nil {
+		for _, i := range sel {
+			if !v.IsNull(int(i)) {
+				step(ints[i])
+			}
+		}
+		return val, ok
+	}
+	for i := 0; i < n; i++ {
+		if !v.IsNull(i) {
+			step(ints[i])
+		}
+	}
+	return val, ok
+}
+
+// MinMaxFloats is MinMaxInts over a float-backed vector. The strict
+// comparisons reproduce the row path's NaN behaviour (a NaN never
+// replaces the running value; a leading NaN is kept).
+func MinMaxFloats(v *Vector, sel []int32, n int, wantMin bool) (val float64, ok bool) {
+	fs := v.Floats
+	step := func(x float64) {
+		if !ok {
+			val, ok = x, true
+			return
+		}
+		if wantMin {
+			if x < val {
+				val = x
+			}
+		} else if x > val {
+			val = x
+		}
+	}
+	if sel != nil {
+		for _, i := range sel {
+			if !v.IsNull(int(i)) {
+				step(fs[i])
+			}
+		}
+		return val, ok
+	}
+	for i := 0; i < n; i++ {
+		if !v.IsNull(i) {
+			step(fs[i])
+		}
+	}
+	return val, ok
+}
+
+// CountNotNull counts the selected non-null rows of any vector.
+func CountNotNull(v *Vector, sel []int32, n int) int64 {
+	if v.AllNull {
+		return 0
+	}
+	var c int64
+	if sel != nil {
+		for _, i := range sel {
+			if !v.IsNull(int(i)) {
+				c++
+			}
+		}
+		return c
+	}
+	if v.Boxed == nil && v.Nulls == nil {
+		return int64(n)
+	}
+	for i := 0; i < n; i++ {
+		if !v.IsNull(i) {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,645 @@
+// Predicate kernels: compiled filter trees that narrow a batch's
+// selection vector with typed loops instead of per-row expression
+// evaluation. Selection semantics follow SQL WHERE: a row survives
+// only when the predicate is TRUE — NULL and FALSE both drop it —
+// which is what lets conjunction chain kernels and disjunction merge
+// two selections without tracking three-valued results per row.
+package vec
+
+import (
+	"bytes"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// Pred is a compiled, immutable predicate. Apply narrows sel (nil =
+// all n rows) writing into out[:0]; out may alias sel because kernels
+// write behind their read position.
+type pred interface {
+	apply(b *Batch, sel []int32, n int, out []int32, sc *Scratch) []int32
+}
+
+// CompiledPred is a vectorizable predicate over batch column slots.
+type CompiledPred struct {
+	root    pred
+	orPairs int
+}
+
+// Scratch holds the per-worker selection buffers a compiled predicate
+// needs (one result buffer plus two per OR node). A Scratch must not
+// be shared between concurrent workers.
+type Scratch struct {
+	main []int32
+	or   [][]int32
+}
+
+// NewScratch returns a scratch sized for the predicate.
+func (p *CompiledPred) NewScratch() *Scratch {
+	return &Scratch{or: make([][]int32, 2*p.orPairs)}
+}
+
+func grow(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, 0, n)
+	}
+	return buf[:0]
+}
+
+// Sel applies the predicate to the batch's current selection and
+// returns the surviving selection (backed by the scratch; valid until
+// the next Sel call with the same scratch).
+func (p *CompiledPred) Sel(b *Batch, sc *Scratch) []int32 {
+	sc.main = grow(sc.main, b.Len)
+	for i := range sc.or {
+		sc.or[i] = grow(sc.or[i], b.Len)
+	}
+	out := p.root.apply(b, b.Sel, b.Len, sc.main, sc)
+	sc.main = out[:0]
+	return out
+}
+
+// Compile translates an expression into a vectorized predicate. The
+// supported shapes are comparisons between a column and a constant,
+// IS [NOT] NULL, IN over constants, LIKE, bare boolean columns, AND
+// and OR. ok is false when the expression (or a referenced slot ≥
+// width) cannot be vectorized and the caller must evaluate row-wise.
+func Compile(e expr.Expr, width int) (*CompiledPred, bool) {
+	c := &CompiledPred{}
+	root, ok := c.compile(e, width)
+	if !ok {
+		return nil, false
+	}
+	c.root = root
+	return c, true
+}
+
+func (c *CompiledPred) compile(e expr.Expr, width int) (pred, bool) {
+	slotOK := func(i int) bool { return i >= 0 && i < width }
+	switch x := e.(type) {
+	case *expr.And:
+		l, ok := c.compile(x.L, width)
+		if !ok {
+			return nil, false
+		}
+		r, ok := c.compile(x.R, width)
+		if !ok {
+			return nil, false
+		}
+		return &andPred{l: l, r: r}, true
+	case *expr.Or:
+		id := c.orPairs
+		c.orPairs++
+		l, ok := c.compile(x.L, width)
+		if !ok {
+			return nil, false
+		}
+		r, ok := c.compile(x.R, width)
+		if !ok {
+			return nil, false
+		}
+		return &orPred{l: l, r: r, id: id}, true
+	case *expr.Cmp:
+		if col, okL := x.L.(*expr.Col); okL {
+			if k, okR := x.R.(*expr.Const); okR && slotOK(col.Idx) {
+				return &cmpPred{slot: col.Idx, op: x.Op, c: k.V}, true
+			}
+		}
+		if k, okL := x.L.(*expr.Const); okL {
+			if col, okR := x.R.(*expr.Col); okR && slotOK(col.Idx) {
+				return &cmpPred{slot: col.Idx, op: flipCmp(x.Op), c: k.V}, true
+			}
+		}
+		return nil, false
+	case *expr.IsNull:
+		if col, ok := x.E.(*expr.Col); ok && slotOK(col.Idx) {
+			return &isNullPred{slot: col.Idx, negate: x.Negate}, true
+		}
+		return nil, false
+	case *expr.In:
+		if col, ok := x.E.(*expr.Col); ok && slotOK(col.Idx) {
+			return newInPred(col.Idx, x.List), true
+		}
+		return nil, false
+	case *expr.Like:
+		if col, ok := x.E.(*expr.Col); ok && slotOK(col.Idx) {
+			return newLikePred(col.Idx, x.Pattern), true
+		}
+		return nil, false
+	case *expr.Col:
+		if slotOK(x.Idx) {
+			return &boolColPred{slot: x.Idx}, true
+		}
+		return nil, false
+	default:
+		return nil, false
+	}
+}
+
+// flipCmp mirrors an operator across swapped operands (c op col →
+// col flip(op) c).
+func flipCmp(op expr.CmpOp) expr.CmpOp {
+	switch op {
+	case expr.LT:
+		return expr.GT
+	case expr.LE:
+		return expr.GE
+	case expr.GT:
+		return expr.LT
+	case expr.GE:
+		return expr.LE
+	default:
+		return op // EQ, NE are symmetric
+	}
+}
+
+type andPred struct{ l, r pred }
+
+func (p *andPred) apply(b *Batch, sel []int32, n int, out []int32, sc *Scratch) []int32 {
+	o := p.l.apply(b, sel, n, out, sc)
+	// The right side filters the left's output in place: its writes
+	// trail its reads.
+	return p.r.apply(b, o, n, o[:0], sc)
+}
+
+type orPred struct {
+	l, r pred
+	id   int
+}
+
+func (p *orPred) apply(b *Batch, sel []int32, n int, out []int32, sc *Scratch) []int32 {
+	a := p.l.apply(b, sel, n, sc.or[2*p.id], sc)
+	bb := p.r.apply(b, sel, n, sc.or[2*p.id+1], sc)
+	sc.or[2*p.id] = a[:0]
+	sc.or[2*p.id+1] = bb[:0]
+	return mergeUnion(a, bb, out)
+}
+
+// mergeUnion merges two ascending selections (subsequences of the
+// same parent selection) into out, dropping duplicates.
+func mergeUnion(a, b, out []int32) []int32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// matchCmp converts a three-way comparison into the operator's truth
+// value.
+func matchCmp(op expr.CmpOp, c int) bool {
+	switch op {
+	case expr.EQ:
+		return c == 0
+	case expr.NE:
+		return c != 0
+	case expr.LT:
+		return c < 0
+	case expr.LE:
+		return c <= 0
+	case expr.GT:
+		return c > 0
+	default:
+		return c >= 0
+	}
+}
+
+type cmpPred struct {
+	slot int
+	op   expr.CmpOp
+	c    expr.Value
+}
+
+func (p *cmpPred) apply(b *Batch, sel []int32, n int, out []int32, sc *Scratch) []int32 {
+	v := &b.Cols[p.slot]
+	if p.c.Null || v.AllNull {
+		return out // NULL comparison is never TRUE
+	}
+	if v.Boxed != nil {
+		return cmpBoxed(v, p.op, p.c, sel, n, out)
+	}
+	switch v.Type {
+	case expr.TBigInt, expr.TTimestamp:
+		switch p.c.Typ {
+		case expr.TBigInt, expr.TTimestamp:
+			if p.c.Typ == v.Type {
+				return cmpInts(v, p.op, p.c.I, sel, n, out)
+			}
+			// Cross numeric types compare as float (expr.Compare).
+			return cmpIntsAsFloat(v, p.op, float64(p.c.I), sel, n, out)
+		case expr.TFloat:
+			return cmpIntsAsFloat(v, p.op, p.c.F, sel, n, out)
+		}
+		return out
+	case expr.TFloat:
+		cf, ok := p.c.AsFloat()
+		if !ok {
+			return out
+		}
+		return cmpFloats(v, p.op, cf, sel, n, out)
+	case expr.TText:
+		if p.c.Typ != expr.TText {
+			return out
+		}
+		return cmpStrs(v, p.op, p.c.S, sel, n, out)
+	case expr.TBool:
+		if p.c.Typ != expr.TBool {
+			return out
+		}
+		return cmpBools(v, p.op, p.c.B, sel, n, out)
+	}
+	return out
+}
+
+func cmpInts(v *Vector, op expr.CmpOp, c int64, sel []int32, n int, out []int32) []int32 {
+	ints := v.Ints
+	if sel != nil {
+		for _, i := range sel {
+			if !v.IsNull(int(i)) {
+				x := ints[i]
+				if matchCmp(op, cmp3Int(x, c)) {
+					out = append(out, i)
+				}
+			}
+		}
+		return out
+	}
+	if v.Nulls == nil {
+		// Dense, null-free inner loop — the common extracted-column case.
+		for i := 0; i < n; i++ {
+			if matchCmp(op, cmp3Int(ints[i], c)) {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		if !v.IsNull(i) && matchCmp(op, cmp3Int(ints[i], c)) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func cmpIntsAsFloat(v *Vector, op expr.CmpOp, c float64, sel []int32, n int, out []int32) []int32 {
+	ints := v.Ints
+	if sel != nil {
+		for _, i := range sel {
+			if !v.IsNull(int(i)) && matchCmp(op, cmp3Float(float64(ints[i]), c)) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		if !v.IsNull(i) && matchCmp(op, cmp3Float(float64(ints[i]), c)) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func cmpFloats(v *Vector, op expr.CmpOp, c float64, sel []int32, n int, out []int32) []int32 {
+	fs := v.Floats
+	if sel != nil {
+		for _, i := range sel {
+			if !v.IsNull(int(i)) && matchCmp(op, cmp3Float(fs[i], c)) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	if v.Nulls == nil {
+		for i := 0; i < n; i++ {
+			if matchCmp(op, cmp3Float(fs[i], c)) {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		if !v.IsNull(i) && matchCmp(op, cmp3Float(fs[i], c)) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func cmpStrs(v *Vector, op expr.CmpOp, c string, sel []int32, n int, out []int32) []int32 {
+	cb := []byte(c)
+	if sel != nil {
+		for _, i := range sel {
+			if !v.IsNull(int(i)) && matchCmp(op, bytes.Compare(v.StrAt(int(i)), cb)) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		if !v.IsNull(i) && matchCmp(op, bytes.Compare(v.StrAt(i), cb)) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func cmpBools(v *Vector, op expr.CmpOp, c bool, sel []int32, n int, out []int32) []int32 {
+	cmp := func(x bool) int {
+		switch {
+		case x == c:
+			return 0
+		case c:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if sel != nil {
+		for _, i := range sel {
+			if !v.IsNull(int(i)) && matchCmp(op, cmp(v.Bool(int(i)))) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		if !v.IsNull(i) && matchCmp(op, cmp(v.Bool(i))) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func cmpBoxed(v *Vector, op expr.CmpOp, c expr.Value, sel []int32, n int, out []int32) []int32 {
+	test := func(i int) bool {
+		x := v.Boxed[i]
+		if x.Null {
+			return false
+		}
+		cv, ok := expr.Compare(x, c)
+		return ok && matchCmp(op, cv)
+	}
+	if sel != nil {
+		for _, i := range sel {
+			if test(int(i)) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		if test(i) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func cmp3Int(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmp3Float(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+type isNullPred struct {
+	slot   int
+	negate bool
+}
+
+func (p *isNullPred) apply(b *Batch, sel []int32, n int, out []int32, sc *Scratch) []int32 {
+	v := &b.Cols[p.slot]
+	if sel != nil {
+		for _, i := range sel {
+			if v.IsNull(int(i)) != p.negate {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		if v.IsNull(i) != p.negate {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+type inPred struct {
+	slot int
+	list []expr.Value
+	strs [][]byte // TText constants pre-converted for byte comparison
+}
+
+func newInPred(slot int, list []expr.Value) *inPred {
+	p := &inPred{slot: slot, list: list}
+	for _, c := range list {
+		if !c.Null && c.Typ == expr.TText {
+			p.strs = append(p.strs, []byte(c.S))
+		}
+	}
+	return p
+}
+
+func (p *inPred) apply(b *Batch, sel []int32, n int, out []int32, sc *Scratch) []int32 {
+	v := &b.Cols[p.slot]
+	if v.AllNull {
+		return out
+	}
+	var test func(i int) bool
+	switch {
+	case v.Boxed != nil:
+		test = func(i int) bool {
+			x := v.Boxed[i]
+			if x.Null {
+				return false
+			}
+			for _, c := range p.list {
+				if expr.Equal(x, c) {
+					return true
+				}
+			}
+			return false
+		}
+	case v.Type == expr.TText:
+		test = func(i int) bool {
+			if v.IsNull(i) {
+				return false
+			}
+			s := v.StrAt(i)
+			for _, c := range p.strs {
+				if bytes.Equal(s, c) {
+					return true
+				}
+			}
+			return false
+		}
+	default:
+		// Numeric / bool / timestamp vectors: box the cell (no
+		// allocation for these types) and reuse SQL equality.
+		test = func(i int) bool {
+			if v.IsNull(i) {
+				return false
+			}
+			x := v.Value(i)
+			for _, c := range p.list {
+				if expr.Equal(x, c) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	if sel != nil {
+		for _, i := range sel {
+			if test(int(i)) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		if test(i) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+type likeKind uint8
+
+const (
+	likeExact likeKind = iota
+	likePrefix
+	likeSuffix
+	likeContains
+)
+
+type likePred struct {
+	slot    int
+	pattern string
+	kind    likeKind
+	needle  []byte // pattern with the % stripped, pre-converted
+}
+
+func newLikePred(slot int, pattern string) *likePred {
+	p := &likePred{slot: slot, pattern: pattern}
+	switch {
+	case strings.HasPrefix(pattern, "%") && strings.HasSuffix(pattern, "%") && len(pattern) >= 2:
+		p.kind, p.needle = likeContains, []byte(pattern[1:len(pattern)-1])
+	case strings.HasPrefix(pattern, "%"):
+		p.kind, p.needle = likeSuffix, []byte(pattern[1:])
+	case strings.HasSuffix(pattern, "%") && len(pattern) >= 1:
+		p.kind, p.needle = likePrefix, []byte(pattern[:len(pattern)-1])
+	default:
+		p.kind, p.needle = likeExact, []byte(pattern)
+	}
+	return p
+}
+
+func (p *likePred) match(s []byte) bool {
+	switch p.kind {
+	case likeContains:
+		return bytes.Contains(s, p.needle)
+	case likeSuffix:
+		return bytes.HasSuffix(s, p.needle)
+	case likePrefix:
+		return bytes.HasPrefix(s, p.needle)
+	default:
+		return bytes.Equal(s, p.needle)
+	}
+}
+
+func (p *likePred) apply(b *Batch, sel []int32, n int, out []int32, sc *Scratch) []int32 {
+	v := &b.Cols[p.slot]
+	if v.AllNull {
+		return out
+	}
+	var test func(i int) bool
+	switch {
+	case v.Boxed != nil:
+		test = func(i int) bool {
+			x := v.Boxed[i]
+			return !x.Null && x.Typ == expr.TText && expr.MatchLike(x.S, p.pattern)
+		}
+	case v.Type == expr.TText:
+		test = func(i int) bool {
+			return !v.IsNull(i) && p.match(v.StrAt(i))
+		}
+	default:
+		return out // non-text LIKE is NULL row-wise, never TRUE
+	}
+	if sel != nil {
+		for _, i := range sel {
+			if test(int(i)) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		if test(i) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+type boolColPred struct{ slot int }
+
+func (p *boolColPred) apply(b *Batch, sel []int32, n int, out []int32, sc *Scratch) []int32 {
+	v := &b.Cols[p.slot]
+	if v.AllNull {
+		return out
+	}
+	var test func(i int) bool
+	if v.Boxed != nil {
+		test = func(i int) bool { return v.Boxed[i].IsTrue() }
+	} else if v.Type == expr.TBool {
+		test = func(i int) bool { return !v.IsNull(i) && v.Bool(i) }
+	} else {
+		return out
+	}
+	if sel != nil {
+		for _, i := range sel {
+			if test(int(i)) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		if test(i) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+// Package vec implements the vectorized batch representation of the
+// execution engine: typed column vectors over one tile-sized chunk of
+// rows, a selection vector naming the surviving rows, and the
+// predicate / aggregate kernels that operate on whole vectors without
+// boxing individual cells into expr.Value.
+//
+// The layout mirrors the JSON-tiles storage (paper §4): a tile's
+// materialized columns are flat typed slices, so a scan can hand them
+// to the engine zero-copy; accesses the tile cannot serve from a
+// column are materialized into a boxed vector by the per-row fallback
+// path. Downstream operators filter by narrowing the selection vector
+// and aggregate by looping directly over the typed slices — the
+// batch-at-a-time design of vectorized analytics engines.
+package vec
+
+import (
+	"repro/internal/expr"
+)
+
+// Vector is one column of a batch. Exactly one backing is populated:
+//
+//   - Ints for TBigInt and TTimestamp
+//   - Floats for TFloat
+//   - Bools (a bitmap) for TBool
+//   - StrOff/StrBytes (an offset-indexed arena) for TText
+//   - Boxed for anything materialized row-by-row (JSONB fallback,
+//     cast results, TJSON documents)
+//
+// AllNull marks a vector whose every row is NULL without any backing
+// (the path provably never occurs in the tile). Nulls is a bitmap
+// (bit i set = row i NULL); nil means no nulls. Fast-path vectors
+// alias storage-owned slices and must be treated as read-only.
+type Vector struct {
+	Type  expr.SQLType
+	Nulls []uint64
+
+	Ints     []int64
+	Floats   []float64
+	Bools    []uint64
+	StrOff   []uint32
+	StrBytes []byte
+
+	Boxed []expr.Value
+
+	AllNull bool
+}
+
+// IsNull reports whether row i is NULL.
+func (v *Vector) IsNull(i int) bool {
+	if v.AllNull {
+		return true
+	}
+	if v.Boxed != nil {
+		return v.Boxed[i].Null
+	}
+	w := i >> 6
+	if w >= len(v.Nulls) {
+		return false
+	}
+	return v.Nulls[w]&(1<<(uint(i)&63)) != 0
+}
+
+// Int returns the int64 backing of row i (TBigInt, TTimestamp).
+func (v *Vector) Int(i int) int64 { return v.Ints[i] }
+
+// Float returns the float64 backing of row i.
+func (v *Vector) Float(i int) float64 { return v.Floats[i] }
+
+// Bool returns the boolean backing of row i.
+func (v *Vector) Bool(i int) bool {
+	w := i >> 6
+	if w >= len(v.Bools) {
+		return false
+	}
+	return v.Bools[w]&(1<<(uint(i)&63)) != 0
+}
+
+// StrAt returns the text of row i without copying. Callers must not
+// retain or mutate the slice.
+func (v *Vector) StrAt(i int) []byte {
+	var start uint32
+	if i > 0 {
+		start = v.StrOff[i-1]
+	}
+	return v.StrBytes[start:v.StrOff[i]]
+}
+
+// Value boxes row i into an engine value — the batch→row adapter.
+func (v *Vector) Value(i int) expr.Value {
+	if v.Boxed != nil {
+		return v.Boxed[i]
+	}
+	if v.IsNull(i) {
+		return expr.NullValue()
+	}
+	switch v.Type {
+	case expr.TBigInt:
+		return expr.IntValue(v.Ints[i])
+	case expr.TTimestamp:
+		return expr.TimestampValue(v.Ints[i])
+	case expr.TFloat:
+		return expr.FloatValue(v.Floats[i])
+	case expr.TBool:
+		return expr.BoolValue(v.Bool(i))
+	case expr.TText:
+		return expr.TextValue(string(v.StrAt(i)))
+	}
+	return expr.NullValue()
+}
+
+// NullVector returns an n-row all-NULL vector of type t.
+func NullVector(t expr.SQLType, n int) Vector {
+	return Vector{Type: t, AllNull: true}
+}
+
+// Batch is one chunk of rows flowing through the batch execution
+// path: column vectors, the physical row count, and an optional
+// selection vector naming the selected physical rows in ascending
+// order (nil selects every row). Base is the global row id of
+// physical row 0. Like emitted rows, a batch and its vectors are
+// only valid during the emit call that delivers them.
+type Batch struct {
+	Cols []Vector
+	Len  int
+	Sel  []int32
+	Base int64
+}
+
+// Rows returns the number of selected rows.
+func (b *Batch) Rows() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.Len
+}

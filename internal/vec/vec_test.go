@@ -1,0 +1,311 @@
+package vec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// buildVector makes an n-row vector of the given type with ~1/4 NULL
+// rows (boxed when boxed is set, typed otherwise).
+func buildVector(r *rand.Rand, t expr.SQLType, n int, boxed bool) Vector {
+	vals := make([]expr.Value, n)
+	for i := range vals {
+		if r.Intn(4) == 0 {
+			vals[i] = expr.NullValue()
+			continue
+		}
+		switch t {
+		case expr.TBigInt:
+			vals[i] = expr.IntValue(int64(r.Intn(21) - 10))
+		case expr.TTimestamp:
+			vals[i] = expr.TimestampValue(int64(r.Intn(1000)))
+		case expr.TFloat:
+			vals[i] = expr.FloatValue(float64(r.Intn(21)-10) / 2)
+		case expr.TBool:
+			vals[i] = expr.BoolValue(r.Intn(2) == 0)
+		case expr.TText:
+			vals[i] = expr.TextValue([]string{"", "a", "ab", "abc", "b", "ba", "zz"}[r.Intn(7)])
+		}
+	}
+	if boxed {
+		return Vector{Type: t, Boxed: vals}
+	}
+	v := Vector{Type: t}
+	for i, x := range vals {
+		if x.Null {
+			w := i >> 6
+			for len(v.Nulls) <= w {
+				v.Nulls = append(v.Nulls, 0)
+			}
+			v.Nulls[w] |= 1 << (uint(i) & 63)
+		}
+		switch t {
+		case expr.TBigInt, expr.TTimestamp:
+			v.Ints = append(v.Ints, x.I)
+		case expr.TFloat:
+			v.Floats = append(v.Floats, x.F)
+		case expr.TBool:
+			if x.B {
+				w := i >> 6
+				for len(v.Bools) <= w {
+					v.Bools = append(v.Bools, 0)
+				}
+				v.Bools[w] |= 1 << (uint(i) & 63)
+			}
+		case expr.TText:
+			v.StrBytes = append(v.StrBytes, x.S...)
+			v.StrOff = append(v.StrOff, uint32(len(v.StrBytes)))
+		}
+	}
+	return v
+}
+
+// randomPred builds a random vectorizable predicate over the batch's
+// column slots.
+func randomPred(r *rand.Rand, types []expr.SQLType, depth int) expr.Expr {
+	if depth > 0 && r.Intn(3) == 0 {
+		l := randomPred(r, types, depth-1)
+		rr := randomPred(r, types, depth-1)
+		if r.Intn(2) == 0 {
+			return expr.NewAnd(l, rr)
+		}
+		return expr.NewOr(l, rr)
+	}
+	slot := r.Intn(len(types))
+	col := expr.NewCol(slot, types[slot])
+	switch r.Intn(4) {
+	case 0:
+		return expr.NewIsNull(col, r.Intn(2) == 0)
+	case 1:
+		var consts []expr.Value
+		for k := 0; k < 1+r.Intn(3); k++ {
+			consts = append(consts, randConst(r, types[slot]))
+		}
+		return expr.NewIn(col, consts...)
+	case 2:
+		if types[slot] == expr.TText {
+			return expr.NewLike(col, []string{"a%", "%b", "%a%", "ab", "%"}[r.Intn(5)])
+		}
+		fallthrough
+	default:
+		op := []expr.CmpOp{expr.EQ, expr.NE, expr.LT, expr.LE, expr.GT, expr.GE}[r.Intn(6)]
+		k := expr.NewConst(randConst(r, types[slot]))
+		if r.Intn(2) == 0 {
+			return expr.NewCmp(op, col, k)
+		}
+		return expr.NewCmp(op, k, col)
+	}
+}
+
+func randConst(r *rand.Rand, t expr.SQLType) expr.Value {
+	switch t {
+	case expr.TBigInt:
+		// Occasionally a cross-type numeric constant.
+		if r.Intn(4) == 0 {
+			return expr.FloatValue(float64(r.Intn(11) - 5))
+		}
+		return expr.IntValue(int64(r.Intn(11) - 5))
+	case expr.TTimestamp:
+		return expr.TimestampValue(int64(r.Intn(1000)))
+	case expr.TFloat:
+		return expr.FloatValue(float64(r.Intn(11)-5) / 2)
+	case expr.TBool:
+		return expr.BoolValue(r.Intn(2) == 0)
+	default:
+		return expr.TextValue([]string{"", "a", "ab", "b"}[r.Intn(4)])
+	}
+}
+
+// TestCompiledPredMatchesRowEval is the kernel conformance property:
+// for random batches (typed and boxed vectors, with and without an
+// input selection) and random predicates, the compiled selection must
+// equal row-at-a-time WHERE evaluation.
+func TestCompiledPredMatchesRowEval(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	types := []expr.SQLType{expr.TBigInt, expr.TFloat, expr.TText, expr.TBool, expr.TTimestamp}
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(100)
+		b := &Batch{Len: n}
+		colTypes := make([]expr.SQLType, 2+r.Intn(3))
+		for i := range colTypes {
+			colTypes[i] = types[r.Intn(len(types))]
+			b.Cols = append(b.Cols, buildVector(r, colTypes[i], n, r.Intn(3) == 0))
+		}
+		if r.Intn(4) == 0 {
+			// Random ascending input selection.
+			for i := 0; i < n; i++ {
+				if r.Intn(2) == 0 {
+					b.Sel = append(b.Sel, int32(i))
+				}
+			}
+			if b.Sel == nil {
+				b.Sel = []int32{}
+			}
+		}
+		e := randomPred(r, colTypes, 2)
+		p, ok := Compile(e, len(colTypes))
+		if !ok {
+			t.Fatalf("trial %d: predicate did not compile", trial)
+		}
+		got := p.Sel(b, p.NewScratch())
+
+		// Row-at-a-time ground truth.
+		row := make([]expr.Value, len(b.Cols))
+		var want []int32
+		each := func(i int) {
+			for c := range b.Cols {
+				row[c] = b.Cols[c].Value(i)
+			}
+			if e.Eval(row).IsTrue() {
+				want = append(want, int32(i))
+			}
+		}
+		if b.Sel != nil {
+			for _, i := range b.Sel {
+				each(int(i))
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				each(i)
+			}
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("trial %d: kernel sel %v != row sel %v (pred over %v)", trial, got, want, colTypes)
+		}
+	}
+}
+
+func TestCompileRejectsNonVectorizable(t *testing.T) {
+	col := expr.NewCol(0, expr.TBigInt)
+	cases := []expr.Expr{
+		expr.NewNot(expr.NewCmp(expr.EQ, col, expr.NewConst(expr.IntValue(1)))),
+		expr.NewCmp(expr.EQ, col, expr.NewCol(1, expr.TBigInt)), // col-col
+		expr.NewCmp(expr.EQ,
+			expr.NewArith(expr.Add, col, expr.NewConst(expr.IntValue(1))),
+			expr.NewConst(expr.IntValue(2))),
+		expr.NewCol(5, expr.TBool), // slot out of range
+	}
+	for i, e := range cases {
+		if _, ok := Compile(e, 2); ok {
+			t.Errorf("case %d: compiled, want rejection", i)
+		}
+	}
+}
+
+func TestAggKernelsMatchManual(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(80)
+		iv := buildVector(r, expr.TBigInt, n, false)
+		fv := buildVector(r, expr.TFloat, n, false)
+		var sel []int32
+		if r.Intn(2) == 0 {
+			for i := 0; i < n; i++ {
+				if r.Intn(2) == 0 {
+					sel = append(sel, int32(i))
+				}
+			}
+			if sel == nil {
+				sel = []int32{}
+			}
+		}
+		each := func(f func(i int)) {
+			if sel != nil {
+				for _, i := range sel {
+					f(int(i))
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					f(i)
+				}
+			}
+		}
+
+		is := SumInts(&iv, sel, n)
+		var wantSum int64
+		var wantF float64
+		var wantN int64
+		each(func(i int) {
+			if !iv.IsNull(i) {
+				wantSum += iv.Ints[i]
+				wantF += float64(iv.Ints[i])
+				wantN++
+			}
+		})
+		if is.Sum != wantSum || is.FSum != wantF || is.Count != wantN {
+			t.Fatalf("trial %d: SumInts %+v, want %d/%g/%d", trial, is, wantSum, wantF, wantN)
+		}
+
+		fs := SumFloats(&fv, sel, n)
+		var wantFS float64
+		var wantFN int64
+		each(func(i int) {
+			if !fv.IsNull(i) {
+				wantFS += fv.Floats[i]
+				wantFN++
+			}
+		})
+		if fs.Sum != wantFS || fs.Count != wantFN {
+			t.Fatalf("trial %d: SumFloats %+v", trial, fs)
+		}
+
+		for _, wantMin := range []bool{true, false} {
+			got, ok := MinMaxInts(&iv, sel, n, wantMin)
+			var want int64
+			have := false
+			each(func(i int) {
+				if iv.IsNull(i) {
+					return
+				}
+				x := iv.Ints[i]
+				if !have || (wantMin && x < want) || (!wantMin && x > want) {
+					want, have = x, true
+				}
+			})
+			if ok != have || (ok && got != want) {
+				t.Fatalf("trial %d: MinMaxInts(min=%v) = %d,%v want %d,%v", trial, wantMin, got, ok, want, have)
+			}
+		}
+
+		if c := CountNotNull(&iv, sel, n); c != wantN {
+			t.Fatalf("trial %d: CountNotNull = %d want %d", trial, c, wantN)
+		}
+	}
+}
+
+func TestMinMaxFloatsNaN(t *testing.T) {
+	nan := math.NaN()
+	v := Vector{Type: expr.TFloat, Floats: []float64{nan, 2, 1}}
+	got, ok := MinMaxFloats(&v, nil, 3, true)
+	// A leading NaN is kept: strict comparisons never replace it —
+	// exactly what the row path's expr.Compare produces.
+	if !ok || !math.IsNaN(got) {
+		t.Errorf("min = %v, %v (want leading NaN kept)", got, ok)
+	}
+	v2 := Vector{Type: expr.TFloat, Floats: []float64{2, nan, 1}}
+	got, ok = MinMaxFloats(&v2, nil, 3, true)
+	if !ok || got != 1 {
+		t.Errorf("min = %v, want 1 (NaN skipped after first)", got)
+	}
+}
+
+func TestBatchRowsAndNullVector(t *testing.T) {
+	b := Batch{Len: 10}
+	if b.Rows() != 10 {
+		t.Errorf("Rows = %d", b.Rows())
+	}
+	b.Sel = []int32{1, 3}
+	if b.Rows() != 2 {
+		t.Errorf("Rows = %d", b.Rows())
+	}
+	nv := NullVector(expr.TBigInt, 4)
+	for i := 0; i < 4; i++ {
+		if !nv.IsNull(i) || !nv.Value(i).Null {
+			t.Errorf("row %d not NULL", i)
+		}
+	}
+}

@@ -318,6 +318,9 @@ func (q *Query) buildPlan(analyze bool, sp *obs.Span) (engine.Operator, error) {
 		if !analyze {
 			return op
 		}
+		if sc, ok := op.(*engine.Scan); ok && sc.BatchCapable() {
+			detail += " [vectorized]"
+		}
 		tr := engine.NewTraced(label, detail, est, op)
 		if sc, ok := op.(*engine.Scan); ok {
 			st := &obs.ScanStats{}
