@@ -4,6 +4,7 @@
 //
 //	jtgen -workload twitter | jtload
 //	jtload -f tweets.jsonl -tilesize 1024
+//	jtload -f tweets.jsonl -o tweets.seg   # persist to a segment file
 package main
 
 import (
@@ -20,6 +21,7 @@ func main() {
 	partSize := flag.Int("partsize", 8, "tiles per reordering partition")
 	threshold := flag.Float64("threshold", 0.6, "extraction threshold")
 	noReorder := flag.Bool("no-reorder", false, "disable partition reordering")
+	out := flag.String("o", "", "write the loaded table to a segment file at this path")
 	verbose := flag.Bool("v", false, "print per-tile extracted columns")
 	flag.Parse()
 
@@ -59,6 +61,19 @@ func main() {
 		pct(info.TileColumnBytes, info.BinaryJSONBytes))
 	fmt.Printf("LZ4 tile columns:   %d bytes (+%.1f%%)\n", info.CompressedTileColumnBytes,
 		pct(info.CompressedTileColumnBytes, info.BinaryJSONBytes))
+
+	if *out != "" {
+		if err := tbl.WriteSegment(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "jtload:", err)
+			os.Exit(1)
+		}
+		fi, err := os.Stat(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jtload:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("segment:            %s (%d bytes)\n", *out, fi.Size())
+	}
 
 	st := tbl.Stats()
 	fmt.Printf("\nmost frequent key paths:\n")

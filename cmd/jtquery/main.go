@@ -4,6 +4,7 @@
 //	jtgen -workload twitter | jtquery "data->'user'->>'screen_name'" "data->>'retweet_count'::BigInt"
 //	jtquery -f reviews.jsonl -where-not-null 0 -limit 10 "data->>'stars'::BigInt"
 //	jtquery -f reviews.jsonl -analyze -where-not-null 0 "data->>'stars'::BigInt"
+//	jtquery -seg reviews.seg "data->>'stars'::BigInt"   # query a segment file
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 func main() {
 	file := flag.String("f", "-", "input file ('-' = stdin)")
+	seg := flag.String("seg", "", "query a segment file written by 'jtload -o' instead of loading JSON")
 	limit := flag.Int("limit", 20, "max rows to print (0 = all)")
 	notNull := flag.Int("where-not-null", -1, "keep rows where this select column is not null")
 	tileSize := flag.Int("tilesize", 1024, "tuples per tile")
@@ -33,20 +35,31 @@ func main() {
 
 	opts := jsontiles.DefaultOptions()
 	opts.TileSize = *tileSize
-	in := os.Stdin
-	if *file != "-" {
-		f, err := os.Open(*file)
+	var tbl *jsontiles.Table
+	var err error
+	if *seg != "" {
+		tbl, err = jsontiles.OpenSegment("input", *seg, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jtquery:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		in = f
-	}
-	tbl, err := jsontiles.LoadReader("input", in, opts)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "jtquery:", err)
-		os.Exit(1)
+		defer tbl.Close()
+	} else {
+		in := os.Stdin
+		if *file != "-" {
+			f, err := os.Open(*file)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jtquery:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			in = f
+		}
+		tbl, err = jsontiles.LoadReader("input", in, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jtquery:", err)
+			os.Exit(1)
+		}
 	}
 
 	q := tbl.Query(selects...)
@@ -81,6 +94,10 @@ func main() {
 		}
 		fmt.Print(res)
 		fmt.Printf("(%d rows)\n", res.NumRows())
+	}
+	if err := tbl.ScanErr(); err != nil {
+		fmt.Fprintln(os.Stderr, "jtquery: degraded read:", err)
+		os.Exit(1)
 	}
 	if *metrics {
 		fmt.Println()

@@ -67,6 +67,14 @@ type ScanStats struct {
 	Batches        int64
 	RowsVectorized int64
 	RowsFallback   int64
+	// Segment I/O (zero for in-memory relations): blocks and stored
+	// bytes read from disk, and buffer-pool hits vs misses for the
+	// scan's block accesses. Skipped tiles and unaccessed columns
+	// never appear here — their blocks are simply never requested.
+	BlocksRead int64
+	BlockBytes int64
+	PoolHits   int64
+	PoolMisses int64
 }
 
 // SkipRatio is the fraction of tiles skipped.
@@ -199,6 +207,10 @@ func snapshotScanStats(st *obs.ScanStats) ScanStats {
 		Batches:        st.Batches.Load(),
 		RowsVectorized: st.RowsVectorized.Load(),
 		RowsFallback:   st.RowsFallback.Load(),
+		BlocksRead:     st.BlocksRead.Load(),
+		BlockBytes:     st.BlockBytes.Load(),
+		PoolHits:       st.PoolHits.Load(),
+		PoolMisses:     st.PoolMisses.Load(),
 	}
 }
 
@@ -253,6 +265,10 @@ func (n *PlanNode) write(sb *strings.Builder, prefix, childPrefix string) {
 			if s.Batches > 0 {
 				fmt.Fprintf(sb, "; batches=%d vec=%d rowfb=%d",
 					s.Batches, s.RowsVectorized, s.RowsFallback)
+			}
+			if s.PoolHits+s.PoolMisses > 0 {
+				fmt.Fprintf(sb, "; blocks=%d io=%dB pool %d hit/%d miss",
+					s.BlocksRead, s.BlockBytes, s.PoolHits, s.PoolMisses)
 			}
 		}
 		sb.WriteString("]")

@@ -80,6 +80,7 @@ func Experiments() []Experiment {
 		{"fig19", "Figure 19: storage size relative to JSON text", fig19},
 		{"fig20", "Figure 20: random accesses/sec on nested documents", fig20},
 		{"vec", "Vectorized vs row-at-a-time execution over tiles (records BENCH_vectorized.json)", vecExp},
+		{"seg", "Segment persistence: cold-open vs warm buffer pool vs in-memory (records BENCH_segment.json)", segExp},
 	}
 }
 

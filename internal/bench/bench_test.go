@@ -48,8 +48,8 @@ func TestByID(t *testing.T) {
 			t.Errorf("experiment %s incomplete", e.ID)
 		}
 	}
-	if len(ids) != 21 {
-		t.Errorf("%d experiments, want 21 (every table and figure + vec)", len(ids))
+	if len(ids) != 22 {
+		t.Errorf("%d experiments, want 22 (every table and figure + vec + seg)", len(ids))
 	}
 }
 

@@ -83,6 +83,30 @@ func (f *Filter) FillRatio() float64 {
 // SizeBytes returns the memory footprint of the bit array.
 func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
 
+// Bits exposes the raw bit array for serialization (the segment
+// footer persists tile headers). Read-only.
+func (f *Filter) Bits() []uint64 { return f.bits }
+
+// K returns the number of hash probes per key.
+func (f *Filter) K() int { return f.k }
+
+// FromBits reconstructs a filter from a serialized bit array and probe
+// count. The slice is retained, not copied. k is clamped to [1, 16]
+// and an empty bit array yields a one-word filter so a corrupt header
+// can never produce a filter that panics on probe.
+func FromBits(bits []uint64, k int) *Filter {
+	if len(bits) == 0 {
+		bits = make([]uint64, 1)
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return &Filter{bits: bits, nbits: uint64(len(bits)) * 64, k: k}
+}
+
 // hash2 derives two 64-bit hashes from one FNV-1a pass plus an
 // avalanche remix, avoiding a second scan over the key.
 func hash2(s string) (uint64, uint64) {

@@ -1,0 +1,245 @@
+// Package bufpool implements the buffer pool that every segment block
+// read flows through. The paper's host system (Umbra) manages tile
+// blocks through its buffer manager; this package is the equivalent
+// for the standalone engine: a capacity-bounded cache of decompressed
+// block bytes with clock (second-chance) eviction, refcount pinning,
+// and singleflight loading so concurrent scans of the same block pay
+// for one disk read + decompression, not N.
+//
+// The pool caches *decompressed* payloads. Checksum verification and
+// LZ4 decompression happen inside the load function on a miss; a hit
+// returns bytes that are immediately scannable. Capacity is accounted
+// in payload bytes, not entry counts, because block sizes vary by
+// orders of magnitude (a tile's JSONB fallback vs. a bool column).
+package bufpool
+
+import (
+	"sync"
+)
+
+// Key identifies one block: a pool-unique file ID (assigned by
+// RegisterFile) plus the block's offset within the file. Offsets are
+// unique per block within a segment, so (file, offset) is a stable
+// identity even across reopens.
+type Key struct {
+	File uint64
+	Off  uint64
+}
+
+// Stats is a snapshot of pool counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	// Resident is the current payload byte total; Capacity the bound.
+	Resident int64
+	Capacity int64
+}
+
+// Pool is a capacity-bounded block cache. The zero value is unusable;
+// construct with New.
+type Pool struct {
+	mu       sync.Mutex
+	capacity int64
+	resident int64
+	entries  map[Key]*entry
+	ring     []*entry // clock hand sweeps this
+	hand     int
+	flights  map[Key]*flight
+	nextFile uint64
+
+	hits, misses, evictions int64
+}
+
+type entry struct {
+	key   Key
+	bytes []byte
+	pins  int32
+	ref   bool // clock reference bit: set on access, cleared by the hand
+	dead  bool // removed from entries; awaiting ring compaction
+}
+
+type flight struct {
+	done  chan struct{}
+	bytes []byte
+	err   error
+}
+
+// DefaultCapacity bounds the pool when the caller passes 0: 64 MiB,
+// enough for a few hundred resident tile blocks.
+const DefaultCapacity = 64 << 20
+
+// New returns a pool bounded to capacity payload bytes.
+func New(capacity int64) *Pool {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Pool{
+		capacity: capacity,
+		entries:  make(map[Key]*entry),
+		flights:  make(map[Key]*flight),
+	}
+}
+
+// RegisterFile allocates a pool-unique file ID for Key.File. Each
+// opened segment registers once so blocks from different files never
+// collide.
+func (p *Pool) RegisterFile() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextFile++
+	return p.nextFile
+}
+
+// Handle is a pinned reference to a cached block. The payload stays
+// resident (never evicted) until Release.
+type Handle struct {
+	pool *Pool
+	ent  *entry
+	// Hit reports whether the payload was already resident (true) or
+	// was loaded by this Get (false). Scans aggregate this into
+	// per-query pool hit/miss counts.
+	Hit bool
+}
+
+// Bytes returns the cached payload. Callers must not mutate it and
+// must not retain it past Release.
+func (h *Handle) Bytes() []byte { return h.ent.bytes }
+
+// Release unpins the handle. After Release the payload may be evicted
+// at any time; using Bytes' result afterwards is a data race with the
+// allocator, not with the pool (bytes are never reused in place).
+func (h *Handle) Release() {
+	if h.ent == nil {
+		return
+	}
+	h.pool.mu.Lock()
+	h.ent.pins--
+	h.pool.mu.Unlock()
+	h.ent = nil
+}
+
+// Get returns a pinned handle for key, calling load (outside the pool
+// lock) to produce the payload on a miss. Concurrent Gets for the same
+// absent key share one load: the losers block until the winner's load
+// returns. A failed load caches nothing and the error propagates to
+// every waiter.
+func (p *Pool) Get(key Key, load func() ([]byte, error)) (*Handle, error) {
+	for {
+		p.mu.Lock()
+		if e, ok := p.entries[key]; ok {
+			e.pins++
+			e.ref = true
+			p.hits++
+			p.mu.Unlock()
+			return &Handle{pool: p, ent: e, Hit: true}, nil
+		}
+		if f, ok := p.flights[key]; ok {
+			// Someone else is loading this block; wait and retry. The
+			// retry (rather than using f.bytes directly) keeps a single
+			// code path for pin accounting.
+			p.mu.Unlock()
+			<-f.done
+			if f.err != nil {
+				return nil, f.err
+			}
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		p.flights[key] = f
+		p.misses++
+		p.mu.Unlock()
+
+		f.bytes, f.err = load()
+
+		p.mu.Lock()
+		delete(p.flights, key)
+		if f.err != nil {
+			p.mu.Unlock()
+			close(f.done)
+			return nil, f.err
+		}
+		e := &entry{key: key, bytes: f.bytes, pins: 1, ref: true}
+		p.entries[key] = e
+		p.ring = append(p.ring, e)
+		p.resident += int64(len(e.bytes))
+		p.evictLocked()
+		p.mu.Unlock()
+		close(f.done)
+		return &Handle{pool: p, ent: e}, nil
+	}
+}
+
+// evictLocked runs the clock hand until resident fits capacity or no
+// entry is evictable (everything pinned or recently referenced —
+// recently-referenced entries get their second chance even under
+// pressure, but a full fruitless sweep stops to avoid spinning: the
+// pool then temporarily exceeds capacity rather than deadlocking).
+func (p *Pool) evictLocked() {
+	fruitless := 0
+	for p.resident > p.capacity && len(p.ring) > 0 && fruitless < 2*len(p.ring) {
+		if p.hand >= len(p.ring) {
+			p.hand = 0
+		}
+		e := p.ring[p.hand]
+		switch {
+		case e.pins > 0:
+			fruitless++
+			p.hand++
+		case e.ref:
+			e.ref = false
+			fruitless++
+			p.hand++
+		default:
+			e.dead = true
+			delete(p.entries, e.key)
+			p.resident -= int64(len(e.bytes))
+			p.evictions++
+			// Compact in place: move the last entry into the hole.
+			last := len(p.ring) - 1
+			p.ring[p.hand] = p.ring[last]
+			p.ring[last] = nil
+			p.ring = p.ring[:last]
+			fruitless = 0
+		}
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		Hits:      p.hits,
+		Misses:    p.misses,
+		Evictions: p.evictions,
+		Resident:  p.resident,
+		Capacity:  p.capacity,
+	}
+}
+
+// DropFile evicts every unpinned resident block of the given file
+// (called when a segment closes so a long-lived shared pool does not
+// accumulate blocks of files nobody can read anymore). Pinned blocks
+// survive until released and are then evictable as usual.
+func (p *Pool) DropFile(file uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	kept := p.ring[:0]
+	for _, e := range p.ring {
+		if e.key.File == file && e.pins == 0 {
+			delete(p.entries, e.key)
+			p.resident -= int64(len(e.bytes))
+			e.dead = true
+			continue
+		}
+		kept = append(kept, e)
+	}
+	for i := len(kept); i < len(p.ring); i++ {
+		p.ring[i] = nil
+	}
+	p.ring = kept
+	if p.hand > len(p.ring) {
+		p.hand = 0
+	}
+}

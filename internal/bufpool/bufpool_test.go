@@ -1,0 +1,260 @@
+package bufpool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func payload(n int, fill byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestGetHitMiss(t *testing.T) {
+	p := New(1 << 20)
+	f := p.RegisterFile()
+	loads := 0
+	get := func() *Handle {
+		h, err := p.Get(Key{File: f, Off: 0}, func() ([]byte, error) {
+			loads++
+			return payload(100, 0xAB), nil
+		})
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		return h
+	}
+	h1 := get()
+	if h1.Hit {
+		t.Error("first Get: want miss")
+	}
+	if len(h1.Bytes()) != 100 || h1.Bytes()[0] != 0xAB {
+		t.Error("payload mismatch")
+	}
+	h2 := get()
+	if !h2.Hit {
+		t.Error("second Get: want hit")
+	}
+	if loads != 1 {
+		t.Errorf("loads = %d, want 1", loads)
+	}
+	h1.Release()
+	h2.Release()
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	if st.Resident != 100 {
+		t.Errorf("resident = %d, want 100", st.Resident)
+	}
+}
+
+func TestLoadErrorNotCached(t *testing.T) {
+	p := New(1 << 20)
+	f := p.RegisterFile()
+	boom := errors.New("boom")
+	if _, err := p.Get(Key{File: f}, func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The failed load must not leave a flight or an entry behind.
+	h, err := p.Get(Key{File: f}, func() ([]byte, error) { return payload(10, 1), nil })
+	if err != nil {
+		t.Fatalf("retry Get: %v", err)
+	}
+	if h.Hit {
+		t.Error("retry after failed load: want miss")
+	}
+	h.Release()
+}
+
+func TestEviction(t *testing.T) {
+	p := New(1000)
+	f := p.RegisterFile()
+	// Fill with 10 blocks of 200 bytes; capacity holds 5.
+	for i := 0; i < 10; i++ {
+		h, err := p.Get(Key{File: f, Off: uint64(i)}, func() ([]byte, error) {
+			return payload(200, byte(i)), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	st := p.Stats()
+	if st.Resident > st.Capacity {
+		t.Errorf("resident %d exceeds capacity %d with nothing pinned", st.Resident, st.Capacity)
+	}
+	if st.Evictions == 0 {
+		t.Error("want evictions > 0")
+	}
+}
+
+func TestPinnedBlocksSurviveEviction(t *testing.T) {
+	p := New(1000)
+	f := p.RegisterFile()
+	pinned, err := p.Get(Key{File: f, Off: 999}, func() ([]byte, error) {
+		return payload(400, 0xEE), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		h, err := p.Get(Key{File: f, Off: uint64(i)}, func() ([]byte, error) {
+			return payload(300, byte(i)), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	// The pinned block must still be resident and intact.
+	h, err := p.Get(Key{File: f, Off: 999}, func() ([]byte, error) {
+		t.Error("pinned block was evicted; load re-ran")
+		return payload(400, 0xEE), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Hit {
+		t.Error("pinned block: want hit")
+	}
+	if pinned.Bytes()[0] != 0xEE {
+		t.Error("pinned payload corrupted")
+	}
+	h.Release()
+	pinned.Release()
+}
+
+func TestSingleflight(t *testing.T) {
+	p := New(1 << 20)
+	f := p.RegisterFile()
+	var loads atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	const goroutines = 16
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h, err := p.Get(Key{File: f, Off: 7}, func() ([]byte, error) {
+				loads.Add(1)
+				<-release // hold the flight open so everyone piles up
+				return payload(64, 7), nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			h.Release()
+		}()
+	}
+	close(release)
+	wg.Wait()
+	if n := loads.Load(); n != 1 {
+		t.Errorf("loads = %d, want 1 (singleflight)", n)
+	}
+	st := p.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits != goroutines-1 {
+		t.Errorf("hits = %d, want %d", st.Hits, goroutines-1)
+	}
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	p := New(10_000) // small: forces constant eviction
+	f := p.RegisterFile()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				off := uint64((g*31 + i) % 40)
+				h, err := p.Get(Key{File: f, Off: off}, func() ([]byte, error) {
+					return payload(512, byte(off)), nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				b := h.Bytes()
+				if len(b) != 512 || b[0] != byte(off) {
+					t.Errorf("block %d: corrupt payload", off)
+				}
+				h.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Hits+st.Misses != 8*500 {
+		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, 8*500)
+	}
+}
+
+func TestDropFile(t *testing.T) {
+	p := New(1 << 20)
+	f1, f2 := p.RegisterFile(), p.RegisterFile()
+	for _, f := range []uint64{f1, f2} {
+		h, err := p.Get(Key{File: f, Off: 1}, func() ([]byte, error) {
+			return payload(100, byte(f)), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	p.DropFile(f1)
+	if st := p.Stats(); st.Resident != 100 {
+		t.Errorf("resident after DropFile = %d, want 100", st.Resident)
+	}
+	// f1's block is gone (miss), f2's survives (hit).
+	h, err := p.Get(Key{File: f1, Off: 1}, func() ([]byte, error) { return payload(100, 1), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Hit {
+		t.Error("dropped block: want miss")
+	}
+	h.Release()
+	h2, err := p.Get(Key{File: f2, Off: 1}, func() ([]byte, error) { return payload(100, 2), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h2.Hit {
+		t.Error("other file's block: want hit")
+	}
+	h2.Release()
+}
+
+func TestCapacityDefaults(t *testing.T) {
+	for _, c := range []int64{0, -5} {
+		p := New(c)
+		if got := p.Stats().Capacity; got != DefaultCapacity {
+			t.Errorf("New(%d).Capacity = %d, want %d", c, got, DefaultCapacity)
+		}
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	p := New(1 << 20)
+	f := p.RegisterFile()
+	h, _ := p.Get(Key{File: f}, func() ([]byte, error) { return payload(4096, 1), nil })
+	h.Release()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := p.Get(Key{File: f}, func() ([]byte, error) { return nil, fmt.Errorf("unexpected load") })
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.Release()
+	}
+}

@@ -12,6 +12,7 @@ package column
 
 import (
 	"encoding/binary"
+	"errors"
 	"math"
 
 	"repro/internal/keypath"
@@ -218,18 +219,36 @@ func (c *Column) SizeBytes() int {
 		len(c.bools)*8 + len(c.strOff)*4 + len(c.strBytes)
 }
 
-// Serialize flattens the column into one contiguous buffer — the form
-// measured (and LZ4-compressed) for the Table 6 storage accounting.
+// ErrCorrupt reports an undecodable serialized column.
+var ErrCorrupt = errors.New("column: corrupt serialized column")
+
+// Serialize flattens the column into one contiguous self-describing
+// buffer: the payload of a segment column block, and the form measured
+// (and LZ4-compressed) for the Table 6 storage accounting.
+//
+// Layout (little endian): type byte, u32 row count, u32 null-bitmap
+// word count + words, then the typed data — u64 per row for
+// BigInt/Timestamp/Double, a length-prefixed u64 bitmap for Bool, and
+// u32 end offsets plus a length-prefixed byte arena for Text. The
+// lazily-grown bitmaps keep their in-memory (possibly short) lengths,
+// so Deserialize restores an identical column.
 func (c *Column) Serialize() []byte {
-	out := make([]byte, 0, c.SizeBytes()+16)
+	out := make([]byte, 0, c.SizeBytes()+32)
 	out = append(out, byte(c.typ))
 	var tmp [8]byte
-	binary.LittleEndian.PutUint64(tmp[:], uint64(c.n))
-	out = append(out, tmp[:]...)
-	for _, w := range c.nulls {
-		binary.LittleEndian.PutUint64(tmp[:], w)
-		out = append(out, tmp[:]...)
+	pu32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], v)
+		out = append(out, tmp[:4]...)
 	}
+	pwords := func(ws []uint64) {
+		pu32(uint32(len(ws)))
+		for _, w := range ws {
+			binary.LittleEndian.PutUint64(tmp[:], w)
+			out = append(out, tmp[:]...)
+		}
+	}
+	pu32(uint32(c.n))
+	pwords(c.nulls)
 	switch c.typ {
 	case keypath.TypeBigInt, keypath.TypeTimestamp:
 		for _, v := range c.ints {
@@ -242,18 +261,107 @@ func (c *Column) Serialize() []byte {
 			out = append(out, tmp[:]...)
 		}
 	case keypath.TypeBool:
-		for _, w := range c.bools {
-			binary.LittleEndian.PutUint64(tmp[:], w)
-			out = append(out, tmp[:]...)
-		}
+		pwords(c.bools)
 	case keypath.TypeString:
 		for _, o := range c.strOff {
-			binary.LittleEndian.PutUint32(tmp[:4], o)
-			out = append(out, tmp[:4]...)
+			pu32(o)
 		}
+		pu32(uint32(len(c.strBytes)))
 		out = append(out, c.strBytes...)
 	}
 	return out
+}
+
+// Deserialize reconstructs a column serialized by Serialize. Every
+// length field is validated against the remaining buffer and against
+// the row count, so corrupt block payloads yield ErrCorrupt instead of
+// panicking or over-allocating.
+func Deserialize(b []byte) (*Column, error) {
+	if len(b) < 5 {
+		return nil, ErrCorrupt
+	}
+	typ := keypath.ValueType(b[0])
+	b = b[1:]
+	// The row count is untrusted: every per-row allocation below is
+	// gated on the remaining buffer actually holding that many values,
+	// so a corrupt count cannot over-allocate.
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	words := func() ([]uint64, bool) {
+		if len(b) < 4 {
+			return nil, false
+		}
+		w := int(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		if w < 0 || w > (n+63)/64 || len(b) < w*8 {
+			return nil, false
+		}
+		ws := make([]uint64, w)
+		for i := range ws {
+			ws[i] = binary.LittleEndian.Uint64(b[i*8:])
+		}
+		b = b[w*8:]
+		return ws, true
+	}
+	c := &Column{typ: typ, n: n}
+	var ok bool
+	if c.nulls, ok = words(); !ok {
+		return nil, ErrCorrupt
+	}
+	switch typ {
+	case keypath.TypeBigInt, keypath.TypeTimestamp, keypath.TypeDouble:
+		if len(b) < n*8 {
+			return nil, ErrCorrupt
+		}
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = binary.LittleEndian.Uint64(b[i*8:])
+		}
+		b = b[n*8:]
+		if typ == keypath.TypeDouble {
+			c.floats = make([]float64, n)
+			for i, v := range vals {
+				c.floats[i] = math.Float64frombits(v)
+			}
+		} else {
+			c.ints = make([]int64, n)
+			for i, v := range vals {
+				c.ints[i] = int64(v)
+			}
+		}
+	case keypath.TypeBool:
+		if c.bools, ok = words(); !ok {
+			return nil, ErrCorrupt
+		}
+	case keypath.TypeString:
+		if len(b) < n*4+4 {
+			return nil, ErrCorrupt
+		}
+		c.strOff = make([]uint32, n)
+		prev := uint32(0)
+		for i := range c.strOff {
+			o := binary.LittleEndian.Uint32(b[i*4:])
+			if o < prev {
+				return nil, ErrCorrupt // offsets must be monotonic
+			}
+			c.strOff[i] = o
+			prev = o
+		}
+		b = b[n*4:]
+		bl := int(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		if bl < 0 || len(b) < bl || (n > 0 && int(c.strOff[n-1]) != bl) {
+			return nil, ErrCorrupt
+		}
+		c.strBytes = append([]byte(nil), b[:bl]...)
+		b = b[bl:]
+	default:
+		return nil, ErrCorrupt
+	}
+	if len(b) != 0 {
+		return nil, ErrCorrupt
+	}
+	return c, nil
 }
 
 // CompressedSize returns the LZ4-compressed size of the serialized

@@ -156,3 +156,117 @@ func TestQuickAppendRead(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Serialize → Deserialize must restore an identical column for every
+// type, including lazily-grown (short) bitmaps and empty columns.
+func TestSerializeRoundTrip(t *testing.T) {
+	build := map[string]func() *Column{
+		"bigint": func() *Column {
+			c := New(keypath.TypeBigInt)
+			c.AppendInt(-5)
+			c.AppendNull()
+			c.AppendInt(1 << 40)
+			return c
+		},
+		"double": func() *Column {
+			c := New(keypath.TypeDouble)
+			c.AppendFloat(3.25)
+			c.AppendFloat(-0.5)
+			c.AppendNull()
+			return c
+		},
+		"bool-no-bitmaps": func() *Column {
+			c := New(keypath.TypeBool)
+			c.AppendBool(false)
+			c.AppendBool(false)
+			return c
+		},
+		"bool-mixed": func() *Column {
+			c := New(keypath.TypeBool)
+			c.AppendBool(true)
+			c.AppendNull()
+			c.AppendBool(false)
+			c.AppendBool(true)
+			return c
+		},
+		"text": func() *Column {
+			c := New(keypath.TypeString)
+			c.AppendString("hello")
+			c.AppendNull()
+			c.AppendString("")
+			c.AppendString("worldly")
+			return c
+		},
+		"timestamp": func() *Column {
+			c := New(keypath.TypeTimestamp)
+			c.AppendInt(1600000000000000)
+			c.AppendNull()
+			return c
+		},
+		"empty": func() *Column { return New(keypath.TypeBigInt) },
+	}
+	for name, mk := range build {
+		t.Run(name, func(t *testing.T) {
+			c := mk()
+			got, err := Deserialize(c.Serialize())
+			if err != nil {
+				t.Fatalf("deserialize: %v", err)
+			}
+			if got.Type() != c.Type() || got.Len() != c.Len() {
+				t.Fatalf("type/len = %v/%d, want %v/%d", got.Type(), got.Len(), c.Type(), c.Len())
+			}
+			for i := 0; i < c.Len(); i++ {
+				if got.IsNull(i) != c.IsNull(i) {
+					t.Fatalf("row %d null mismatch", i)
+				}
+				if c.IsNull(i) {
+					continue
+				}
+				switch c.Type() {
+				case keypath.TypeBigInt, keypath.TypeTimestamp:
+					if got.Int(i) != c.Int(i) {
+						t.Fatalf("row %d int mismatch", i)
+					}
+				case keypath.TypeDouble:
+					if got.Float(i) != c.Float(i) {
+						t.Fatalf("row %d float mismatch", i)
+					}
+				case keypath.TypeBool:
+					if got.Bool(i) != c.Bool(i) {
+						t.Fatalf("row %d bool mismatch", i)
+					}
+				case keypath.TypeString:
+					if got.String(i) != c.String(i) {
+						t.Fatalf("row %d string mismatch", i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Truncations and bit flips of a valid serialization must never panic;
+// they either error or decode to some well-formed column.
+func TestDeserializeCorrupt(t *testing.T) {
+	c := New(keypath.TypeString)
+	c.AppendString("abc")
+	c.AppendString("defg")
+	c.AppendNull()
+	buf := c.Serialize()
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := Deserialize(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d: want error", cut)
+		}
+	}
+	for i := 0; i < len(buf); i++ {
+		cp := append([]byte(nil), buf...)
+		cp[i] ^= 0xFF
+		col, err := Deserialize(cp) // must not panic
+		if err == nil && col.Len() > 0 {
+			_ = col.IsNull(0)
+		}
+	}
+	if _, err := Deserialize(nil); err == nil {
+		t.Fatal("nil input: want error")
+	}
+}

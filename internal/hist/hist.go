@@ -7,7 +7,10 @@
 // optimizer real range selectivities instead of the 1/3 default.
 package hist
 
-import "math"
+import (
+	"encoding/binary"
+	"math"
+)
 
 // Buckets is the fixed resolution. 32 buckets keep a histogram at
 // ~300 bytes — well inside the optimizer memory budget.
@@ -196,6 +199,45 @@ func (h *Histogram) Merge(other *Histogram) {
 
 // SizeBytes returns the approximate memory footprint.
 func (h *Histogram) SizeBytes() int { return Buckets*8 + 5*8 }
+
+// AppendBinary serializes the histogram (fixed 5 floats/ints header +
+// bucket counts, little endian) for the segment footer.
+func (h *Histogram) AppendBinary(dst []byte) []byte {
+	var tmp [8]byte
+	put := func(u uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], u)
+		dst = append(dst, tmp[:]...)
+	}
+	put(math.Float64bits(h.min))
+	put(math.Float64bits(h.max))
+	put(uint64(h.total))
+	put(uint64(h.underflow))
+	put(uint64(h.overflow))
+	for _, c := range h.counts {
+		put(uint64(c))
+	}
+	return dst
+}
+
+// BinarySize is the encoded length of one histogram.
+const BinarySize = (5 + Buckets) * 8
+
+// FromBinary decodes a histogram serialized by AppendBinary. It
+// reports false when the buffer is too short.
+func FromBinary(b []byte) (*Histogram, bool) {
+	if len(b) < BinarySize {
+		return nil, false
+	}
+	get := func(i int) uint64 { return binary.LittleEndian.Uint64(b[i*8:]) }
+	h := New(math.Float64frombits(get(0)), math.Float64frombits(get(1)))
+	h.total = int64(get(2))
+	h.underflow = int64(get(3))
+	h.overflow = int64(get(4))
+	for i := range h.counts {
+		h.counts[i] = int64(get(5 + i))
+	}
+	return h, true
+}
 
 func frac(a, b int64) float64 { return float64(a) / float64(b) }
 

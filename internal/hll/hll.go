@@ -84,6 +84,20 @@ func (s *Sketch) Clone() *Sketch {
 // SizeBytes returns the register footprint.
 func (s *Sketch) SizeBytes() int { return len(s.registers) }
 
+// Registers exposes the raw register array for serialization (the
+// segment footer persists relation statistics). Read-only.
+func (s *Sketch) Registers() []uint8 { return s.registers }
+
+// FromRegisters reconstructs a sketch from serialized registers.
+// Inputs of the wrong length are truncated or zero-padded to the
+// sketch size so corrupt statistics degrade the estimate instead of
+// panicking.
+func FromRegisters(regs []uint8) *Sketch {
+	c := New()
+	copy(c.registers, regs)
+	return c
+}
+
 // hashString is FNV-1a with a SplitMix64 finalizer; HLL needs good
 // high-bit diffusion because the register index is the top bits.
 func hashString(v string) uint64 {

@@ -40,6 +40,38 @@ var ErrCorrupt = errors.New("lz4: corrupt block")
 // ErrShortDst reports a destination too small for the decompressed data.
 var ErrShortDst = errors.New("lz4: destination too small")
 
+// ErrSizeLimit reports a declared decompressed size beyond
+// MaxDecompressedSize — a corrupt or hostile length field that must be
+// rejected before any allocation happens.
+var ErrSizeLimit = errors.New("lz4: declared size exceeds limit")
+
+// MaxDecompressedSize bounds the decompressed size DecompressAlloc is
+// willing to allocate for. Segment blocks hold at most one tile's
+// column or binary-JSON payload, which is orders of magnitude below
+// this; anything larger in a length field is corruption, not data.
+const MaxDecompressedSize = 1 << 30
+
+// DecompressAlloc allocates a buffer for the declared decompressed
+// size and decodes src into it. Unlike Decompress, the declared size
+// comes from untrusted input (a file's length field), so it is checked
+// against MaxDecompressedSize *before* allocating — a corrupt block
+// length yields ErrSizeLimit, not an OOM. The decode must fill the
+// buffer exactly.
+func DecompressAlloc(src []byte, declaredSize int) ([]byte, error) {
+	if declaredSize < 0 || declaredSize > MaxDecompressedSize {
+		return nil, ErrSizeLimit
+	}
+	dst := make([]byte, declaredSize)
+	n, err := Decompress(dst, src)
+	if err != nil {
+		return nil, err
+	}
+	if n != declaredSize {
+		return nil, ErrCorrupt
+	}
+	return dst, nil
+}
+
 // CompressBound returns the maximum compressed size for an input of
 // length n (the spec's worst-case expansion bound).
 func CompressBound(n int) int { return n + n/255 + 16 }

@@ -25,6 +25,31 @@ func roundTrip(t *testing.T, src []byte) []byte {
 	return comp
 }
 
+// Regression test for the declared-size guard: a block whose length
+// field claims a huge decompressed size must be rejected with
+// ErrSizeLimit before any allocation — a corrupt segment block length
+// must not be able to OOM the reader.
+func TestDecompressAllocSizeLimit(t *testing.T) {
+	src := Compress(nil, []byte("payload"))
+	for _, size := range []int{-1, MaxDecompressedSize + 1, 1 << 50} {
+		if _, err := DecompressAlloc(src, size); err != ErrSizeLimit {
+			t.Errorf("declared size %d: err = %v, want ErrSizeLimit", size, err)
+		}
+	}
+	// A truthful declared size still round-trips.
+	out, err := DecompressAlloc(src, len("payload"))
+	if err != nil || string(out) != "payload" {
+		t.Fatalf("DecompressAlloc = %q, %v", out, err)
+	}
+	// A wrong-but-sane declared size is corruption, not success.
+	if _, err := DecompressAlloc(src, len("payload")+3); err == nil {
+		t.Error("over-declared size: want error, got nil")
+	}
+	if _, err := DecompressAlloc(src, 2); err == nil {
+		t.Error("under-declared size: want error, got nil")
+	}
+}
+
 func TestRoundTripBasics(t *testing.T) {
 	cases := [][]byte{
 		nil,

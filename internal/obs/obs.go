@@ -158,3 +158,18 @@ var (
 	// aggregate kernels (one per batch per compiled kernel tree).
 	KernelDispatches = Default.Counter("kernel_dispatches")
 )
+
+// Segment persistence counters (disk-backed relations).
+var (
+	// SegmentBlocksRead counts blocks fetched from disk (buffer-pool
+	// misses; hits never reach the disk).
+	SegmentBlocksRead = Default.Counter("segment_blocks_read")
+	// SegmentBytesRead counts stored (compressed) bytes read from disk.
+	SegmentBytesRead = Default.Counter("segment_bytes_read")
+	// BufpoolHits and BufpoolMisses count buffer-pool lookups during
+	// scans; BufpoolEvictions counts blocks evicted to stay inside the
+	// pool's capacity.
+	BufpoolHits      = Default.Counter("bufpool_hits")
+	BufpoolMisses    = Default.Counter("bufpool_misses")
+	BufpoolEvictions = Default.Counter("bufpool_evictions")
+)

@@ -25,6 +25,14 @@ type ScanStats struct {
 	Batches        atomic.Int64
 	RowsVectorized atomic.Int64
 	RowsFallback   atomic.Int64
+
+	// Segment I/O split (zero for in-memory relations): blocks and
+	// stored bytes read from disk, and buffer-pool hits vs misses for
+	// this scan's block accesses.
+	BlocksRead atomic.Int64
+	BlockBytes atomic.Int64
+	PoolHits   atomic.Int64
+	PoolMisses atomic.Int64
 }
 
 // SkipRatio returns the fraction of tiles skipped of those considered.

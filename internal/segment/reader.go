@@ -1,0 +1,226 @@
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bufpool"
+	"repro/internal/column"
+	"repro/internal/lz4"
+	"repro/internal/stats"
+	"repro/internal/xxhash"
+)
+
+// Reader reads one open segment file. All block reads flow through
+// the buffer pool: a hit returns resident decompressed bytes, a miss
+// reads the stored block, verifies its checksum, decompresses, and
+// caches the payload. A Reader is safe for concurrent use.
+type Reader struct {
+	f        *os.File
+	fileSize uint64
+	fileID   uint64
+	pool     *bufpool.Pool
+	tiles    []TileMeta
+	stats    *stats.TableStats
+}
+
+// ReadInfo reports what one logical block access cost: whether the
+// buffer pool already had the payload, and how many stored bytes were
+// read from disk on a miss (zero on a hit). Scans aggregate these
+// into per-query I/O statistics.
+type ReadInfo struct {
+	Hit         bool
+	StoredBytes int
+}
+
+// Open maps a segment file. Only the header, the fixed tail, and the
+// footer block are read — tile metadata, zone maps, bloom filters,
+// and relation statistics are then in memory, and data blocks load
+// lazily through the pool. The returned Reader owns the file handle.
+func Open(path string, pool *bufpool.Pool) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := openFile(f, pool)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func openFile(f *os.File, pool *bufpool.Pool) (*Reader, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size < int64(len(Magic))+TailSize {
+		return nil, corruptf("file of %d bytes is smaller than header plus tail", size)
+	}
+
+	var head [len(Magic)]byte
+	if _, err := f.ReadAt(head[:], 0); err != nil {
+		return nil, err
+	}
+	if string(head[:]) != Magic {
+		return nil, corruptf("bad header magic %q", head[:])
+	}
+
+	var tail [TailSize]byte
+	if _, err := f.ReadAt(tail[:], size-TailSize); err != nil {
+		return nil, err
+	}
+	if string(tail[24:32]) != MagicFooter {
+		return nil, corruptf("bad tail magic %q", tail[24:32])
+	}
+	footerRef := BlockRef{
+		Off:       binary.LittleEndian.Uint64(tail[0:]),
+		StoredLen: binary.LittleEndian.Uint32(tail[8:]),
+		RawLen:    binary.LittleEndian.Uint32(tail[12:]),
+		Sum:       binary.LittleEndian.Uint64(tail[16:]),
+		Codec:     codecLZ4,
+	}
+	if footerRef.StoredLen == footerRef.RawLen {
+		// The footer block writer stores raw when LZ4 cannot shrink it;
+		// equal lengths are only produced by the raw path.
+		footerRef.Codec = codecRaw
+	}
+	// The footer must sit between the header and the tail.
+	if err := checkRef(footerRef, uint64(size)-TailSize); err != nil {
+		return nil, fmt.Errorf("footer: %w", err)
+	}
+
+	r := &Reader{f: f, fileSize: uint64(size)}
+	footerRaw, err := r.readBlock(footerRef)
+	if err != nil {
+		return nil, fmt.Errorf("footer: %w", err)
+	}
+	ftr, err := decodeFooter(footerRaw, uint64(size)-TailSize)
+	if err != nil {
+		return nil, err
+	}
+	r.tiles = ftr.tiles
+	r.stats = ftr.stats
+	r.pool = pool
+	if pool != nil {
+		r.fileID = pool.RegisterFile()
+	}
+	return r, nil
+}
+
+// Close releases the file handle and drops this file's resident
+// blocks from the shared pool.
+func (r *Reader) Close() error {
+	if r.pool != nil {
+		r.pool.DropFile(r.fileID)
+	}
+	return r.f.Close()
+}
+
+// NumTiles returns the number of tiles in the segment.
+func (r *Reader) NumTiles() int { return len(r.tiles) }
+
+// FileSize returns the segment file's size in bytes.
+func (r *Reader) FileSize() int64 { return int64(r.fileSize) }
+
+// Tile returns the metadata of tile i. Read-only.
+func (r *Reader) Tile(i int) *TileMeta { return &r.tiles[i] }
+
+// Stats returns the relation statistics persisted in the footer.
+func (r *Reader) Stats() *stats.TableStats { return r.stats }
+
+// NumRows returns the total row count across all tiles.
+func (r *Reader) NumRows() int {
+	total := 0
+	for i := range r.tiles {
+		total += r.tiles[i].Rows
+	}
+	return total
+}
+
+// Column reads and deserializes one extracted column. The block
+// payload is fetched through the pool; the deserialized column copies
+// out of it, so the returned column has no ties to pool memory.
+func (r *Reader) Column(tileIdx, colIdx int) (*column.Column, ReadInfo, error) {
+	cm := &r.tiles[tileIdx].Columns[colIdx]
+	payload, info, err := r.pooledBlock(cm.Block)
+	if err != nil {
+		return nil, info, fmt.Errorf("tile %d column %q: %w", tileIdx, cm.Path, err)
+	}
+	col, err := column.Deserialize(payload)
+	if err != nil {
+		return nil, info, fmt.Errorf("tile %d column %q: %w", tileIdx, cm.Path, err)
+	}
+	if col.Len() != r.tiles[tileIdx].Rows || col.Type() != cm.StorageType {
+		return nil, info, fmt.Errorf("tile %d column %q: %w", tileIdx, cm.Path,
+			corruptf("block decodes to %d rows of type %d, footer says %d rows of type %d",
+				col.Len(), col.Type(), r.tiles[tileIdx].Rows, cm.StorageType))
+	}
+	return col, info, nil
+}
+
+// Docs reads tile i's binary-JSON fallback documents. The returned
+// slices alias pool-cached memory: valid indefinitely (the payload is
+// immutable and garbage-collected), but each scan should re-fetch so
+// the pool sees the access.
+func (r *Reader) Docs(tileIdx int) ([][]byte, ReadInfo, error) {
+	tm := &r.tiles[tileIdx]
+	payload, info, err := r.pooledBlock(tm.Docs)
+	if err != nil {
+		return nil, info, fmt.Errorf("tile %d docs: %w", tileIdx, err)
+	}
+	docs, err := decodeDocs(payload, tm.Rows)
+	if err != nil {
+		return nil, info, fmt.Errorf("tile %d: %w", tileIdx, err)
+	}
+	return docs, info, nil
+}
+
+// pooledBlock fetches one block's decompressed payload through the
+// buffer pool (or directly when the reader has no pool, as during
+// Open before registration).
+func (r *Reader) pooledBlock(ref BlockRef) ([]byte, ReadInfo, error) {
+	if r.pool == nil {
+		b, err := r.readBlock(ref)
+		return b, ReadInfo{StoredBytes: int(ref.StoredLen)}, err
+	}
+	h, err := r.pool.Get(bufpool.Key{File: r.fileID, Off: ref.Off}, func() ([]byte, error) {
+		return r.readBlock(ref)
+	})
+	if err != nil {
+		return nil, ReadInfo{}, err
+	}
+	info := ReadInfo{Hit: h.Hit}
+	if !h.Hit {
+		info.StoredBytes = int(ref.StoredLen)
+	}
+	b := h.Bytes()
+	h.Release()
+	return b, info, nil
+}
+
+// readBlock reads, verifies, and decompresses one block from disk.
+func (r *Reader) readBlock(ref BlockRef) ([]byte, error) {
+	stored := make([]byte, ref.StoredLen)
+	if _, err := r.f.ReadAt(stored, int64(ref.Off)); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, corruptf("block [%d,+%d) truncated", ref.Off, ref.StoredLen)
+		}
+		return nil, err
+	}
+	if sum := xxhash.Sum64(stored); sum != ref.Sum {
+		return nil, corruptf("block at %d: checksum %016x, want %016x", ref.Off, sum, ref.Sum)
+	}
+	if ref.Codec == codecRaw {
+		return stored, nil
+	}
+	raw, err := lz4.DecompressAlloc(stored, int(ref.RawLen))
+	if err != nil {
+		return nil, fmt.Errorf("%w: block at %d: %v", ErrCorrupt, ref.Off, err)
+	}
+	return raw, nil
+}

@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"encoding/binary"
+	"errors"
+	"sort"
+
+	"repro/internal/hist"
+	"repro/internal/hll"
+)
+
+// Relation statistics travel inside the segment footer (the paper's
+// host system keeps them with the table's metadata pages), so a
+// reopened segment plans queries with the same frequency counters,
+// sketches, and histograms the in-memory relation had — without
+// touching a single data block.
+
+// ErrCorruptStats reports an undecodable statistics payload.
+var ErrCorruptStats = errors.New("stats: corrupt serialized statistics")
+
+// MarshalBinary serializes the statistics. Entries are emitted in
+// sorted path order so equal statistics encode identically.
+func (s *TableStats) MarshalBinary() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	var out []byte
+	var tmp [8]byte
+	pu32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], v)
+		out = append(out, tmp[:4]...)
+	}
+	pu64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		out = append(out, tmp[:]...)
+	}
+	pstr := func(p string) {
+		pu32(uint32(len(p)))
+		out = append(out, p...)
+	}
+
+	pu32(uint32(s.freqSlots))
+	pu32(uint32(s.sketchSlots))
+	pu64(uint64(s.totalRows))
+	pu64(uint64(s.tileSeq))
+
+	pu32(uint32(len(s.freq)))
+	for _, p := range sortedKeys(s.freq) {
+		e := s.freq[p]
+		pstr(p)
+		pu64(uint64(e.count))
+		pu64(uint64(e.lastTile))
+	}
+
+	pu32(uint32(len(s.sketches)))
+	for _, p := range sortedKeys(s.sketches) {
+		e := s.sketches[p]
+		pstr(p)
+		pu64(uint64(e.lastTile))
+		regs := e.sketch.Registers()
+		pu32(uint32(len(regs)))
+		out = append(out, regs...)
+	}
+
+	pu32(uint32(len(s.histograms)))
+	for _, p := range sortedKeys(s.histograms) {
+		e := s.histograms[p]
+		pstr(p)
+		pu64(uint64(e.lastTile))
+		out = e.hist.AppendBinary(out)
+	}
+	return out
+}
+
+// UnmarshalBinary reconstructs statistics serialized by MarshalBinary,
+// validating every length field against the remaining buffer.
+func UnmarshalBinary(b []byte) (*TableStats, error) {
+	d := statsDecoder{b: b}
+	freqSlots := int(d.u32())
+	sketchSlots := int(d.u32())
+	totalRows := int64(d.u64())
+	tileSeq := int64(d.u64())
+	// Slot bounds are trusted only within sane limits: a corrupt footer
+	// must not pre-size unbounded maps.
+	if d.err != nil || freqSlots < 0 || freqSlots > 1<<20 || sketchSlots < 0 || sketchSlots > 1<<20 {
+		return nil, ErrCorruptStats
+	}
+	s := New(freqSlots, sketchSlots)
+	s.totalRows = totalRows
+	s.tileSeq = tileSeq
+
+	nFreq := int(d.u32())
+	for i := 0; i < nFreq && d.err == nil; i++ {
+		p := d.str()
+		count := int64(d.u64())
+		last := int64(d.u64())
+		if d.err == nil {
+			s.freq[p] = &freqEntry{count: count, lastTile: last}
+		}
+	}
+	nSketch := int(d.u32())
+	for i := 0; i < nSketch && d.err == nil; i++ {
+		p := d.str()
+		last := int64(d.u64())
+		regs := d.bytes(int(d.u32()))
+		if d.err == nil {
+			s.sketches[p] = &sketchEntry{sketch: hll.FromRegisters(regs), lastTile: last}
+		}
+	}
+	nHist := int(d.u32())
+	for i := 0; i < nHist && d.err == nil; i++ {
+		p := d.str()
+		last := int64(d.u64())
+		hb := d.bytes(hist.BinarySize)
+		if d.err != nil {
+			break
+		}
+		h, ok := hist.FromBinary(hb)
+		if !ok {
+			return nil, ErrCorruptStats
+		}
+		s.histograms[p] = &histEntry{hist: h, lastTile: last}
+	}
+	if d.err != nil {
+		return nil, ErrCorruptStats
+	}
+	return s, nil
+}
+
+type statsDecoder struct {
+	b   []byte
+	err error
+}
+
+func (d *statsDecoder) u32() uint32 {
+	if d.err != nil || len(d.b) < 4 {
+		d.err = ErrCorruptStats
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *statsDecoder) u64() uint64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.err = ErrCorruptStats
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *statsDecoder) bytes(n int) []byte {
+	if d.err != nil || n < 0 || len(d.b) < n {
+		d.err = ErrCorruptStats
+		return nil
+	}
+	v := d.b[:n:n]
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *statsDecoder) str() string { return string(d.bytes(int(d.u32()))) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

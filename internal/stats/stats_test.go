@@ -154,3 +154,65 @@ func TestTrackedPathsOrdered(t *testing.T) {
 		t.Errorf("paths = %v", paths)
 	}
 }
+
+// Marshal → Unmarshal must preserve every estimator the optimizer
+// consults: counts, distinct estimates, histograms, and slot bounds.
+func TestStatsSerializeRoundTrip(t *testing.T) {
+	s := New(8, 4)
+	tl := buildTile(t,
+		`{"a":1,"b":"x","c":1.5}`,
+		`{"a":2,"b":"y","c":2.5}`,
+		`{"a":3,"b":"x","c":9.5}`,
+	)
+	s.AddTile(tl)
+	s.AddTile(tl)
+
+	got, err := UnmarshalBinary(s.MarshalBinary())
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.RowCount() != s.RowCount() {
+		t.Errorf("rows = %d, want %d", got.RowCount(), s.RowCount())
+	}
+	for _, p := range s.TrackedPaths() {
+		if got.PathCount(p) != s.PathCount(p) {
+			t.Errorf("PathCount(%s) = %d, want %d", p, got.PathCount(p), s.PathCount(p))
+		}
+		if got.DistinctCount(p) != s.DistinctCount(p) {
+			t.Errorf("DistinctCount(%s) = %g, want %g", p, got.DistinctCount(p), s.DistinctCount(p))
+		}
+	}
+	if g, w := got.SelLess("a", 2.0), s.SelLess("a", 2.0); g != w {
+		t.Errorf("SelLess = %g, want %g", g, w)
+	}
+	if g, w := got.SketchCount(), s.SketchCount(); g != w {
+		t.Errorf("SketchCount = %d, want %d", g, w)
+	}
+	// Re-marshal is byte-identical (sorted, deterministic encoding).
+	a, b := s.MarshalBinary(), got.MarshalBinary()
+	if len(a) != len(b) {
+		t.Fatalf("re-marshal length %d, want %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("re-marshal differs at byte %d", i)
+		}
+	}
+}
+
+// Corrupt statistics payloads error instead of panicking.
+func TestStatsUnmarshalCorrupt(t *testing.T) {
+	s := New(0, 0)
+	s.AddTile(buildTile(t, `{"a":1}`, `{"a":2}`))
+	buf := s.MarshalBinary()
+	for cut := 0; cut < len(buf); cut += 3 {
+		if _, err := UnmarshalBinary(buf[:cut]); err == nil {
+			// Some prefixes can be self-consistent; decoding them is
+			// fine as long as nothing panics.
+			continue
+		}
+	}
+	if _, err := UnmarshalBinary(nil); err == nil {
+		t.Error("nil input: want error")
+	}
+}

@@ -2,14 +2,17 @@ package storage
 
 import (
 	"math/rand"
+	"path/filepath"
 	"testing"
 
+	"repro/internal/bufpool"
 	"repro/internal/expr"
 	"repro/internal/jsonb"
 	"repro/internal/jsongen"
 	"repro/internal/jsontext"
 	"repro/internal/jsonvalue"
 	"repro/internal/keypath"
+	"repro/internal/vec"
 )
 
 // Cross-format conformance: for randomly generated document sets and
@@ -97,30 +100,96 @@ func TestConformanceRandomDocsAllFormats(t *testing.T) {
 			if err != nil {
 				t.Fatalf("trial %d %s: %v", trial, k, err)
 			}
-			got := map[string]int{}
-			var mu = make(chan struct{}, 1)
-			mu <- struct{}{}
-			rel.Scan(accesses, 2, func(w int, row []expr.Value) {
-				cells := make([]string, len(row))
-				for i, v := range row {
-					cells[i] = normalizeCell(v.String())
-				}
-				key := joinRow(cells)
-				<-mu
-				got[key]++
-				mu <- struct{}{}
-			})
-			if len(got) != len(truthSet) {
-				t.Fatalf("trial %d %s: %d distinct rows, want %d\n got: %v\nwant: %v",
-					trial, k, len(got), len(truthSet), got, truthSet)
+			verifyConformance(t, trial, string(k), rel, accesses, truthSet)
+
+			// The Tiles relation additionally round-trips through a
+			// segment file: the reopened disk-backed relation must pass
+			// the identical row and batch checks.
+			if k != KindTiles {
+				continue
 			}
-			for key, n := range truthSet {
-				if got[key] != n {
-					t.Fatalf("trial %d %s: row %q count %d, want %d", trial, k, key, got[key], n)
-				}
+			segPath := filepath.Join(t.TempDir(), "conf.seg")
+			if err := WriteSegmentFile(segPath, rel); err != nil {
+				t.Fatalf("trial %d segment write: %v", trial, err)
+			}
+			srel, err := OpenSegmentFile("conf", segPath, bufpool.New(0), cfg)
+			if err != nil {
+				t.Fatalf("trial %d segment open: %v", trial, err)
+			}
+			verifyConformance(t, trial, "Segment", srel, accesses, truthSet)
+			if err := srel.Err(); err != nil {
+				t.Fatalf("trial %d segment scan error: %v", trial, err)
+			}
+			if err := srel.Close(); err != nil {
+				t.Fatalf("trial %d segment close: %v", trial, err)
 			}
 		}
 	}
+}
+
+// verifyConformance checks one relation's row-at-a-time scan — and,
+// when the format supports it, its vectorized batch scan — against the
+// ground-truth multiset of rows.
+func verifyConformance(t *testing.T, trial int, label string, rel Relation, accesses []Access, truthSet map[string]int) {
+	t.Helper()
+	compare := func(path string, got map[string]int) {
+		t.Helper()
+		if len(got) != len(truthSet) {
+			t.Fatalf("trial %d %s %s: %d distinct rows, want %d\n got: %v\nwant: %v",
+				trial, label, path, len(got), len(truthSet), got, truthSet)
+		}
+		for key, n := range truthSet {
+			if got[key] != n {
+				t.Fatalf("trial %d %s %s: row %q count %d, want %d", trial, label, path, key, got[key], n)
+			}
+		}
+	}
+
+	got := map[string]int{}
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	rel.Scan(accesses, 2, func(w int, row []expr.Value) {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = normalizeCell(v.String())
+		}
+		key := joinRow(cells)
+		<-mu
+		got[key]++
+		mu <- struct{}{}
+	})
+	compare("rows", got)
+
+	bs, ok := rel.(BatchScanner)
+	if !ok {
+		return
+	}
+	got = map[string]int{}
+	bs.ScanBatches(accesses, 2, func(w int, b *vec.Batch) {
+		rows := make([]string, 0, b.Rows())
+		emitRow := func(i int) {
+			cells := make([]string, len(b.Cols))
+			for ci := range b.Cols {
+				cells[ci] = normalizeCell(b.Cols[ci].Value(i).String())
+			}
+			rows = append(rows, joinRow(cells))
+		}
+		if b.Sel != nil {
+			for _, i := range b.Sel {
+				emitRow(int(i))
+			}
+		} else {
+			for i := 0; i < b.Len; i++ {
+				emitRow(i)
+			}
+		}
+		<-mu
+		for _, key := range rows {
+			got[key]++
+		}
+		mu <- struct{}{}
+	}, nil)
+	compare("batches", got)
 }
 
 // normalizeCell re-serializes container-valued text cells through the

@@ -1,0 +1,303 @@
+package storage
+
+import (
+	"repro/internal/expr"
+	"repro/internal/jsonb"
+	"repro/internal/keypath"
+	"repro/internal/obs"
+	"repro/internal/tile"
+	"repro/internal/vec"
+)
+
+// The scan core: the row and batch scan loops shared by the in-memory
+// tiles relation and the disk-backed segment relation. Both formats
+// present their tiles through the scanTile view, so skip decisions,
+// per-tile access resolution (§4.5), and the column-hit vs
+// binary-JSON-fallback split behave identically — a query over a
+// reopened segment returns byte-identical results to the in-memory
+// path, with lazy block I/O as the only difference.
+
+// scanTile is one tile as the scan loops see it. *tile.Tile satisfies
+// it directly; the segment relation implements it with a lazy view
+// that fetches column and document blocks through the buffer pool on
+// first access, so unaccessed columns and skipped tiles cost no I/O.
+type scanTile interface {
+	NumRows() int
+	// MayContainPath must answer from tile metadata alone (skip
+	// decisions happen before any data access).
+	MayContainPath(path string) bool
+	ColumnsForPath(path string) []int
+	// Column may perform lazy I/O; it is only called for columns whose
+	// path some access resolved to.
+	Column(idx int) *tile.ColumnInfo
+	// Raw may lazily load the tile's fallback documents.
+	Raw(i int) jsonb.Doc
+}
+
+var _ scanTile = (*tile.Tile)(nil)
+
+// scanSource is a relation the scan core can drive: a tile count and
+// a per-scan view of each tile. openScanTile receives the worker's
+// counter block so lazily loading views can account block I/O.
+type scanSource interface {
+	numScanTiles() int
+	openScanTile(ti int, cnt *scanCounters) scanTile
+	scanConfig() scanConfig
+}
+
+type scanConfig struct {
+	skipTiles bool
+	maxSlots  int
+}
+
+// mayContainTile answers MayContainPath with the capped-slot
+// correction: paths indexing an array slot at or beyond the
+// collection cap are invisible to tile headers, so only their prefix
+// (the array itself) can be consulted.
+func mayContainTile(t scanTile, a Access, maxSlots int) bool {
+	if prefix, capped := cappedPrefix(a.Path, maxSlots); capped {
+		return t.MayContainPath(prefix)
+	}
+	return t.MayContainPath(a.PathEnc)
+}
+
+// skippableTile reports whether the tile provably contains no tuple
+// that can satisfy the query: some null-rejecting access targets a
+// path absent from the whole tile (§4.8). Metadata-only.
+func skippableTile(t scanTile, accesses []Access, maxSlots int) bool {
+	for _, a := range accesses {
+		if a.NullRejecting && !mayContainTile(t, a, maxSlots) {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveTileAccess computes how the tile serves one access (§4.5),
+// once per tile, reused for every tuple.
+func resolveTileAccess(t scanTile, a Access, maxSlots int) colResolver {
+	if a.Type == expr.TJSON {
+		// The -> operator returns documents; serve from binary JSON.
+		if !mayContainTile(t, a, maxSlots) {
+			return colResolver{mode: modeNullAll}
+		}
+		return colResolver{mode: modeFallback}
+	}
+	if _, capped := cappedPrefix(a.Path, maxSlots); capped {
+		if !mayContainTile(t, a, maxSlots) {
+			return colResolver{mode: modeNullAll}
+		}
+		return colResolver{mode: modeFallback}
+	}
+	cols := t.ColumnsForPath(a.PathEnc)
+	// Prefer a column that serves the type directly; fall back to any
+	// column, then to the document.
+	var fallbackish *colResolver
+	for _, ci := range cols {
+		info := t.Column(ci)
+		rv := resolveColumn(info.Col, info.MinedType, info.StorageType, info.HasTypeOutliers, a.Type)
+		if rv.mode == modeColumn {
+			// A column serves directly, but other same-path columns
+			// (different mined type) would hold the remaining values;
+			// with >1 columns stay safe and fall back on null.
+			if len(cols) > 1 {
+				rv.fallbackOnNull = true
+			}
+			return rv
+		}
+		f := rv
+		fallbackish = &f
+	}
+	if fallbackish != nil {
+		return *fallbackish
+	}
+	if !mayContainTile(t, a, maxSlots) {
+		return colResolver{mode: modeNullAll}
+	}
+	return colResolver{mode: modeFallback}
+}
+
+// resolveTileAccessBatch decides how an access is served in batch
+// form (see tiles_batch.go for the vector kinds).
+func resolveTileAccessBatch(t scanTile, a Access, maxSlots int) batchResolver {
+	rv := resolveTileAccess(t, a, maxSlots)
+	switch rv.mode {
+	case modeNullAll:
+		return batchResolver{kind: vkNullAll}
+	case modeColumn:
+		if !rv.fallbackOnNull {
+			switch rv.col.Type() {
+			case keypath.TypeBigInt:
+				switch a.Type {
+				case expr.TBigInt:
+					return batchResolver{kind: vkZero, col: rv.col}
+				case expr.TFloat:
+					return batchResolver{kind: vkIntToFloat, col: rv.col}
+				}
+			case keypath.TypeDouble:
+				if a.Type == expr.TFloat {
+					return batchResolver{kind: vkZero, col: rv.col}
+				}
+			case keypath.TypeString:
+				if a.Type == expr.TText {
+					return batchResolver{kind: vkZero, col: rv.col}
+				}
+			case keypath.TypeBool:
+				if a.Type == expr.TBool {
+					return batchResolver{kind: vkZero, col: rv.col}
+				}
+			case keypath.TypeTimestamp:
+				if a.Type == expr.TTimestamp {
+					return batchResolver{kind: vkZero, col: rv.col}
+				}
+			}
+		}
+	}
+	return batchResolver{kind: vkBoxed, row: rv}
+}
+
+// scanRowsCore is the shared row-at-a-time scan loop (§4.8 skipping,
+// §4.5 per-tile resolution, §4.5/§5 column-hit vs fallback split).
+func scanRowsCore(src scanSource, accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
+	cfg := src.scanConfig()
+	parallelRange(src.numScanTiles(), workers, func(w, lo, hi int) {
+		scratch := getScanScratch(len(accesses))
+		defer putScanScratch(scratch)
+		row, res := scratch.row, scratch.res
+		var cnt scanCounters
+		defer cnt.flush(st)
+		for ti := lo; ti < hi; ti++ {
+			t := src.openScanTile(ti, &cnt)
+			if cfg.skipTiles && skippableTile(t, accesses, cfg.maxSlots) {
+				cnt.tilesSkipped++
+				continue
+			}
+			cnt.tilesScanned++
+			// Per-tile access resolution, computed once and reused for
+			// every tuple of the tile (§4.5).
+			for ai, a := range accesses {
+				res[ai] = resolveTileAccess(t, a, cfg.maxSlots)
+			}
+			n := t.NumRows()
+			cnt.rows += int64(n)
+			for i := 0; i < n; i++ {
+				var d jsonb.Doc
+				haveDoc := false
+				for ai := range accesses {
+					v, needDoc, castErr := res[ai].read(i)
+					if needDoc {
+						cnt.fallbacks++
+						if !haveDoc {
+							d = t.Raw(i)
+							haveDoc = true
+						}
+						v = docAccess(d, accesses[ai].Path, accesses[ai].Type)
+					} else if res[ai].mode == modeColumn {
+						cnt.hits++
+					}
+					if castErr {
+						cnt.castErrs++
+					}
+					row[ai] = v
+				}
+				emit(w, row)
+			}
+		}
+	})
+}
+
+// scanBatchesCore is the shared batch scan loop: one batch per
+// surviving tile, with the same skip decisions and accounting as the
+// row scan plus the batch/vectorized-row split.
+func scanBatchesCore(src scanSource, accesses []Access, workers int, emit BatchEmitFunc, st *obs.ScanStats) {
+	cfg := src.scanConfig()
+	nTiles := src.numScanTiles()
+	// Global row id of each tile's first row (Base of its batch).
+	// Row counts come from metadata, so this loop performs no I/O.
+	offs := make([]int64, nTiles)
+	var run int64
+	var head scanCounters
+	for i := 0; i < nTiles; i++ {
+		offs[i] = run
+		run += int64(src.openScanTile(i, &head).NumRows())
+	}
+	parallelRange(nTiles, workers, func(w, lo, hi int) {
+		var (
+			batch vec.Batch
+			boxed = make([][]expr.Value, len(accesses))
+			fbuf  = make([][]float64, len(accesses))
+			cnt   scanCounters
+		)
+		batch.Cols = make([]vec.Vector, len(accesses))
+		defer cnt.flush(st)
+		for ti := lo; ti < hi; ti++ {
+			t := src.openScanTile(ti, &cnt)
+			if cfg.skipTiles && skippableTile(t, accesses, cfg.maxSlots) {
+				cnt.tilesSkipped++
+				continue
+			}
+			cnt.tilesScanned++
+			n := t.NumRows()
+			cnt.rows += int64(n)
+			allVec := true
+			for ai := range accesses {
+				a := accesses[ai]
+				br := resolveTileAccessBatch(t, a, cfg.maxSlots)
+				switch br.kind {
+				case vkZero:
+					batch.Cols[ai] = zeroVec(br.col, a.Type)
+					cnt.hits += int64(n)
+				case vkIntToFloat:
+					buf := fbuf[ai]
+					if cap(buf) < n {
+						buf = make([]float64, n)
+					} else {
+						buf = buf[:n]
+					}
+					ints := br.col.IntSlice()
+					for i := 0; i < n; i++ {
+						buf[i] = float64(ints[i])
+					}
+					fbuf[ai] = buf
+					batch.Cols[ai] = vec.Vector{Type: expr.TFloat, Floats: buf, Nulls: br.col.NullBits()}
+					cnt.hits += int64(n)
+				case vkNullAll:
+					batch.Cols[ai] = vec.NullVector(a.Type, n)
+				default: // boxed: row-at-a-time materialization
+					allVec = false
+					vals := boxed[ai]
+					if cap(vals) < n {
+						vals = make([]expr.Value, n)
+					} else {
+						vals = vals[:n]
+					}
+					for i := 0; i < n; i++ {
+						v, needDoc, castErr := br.row.read(i)
+						if needDoc {
+							cnt.fallbacks++
+							v = docAccess(t.Raw(i), a.Path, a.Type)
+						} else if br.row.mode == modeColumn {
+							cnt.hits++
+						}
+						if castErr {
+							cnt.castErrs++
+						}
+						vals[i] = v
+					}
+					boxed[ai] = vals
+					batch.Cols[ai] = vec.Vector{Type: a.Type, Boxed: vals}
+				}
+			}
+			cnt.batches++
+			if allVec {
+				cnt.rowsVec += int64(n)
+			} else {
+				cnt.rowsFallback += int64(n)
+			}
+			batch.Len = n
+			batch.Sel = nil
+			batch.Base = offs[ti]
+			emit(w, &batch)
+		}
+	})
+}

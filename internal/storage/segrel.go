@@ -1,0 +1,240 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bufpool"
+	"repro/internal/column"
+	"repro/internal/jsonb"
+	"repro/internal/keypath"
+	"repro/internal/obs"
+	"repro/internal/segment"
+	"repro/internal/stats"
+	"repro/internal/tile"
+)
+
+// segRelation is the disk-backed counterpart of tilesRelation: a
+// relation whose tiles live in a segment file and whose scans
+// materialize only the blocks they touch, through the buffer pool.
+// Tile skipping, access resolution, and result values are identical
+// to the in-memory relation (both run the shared scan core); the
+// difference is purely physical — lazy, cached, checksummed I/O.
+type segRelation struct {
+	name    string
+	r       *segment.Reader
+	pool    *bufpool.Pool
+	ownPool bool
+	numRows int
+	cfg     scanConfig
+
+	mu            sync.Mutex
+	err           error // first degraded-scan error (corrupt block served as NULLs)
+	lastEvictions int64 // pool evictions already forwarded to the registry
+}
+
+var (
+	_ Relation     = (*segRelation)(nil)
+	_ StatsScanner = (*segRelation)(nil)
+	_ BatchScanner = (*segRelation)(nil)
+	_ TileCounter  = (*segRelation)(nil)
+)
+
+// WriteSegmentFile persists a tile-backed relation (the Tiles format)
+// as a segment file. Relations of other formats have no tiles to
+// persist and are rejected.
+func WriteSegmentFile(path string, rel Relation) error {
+	ti, ok := rel.(TileIntrospector)
+	if !ok {
+		return fmt.Errorf("storage: relation %q (%T) is not tile-backed; only the Tiles format persists as a segment", rel.Name(), rel)
+	}
+	return segment.WriteFile(path, ti.Tiles(), rel.Stats())
+}
+
+// OpenSegmentFile opens a segment as a disk-backed relation. All
+// block reads flow through pool (a private default-capacity pool is
+// created when nil — pass a shared pool to bound memory across many
+// open segments). cfg supplies the scan settings (tile skipping,
+// array-slot caps); zero values take the defaults.
+func OpenSegmentFile(name, path string, pool *bufpool.Pool, cfg LoaderConfig) (*segRelation, error) {
+	ownPool := pool == nil
+	if ownPool {
+		pool = bufpool.New(0)
+	}
+	r, err := segment.Open(path, pool)
+	if err != nil {
+		return nil, err
+	}
+	maxSlots := cfg.Tile.MaxArraySlots
+	if maxSlots <= 0 {
+		maxSlots = keypath.DefaultMaxArraySlots
+	}
+	return &segRelation{
+		name:    name,
+		r:       r,
+		pool:    pool,
+		ownPool: ownPool,
+		numRows: r.NumRows(),
+		cfg:     scanConfig{skipTiles: cfg.SkipTiles, maxSlots: maxSlots},
+	}, nil
+}
+
+func (r *segRelation) Name() string             { return r.name }
+func (r *segRelation) NumRows() int             { return r.numRows }
+func (r *segRelation) Stats() *stats.TableStats { return r.r.Stats() }
+func (r *segRelation) NumTiles() int            { return r.r.NumTiles() }
+
+// SizeBytes is the on-disk footprint of the segment file.
+func (r *segRelation) SizeBytes() int { return int(r.r.FileSize()) }
+
+// Close releases the underlying file and drops its cached blocks.
+func (r *segRelation) Close() error { return r.r.Close() }
+
+// Pool exposes the buffer pool serving this relation (diagnostics,
+// EXPLAIN ANALYZE cache summaries).
+func (r *segRelation) Pool() *bufpool.Pool { return r.pool }
+
+// Err returns the first block-level error any scan encountered.
+// Scans degrade corrupt or unreadable blocks to NULL values rather
+// than panicking mid-query; callers that must distinguish "NULL
+// because absent" from "NULL because unreadable" check Err after the
+// scan.
+func (r *segRelation) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+func (r *segRelation) recordErr(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.mu.Unlock()
+}
+
+func (r *segRelation) Scan(accesses []Access, workers int, emit EmitFunc) {
+	r.ScanWithStats(accesses, workers, emit, nil)
+}
+
+// ScanWithStats runs the shared row-scan core over lazy tile views.
+func (r *segRelation) ScanWithStats(accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
+	scanRowsCore(r, accesses, workers, emit, st)
+	r.flushPoolCounters(st)
+}
+
+// ScanBatches runs the shared batch-scan core over lazy tile views.
+func (r *segRelation) ScanBatches(accesses []Access, workers int, emit BatchEmitFunc, st *obs.ScanStats) {
+	scanBatchesCore(r, accesses, workers, emit, st)
+	r.flushPoolCounters(st)
+}
+
+// flushPoolCounters forwards pool-wide eviction counts to the global
+// registry (evictions are a pool property, not a per-scan one, so
+// they are snapshotted rather than accumulated per worker).
+func (r *segRelation) flushPoolCounters(_ *obs.ScanStats) {
+	ps := r.pool.Stats()
+	// The registry counter tracks the high-water total across all
+	// pools; add only the delta since the last flush.
+	r.mu.Lock()
+	delta := ps.Evictions - r.lastEvictions
+	r.lastEvictions = ps.Evictions
+	r.mu.Unlock()
+	obs.BufpoolEvictions.Add(delta)
+}
+
+// scanSource implementation.
+func (r *segRelation) numScanTiles() int      { return r.r.NumTiles() }
+func (r *segRelation) scanConfig() scanConfig { return r.cfg }
+
+func (r *segRelation) openScanTile(ti int, cnt *scanCounters) scanTile {
+	return &segTileView{rel: r, ti: ti, meta: r.r.Tile(ti), cnt: cnt}
+}
+
+// segTileView is a per-scan lazy view of one tile. Metadata queries
+// (row count, skip checks, column resolution) answer from the footer;
+// column data and fallback documents load through the buffer pool on
+// first access and stay cached in the view for the rest of the scan.
+// Views are per-worker and never shared, so no locking.
+type segTileView struct {
+	rel  *segRelation
+	ti   int
+	meta *segment.TileMeta
+	cnt  *scanCounters
+
+	cols   []tile.ColumnInfo // Col nil until loaded
+	loaded []bool
+	docs   [][]byte
+	docsOK bool
+}
+
+func (v *segTileView) NumRows() int                     { return v.meta.Rows }
+func (v *segTileView) MayContainPath(path string) bool  { return v.meta.MayContainPath(path) }
+func (v *segTileView) ColumnsForPath(path string) []int { return v.meta.ColumnsForPath(path) }
+
+func (v *segTileView) account(info segment.ReadInfo) {
+	if v.cnt == nil {
+		return
+	}
+	if info.Hit {
+		v.cnt.poolHits++
+	} else {
+		v.cnt.poolMisses++
+		v.cnt.blocksRead++
+		v.cnt.blockBytes += int64(info.StoredBytes)
+	}
+}
+
+// Column lazily materializes one extracted column. A block that
+// fails its checksum or decode degrades to an all-NULL column of the
+// declared type — the scan completes with NULLs instead of crashing
+// mid-query — and the error is recorded on the relation.
+func (v *segTileView) Column(idx int) *tile.ColumnInfo {
+	if v.cols == nil {
+		v.cols = make([]tile.ColumnInfo, len(v.meta.Columns))
+		v.loaded = make([]bool, len(v.meta.Columns))
+	}
+	if !v.loaded[idx] {
+		v.loaded[idx] = true
+		cm := &v.meta.Columns[idx]
+		col, info, err := v.rel.r.Column(v.ti, idx)
+		v.account(info)
+		if err != nil {
+			v.rel.recordErr(err)
+			col = nullColumn(cm.StorageType, v.meta.Rows)
+		}
+		v.cols[idx] = tile.ColumnInfo{
+			Path:            cm.Path,
+			MinedType:       cm.MinedType,
+			StorageType:     cm.StorageType,
+			HasTypeOutliers: cm.HasTypeOutliers,
+			Col:             col,
+		}
+	}
+	return &v.cols[idx]
+}
+
+// Raw lazily loads the tile's fallback documents; an unreadable docs
+// block degrades every fallback access to NULL (empty document).
+func (v *segTileView) Raw(i int) jsonb.Doc {
+	if !v.docsOK {
+		v.docsOK = true
+		docs, info, err := v.rel.r.Docs(v.ti)
+		v.account(info)
+		if err != nil {
+			v.rel.recordErr(err)
+			docs = make([][]byte, v.meta.Rows)
+		}
+		v.docs = docs
+	}
+	return jsonb.NewDoc(v.docs[i])
+}
+
+// nullColumn builds an all-NULL column of n rows (degraded reads).
+func nullColumn(t keypath.ValueType, n int) *column.Column {
+	c := column.New(t)
+	for i := 0; i < n; i++ {
+		c.AppendNull()
+	}
+	return c
+}

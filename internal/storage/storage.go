@@ -141,6 +141,14 @@ func (r rowOnlyRel) ScanWithStats(accesses []Access, workers int, emit EmitFunc,
 	ScanWith(r.rel, accesses, workers, emit, st)
 }
 
+// TileCounter is implemented by relations that know their tile count
+// without materializing tiles — EXPLAIN ANALYZE uses it for the skip
+// denominator. Disk-backed relations answer from the footer; the
+// in-memory relation from its tile slice.
+type TileCounter interface {
+	NumTiles() int
+}
+
 // TileIntrospector is implemented by tile-backed relations and exposes
 // the physical layout for statistics and diagnostics (Table 6 size
 // accounting, per-tile extracted paths, tile counts for skip ratios).

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"repro/internal/expr"
-	"repro/internal/jsonb"
 	"repro/internal/jsonvalue"
 	"repro/internal/keypath"
 	"repro/internal/obs"
@@ -120,6 +119,9 @@ func (r *tilesRelation) Stats() *stats.TableStats { return r.stats }
 // extraction).
 func (r *tilesRelation) Tiles() []*tile.Tile { return r.tiles }
 
+// NumTiles implements TileCounter.
+func (r *tilesRelation) NumTiles() int { return len(r.tiles) }
+
 func (r *tilesRelation) SizeBytes() int {
 	total := 0
 	for _, t := range r.tiles {
@@ -212,6 +214,8 @@ type scanCounters struct {
 	rows, hits, fallbacks, castErrs int64
 	// Batch path only.
 	batches, rowsVec, rowsFallback int64
+	// Segment-backed scans only: block I/O and buffer-pool traffic.
+	blocksRead, blockBytes, poolHits, poolMisses int64
 }
 
 func (c *scanCounters) flush(st *obs.ScanStats) {
@@ -224,6 +228,10 @@ func (c *scanCounters) flush(st *obs.ScanStats) {
 	obs.BatchesEmitted.Add(c.batches)
 	obs.RowsVectorized.Add(c.rowsVec)
 	obs.RowsBatchFallback.Add(c.rowsFallback)
+	obs.SegmentBlocksRead.Add(c.blocksRead)
+	obs.SegmentBytesRead.Add(c.blockBytes)
+	obs.BufpoolHits.Add(c.poolHits)
+	obs.BufpoolMisses.Add(c.poolMisses)
 	if st == nil {
 		return
 	}
@@ -236,6 +244,10 @@ func (c *scanCounters) flush(st *obs.ScanStats) {
 	st.Batches.Add(c.batches)
 	st.RowsVectorized.Add(c.rowsVec)
 	st.RowsFallback.Add(c.rowsFallback)
+	st.BlocksRead.Add(c.blocksRead)
+	st.BlockBytes.Add(c.blockBytes)
+	st.PoolHits.Add(c.poolHits)
+	st.PoolMisses.Add(c.poolMisses)
 }
 
 // scanScratch holds a worker's reusable row buffer and per-tile
@@ -266,54 +278,20 @@ func putScanScratch(s *scanScratch) {
 	scanScratchPool.Put(s)
 }
 
-// ScanWithStats implements StatsScanner: the per-tile skip decisions
-// (§4.8) and the column-hit vs binary-JSON-fallback split (§4.5/§5)
-// are the key observability signals of the format.
+// ScanWithStats implements StatsScanner via the shared scan core: the
+// per-tile skip decisions (§4.8) and the column-hit vs
+// binary-JSON-fallback split (§4.5/§5) are the key observability
+// signals of the format.
 func (r *tilesRelation) ScanWithStats(accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
-	parallelRange(len(r.tiles), workers, func(w, lo, hi int) {
-		scratch := getScanScratch(len(accesses))
-		defer putScanScratch(scratch)
-		row, res := scratch.row, scratch.res
-		var cnt scanCounters
-		defer cnt.flush(st)
-		for ti := lo; ti < hi; ti++ {
-			t := r.tiles[ti]
-			if r.cfg.SkipTiles && r.skippable(t, accesses) {
-				cnt.tilesSkipped++
-				continue
-			}
-			cnt.tilesScanned++
-			// Per-tile access resolution, computed once and reused for
-			// every tuple of the tile (§4.5).
-			for ai, a := range accesses {
-				res[ai] = r.resolveTile(t, a)
-			}
-			n := t.NumRows()
-			cnt.rows += int64(n)
-			for i := 0; i < n; i++ {
-				var d jsonb.Doc
-				haveDoc := false
-				for ai := range accesses {
-					v, needDoc, castErr := res[ai].read(i)
-					if needDoc {
-						cnt.fallbacks++
-						if !haveDoc {
-							d = t.Raw(i)
-							haveDoc = true
-						}
-						v = docAccess(d, accesses[ai].Path, accesses[ai].Type)
-					} else if res[ai].mode == modeColumn {
-						cnt.hits++
-					}
-					if castErr {
-						cnt.castErrs++
-					}
-					row[ai] = v
-				}
-				emit(w, row)
-			}
-		}
-	})
+	scanRowsCore(r, accesses, workers, emit, st)
+}
+
+// scanSource implementation: in-memory tiles are their own scan
+// views — no lazy I/O, no per-scan state.
+func (r *tilesRelation) numScanTiles() int                             { return len(r.tiles) }
+func (r *tilesRelation) openScanTile(ti int, _ *scanCounters) scanTile { return r.tiles[ti] }
+func (r *tilesRelation) scanConfig() scanConfig {
+	return scanConfig{skipTiles: r.cfg.SkipTiles, maxSlots: r.maxSlots()}
 }
 
 func (r *tilesRelation) maxSlots() int {
@@ -335,66 +313,4 @@ func cappedPrefix(p keypath.Path, maxSlots int) (string, bool) {
 		}
 	}
 	return "", false
-}
-
-// mayContain answers MayContainPath with the capped-slot correction.
-func (r *tilesRelation) mayContain(t *tile.Tile, a Access) bool {
-	if prefix, capped := cappedPrefix(a.Path, r.maxSlots()); capped {
-		return t.MayContainPath(prefix)
-	}
-	return t.MayContainPath(a.PathEnc)
-}
-
-// skippable reports whether the tile provably contains no tuple that
-// can satisfy the query: some null-rejecting access targets a path
-// absent from the whole tile (§4.8).
-func (r *tilesRelation) skippable(t *tile.Tile, accesses []Access) bool {
-	for _, a := range accesses {
-		if a.NullRejecting && !r.mayContain(t, a) {
-			return true
-		}
-	}
-	return false
-}
-
-func (r *tilesRelation) resolveTile(t *tile.Tile, a Access) colResolver {
-	if a.Type == expr.TJSON {
-		// The -> operator returns documents; serve from binary JSON.
-		if !r.mayContain(t, a) {
-			return colResolver{mode: modeNullAll}
-		}
-		return colResolver{mode: modeFallback}
-	}
-	if _, capped := cappedPrefix(a.Path, r.maxSlots()); capped {
-		if !r.mayContain(t, a) {
-			return colResolver{mode: modeNullAll}
-		}
-		return colResolver{mode: modeFallback}
-	}
-	cols := t.ColumnsForPath(a.PathEnc)
-	// Prefer a column that serves the type directly; fall back to any
-	// column, then to the document.
-	var fallbackish *colResolver
-	for _, ci := range cols {
-		info := t.Column(ci)
-		rv := resolveColumn(info.Col, info.MinedType, info.StorageType, info.HasTypeOutliers, a.Type)
-		if rv.mode == modeColumn {
-			// A column serves directly, but other same-path columns
-			// (different mined type) would hold the remaining values;
-			// with >1 columns stay safe and fall back on null.
-			if len(cols) > 1 {
-				rv.fallbackOnNull = true
-			}
-			return rv
-		}
-		f := rv
-		fallbackish = &f
-	}
-	if fallbackish != nil {
-		return *fallbackish
-	}
-	if !r.mayContain(t, a) {
-		return colResolver{mode: modeNullAll}
-	}
-	return colResolver{mode: modeFallback}
 }

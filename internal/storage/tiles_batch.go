@@ -5,7 +5,6 @@ import (
 	"repro/internal/expr"
 	"repro/internal/keypath"
 	"repro/internal/obs"
-	"repro/internal/tile"
 	"repro/internal/vec"
 )
 
@@ -17,7 +16,8 @@ import (
 // all-NULL vectors; everything else — binary-JSON fallbacks, renders,
 // type-outlier columns — is materialized cell-by-cell into a boxed
 // vector by the same resolver logic the row scan uses, so both paths
-// agree bit-for-bit.
+// agree bit-for-bit. The loop itself lives in the scan core
+// (scancore.go), shared with the disk-backed segment relation.
 
 type vecKind uint8
 
@@ -32,44 +32,6 @@ type batchResolver struct {
 	kind vecKind
 	col  *column.Column
 	row  colResolver // boxed path: the row-at-a-time resolver
-}
-
-// resolveTileBatch decides how an access is served in batch form.
-func (r *tilesRelation) resolveTileBatch(t *tile.Tile, a Access) batchResolver {
-	rv := r.resolveTile(t, a)
-	switch rv.mode {
-	case modeNullAll:
-		return batchResolver{kind: vkNullAll}
-	case modeColumn:
-		if !rv.fallbackOnNull {
-			switch rv.col.Type() {
-			case keypath.TypeBigInt:
-				switch a.Type {
-				case expr.TBigInt:
-					return batchResolver{kind: vkZero, col: rv.col}
-				case expr.TFloat:
-					return batchResolver{kind: vkIntToFloat, col: rv.col}
-				}
-			case keypath.TypeDouble:
-				if a.Type == expr.TFloat {
-					return batchResolver{kind: vkZero, col: rv.col}
-				}
-			case keypath.TypeString:
-				if a.Type == expr.TText {
-					return batchResolver{kind: vkZero, col: rv.col}
-				}
-			case keypath.TypeBool:
-				if a.Type == expr.TBool {
-					return batchResolver{kind: vkZero, col: rv.col}
-				}
-			case keypath.TypeTimestamp:
-				if a.Type == expr.TTimestamp {
-					return batchResolver{kind: vkZero, col: rv.col}
-				}
-			}
-		}
-	}
-	return batchResolver{kind: vkBoxed, row: rv}
 }
 
 // zeroVec wraps a tile column's backing slices into a vector without
@@ -91,94 +53,10 @@ func zeroVec(c *column.Column, t expr.SQLType) vec.Vector {
 
 var _ BatchScanner = (*tilesRelation)(nil)
 
-// ScanBatches implements BatchScanner: one batch per surviving tile,
-// with the same skip decisions and observability accounting as the
-// row scan plus the batch/vectorized-row split.
+// ScanBatches implements BatchScanner via the shared scan core: one
+// batch per surviving tile, with the same skip decisions and
+// observability accounting as the row scan plus the
+// batch/vectorized-row split.
 func (r *tilesRelation) ScanBatches(accesses []Access, workers int, emit BatchEmitFunc, st *obs.ScanStats) {
-	// Global row id of each tile's first row (Base of its batch).
-	offs := make([]int64, len(r.tiles))
-	var run int64
-	for i, t := range r.tiles {
-		offs[i] = run
-		run += int64(t.NumRows())
-	}
-	parallelRange(len(r.tiles), workers, func(w, lo, hi int) {
-		var (
-			batch vec.Batch
-			boxed = make([][]expr.Value, len(accesses))
-			fbuf  = make([][]float64, len(accesses))
-			cnt   scanCounters
-		)
-		batch.Cols = make([]vec.Vector, len(accesses))
-		defer cnt.flush(st)
-		for ti := lo; ti < hi; ti++ {
-			t := r.tiles[ti]
-			if r.cfg.SkipTiles && r.skippable(t, accesses) {
-				cnt.tilesSkipped++
-				continue
-			}
-			cnt.tilesScanned++
-			n := t.NumRows()
-			cnt.rows += int64(n)
-			allVec := true
-			for ai := range accesses {
-				a := accesses[ai]
-				br := r.resolveTileBatch(t, a)
-				switch br.kind {
-				case vkZero:
-					batch.Cols[ai] = zeroVec(br.col, a.Type)
-					cnt.hits += int64(n)
-				case vkIntToFloat:
-					buf := fbuf[ai]
-					if cap(buf) < n {
-						buf = make([]float64, n)
-					} else {
-						buf = buf[:n]
-					}
-					ints := br.col.IntSlice()
-					for i := 0; i < n; i++ {
-						buf[i] = float64(ints[i])
-					}
-					fbuf[ai] = buf
-					batch.Cols[ai] = vec.Vector{Type: expr.TFloat, Floats: buf, Nulls: br.col.NullBits()}
-					cnt.hits += int64(n)
-				case vkNullAll:
-					batch.Cols[ai] = vec.NullVector(a.Type, n)
-				default: // boxed: row-at-a-time materialization
-					allVec = false
-					vals := boxed[ai]
-					if cap(vals) < n {
-						vals = make([]expr.Value, n)
-					} else {
-						vals = vals[:n]
-					}
-					for i := 0; i < n; i++ {
-						v, needDoc, castErr := br.row.read(i)
-						if needDoc {
-							cnt.fallbacks++
-							v = docAccess(t.Raw(i), a.Path, a.Type)
-						} else if br.row.mode == modeColumn {
-							cnt.hits++
-						}
-						if castErr {
-							cnt.castErrs++
-						}
-						vals[i] = v
-					}
-					boxed[ai] = vals
-					batch.Cols[ai] = vec.Vector{Type: a.Type, Boxed: vals}
-				}
-			}
-			cnt.batches++
-			if allVec {
-				cnt.rowsVec += int64(n)
-			} else {
-				cnt.rowsFallback += int64(n)
-			}
-			batch.Len = n
-			batch.Sel = nil
-			batch.Base = offs[ti]
-			emit(w, &batch)
-		}
-	})
+	scanBatchesCore(r, accesses, workers, emit, st)
 }

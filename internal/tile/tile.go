@@ -456,6 +456,11 @@ func (t *Tile) MayContainPath(path string) bool {
 	return t.notExtracted.MayContain(path)
 }
 
+// SeenFilter exposes the seen-but-not-extracted bloom filter so the
+// segment writer can persist tile headers. Read-only; may be nil for
+// a tile that never finalized.
+func (t *Tile) SeenFilter() *bloom.Filter { return t.notExtracted }
+
 // PathFrequency returns the number of tuples carrying the path with a
 // non-null value.
 func (t *Tile) PathFrequency(path string) int { return t.pathFreq[path] }

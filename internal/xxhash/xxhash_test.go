@@ -1,0 +1,60 @@
+package xxhash
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Reference vectors from the xxHash specification (seed 0).
+func TestKnownVectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 0xEF46DB3751D8E999},
+		{"a", 0xD24EC4F1A98C6E5B},
+		{"abc", 0x44BC2CF5AD770999},
+		{"message digest", 0x066ED728FCEEB3BE},
+	}
+	for _, c := range cases {
+		if got := Sum64([]byte(c.in)); got != c.want {
+			t.Errorf("Sum64(%q) = %#016x, want %#016x", c.in, got, c.want)
+		}
+	}
+}
+
+// Every length up to well past the 32-byte stripe boundary must hash
+// deterministically and differ under single-bit corruption — the
+// property the segment checksums rely on.
+func TestCorruptionDetection(t *testing.T) {
+	buf := make([]byte, 257)
+	for i := range buf {
+		buf[i] = byte(i * 131)
+	}
+	for n := 0; n <= len(buf); n++ {
+		h := Sum64(buf[:n])
+		if h != Sum64(append([]byte(nil), buf[:n]...)) {
+			t.Fatalf("len %d: not deterministic", n)
+		}
+		if n == 0 {
+			continue
+		}
+		cp := append([]byte(nil), buf[:n]...)
+		cp[n/2] ^= 0x40
+		if Sum64(cp) == h {
+			t.Fatalf("len %d: bit flip not detected", n)
+		}
+	}
+}
+
+func TestPrefixesDiffer(t *testing.T) {
+	data := bytes.Repeat([]byte("segment"), 40)
+	seen := map[uint64]int{}
+	for n := 0; n <= len(data); n++ {
+		h := Sum64(data[:n])
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("lengths %d and %d collide", prev, n)
+		}
+		seen[h] = n
+	}
+}

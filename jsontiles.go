@@ -62,6 +62,11 @@ type Options struct {
 	DetectDates bool
 	// Workers bounds loading and query parallelism (0 = all CPUs).
 	Workers int
+	// CacheBytes bounds the buffer pool of tables opened from segment
+	// files (OpenSegment): decompressed block bytes kept resident
+	// across queries. 0 means the 64 MiB default; in-memory tables
+	// ignore it.
+	CacheBytes int64
 	// OnQueryDone, when set, receives a QueryStats after every
 	// Run/RunAnalyzed on this table's queries (slow-query logging,
 	// metrics export). Called synchronously before Run returns.

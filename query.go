@@ -324,8 +324,8 @@ func (q *Query) buildPlan(analyze bool, sp *obs.Span) (engine.Operator, error) {
 		tr := engine.NewTraced(label, detail, est, op)
 		if sc, ok := op.(*engine.Scan); ok {
 			st := &obs.ScanStats{}
-			if ti, ok := sc.Rel.(storage.TileIntrospector); ok {
-				st.NumTiles = int64(len(ti.Tiles()))
+			if tc, ok := sc.Rel.(storage.TileCounter); ok {
+				st.NumTiles = int64(tc.NumTiles())
 			}
 			sc.Stats = st
 			tr.ScanStats = st

@@ -1,0 +1,71 @@
+package jsontiles
+
+// Segment persistence: a Table can be written to a single segment
+// file and reopened — in another process, later — as a disk-backed
+// table whose queries read only the blocks they touch, through a
+// capacity-bounded buffer pool. See DESIGN.md §6 for the file layout
+// and the paper-section mapping.
+
+import (
+	"fmt"
+
+	"repro/internal/bufpool"
+	"repro/internal/storage"
+	"repro/internal/tile"
+)
+
+// WriteSegment persists the table to a segment file at path: every
+// tile's extracted columns and binary-JSON fallback as compressed,
+// checksummed blocks, plus a footer carrying the tile headers (seen-
+// path bloom filters, zone maps) and the relation statistics. Pending
+// inserts are flushed first. The write is atomic: the file appears
+// under its final name only when complete.
+func (t *Table) WriteSegment(path string) error {
+	t.Flush()
+	if t.rel == nil {
+		return fmt.Errorf("jsontiles: table %q has no data to persist", t.name)
+	}
+	return storage.WriteSegmentFile(path, t.rel)
+}
+
+// OpenSegment opens a segment file as a disk-backed table. Opening
+// reads only the header, the fixed tail, and the footer; queries then
+// materialize just the tiles that survive skipping and the columns
+// they access, block by block, through a buffer pool bounded by
+// opts.CacheBytes. Query semantics are identical to the in-memory
+// table the segment was written from.
+//
+// The returned table holds an open file handle; call Close when done.
+func OpenSegment(name, path string, opts Options) (*Table, error) {
+	if opts.TileSize == 0 {
+		opts = DefaultOptions()
+	}
+	pool := bufpool.New(opts.CacheBytes)
+	rel, err := storage.OpenSegmentFile(name, path, pool, opts.loaderConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Table{name: name, opts: opts, rel: rel, metrics: &tile.Metrics{}}, nil
+}
+
+// Close releases resources held by a disk-backed table (the segment
+// file handle and its cached blocks). In-memory tables have nothing
+// to release; Close is a no-op for them.
+func (t *Table) Close() error {
+	if c, ok := t.rel.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// ScanErr returns the first block-level error any query on a
+// disk-backed table encountered. Scans degrade unreadable blocks to
+// NULL values rather than failing mid-query; callers that must
+// distinguish "NULL because absent" from "NULL because unreadable"
+// check ScanErr after querying. Always nil for in-memory tables.
+func (t *Table) ScanErr() error {
+	if e, ok := t.rel.(interface{ Err() error }); ok {
+		return e.Err()
+	}
+	return nil
+}
