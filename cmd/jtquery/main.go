@@ -22,6 +22,7 @@ func main() {
 	limit := flag.Int("limit", 20, "max rows to print (0 = all)")
 	notNull := flag.Int("where-not-null", -1, "keep rows where this select column is not null")
 	tileSize := flag.Int("tilesize", 1024, "tuples per tile")
+	workers := flag.Int("workers", 0, "load and scan parallelism (0 = all CPUs)")
 	explain := flag.Bool("explain", false, "print the chosen plan without executing")
 	analyze := flag.Bool("analyze", false, "execute and print the plan with measured per-operator stats")
 	metrics := flag.Bool("metrics", false, "dump the process-wide metrics registry after the query")
@@ -35,6 +36,7 @@ func main() {
 
 	opts := jsontiles.DefaultOptions()
 	opts.TileSize = *tileSize
+	opts.Workers = *workers
 	var tbl *jsontiles.Table
 	var err error
 	if *seg != "" {

@@ -102,14 +102,26 @@ type QueryStats struct {
 	RowsReturned int64
 	// Analyzed reports whether per-operator statistics were collected.
 	Analyzed bool
+	// DictKernelShortcuts counts predicate kernels that evaluated in
+	// dictionary code space during this query's execution window;
+	// DictGroupByBatches counts batches aggregated through the
+	// code-indexed GROUP BY fast path. Both are process-wide counter
+	// deltas: exact when queries run one at a time.
+	DictKernelShortcuts int64
+	DictGroupByBatches  int64
 }
 
 // String renders the summary line followed by the plan tree.
 func (s QueryStats) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "wall %s  plan %s  exec %s  rows %d\n",
+	fmt.Fprintf(&sb, "wall %s  plan %s  exec %s  rows %d",
 		s.Wall.Round(time.Microsecond), s.PlanTime.Round(time.Microsecond),
 		s.ExecTime.Round(time.Microsecond), s.RowsReturned)
+	if s.DictKernelShortcuts > 0 || s.DictGroupByBatches > 0 {
+		fmt.Fprintf(&sb, "  dict_kernels=%d dict_groupby=%d",
+			s.DictKernelShortcuts, s.DictGroupByBatches)
+	}
+	sb.WriteByte('\n')
 	if s.Plan != nil {
 		sb.WriteString(s.Plan.String())
 	}

@@ -253,6 +253,91 @@ func TestExplainAnalyzeBatchCounters(t *testing.T) {
 	}
 }
 
+// TestExplainAnalyzeDictCounters pins the dictionary fast-path
+// accounting: a string-equality filter plus a low-cardinality GROUP BY
+// over dictionary-encoded columns must report code-space kernel
+// shortcuts and code-indexed aggregation batches, and the rendered
+// stats must carry them.
+func TestExplainAnalyzeDictCounters(t *testing.T) {
+	var out [][]byte
+	levels := []string{"debug", "error", "info", "warn"}
+	for i := 0; i < 600; i++ {
+		out = append(out, []byte(fmt.Sprintf(
+			`{"level":"%s","latency":%d}`, levels[i%4], i%100)))
+	}
+	tbl, err := Load("logs", out, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := obs.Default.Snapshot()
+	res, stats, err := tbl.Query("data->>'level'", "data->>'latency'::BigInt").
+		WhereCmp(0, Eq, "error").
+		GroupBy(0).
+		Aggregate(CountAll("n"), Sum(1, "total")).
+		RunAnalyzed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 {
+		t.Fatalf("rows = %d, want 1 (only the error group)", res.NumRows())
+	}
+	if stats.DictKernelShortcuts == 0 {
+		t.Fatalf("string filter on a dict column reported no kernel shortcuts: %+v", stats)
+	}
+	if stats.DictGroupByBatches == 0 {
+		t.Fatalf("low-cardinality GROUP BY reported no dict batches: %+v", stats)
+	}
+	d := obs.Default.Snapshot().Diff(base)
+	if d.Get("dict_kernel_shortcuts") == 0 || d.Get("dict_groupby_fastpath") == 0 {
+		t.Fatalf("registry deltas missing dict counters: %v", d)
+	}
+	rendered := stats.String()
+	for _, want := range []string{"dict_kernels=", "dict_groupby="} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("stats.String() misses %q:\n%s", want, rendered)
+		}
+	}
+}
+
+// TestTopKOrderByLimit pins the ORDER BY + LIMIT fusion: the plan's
+// OrderBy node advertises top-K, and the fused result is identical to
+// sorting everything and trimming.
+func TestTopKOrderByLimit(t *testing.T) {
+	tbl, err := Load("reviews", reviewDocs(500), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() *Query {
+		return tbl.Query("data->>'review_id'", "data->>'useful'::BigInt").
+			OrderBy(1, true).
+			OrderBy(0, false)
+	}
+	full, err := build().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	topk, stats, err := build().Limit(7).RunAnalyzed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topk.NumRows() != 7 {
+		t.Fatalf("rows = %d, want 7", topk.NumRows())
+	}
+	ob := stats.Plan.Find("OrderBy")
+	if ob == nil || !strings.Contains(ob.Detail, "top-7") {
+		t.Fatalf("OrderBy node not fused into top-K:\n%s", stats.Plan)
+	}
+	for i := 0; i < 7; i++ {
+		for c := 0; c < 2; c++ {
+			if topk.Value(i, c).String() != full.Value(i, c).String() {
+				t.Fatalf("row %d col %d differs: topk=%v full=%v",
+					i, c, topk.Value(i, c), full.Value(i, c))
+			}
+		}
+	}
+}
+
 func TestOnQueryDoneHook(t *testing.T) {
 	o := opts()
 	var got []QueryStats

@@ -81,6 +81,7 @@ func Experiments() []Experiment {
 		{"fig20", "Figure 20: random accesses/sec on nested documents", fig20},
 		{"vec", "Vectorized vs row-at-a-time execution over tiles (records BENCH_vectorized.json)", vecExp},
 		{"seg", "Segment persistence: cold-open vs warm buffer pool vs in-memory (records BENCH_segment.json)", segExp},
+		{"dict", "Dictionary-encoded vs arena string columns: predicate and group-by fast paths (records BENCH_dict.json)", dictExp},
 	}
 }
 

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/exprparse"
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/tile"
+)
+
+// dictBenchFile is where the dict experiment records its measurements
+// (committed as the dictionary-encoding baseline).
+const dictBenchFile = "BENCH_dict.json"
+
+// dictResult is one query's arena-vs-dictionary measurement.
+type dictResult struct {
+	Query      string  `json:"query"`
+	ArenaSecs  float64 `json:"arena_secs"`
+	DictSecs   float64 `json:"dict_secs"`
+	Speedup    float64 `json:"speedup"`
+	RowsPerSec float64 `json:"dict_rows_per_sec"`
+}
+
+type dictReport struct {
+	Workload    string       `json:"workload"`
+	Rows        int          `json:"rows"`
+	Workers     int          `json:"workers"`
+	DictColumns int64        `json:"dict_columns_built"`
+	Results     []dictResult `json:"results"`
+}
+
+// dictLogLines synthesizes a log-analytics workload dominated by
+// low-cardinality strings — the shape dictionary encoding targets:
+// level (4 values), service (12), region (6), a medium-cardinality
+// user id, and a high-cardinality message that must stay in the arena.
+func (c *Context) dictLogLines() [][]byte {
+	return cached(c, "dict-log-lines", func() [][]byte {
+		levels := []string{"debug", "info", "warn", "error"}
+		services := []string{"api", "auth", "billing", "cache", "cart", "db",
+			"email", "gateway", "search", "ship", "web", "worker"}
+		regions := []string{"ap-1", "eu-1", "eu-2", "us-1", "us-2", "us-3"}
+		n := imax(40000, int(4_000_000*c.Opts.Scale))
+		lines := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			lines[i] = []byte(fmt.Sprintf(
+				`{"level":"%s","service":"%s","region":"%s","user":"u%04d","latency_us":%d,"msg":"request %d finished with code %d"}`,
+				levels[(i*7)%len(levels)], services[(i*13)%len(services)],
+				regions[(i*5)%len(regions)], (i*31)%997, (i*97)%250000, i, 200+(i%3)*100))
+		}
+		return lines
+	})
+}
+
+// dictQueries are the measured pipelines: string-predicate scans (EQ,
+// LIKE, IN) and low-cardinality GROUP BYs, all over text columns that
+// dictionary-encode under the default threshold.
+func dictQueries() []struct {
+	name string
+	run  func(rel storage.Relation, workers int)
+} {
+	accs := func() []storage.Access {
+		return []storage.Access{
+			exprparse.MustParse(`data->>'level'`),
+			exprparse.MustParse(`data->>'service'`),
+			exprparse.MustParse(`data->>'user'`),
+			exprparse.MustParse(`data->>'latency_us'::BigInt`),
+		}
+	}
+	return []struct {
+		name string
+		run  func(rel storage.Relation, workers int)
+	}{
+		{"filter-eq", func(rel storage.Relation, workers int) {
+			f := expr.NewCmp(expr.EQ, expr.NewCol(0, expr.TText),
+				expr.NewConst(expr.TextValue("error")))
+			engine.CountRows(engine.NewScan(rel, accs(), nil, f), workers)
+		}},
+		{"filter-like", func(rel storage.Relation, workers int) {
+			f := expr.NewLike(expr.NewCol(1, expr.TText), "%a%")
+			engine.CountRows(engine.NewScan(rel, accs(), nil, f), workers)
+		}},
+		{"filter-in", func(rel storage.Relation, workers int) {
+			f := expr.NewIn(expr.NewCol(1, expr.TText),
+				expr.TextValue("api"), expr.TextValue("db"), expr.TextValue("web"))
+			engine.CountRows(engine.NewScan(rel, accs(), nil, f), workers)
+		}},
+		{"groupby-level", func(rel storage.Relation, workers int) {
+			gb := engine.NewGroupBy(engine.NewScan(rel, accs(), nil, nil),
+				[]expr.Expr{expr.NewCol(0, expr.TText)}, []string{"level"},
+				[]engine.AggSpec{
+					{Func: engine.CountStar, Name: "n"},
+					{Func: engine.Sum, Arg: expr.NewCol(3, expr.TBigInt), Name: "lat"},
+				})
+			engine.Materialize(gb, workers)
+		}},
+		{"groupby-user", func(rel storage.Relation, workers int) {
+			gb := engine.NewGroupBy(engine.NewScan(rel, accs(), nil, nil),
+				[]expr.Expr{expr.NewCol(2, expr.TText)}, []string{"user"},
+				[]engine.AggSpec{{Func: engine.CountStar, Name: "n"}})
+			engine.Materialize(gb, workers)
+		}},
+	}
+}
+
+// dictExp — dictionary-encoded vs arena string columns: the same
+// document set loaded twice (DictThreshold 0 disables encoding), the
+// same pipelines over both, recording the baseline to BENCH_dict.json.
+func dictExp(w io.Writer, c *Context) error {
+	workers := c.Opts.workers()
+	lines := c.dictLogLines()
+
+	arenaCfg := tile.DefaultConfig()
+	arenaCfg.DictThreshold = 0
+	arenaRel := c.loadTiles(lines, arenaCfg, true)
+
+	base := obs.Default.Snapshot()
+	dictRel := c.loadTiles(lines, tile.DefaultConfig(), true)
+	built := obs.Default.Snapshot().Diff(base).Get("dict_columns_built")
+	if built == 0 {
+		return fmt.Errorf("dict experiment built no dictionary columns")
+	}
+
+	report := dictReport{Workload: "synthetic-logs", Rows: dictRel.NumRows(),
+		Workers: workers, DictColumns: built}
+	t := &table{header: []string{"query", "arena s", "dict s", "speedup"}}
+	for _, q := range dictQueries() {
+		arenaD := c.timeIt(func() { q.run(arenaRel, workers) })
+		dictD := c.timeIt(func() { q.run(dictRel, workers) })
+		speedup := arenaD.Seconds() / dictD.Seconds()
+		t.row(q.name, secs(arenaD), secs(dictD), fmt.Sprintf("%.1fx", speedup))
+		report.Results = append(report.Results, dictResult{
+			Query:     q.name,
+			ArenaSecs: arenaD.Seconds(),
+			DictSecs:  dictD.Seconds(),
+			Speedup:   speedup,
+			RowsPerSec: float64(dictRel.NumRows()) /
+				maxf(dictD.Seconds(), 1e-9),
+		})
+	}
+	t.write(w)
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	path := filepath.Join(c.Opts.OutDir, dictBenchFile)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "baseline written to %s\n", path)
+	return nil
+}

@@ -30,6 +30,16 @@ type Column struct {
 	bools    []uint64  // Bool bitmap
 	strOff   []uint32  // Text: end offsets into strBytes (start = off[i-1])
 	strBytes []byte
+
+	// Dictionary layout (Text only, see dict.go): when codeWidth != 0
+	// the per-row strings are replaced by codes into a sorted distinct-
+	// value arena and strOff/strBytes are nil.
+	dictOff   []uint32 // dict entry end offsets into dictBytes
+	dictBytes []byte
+	codeWidth uint8 // 0 = arena layout; 1, 2, or 4 byte codes
+	codes8    []uint8
+	codes16   []uint16
+	codes32   []uint32
 }
 
 // New returns an empty column of the given storage type.
@@ -95,11 +105,20 @@ func (c *Column) AppendNull() {
 	case keypath.TypeDouble:
 		c.floats = append(c.floats, 0)
 	case keypath.TypeString:
-		var last uint32
-		if len(c.strOff) > 0 {
-			last = c.strOff[len(c.strOff)-1]
+		switch c.codeWidth {
+		case 0:
+			var last uint32
+			if len(c.strOff) > 0 {
+				last = c.strOff[len(c.strOff)-1]
+			}
+			c.strOff = append(c.strOff, last)
+		case 1:
+			c.codes8 = append(c.codes8, 0)
+		case 2:
+			c.codes16 = append(c.codes16, 0)
+		default:
+			c.codes32 = append(c.codes32, 0)
 		}
-		c.strOff = append(c.strOff, last)
 	case keypath.TypeBool:
 		// bitmap grows lazily
 	}
@@ -154,6 +173,9 @@ func (c *Column) Bool(i int) bool {
 
 // String returns the text value of row i.
 func (c *Column) String(i int) string {
+	if c.codeWidth != 0 {
+		return string(c.dictEntryOfRow(i))
+	}
 	var start uint32
 	if i > 0 {
 		start = c.strOff[i-1]
@@ -164,6 +186,9 @@ func (c *Column) String(i int) string {
 // StringBytes returns the text of row i without copying. Callers must
 // not retain or mutate the slice.
 func (c *Column) StringBytes(i int) []byte {
+	if c.codeWidth != 0 {
+		return c.dictEntryOfRow(i)
+	}
 	var start uint32
 	if i > 0 {
 		start = c.strOff[i-1]
@@ -186,7 +211,8 @@ func (c *Column) BoolBits() []uint64 { return c.bools }
 func (c *Column) NullBits() []uint64 { return c.nulls }
 
 // StringData exposes the text arena: end offsets and the shared byte
-// buffer (row i spans offsets[i-1]..offsets[i]). Read-only.
+// buffer (row i spans offsets[i-1]..offsets[i]). Read-only. Nil for
+// dictionary columns — use DictData and Codes instead.
 func (c *Column) StringData() (offsets []uint32, bytes []byte) {
 	return c.strOff, c.strBytes
 }
@@ -216,7 +242,9 @@ func (c *Column) clearNull(i int) {
 // SizeBytes returns the in-memory footprint of the column data.
 func (c *Column) SizeBytes() int {
 	return len(c.nulls)*8 + len(c.ints)*8 + len(c.floats)*8 +
-		len(c.bools)*8 + len(c.strOff)*4 + len(c.strBytes)
+		len(c.bools)*8 + len(c.strOff)*4 + len(c.strBytes) +
+		len(c.dictOff)*4 + len(c.dictBytes) +
+		len(c.codes8) + len(c.codes16)*2 + len(c.codes32)*4
 }
 
 // ErrCorrupt reports an undecodable serialized column.
@@ -234,6 +262,12 @@ var ErrCorrupt = errors.New("column: corrupt serialized column")
 // so Deserialize restores an identical column.
 func (c *Column) Serialize() []byte {
 	out := make([]byte, 0, c.SizeBytes()+32)
+	if c.codeWidth != 0 {
+		// Dictionary layout: the codes part followed by the dictionary
+		// part, each independently parseable (segments store them as
+		// two blocks; see SerializeCodes/SerializeDict).
+		return c.serializeDict(c.serializeCodes(out))
+	}
 	out = append(out, byte(c.typ))
 	var tmp [8]byte
 	pu32 := func(v uint32) {
@@ -279,6 +313,20 @@ func (c *Column) Serialize() []byte {
 func Deserialize(b []byte) (*Column, error) {
 	if len(b) < 5 {
 		return nil, ErrCorrupt
+	}
+	if b[0]&dictMarker != 0 {
+		c, rest, err := deserializeCodes(b)
+		if err != nil {
+			return nil, err
+		}
+		rest, err = c.deserializeDict(rest)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, ErrCorrupt
+		}
+		return c, nil
 	}
 	typ := keypath.ValueType(b[0])
 	b = b[1:]

@@ -403,6 +403,11 @@ func (g *GroupBy) Run(workers int, emit EmitFunc) {
 			}
 		}
 	}
+	// Single text group key over a batch-capable input: dictionary
+	// batches aggregate into a code-indexed array (dict_groupby.go).
+	if g.tryBatchGroupBy(workers, emit) {
+		return
+	}
 	// One hash table per worker id, preallocated so the per-row path
 	// is lock-free (ids are bounded by the requested parallelism).
 	// Unexpected ids share a mutex-guarded overflow table.
@@ -440,9 +445,15 @@ func (g *GroupBy) Run(workers int, emit EmitFunc) {
 		}
 	})
 
-	// Merge per-worker tables.
+	g.finishTables(append(tables, overflow), emit)
+}
+
+// finishTables merges per-worker hash tables and emits the groups in
+// deterministic (sorted key) order — the shared tail of the row path
+// and the dictionary batch path.
+func (g *GroupBy) finishTables(tables []map[string]*group, emit EmitFunc) {
 	merged := map[string]*group{}
-	for _, t := range append(tables, overflow) {
+	for _, t := range tables {
 		for key, grp := range t {
 			if m, ok := merged[key]; ok {
 				for i := range g.Aggs {
@@ -483,10 +494,14 @@ type OrderKey struct {
 	Desc bool
 }
 
-// OrderBy sorts the whole input (then usually feeds a Limit).
+// OrderBy sorts the whole input (then usually feeds a Limit). When
+// Limit is positive the sort runs as a bounded top-K heap: only the K
+// best rows are retained while the input streams, so ORDER BY + LIMIT
+// never materializes the full input.
 type OrderBy struct {
-	In   Operator
-	Keys []OrderKey
+	In    Operator
+	Keys  []OrderKey
+	Limit int // > 0: keep only the first Limit rows of the sorted order
 }
 
 // NewOrderBy builds a sort.
@@ -498,8 +513,39 @@ func (o *OrderBy) Columns() []ColumnDesc { return o.In.Columns() }
 // Inputs implements the plan-walking interface.
 func (o *OrderBy) Inputs() []Operator { return []Operator{o.In} }
 
+// rowLess reports whether row a sorts strictly before row b (NULLS
+// FIRST ascending, flipped per-key by Desc).
+func (o *OrderBy) rowLess(a, b []expr.Value) bool {
+	for _, k := range o.Keys {
+		av := k.E.Eval(a)
+		bv := k.E.Eval(b)
+		if av.Null && bv.Null {
+			continue
+		}
+		if av.Null {
+			return !k.Desc // NULLS FIRST ascending
+		}
+		if bv.Null {
+			return k.Desc
+		}
+		c, ok := expr.Compare(av, bv)
+		if !ok || c == 0 {
+			continue
+		}
+		if k.Desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return false
+}
+
 // Run implements Operator.
 func (o *OrderBy) Run(workers int, emit EmitFunc) {
+	if o.Limit > 0 {
+		o.runTopK(workers, emit)
+		return
+	}
 	var mu sync.Mutex
 	var rows [][]expr.Value
 	o.In.Run(workers, func(w int, row []expr.Value) {
@@ -508,31 +554,66 @@ func (o *OrderBy) Run(workers int, emit EmitFunc) {
 		rows = append(rows, cp)
 		mu.Unlock()
 	})
-	sort.SliceStable(rows, func(i, j int) bool {
-		for _, k := range o.Keys {
-			a := k.E.Eval(rows[i])
-			b := k.E.Eval(rows[j])
-			if a.Null && b.Null {
-				continue
-			}
-			if a.Null {
-				return !k.Desc // NULLS FIRST ascending
-			}
-			if b.Null {
-				return k.Desc
-			}
-			c, ok := expr.Compare(a, b)
-			if !ok || c == 0 {
-				continue
-			}
-			if k.Desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
-	})
+	sort.SliceStable(rows, func(i, j int) bool { return o.rowLess(rows[i], rows[j]) })
 	for _, r := range rows {
+		emit(0, r)
+	}
+}
+
+// runTopK keeps a max-heap of the K best rows seen so far (the root
+// is the worst retained row); a new row replaces the root only when
+// it sorts strictly before it. Memory is O(K) regardless of input
+// size, and each input row costs O(log K) comparisons.
+func (o *OrderBy) runTopK(workers int, emit EmitFunc) {
+	k := o.Limit
+	var mu sync.Mutex
+	heap := make([][]expr.Value, 0, k)
+	// worse reports whether heap[i] sorts after heap[j] — the max-heap
+	// ordering that keeps the worst retained row at the root.
+	worse := func(i, j int) bool { return o.rowLess(heap[j], heap[i]) }
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			big := i
+			if l < len(heap) && worse(l, big) {
+				big = l
+			}
+			if r < len(heap) && worse(r, big) {
+				big = r
+			}
+			if big == i {
+				return
+			}
+			heap[i], heap[big] = heap[big], heap[i]
+			i = big
+		}
+	}
+	o.In.Run(workers, func(w int, row []expr.Value) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(heap) < k {
+			cp := append([]expr.Value(nil), row...)
+			heap = append(heap, cp)
+			// Sift up.
+			for i := len(heap) - 1; i > 0; {
+				p := (i - 1) / 2
+				if !worse(i, p) {
+					break
+				}
+				heap[i], heap[p] = heap[p], heap[i]
+				i = p
+			}
+			return
+		}
+		if !o.rowLess(row, heap[0]) {
+			return // not better than the worst retained row
+		}
+		cp := append([]expr.Value(nil), row...)
+		heap[0] = cp
+		siftDown(0)
+	})
+	sort.SliceStable(heap, func(i, j int) bool { return o.rowLess(heap[i], heap[j]) })
+	for _, r := range heap {
 		emit(0, r)
 	}
 }

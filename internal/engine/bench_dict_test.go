@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/storage"
+	"repro/internal/tile"
+)
+
+// Microbenchmarks comparing dictionary-encoded and arena string
+// columns over the same documents: predicate kernels evaluated in code
+// space vs per-row byte comparisons, and the code-indexed GROUP BY vs
+// per-row hashing.
+
+const dictBenchRows = 50_000
+
+var (
+	dictBenchOnce  sync.Once
+	dictBenchRel   storage.Relation
+	arenaBenchRel  storage.Relation
+	dictBenchLines [][]byte
+)
+
+func dictBenchRelations(b *testing.B) (dict, arena storage.Relation) {
+	b.Helper()
+	dictBenchOnce.Do(func() {
+		levels := []string{"debug", "error", "info", "warn"}
+		dictBenchLines = make([][]byte, dictBenchRows)
+		for i := range dictBenchLines {
+			dictBenchLines[i] = []byte(fmt.Sprintf(
+				`{"level":"%s","latency":%d}`, levels[(i*7)%4], i%1000))
+		}
+		load := func(threshold float64) storage.Relation {
+			cfg := storage.DefaultLoaderConfig()
+			cfg.Tile.DictThreshold = threshold
+			l, err := storage.NewLoader(storage.KindTiles, cfg)
+			if err != nil {
+				panic(err)
+			}
+			rel, err := l.Load("bench", dictBenchLines, 4)
+			if err != nil {
+				panic(err)
+			}
+			return rel
+		}
+		dictBenchRel = load(tile.DefaultConfig().DictThreshold)
+		arenaBenchRel = load(0)
+	})
+	return dictBenchRel, arenaBenchRel
+}
+
+func dictBenchAccesses() []storage.Access {
+	return []storage.Access{
+		storage.NewAccess(expr.TText, "level"),
+		storage.NewAccess(expr.TBigInt, "latency"),
+	}
+}
+
+func runDictFilter(b *testing.B, rel storage.Relation) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	f := expr.NewCmp(expr.EQ, expr.NewCol(0, expr.TText),
+		expr.NewConst(expr.TextValue("error")))
+	for i := 0; i < b.N; i++ {
+		n := CountRows(NewScan(rel, dictBenchAccesses(), nil, f), 1)
+		if n == 0 {
+			b.Fatal("empty filter result")
+		}
+	}
+}
+
+func BenchmarkStrFilterArena(b *testing.B) {
+	_, arena := dictBenchRelations(b)
+	runDictFilter(b, arena)
+}
+
+func BenchmarkStrFilterDict(b *testing.B) {
+	dict, _ := dictBenchRelations(b)
+	runDictFilter(b, dict)
+}
+
+func runDictGroupBy(b *testing.B, rel storage.Relation) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gb := NewGroupBy(NewScan(rel, dictBenchAccesses(), nil, nil),
+			[]expr.Expr{expr.NewCol(0, expr.TText)}, []string{"level"},
+			[]AggSpec{
+				{Func: CountStar, Name: "n"},
+				{Func: Sum, Arg: expr.NewCol(1, expr.TBigInt), Name: "lat"},
+			})
+		res := Materialize(gb, 1)
+		if len(res.Rows) != 4 {
+			b.Fatalf("groups = %d", len(res.Rows))
+		}
+	}
+}
+
+func BenchmarkStrGroupByArena(b *testing.B) {
+	_, arena := dictBenchRelations(b)
+	runDictGroupBy(b, arena)
+}
+
+func BenchmarkStrGroupByDict(b *testing.B) {
+	dict, _ := dictBenchRelations(b)
+	runDictGroupBy(b, dict)
+}

@@ -1,0 +1,203 @@
+// Dictionary GROUP BY: when the single group key is a text column and
+// the input batches carry dictionary vectors, aggregation runs into a
+// flat array indexed by dictionary code — no per-row hashing, no key
+// allocation, no string comparisons in the hot loop. Each batch's
+// touched codes are folded into the worker's hash table afterwards
+// (dictionaries are per tile, so the same value may carry different
+// codes in different batches), and the shared merge/sort/emit tail
+// keeps the output identical to the row path.
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/expr"
+	"repro/internal/obs"
+	"repro/internal/vec"
+)
+
+// tryBatchGroupBy runs the batch GROUP BY path when the plan shape
+// allows it: exactly one group expression that is a bare text column,
+// a batch-capable input, and vectorizable aggregate specs. It reports
+// whether it ran.
+func (g *GroupBy) tryBatchGroupBy(workers int, emit EmitFunc) bool {
+	if len(g.Groups) != 1 {
+		return false
+	}
+	col, ok := g.Groups[0].(*expr.Col)
+	if !ok || col.Type() != expr.TText {
+		return false
+	}
+	width := len(g.In.Columns())
+	if col.Idx < 0 || col.Idx >= width {
+		return false
+	}
+	in, ok := AsBatch(g.In)
+	if !ok {
+		return false
+	}
+	slots, ok := g.aggSlots(width)
+	if !ok {
+		return false
+	}
+	g.runBatchGroupBy(in, col.Idx, slots, workers, emit)
+	return true
+}
+
+// gbWorker is one worker's grouping state: the cross-batch hash table
+// plus the per-batch code-indexed scratch (states laid out row-major:
+// code*nAggs+agg; code dictLen is the NULL group).
+type gbWorker struct {
+	table   map[string]*group
+	states  []aggState
+	used    []bool
+	touched []int32
+}
+
+func (g *GroupBy) runBatchGroupBy(in BatchOperator, groupSlot int, slots []int, workers int, emit EmitFunc) {
+	ws := make([]*gbWorker, workers+1)
+	for i := range ws {
+		ws[i] = &gbWorker{table: map[string]*group{}}
+	}
+	overflow := &gbWorker{table: map[string]*group{}}
+	var mu sync.Mutex // guards overflow (unexpected worker ids)
+	var dictBatches atomic.Int64
+
+	in.RunBatches(workers, func(bw int, b *vec.Batch) {
+		var w *gbWorker
+		if bw >= 0 && bw < len(ws) {
+			w = ws[bw]
+		} else {
+			mu.Lock()
+			defer mu.Unlock()
+			w = overflow
+		}
+		gv := &b.Cols[groupSlot]
+		// The code-indexed path amortizes the per-group table work over
+		// many rows per code; a dictionary nearly as large as the batch
+		// would flush almost every code each batch, paying the array
+		// setup on top of the map work. Require rows >= 2 per entry.
+		if gv.Dict && gv.Boxed == nil && b.Rows() >= 2*(gv.DictLen()+1) {
+			g.dictBatch(w, b, gv, slots)
+			dictBatches.Add(1)
+			return
+		}
+		g.hashBatch(w, b, gv, slots)
+	})
+	obs.DictGroupByFastpath.Add(dictBatches.Load())
+
+	tables := make([]map[string]*group, 0, len(ws)+1)
+	for _, w := range ws {
+		tables = append(tables, w.table)
+	}
+	tables = append(tables, overflow.table)
+	g.finishTables(tables, emit)
+}
+
+// dictBatch aggregates one dictionary batch into the code-indexed
+// array and folds the touched codes into the worker's table.
+func (g *GroupBy) dictBatch(w *gbWorker, b *vec.Batch, gv *vec.Vector, slots []int) {
+	nA := len(g.Aggs)
+	dl := gv.DictLen()
+	nullSlot := dl
+	need := (dl + 1) * nA
+	if cap(w.states) < need {
+		w.states = make([]aggState, need)
+	}
+	w.states = w.states[:need]
+	if cap(w.used) < dl+1 {
+		w.used = make([]bool, dl+1)
+	}
+	w.used = w.used[:dl+1]
+
+	step := func(i int) {
+		k := nullSlot
+		if !gv.IsNull(i) {
+			k = int(gv.CodeAt(i))
+		}
+		if !w.used[k] {
+			w.used[k] = true
+			w.touched = append(w.touched, int32(k))
+		}
+		base := k * nA
+		for ai := range g.Aggs {
+			spec := &g.Aggs[ai]
+			if spec.Func == CountStar {
+				w.states[base+ai].count++
+				continue
+			}
+			if x := b.Cols[slots[ai]].Value(i); !x.Null {
+				w.states[base+ai].updateVal(*spec, x)
+			}
+		}
+	}
+	if b.Sel != nil {
+		for _, i := range b.Sel {
+			step(int(i))
+		}
+	} else {
+		for i := 0; i < b.Len; i++ {
+			step(i)
+		}
+	}
+
+	// Fold touched codes into the cross-batch table using the exact
+	// row-path group key, then reset their scratch slots.
+	for _, tk := range w.touched {
+		k := int(tk)
+		keyVal := expr.NullValue()
+		if k != nullSlot {
+			keyVal = expr.TextValue(string(gv.DictEntry(k)))
+		}
+		grp := g.lookupGroup(w.table, keyVal)
+		base := k * nA
+		for ai := range g.Aggs {
+			grp.states[ai].merge(g.Aggs[ai], &w.states[base+ai])
+			w.states[base+ai] = aggState{}
+		}
+		w.used[k] = false
+	}
+	w.touched = w.touched[:0]
+}
+
+// hashBatch is the non-dictionary batch path: per-row grouping into
+// the worker's table (the same work the row path does, minus operator
+// boxing overhead).
+func (g *GroupBy) hashBatch(w *gbWorker, b *vec.Batch, gv *vec.Vector, slots []int) {
+	step := func(i int) {
+		grp := g.lookupGroup(w.table, gv.Value(i))
+		for ai := range g.Aggs {
+			spec := &g.Aggs[ai]
+			if spec.Func == CountStar {
+				grp.states[ai].count++
+				continue
+			}
+			if x := b.Cols[slots[ai]].Value(i); !x.Null {
+				grp.states[ai].updateVal(*spec, x)
+			}
+		}
+	}
+	if b.Sel != nil {
+		for _, i := range b.Sel {
+			step(int(i))
+		}
+	} else {
+		for i := 0; i < b.Len; i++ {
+			step(i)
+		}
+	}
+}
+
+// lookupGroup finds or creates the group for one key value, encoding
+// the table key exactly like the row path (GroupKey + NUL per group
+// column) so finishTables merges and orders identically.
+func (g *GroupBy) lookupGroup(t map[string]*group, keyVal expr.Value) *group {
+	key := keyVal.GroupKey() + "\x00"
+	grp, ok := t[key]
+	if !ok {
+		grp = &group{keyVals: []expr.Value{keyVal}, states: make([]aggState, len(g.Aggs))}
+		t[key] = grp
+	}
+	return grp
+}

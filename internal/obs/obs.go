@@ -173,3 +173,17 @@ var (
 	BufpoolMisses    = Default.Counter("bufpool_misses")
 	BufpoolEvictions = Default.Counter("bufpool_evictions")
 )
+
+// Dictionary-encoding counters (low-cardinality text columns).
+var (
+	// DictColumnsBuilt counts text columns dictionary-encoded at tile
+	// extraction time (HLL NDV estimate under the configured threshold).
+	DictColumnsBuilt = Default.Counter("dict_columns_built")
+	// DictKernelShortcuts counts predicate-kernel invocations that
+	// evaluated Cmp/LIKE/IN in code space — once per dictionary entry
+	// instead of once per row.
+	DictKernelShortcuts = Default.Counter("dict_kernel_shortcuts")
+	// DictGroupByFastpath counts batches aggregated through the
+	// array-indexed (code-keyed) GROUP BY fast path.
+	DictGroupByFastpath = Default.Counter("dict_groupby_fastpath")
+)

@@ -48,8 +48,10 @@ import (
 const (
 	// Magic opens the file; MagicFooter closes it. Both are 8 bytes so
 	// a truncated or misdirected file fails before any length field is
-	// trusted.
-	Magic       = "JTSEG001"
+	// trusted. Version 2 adds per-column dictionary blocks and string
+	// zone bounds to the footer; readers still open MagicV1 files.
+	Magic       = "JTSEG002"
+	MagicV1     = "JTSEG001"
 	MagicFooter = "JTSEGFTR"
 
 	// TailSize is the fixed-size trailer: footer offset (8), stored
@@ -95,6 +97,13 @@ type ZoneMap struct {
 	HasBounds bool
 	Min, Max  float64
 	NullCount uint32
+
+	// String bounds (v2, dictionary columns): the first and last entry
+	// of the sorted dictionary — min/max fall straight out of the
+	// dictionary order, no scan needed.
+	HasStrBounds bool
+	MinStr       string
+	MaxStr       string
 }
 
 // ColumnMeta describes one extracted column of one tile.
@@ -105,6 +114,13 @@ type ColumnMeta struct {
 	HasTypeOutliers bool
 	Block           BlockRef
 	Zone            ZoneMap
+
+	// HasDict (v2) marks a dictionary-encoded text column: Block holds
+	// the per-row codes (column.SerializeCodes) and Dict the sorted
+	// distinct-value arena (column.SerializeDict), each its own
+	// checksummed, pool-cached block shared per tile.
+	HasDict bool
+	Dict    BlockRef
 }
 
 // TileMeta is the footer's record of one tile: everything needed for
@@ -146,8 +162,10 @@ type footer struct {
 }
 
 // encodeFooter serializes tile metadata and relation statistics into
-// the (pre-compression) footer payload.
-func encodeFooter(tiles []TileMeta, st *stats.TableStats) []byte {
+// the (pre-compression) footer payload. version 1 reproduces the
+// legacy JTSEG001 layout byte-for-byte; version 2 appends the
+// dictionary block ref and string zone bounds to each column record.
+func encodeFooter(tiles []TileMeta, st *stats.TableStats, version int) []byte {
 	var out []byte
 	var tmp [8]byte
 	pu32 := func(v uint32) {
@@ -190,6 +208,23 @@ func encodeFooter(tiles []TileMeta, st *stats.TableStats) []byte {
 			pu64(math.Float64bits(c.Zone.Min))
 			pu64(math.Float64bits(c.Zone.Max))
 			pu32(c.Zone.NullCount)
+			if version >= 2 {
+				if c.HasDict {
+					out = append(out, 1)
+					pref(c.Dict)
+				} else {
+					out = append(out, 0)
+				}
+				if c.Zone.HasStrBounds {
+					out = append(out, 1)
+					pu32(uint32(len(c.Zone.MinStr)))
+					out = append(out, c.Zone.MinStr...)
+					pu32(uint32(len(c.Zone.MaxStr)))
+					out = append(out, c.Zone.MaxStr...)
+				} else {
+					out = append(out, 0)
+				}
+			}
 		}
 		bits := tm.seen.Bits()
 		pu32(uint32(tm.seen.K()))
@@ -206,8 +241,9 @@ func encodeFooter(tiles []TileMeta, st *stats.TableStats) []byte {
 
 // decodeFooter parses a footer payload, validating every length field
 // against the remaining buffer so corrupt footers produce ErrCorrupt
-// instead of panics or unbounded allocations.
-func decodeFooter(b []byte, fileSize uint64) (*footer, error) {
+// instead of panics or unbounded allocations. version selects the
+// column-record layout (1 = legacy JTSEG001, 2 = dictionary-aware).
+func decodeFooter(b []byte, fileSize uint64, version int) (*footer, error) {
 	d := &footerDecoder{b: b}
 	nTiles := int(d.u32())
 	if d.err != nil || nTiles < 0 || nTiles > len(b) {
@@ -234,11 +270,25 @@ func decodeFooter(b []byte, fileSize uint64) (*footer, error) {
 			c.Zone.Min = math.Float64frombits(d.u64())
 			c.Zone.Max = math.Float64frombits(d.u64())
 			c.Zone.NullCount = d.u32()
+			if version >= 2 {
+				if c.HasDict = d.u8() != 0; c.HasDict {
+					c.Dict = d.ref()
+				}
+				if c.Zone.HasStrBounds = d.u8() != 0; c.Zone.HasStrBounds {
+					c.Zone.MinStr = d.str()
+					c.Zone.MaxStr = d.str()
+				}
+			}
 			if d.err != nil {
 				return nil, corruptf("tile %d column %d: truncated", i, j)
 			}
 			if err := checkRef(c.Block, fileSize); err != nil {
 				return nil, fmt.Errorf("tile %d column %q: %w", i, c.Path, err)
+			}
+			if c.HasDict {
+				if err := checkRef(c.Dict, fileSize); err != nil {
+					return nil, fmt.Errorf("tile %d column %q dict: %w", i, c.Path, err)
+				}
 			}
 			tm.Columns = append(tm.Columns, c)
 		}

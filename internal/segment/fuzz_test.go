@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/bufpool"
+	"repro/internal/keypath"
 	"repro/internal/stats"
 	"repro/internal/tile"
 )
@@ -37,9 +38,45 @@ func FuzzOpenSegment(f *testing.F) {
 		f.Fatal(err)
 	}
 
+	// A dictionary-bearing segment (low-cardinality text column) and a
+	// legacy v1 segment: both layouts must survive mutation.
+	dictTile := buildDictTile(f, 96)
+	dictStats := stats.New(0, 0)
+	dictStats.AddTile(dictTile)
+	dictPath := filepath.Join(f.TempDir(), "dict.seg")
+	if err := WriteFile(dictPath, []*tile.Tile{dictTile}, dictStats); err != nil {
+		f.Fatal(err)
+	}
+	validDict, err := os.ReadFile(dictPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	v1Path := filepath.Join(f.TempDir(), "v1.seg")
+	v1f, err := os.Create(v1Path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteV1(v1f, tiles, st); err != nil {
+		f.Fatal(err)
+	}
+	if err := v1f.Close(); err != nil {
+		f.Fatal(err)
+	}
+	validV1, err := os.ReadFile(v1Path)
+	if err != nil {
+		f.Fatal(err)
+	}
+
 	f.Add(valid)
+	f.Add(validDict)
+	f.Add(validV1)
+	// v2 footer bytes under a v1 magic (and vice versa) must be
+	// rejected or degrade cleanly, never panic.
+	crossMagic := append([]byte(MagicV1), validDict[len(Magic):]...)
+	f.Add(crossMagic)
 	f.Add([]byte{})
 	f.Add([]byte(Magic))
+	f.Add([]byte(MagicV1))
 	f.Add([]byte(MagicFooter))
 	// Header corruption.
 	f.Add(append([]byte("JTSEG999"), valid[8:]...))
@@ -94,7 +131,12 @@ func FuzzOpenSegment(f *testing.F) {
 			for ci := range tm.Columns {
 				if col, _, err := r.Column(ti, ci); err == nil {
 					for row := 0; row < col.Len(); row++ {
-						_ = col.IsNull(row)
+						if col.IsNull(row) {
+							continue
+						}
+						if col.Type() == keypath.TypeString {
+							_ = col.StringBytes(row)
+						}
 					}
 				}
 			}

@@ -24,6 +24,7 @@ type Reader struct {
 	pool     *bufpool.Pool
 	tiles    []TileMeta
 	stats    *stats.TableStats
+	version  int // 1 = legacy JTSEG001, 2 = dictionary-aware
 }
 
 // ReadInfo reports what one logical block access cost: whether the
@@ -66,7 +67,13 @@ func openFile(f *os.File, pool *bufpool.Pool) (*Reader, error) {
 	if _, err := f.ReadAt(head[:], 0); err != nil {
 		return nil, err
 	}
-	if string(head[:]) != Magic {
+	version := 0
+	switch string(head[:]) {
+	case Magic:
+		version = 2
+	case MagicV1:
+		version = 1
+	default:
 		return nil, corruptf("bad header magic %q", head[:])
 	}
 
@@ -94,12 +101,12 @@ func openFile(f *os.File, pool *bufpool.Pool) (*Reader, error) {
 		return nil, fmt.Errorf("footer: %w", err)
 	}
 
-	r := &Reader{f: f, fileSize: uint64(size)}
+	r := &Reader{f: f, fileSize: uint64(size), version: version}
 	footerRaw, err := r.readBlock(footerRef)
 	if err != nil {
 		return nil, fmt.Errorf("footer: %w", err)
 	}
-	ftr, err := decodeFooter(footerRaw, uint64(size)-TailSize)
+	ftr, err := decodeFooter(footerRaw, uint64(size)-TailSize, version)
 	if err != nil {
 		return nil, err
 	}
@@ -130,6 +137,10 @@ func (r *Reader) FileSize() int64 { return int64(r.fileSize) }
 // Tile returns the metadata of tile i. Read-only.
 func (r *Reader) Tile(i int) *TileMeta { return &r.tiles[i] }
 
+// Version returns the on-disk format version (1 = legacy JTSEG001,
+// 2 = dictionary-aware).
+func (r *Reader) Version() int { return r.version }
+
 // Stats returns the relation statistics persisted in the footer.
 func (r *Reader) Stats() *stats.TableStats { return r.stats }
 
@@ -142,25 +153,38 @@ func (r *Reader) NumRows() int {
 	return total
 }
 
-// Column reads and deserializes one extracted column. The block
-// payload is fetched through the pool; the deserialized column copies
-// out of it, so the returned column has no ties to pool memory.
-func (r *Reader) Column(tileIdx, colIdx int) (*column.Column, ReadInfo, error) {
+// Column reads and deserializes one extracted column. Block payloads
+// are fetched through the pool; the deserialized column copies out of
+// them, so the returned column has no ties to pool memory. A
+// dictionary column costs two block accesses (codes + dictionary),
+// reported as separate ReadInfo entries.
+func (r *Reader) Column(tileIdx, colIdx int) (*column.Column, []ReadInfo, error) {
 	cm := &r.tiles[tileIdx].Columns[colIdx]
 	payload, info, err := r.pooledBlock(cm.Block)
+	infos := []ReadInfo{info}
 	if err != nil {
-		return nil, info, fmt.Errorf("tile %d column %q: %w", tileIdx, cm.Path, err)
+		return nil, infos, fmt.Errorf("tile %d column %q: %w", tileIdx, cm.Path, err)
 	}
-	col, err := column.Deserialize(payload)
+	var col *column.Column
+	if cm.HasDict {
+		dictPayload, dinfo, derr := r.pooledBlock(cm.Dict)
+		infos = append(infos, dinfo)
+		if derr != nil {
+			return nil, infos, fmt.Errorf("tile %d column %q dict: %w", tileIdx, cm.Path, derr)
+		}
+		col, err = column.DeserializeDict(payload, dictPayload)
+	} else {
+		col, err = column.Deserialize(payload)
+	}
 	if err != nil {
-		return nil, info, fmt.Errorf("tile %d column %q: %w", tileIdx, cm.Path, err)
+		return nil, infos, fmt.Errorf("tile %d column %q: %w", tileIdx, cm.Path, err)
 	}
 	if col.Len() != r.tiles[tileIdx].Rows || col.Type() != cm.StorageType {
-		return nil, info, fmt.Errorf("tile %d column %q: %w", tileIdx, cm.Path,
+		return nil, infos, fmt.Errorf("tile %d column %q: %w", tileIdx, cm.Path,
 			corruptf("block decodes to %d rows of type %d, footer says %d rows of type %d",
 				col.Len(), col.Type(), r.tiles[tileIdx].Rows, cm.StorageType))
 	}
-	return col, info, nil
+	return col, infos, nil
 }
 
 // Docs reads tile i's binary-JSON fallback documents. The returned

@@ -138,6 +138,160 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+// buildDictTile builds one tile whose "level" column has few distinct
+// values, so default extraction dictionary-encodes it.
+func buildDictTile(t testing.TB, rows int) *tile.Tile {
+	t.Helper()
+	levels := []string{"debug", "error", "info", "warn"}
+	srcs := make([]string, 0, rows)
+	for i := 0; i < rows; i++ {
+		if i%7 == 3 {
+			srcs = append(srcs, fmt.Sprintf(`{"id":%d}`, i)) // level NULL
+			continue
+		}
+		srcs = append(srcs, fmt.Sprintf(`{"id":%d,"level":"%s"}`, i, levels[i%len(levels)]))
+	}
+	return buildTile(t, srcs...)
+}
+
+func TestDictColumnRoundTrip(t *testing.T) {
+	tl := buildDictTile(t, 200)
+	st := stats.New(0, 0)
+	st.AddTile(tl)
+	path := filepath.Join(t.TempDir(), "dict.seg")
+	if err := WriteFile(path, []*tile.Tile{tl}, st); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path, bufpool.New(bufpool.DefaultCapacity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Version() != 2 {
+		t.Fatalf("Version = %d, want 2", r.Version())
+	}
+
+	tm := r.Tile(0)
+	dictIdx := -1
+	for ci := range tm.Columns {
+		if tm.Columns[ci].Path == "level" {
+			dictIdx = ci
+		}
+	}
+	if dictIdx < 0 {
+		t.Fatal("column level not extracted")
+	}
+	cm := &tm.Columns[dictIdx]
+	if !cm.HasDict {
+		t.Fatal("level column not dictionary-encoded in footer")
+	}
+	if !cm.Zone.HasStrBounds || cm.Zone.MinStr != "debug" || cm.Zone.MaxStr != "warn" {
+		t.Errorf("string zone = %+v, want [debug,warn]", cm.Zone)
+	}
+
+	// A dictionary column costs two block reads (codes + dict).
+	got, infos, err := r.Column(0, dictIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Errorf("dict column read reported %d blocks, want 2", len(infos))
+	}
+	if !got.IsDict() {
+		t.Error("deserialized column lost its dictionary")
+	}
+	want := tl.Column(dictIdx).Col
+	for row := 0; row < want.Len(); row++ {
+		if got.IsNull(row) != want.IsNull(row) {
+			t.Fatalf("row %d null mismatch", row)
+		}
+		if !got.IsNull(row) && got.String(row) != want.String(row) {
+			t.Fatalf("row %d = %q, want %q", row, got.String(row), want.String(row))
+		}
+	}
+}
+
+// TestOpenV1Segment: the reader must still open and fully scan the
+// legacy JTSEG001 layout (single arena block per column, no string
+// zone bounds).
+func TestOpenV1Segment(t *testing.T) {
+	cfg := tile.DefaultConfig()
+	cfg.DetectDates = false
+	cfg.DictThreshold = 0 // v1 files predate dictionary encoding
+	srcs := make([]string, 0, 64)
+	for i := 0; i < 64; i++ {
+		srcs = append(srcs, fmt.Sprintf(`{"id":%d,"level":"%s"}`, i, []string{"a", "b"}[i%2]))
+	}
+	docs := make([]jsonvalue.Value, len(srcs))
+	for i, s := range srcs {
+		v, err := jsontext.ParseString(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs[i] = v
+	}
+	tl := tile.NewBuilder(cfg, nil).Build(docs)
+	st := stats.New(0, 0)
+	st.AddTile(tl)
+
+	path := filepath.Join(t.TempDir(), "v1.seg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteV1(f, []*tile.Tile{tl}, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	head := make([]byte, len(MagicV1))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(head, raw)
+	if string(head) != MagicV1 {
+		t.Fatalf("v1 file starts with %q, want %q", head, MagicV1)
+	}
+
+	r, err := Open(path, bufpool.New(0))
+	if err != nil {
+		t.Fatalf("Open v1: %v", err)
+	}
+	defer r.Close()
+	if r.Version() != 1 {
+		t.Fatalf("Version = %d, want 1", r.Version())
+	}
+	tm := r.Tile(0)
+	for ci := range tm.Columns {
+		cm := &tm.Columns[ci]
+		if cm.HasDict || cm.Zone.HasStrBounds {
+			t.Errorf("v1 column %q decoded with v2-only fields: %+v", cm.Path, cm)
+		}
+		got, infos, err := r.Column(0, ci)
+		if err != nil {
+			t.Fatalf("Column %q: %v", cm.Path, err)
+		}
+		if len(infos) != 1 {
+			t.Errorf("v1 column read reported %d blocks, want 1", len(infos))
+		}
+		want := tl.Column(ci).Col
+		for row := 0; row < want.Len(); row++ {
+			if got.IsNull(row) != want.IsNull(row) {
+				t.Fatalf("col %q row %d null mismatch", cm.Path, row)
+			}
+		}
+		if cm.Path == "level" {
+			for row := 0; row < want.Len(); row++ {
+				if got.String(row) != want.String(row) {
+					t.Fatalf("col level row %d = %q, want %q", row, got.String(row), want.String(row))
+				}
+			}
+		}
+	}
+}
+
 func TestMayContainPathMatchesSource(t *testing.T) {
 	path, tiles, _ := writeTestSegment(t)
 	r, err := Open(path, bufpool.New(0))
@@ -206,15 +360,19 @@ func TestBufpoolIntegration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if i1.Hit || i1.StoredBytes == 0 {
-		t.Errorf("cold read: info = %+v, want miss with bytes", i1)
+	for _, info := range i1 {
+		if info.Hit || info.StoredBytes == 0 {
+			t.Errorf("cold read: info = %+v, want miss with bytes", info)
+		}
 	}
 	_, i2, err := r.Column(0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !i2.Hit || i2.StoredBytes != 0 {
-		t.Errorf("warm read: info = %+v, want hit with 0 bytes", i2)
+	for _, info := range i2 {
+		if !info.Hit || info.StoredBytes != 0 {
+			t.Errorf("warm read: info = %+v, want hit with 0 bytes", info)
+		}
 	}
 	// Closing drops this file's blocks from the shared pool.
 	r.Close()
@@ -230,8 +388,8 @@ func TestOpenNilPool(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	if _, info, err := r.Column(0, 0); err != nil || info.Hit {
-		t.Errorf("pool-less read: info=%+v err=%v", info, err)
+	if _, infos, err := r.Column(0, 0); err != nil || infos[0].Hit {
+		t.Errorf("pool-less read: infos=%+v err=%v", infos, err)
 	}
 }
 

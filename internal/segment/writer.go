@@ -46,9 +46,28 @@ func WriteFile(path string, tiles []*tile.Tile, st *stats.TableStats) error {
 // Write serializes the tiles and statistics as one segment stream:
 // header, data blocks, footer, tail. Blocks are LZ4-compressed unless
 // compression does not help, in which case they are stored raw.
+// Dictionary-encoded text columns become two blocks — codes and the
+// sorted dictionary — so readers fetch, checksum, and pool-cache each
+// independently.
 func Write(w io.Writer, tiles []*tile.Tile, st *stats.TableStats) error {
+	return writeVersioned(w, tiles, st, 2)
+}
+
+// WriteV1 serializes the tiles in the legacy JTSEG001 layout — the
+// fixture writer for backward-compatibility tests (real v1 files
+// predate dictionary encoding, so tiles handed here should be built
+// with it disabled).
+func WriteV1(w io.Writer, tiles []*tile.Tile, st *stats.TableStats) error {
+	return writeVersioned(w, tiles, st, 1)
+}
+
+func writeVersioned(w io.Writer, tiles []*tile.Tile, st *stats.TableStats, version int) error {
 	bw := &blockWriter{w: bufio.NewWriterSize(w, 1<<20)}
-	if err := bw.raw([]byte(Magic)); err != nil {
+	magic := Magic
+	if version == 1 {
+		magic = MagicV1
+	}
+	if err := bw.raw([]byte(magic)); err != nil {
 		return err
 	}
 
@@ -70,6 +89,22 @@ func Write(w io.Writer, tiles []*tile.Tile, st *stats.TableStats) error {
 			cm.StorageType = ci.StorageType
 			cm.HasTypeOutliers = ci.HasTypeOutliers
 			cm.Zone = zoneOf(ci.Col)
+			if version >= 2 && ci.Col.IsDict() {
+				cm.HasDict = true
+				if dl := ci.Col.DictLen(); dl > 0 {
+					// The dictionary is sorted: min/max are its ends.
+					cm.Zone.HasStrBounds = true
+					cm.Zone.MinStr = ci.Col.DictEntryString(0)
+					cm.Zone.MaxStr = ci.Col.DictEntryString(dl - 1)
+				}
+				if cm.Block, err = bw.block(ci.Col.SerializeCodes()); err != nil {
+					return fmt.Errorf("tile %d column %q codes: %w", i, ci.Path, err)
+				}
+				if cm.Dict, err = bw.block(ci.Col.SerializeDict()); err != nil {
+					return fmt.Errorf("tile %d column %q dict: %w", i, ci.Path, err)
+				}
+				continue
+			}
 			if cm.Block, err = bw.block(ci.Col.Serialize()); err != nil {
 				return fmt.Errorf("tile %d column %q: %w", i, ci.Path, err)
 			}
@@ -79,7 +114,7 @@ func Write(w io.Writer, tiles []*tile.Tile, st *stats.TableStats) error {
 		}
 	}
 
-	footerRaw := encodeFooter(metas, st)
+	footerRaw := encodeFooter(metas, st, version)
 	footerRef, err := bw.block(footerRaw)
 	if err != nil {
 		return fmt.Errorf("footer: %w", err)

@@ -1,7 +1,9 @@
 package storage
 
 import (
+	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -12,6 +14,7 @@ import (
 	"repro/internal/jsontext"
 	"repro/internal/jsonvalue"
 	"repro/internal/keypath"
+	"repro/internal/segment"
 	"repro/internal/vec"
 )
 
@@ -214,6 +217,122 @@ func joinRow(cells []string) string {
 		out += c
 	}
 	return out
+}
+
+// TestConformanceDictColumns drives low-cardinality text data — the
+// workload dictionary encoding targets — through every scan path and
+// checks each against an arena-layout relation of the same documents:
+// in-memory rows and batches, a v2 segment round trip, and a legacy v1
+// segment written from dict-free tiles.
+func TestConformanceDictColumns(t *testing.T) {
+	levels := []string{"debug", "error", "info", "warn"}
+	services := []string{"api", "auth", "billing", "cache", "db", "web"}
+	nDocs := 300
+	docLines := make([][]byte, nDocs)
+	for i := 0; i < nDocs; i++ {
+		switch {
+		case i%11 == 5: // level absent → NULL
+			docLines[i] = []byte(fmt.Sprintf(
+				`{"id":%d,"service":"%s","msg":"m-%d"}`, i, services[i%len(services)], i))
+		default:
+			docLines[i] = []byte(fmt.Sprintf(
+				`{"id":%d,"level":"%s","service":"%s","msg":"m-%d"}`,
+				i, levels[i%len(levels)], services[i%len(services)], i))
+		}
+	}
+	accesses := []Access{
+		NewAccess(expr.TBigInt, "id"),
+		NewAccess(expr.TText, "level"),
+		NewAccess(expr.TText, "service"),
+		NewAccess(expr.TText, "msg"),
+	}
+
+	// Arena relation (dictionary disabled) supplies the ground truth.
+	arenaCfg := DefaultLoaderConfig()
+	arenaCfg.Tile.TileSize = 64
+	arenaCfg.Tile.DictThreshold = 0
+	la, _ := NewLoader(KindTiles, arenaCfg)
+	arenaRel, err := la.Load("arena", docLines, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truthSet := map[string]int{}
+	arenaRel.Scan(accesses, 1, func(w int, row []expr.Value) {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = normalizeCell(v.String())
+		}
+		truthSet[joinRow(cells)]++
+	})
+	for _, tl := range arenaRel.(TileIntrospector).Tiles() {
+		for _, ci := range tl.Columns() {
+			if ci.Col.IsDict() {
+				t.Fatalf("arena relation built a dict column at %q with DictThreshold 0", ci.Path)
+			}
+		}
+	}
+
+	cfg := DefaultLoaderConfig()
+	cfg.Tile.TileSize = 64
+	l, _ := NewLoader(KindTiles, cfg)
+	rel, err := l.Load("dict", docLines, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dictCols := 0
+	for _, tl := range rel.(TileIntrospector).Tiles() {
+		for _, ci := range tl.Columns() {
+			if ci.Col.IsDict() {
+				dictCols++
+			}
+		}
+	}
+	if dictCols == 0 {
+		t.Fatal("no dictionary columns built on a low-cardinality workload")
+	}
+	verifyConformance(t, 0, "DictTiles", rel, accesses, truthSet)
+
+	// v2 segment round trip: dictionaries persist as separate blocks.
+	segPath := filepath.Join(t.TempDir(), "dict.seg")
+	if err := WriteSegmentFile(segPath, rel); err != nil {
+		t.Fatal(err)
+	}
+	srel, err := OpenSegmentFile("dict", segPath, bufpool.New(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyConformance(t, 0, "DictSegment", srel, accesses, truthSet)
+	if err := srel.Err(); err != nil {
+		t.Fatalf("dict segment scan error: %v", err)
+	}
+	if err := srel.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Legacy v1 segment written from the arena tiles: the reader must
+	// still serve it, and the scans must agree with the same truth.
+	v1Path := filepath.Join(t.TempDir(), "v1.seg")
+	f, err := os.Create(v1Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := segment.WriteV1(f, arenaRel.(TileIntrospector).Tiles(), arenaRel.Stats()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	v1rel, err := OpenSegmentFile("v1", v1Path, bufpool.New(0), cfg)
+	if err != nil {
+		t.Fatalf("open v1 segment: %v", err)
+	}
+	verifyConformance(t, 0, "V1Segment", v1rel, accesses, truthSet)
+	if err := v1rel.Err(); err != nil {
+		t.Fatalf("v1 segment scan error: %v", err)
+	}
+	if err := v1rel.Close(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestConcatGenericPath(t *testing.T) {

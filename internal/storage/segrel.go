@@ -197,8 +197,10 @@ func (v *segTileView) Column(idx int) *tile.ColumnInfo {
 	if !v.loaded[idx] {
 		v.loaded[idx] = true
 		cm := &v.meta.Columns[idx]
-		col, info, err := v.rel.r.Column(v.ti, idx)
-		v.account(info)
+		col, infos, err := v.rel.r.Column(v.ti, idx)
+		for _, info := range infos {
+			v.account(info)
+		}
 		if err != nil {
 			v.rel.recordErr(err)
 			col = nullColumn(cm.StorageType, v.meta.Rows)

@@ -46,7 +46,13 @@ func zeroVec(c *column.Column, t expr.SQLType) vec.Vector {
 	case keypath.TypeBool:
 		v.Bools = c.BoolBits()
 	case keypath.TypeString:
-		v.StrOff, v.StrBytes = c.StringData()
+		if c.IsDict() {
+			v.Dict = true
+			v.DictOff, v.DictBytes = c.DictData()
+			_, v.Codes8, v.Codes16, v.Codes32 = c.Codes()
+		} else {
+			v.StrOff, v.StrBytes = c.StringData()
+		}
 	}
 	return v
 }

@@ -45,6 +45,12 @@ type Config struct {
 	// DetectDates enables timestamp extraction for date-like string
 	// columns (§4.9). The fig14 "no Date" ablation turns it off.
 	DetectDates bool
+	// DictThreshold enables dictionary encoding for extracted text
+	// columns whose HLL-estimated NDV/rows ratio is at or below the
+	// threshold (the sorted dictionary turns string predicates and
+	// group-bys into integer-code work). Zero or negative disables
+	// dictionary encoding, so zero-value Configs keep the arena layout.
+	DictThreshold float64
 }
 
 // DefaultConfig returns the paper's recommended settings.
@@ -54,6 +60,7 @@ func DefaultConfig() Config {
 		PartitionSize: 8,
 		Threshold:     0.6,
 		DetectDates:   true,
+		DictThreshold: 0.5,
 	}
 }
 
@@ -380,6 +387,20 @@ func (b *Builder) materialize(docs []jsonvalue.Value, dict *keypath.Dict, maxima
 					col.AppendNull()
 					info.HasTypeOutliers = true
 				}
+			}
+		}
+		// Low-cardinality text columns switch to the dictionary layout:
+		// the per-path HLL sketch (§4.6) estimates NDV for free, and
+		// DictEncode re-checks the exact count so an HLL undershoot
+		// falls back losslessly to the arena.
+		if info.StorageType == keypath.TypeString && b.Config.DictThreshold > 0 {
+			nonNull := col.Len() - col.NullCount()
+			ndvCap := int(math.Ceil(b.Config.DictThreshold * float64(nonNull)))
+			if ndvCap < 1 {
+				ndvCap = 1
+			}
+			if sketch.Estimate() <= float64(ndvCap) && col.DictEncode(ndvCap) {
+				obs.DictColumnsBuilt.Inc()
 			}
 		}
 		idx := len(t.columns)

@@ -32,6 +32,7 @@ type CompiledPred struct {
 type Scratch struct {
 	main []int32
 	or   [][]int32
+	mask []bool // per-dictionary-code match table (LIKE/IN dict paths)
 }
 
 // NewScratch returns a scratch sized for the predicate.
@@ -340,6 +341,9 @@ func cmpFloats(v *Vector, op expr.CmpOp, c float64, sel []int32, n int, out []in
 
 func cmpStrs(v *Vector, op expr.CmpOp, c string, sel []int32, n int, out []int32) []int32 {
 	cb := []byte(c)
+	if v.Dict {
+		return cmpStrsDict(v, op, cb, sel, n, out)
+	}
 	if sel != nil {
 		for _, i := range sel {
 			if !v.IsNull(int(i)) && matchCmp(op, bytes.Compare(v.StrAt(int(i)), cb)) {
@@ -490,6 +494,9 @@ func (p *inPred) apply(b *Batch, sel []int32, n int, out []int32, sc *Scratch) [
 			return false
 		}
 	case v.Type == expr.TText:
+		if v.Dict {
+			return p.inDict(v, sel, n, out, sc)
+		}
 		test = func(i int) bool {
 			if v.IsNull(i) {
 				return false
@@ -591,6 +598,9 @@ func (p *likePred) apply(b *Batch, sel []int32, n int, out []int32, sc *Scratch)
 			return !x.Null && x.Typ == expr.TText && expr.MatchLike(x.S, p.pattern)
 		}
 	case v.Type == expr.TText:
+		if v.Dict {
+			return p.likeDict(v, sel, n, out, sc)
+		}
 		test = func(i int) bool {
 			return !v.IsNull(i) && p.match(v.StrAt(i))
 		}

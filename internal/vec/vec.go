@@ -42,6 +42,18 @@ type Vector struct {
 
 	Boxed []expr.Value
 
+	// Dictionary text vectors (Dict true): per-row integer codes into
+	// a sorted distinct-value arena shared with the storage column
+	// (zero-copy). Exactly one code slice matches the column's width.
+	// Null rows carry code 0. Kernels evaluate string predicates once
+	// per dictionary entry and then filter on the codes.
+	Dict      bool
+	DictOff   []uint32
+	DictBytes []byte
+	Codes8    []uint8
+	Codes16   []uint16
+	Codes32   []uint32
+
 	AllNull bool
 }
 
@@ -76,13 +88,42 @@ func (v *Vector) Bool(i int) bool {
 }
 
 // StrAt returns the text of row i without copying. Callers must not
-// retain or mutate the slice.
+// retain or mutate the slice, and must check IsNull first (a null
+// row's bytes are unspecified).
 func (v *Vector) StrAt(i int) []byte {
+	if v.Dict {
+		return v.DictEntry(int(v.CodeAt(i)))
+	}
 	var start uint32
 	if i > 0 {
 		start = v.StrOff[i-1]
 	}
 	return v.StrBytes[start:v.StrOff[i]]
+}
+
+// CodeAt returns the dictionary code of row i (Dict vectors only).
+func (v *Vector) CodeAt(i int) uint32 {
+	switch {
+	case v.Codes8 != nil:
+		return uint32(v.Codes8[i])
+	case v.Codes16 != nil:
+		return uint32(v.Codes16[i])
+	default:
+		return v.Codes32[i]
+	}
+}
+
+// DictLen returns the number of dictionary entries (Dict vectors only).
+func (v *Vector) DictLen() int { return len(v.DictOff) }
+
+// DictEntry returns dictionary entry k without copying. Entries are
+// sorted ascending. Callers must not retain or mutate the slice.
+func (v *Vector) DictEntry(k int) []byte {
+	var start uint32
+	if k > 0 {
+		start = v.DictOff[k-1]
+	}
+	return v.DictBytes[start:v.DictOff[k]]
 }
 
 // Value boxes row i into an engine value — the batch→row adapter.

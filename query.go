@@ -419,7 +419,9 @@ func (q *Query) buildPlan(analyze bool, sp *obs.Span) (engine.Operator, error) {
 			"GroupBy", fmt.Sprintf("%d groups, %d aggs", len(groups), len(aggSpecs)), -1)
 	}
 
-	// Ordering and limit over the final schema.
+	// Ordering and limit over the final schema. ORDER BY + LIMIT fuses
+	// into a bounded top-K heap: the sort never materializes more than
+	// K rows (the Limit node above it then trims nothing).
 	if len(q.orderBy) > 0 {
 		cols := root.Columns()
 		keys := make([]engine.OrderKey, len(q.orderBy))
@@ -429,8 +431,13 @@ func (q *Query) buildPlan(analyze bool, sp *obs.Span) (engine.Operator, error) {
 			}
 			keys[i] = engine.OrderKey{E: expr.NewCol(o.col, cols[o.col].Type), Desc: o.desc}
 		}
-		root = wrap(engine.NewOrderBy(root, keys...),
-			"OrderBy", fmt.Sprintf("%d keys", len(keys)), -1)
+		ob := engine.NewOrderBy(root, keys...)
+		detail := fmt.Sprintf("%d keys", len(keys))
+		if q.limit > 0 {
+			ob.Limit = q.limit
+			detail = fmt.Sprintf("%d keys, top-%d", len(keys), q.limit)
+		}
+		root = wrap(ob, "OrderBy", detail, -1)
 	}
 	if q.limit >= 0 {
 		root = wrap(engine.NewLimit(root, q.limit),
@@ -459,6 +466,10 @@ func (q *Query) run(analyze bool) (*Result, *QueryStats, error) {
 	}
 	workers := q.tables[0].table.opts.workers()
 
+	var base obs.Snapshot
+	if analyze || hook != nil {
+		base = obs.Default.Snapshot()
+	}
 	esp := sp.Child("execute")
 	res := materialize(root, workers)
 	esp.End()
@@ -471,12 +482,18 @@ func (q *Query) run(analyze bool) (*Result, *QueryStats, error) {
 
 	var stats *QueryStats
 	if analyze || hook != nil {
+		// Process-wide counter deltas across the execution window. With
+		// concurrent queries the deltas include their work too — they
+		// are attribution hints, not exact per-query accounting.
+		delta := obs.Default.Snapshot().Diff(base)
 		stats = &QueryStats{
-			Plan:         planNode(root, analyze),
-			Wall:         sp.Duration(),
-			ExecTime:     esp.Duration(),
-			RowsReturned: int64(len(res.Rows)),
-			Analyzed:     analyze,
+			Plan:                planNode(root, analyze),
+			Wall:                sp.Duration(),
+			ExecTime:            esp.Duration(),
+			RowsReturned:        int64(len(res.Rows)),
+			Analyzed:            analyze,
+			DictKernelShortcuts: delta.Get("dict_kernel_shortcuts"),
+			DictGroupByBatches:  delta.Get("dict_groupby_fastpath"),
 		}
 		for _, c := range sp.Children() {
 			if c.Name() == "plan" {
