@@ -4,7 +4,8 @@
 //
 //	jtgen -workload twitter | jtload
 //	jtload -f tweets.jsonl -tilesize 1024
-//	jtload -f tweets.jsonl -o tweets.seg   # persist to a segment file
+//	jtload -f tweets.jsonl -o tweets.seg    # persist to a segment file
+//	jtload -f tweets.jsonl -dir tweets.jt   # append to a table directory
 package main
 
 import (
@@ -22,6 +23,8 @@ func main() {
 	threshold := flag.Float64("threshold", 0.6, "extraction threshold")
 	noReorder := flag.Bool("no-reorder", false, "disable partition reordering")
 	out := flag.String("o", "", "write the loaded table to a segment file at this path")
+	dir := flag.String("dir", "", "append the input to a multi-segment table directory (created if absent)")
+	compact := flag.Bool("compact", false, "with -dir: compact the table after appending")
 	verbose := flag.Bool("v", false, "print per-tile extracted columns")
 	flag.Parse()
 
@@ -73,6 +76,32 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("segment:            %s (%d bytes)\n", *out, fi.Size())
+	}
+
+	if *dir != "" {
+		dopts := opts
+		dopts.CompactFanIn = -1 // compaction only on request below
+		dt, err := jsontiles.OpenDir("input", *dir, dopts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jtload:", err)
+			os.Exit(1)
+		}
+		if err := dt.AppendTable(tbl); err != nil {
+			fmt.Fprintln(os.Stderr, "jtload:", err)
+			os.Exit(1)
+		}
+		if *compact {
+			if _, err := dt.Compact(); err != nil {
+				fmt.Fprintln(os.Stderr, "jtload:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("directory:          %s (%d segments, %d rows, %d bytes)\n",
+			*dir, dt.NumSegments(), dt.NumRows(), dt.SizeBytes())
+		if err := dt.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "jtload:", err)
+			os.Exit(1)
+		}
 	}
 
 	st := tbl.Stats()

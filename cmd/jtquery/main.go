@@ -5,6 +5,7 @@
 //	jtquery -f reviews.jsonl -where-not-null 0 -limit 10 "data->>'stars'::BigInt"
 //	jtquery -f reviews.jsonl -analyze -where-not-null 0 "data->>'stars'::BigInt"
 //	jtquery -seg reviews.seg "data->>'stars'::BigInt"   # query a segment file
+//	jtquery -dir reviews.jt "data->>'stars'::BigInt"    # query a table directory
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 func main() {
 	file := flag.String("f", "-", "input file ('-' = stdin)")
 	seg := flag.String("seg", "", "query a segment file written by 'jtload -o' instead of loading JSON")
+	dir := flag.String("dir", "", "query a multi-segment table directory written by 'jtload -dir'")
 	limit := flag.Int("limit", 20, "max rows to print (0 = all)")
 	notNull := flag.Int("where-not-null", -1, "keep rows where this select column is not null")
 	tileSize := flag.Int("tilesize", 1024, "tuples per tile")
@@ -39,14 +41,23 @@ func main() {
 	opts.Workers = *workers
 	var tbl *jsontiles.Table
 	var err error
-	if *seg != "" {
+	switch {
+	case *dir != "":
+		opts.CompactFanIn = -1 // read-only use: no background compaction
+		tbl, err = jsontiles.OpenDir("input", *dir, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jtquery:", err)
+			os.Exit(1)
+		}
+		defer tbl.Close()
+	case *seg != "":
 		tbl, err = jsontiles.OpenSegment("input", *seg, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jtquery:", err)
 			os.Exit(1)
 		}
 		defer tbl.Close()
-	} else {
+	default:
 		in := os.Stdin
 		if *file != "-" {
 			f, err := os.Open(*file)

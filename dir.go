@@ -1,0 +1,103 @@
+package jsontiles
+
+// Multi-segment table directories: a Table can live in a directory of
+// immutable segment files catalogued by a crash-safe manifest.
+// Flush appends a new segment — O(new data), never a rewrite — and a
+// size-tiered compactor folds small segments into larger ones, in the
+// background or on demand via Compact. See DESIGN.md §6 for the
+// on-disk story and crash-recovery invariants.
+
+import (
+	"fmt"
+
+	"repro/internal/bufpool"
+	"repro/internal/storage"
+	"repro/internal/tile"
+)
+
+// OpenDir opens (or creates) a multi-segment table rooted at dir.
+// The directory holds one segment file per flush plus a MANIFEST
+// cataloguing the live segments; recovery runs on open, removing
+// half-written temporaries and segment files whose manifest commit
+// never happened (a crash between segment write and manifest rename
+// leaves exactly such a file). Queries scan the union of live
+// segments with per-segment zone-map and bloom skipping; Insert +
+// Flush append new segments; Compact (and, unless disabled, a
+// background compactor) keeps the segment count bounded.
+//
+// The returned table holds open file handles; call Close when done.
+// Concurrent queries during Flush, Compact, and Close are safe — each
+// query pins the segment generation it started with.
+func OpenDir(name, dir string, opts Options) (*Table, error) {
+	if opts.TileSize == 0 {
+		opts = DefaultOptions()
+	}
+	pool := bufpool.New(opts.CacheBytes)
+	fanIn := opts.CompactFanIn
+	auto := fanIn >= 0
+	if fanIn < 0 {
+		fanIn = 0 // explicit Compact still uses the default fan-in
+	}
+	dt, err := storage.OpenDirTable(name, dir, pool, opts.loaderConfig(), fanIn, auto)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{name: name, opts: opts, rel: dt, metrics: &tile.Metrics{}}, nil
+}
+
+// Compact runs size-tiered compaction to completion on a directory-
+// backed table, returning how many merge rounds ran. Queries running
+// concurrently keep reading the generation they started with; the
+// files they pin are deleted only after the last reader finishes.
+// Tables not backed by a directory have nothing to compact and
+// return 0.
+func (t *Table) Compact() (int, error) {
+	if dt, ok := t.rel.(*storage.DirTable); ok {
+		return dt.Compact()
+	}
+	return 0, nil
+}
+
+// NumSegments returns the number of live segment files backing a
+// directory-backed table (1-per-flush until compaction folds them).
+// Other table kinds return 0.
+func (t *Table) NumSegments() int {
+	if dt, ok := t.rel.(*storage.DirTable); ok {
+		return dt.NumSegments()
+	}
+	return 0
+}
+
+// SizeBytes returns the total on-disk size of the live segment files
+// of a directory-backed table. Other table kinds return 0.
+func (t *Table) SizeBytes() int64 {
+	if dt, ok := t.rel.(*storage.DirTable); ok {
+		return int64(dt.SizeBytes())
+	}
+	return 0
+}
+
+// AppendTable appends another table's tiles to a directory-backed
+// table as one new segment (src is flushed first and left unchanged).
+// It is how bulk-loaded in-memory tables move into a directory:
+//
+//	mem, _ := jsontiles.LoadReader("t", f, opts)
+//	dir, _ := jsontiles.OpenDir("t", path, opts)
+//	err := dir.AppendTable(mem)
+func (t *Table) AppendTable(src *Table) error {
+	dt, ok := t.rel.(*storage.DirTable)
+	if !ok {
+		return fmt.Errorf("jsontiles: AppendTable target %q is not directory-backed", t.name)
+	}
+	if err := src.Flush(); err != nil {
+		return err
+	}
+	if src.rel == nil || src.rel.NumRows() == 0 {
+		return nil
+	}
+	ti, ok := src.rel.(storage.TileIntrospector)
+	if !ok {
+		return fmt.Errorf("jsontiles: AppendTable source %q is not tile-backed", src.name)
+	}
+	return dt.AppendTiles(ti.Tiles(), src.rel.Stats())
+}

@@ -45,7 +45,10 @@ type ScanStats struct {
 	Table string
 	// NumTiles is the relation's total tile count (0 for formats
 	// without tiles); TilesScanned + TilesSkipped == NumTiles.
-	NumTiles     int64
+	NumTiles int64
+	// SegmentsLive is the number of live segment files backing the
+	// relation at plan time (0 for in-memory and single-file tables).
+	SegmentsLive int64
 	TilesScanned int64
 	// TilesSkipped counts tiles pruned without reading any tuple
 	// (§4.8).
@@ -210,6 +213,7 @@ func describeOperator(op engine.Operator) *PlanNode {
 func snapshotScanStats(st *obs.ScanStats) ScanStats {
 	return ScanStats{
 		NumTiles:       st.NumTiles,
+		SegmentsLive:   st.SegmentsLive,
 		TilesScanned:   st.TilesScanned.Load(),
 		TilesSkipped:   st.TilesSkipped.Load(),
 		RowsScanned:    st.RowsScanned.Load(),
@@ -266,6 +270,9 @@ func (n *PlanNode) write(sb *strings.Builder, prefix, childPrefix string) {
 	if n.Analyzed {
 		fmt.Fprintf(sb, "  [rows=%d wall=%s", n.Rows, n.Wall.Round(time.Microsecond))
 		if s := n.Scan; s != nil {
+			if s.SegmentsLive > 0 {
+				fmt.Fprintf(sb, "; segments_live=%d", s.SegmentsLive)
+			}
 			if s.NumTiles > 0 {
 				fmt.Fprintf(sb, "; tiles %d/%d scanned, %d skipped (%.0f%%)",
 					s.TilesScanned, s.NumTiles, s.TilesSkipped, 100*s.SkipRatio())

@@ -82,6 +82,7 @@ func Experiments() []Experiment {
 		{"vec", "Vectorized vs row-at-a-time execution over tiles (records BENCH_vectorized.json)", vecExp},
 		{"seg", "Segment persistence: cold-open vs warm buffer pool vs in-memory (records BENCH_segment.json)", segExp},
 		{"dict", "Dictionary-encoded vs arena string columns: predicate and group-by fast paths (records BENCH_dict.json)", dictExp},
+		{"compact", "Multi-segment tables: incremental append vs monolithic rewrite, compaction payoff (records BENCH_compact.json)", compactExp},
 	}
 }
 

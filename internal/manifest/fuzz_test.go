@@ -1,0 +1,33 @@
+package manifest
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzManifest throws arbitrary bytes at the manifest decoder: it
+// must never panic, and anything it accepts must re-encode and decode
+// to the same catalog (the recovery path trusts accepted manifests
+// completely).
+func FuzzManifest(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add((&Manifest{Version: 1, NextID: 1}).Encode())
+	f.Add(testManifest().Encode())
+	enc := testManifest().Encode()
+	f.Add(enc[:len(enc)-3])
+	f.Add(append([]byte("JTMAN001 0000000000000000\n"), []byte("{}")...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		again, err := Decode(m.Encode())
+		if err != nil {
+			t.Fatalf("accepted manifest fails round trip: %v", err)
+		}
+		if !bytes.Equal(m.Encode(), again.Encode()) {
+			t.Fatal("round trip not stable")
+		}
+	})
+}

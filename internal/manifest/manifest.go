@@ -1,0 +1,247 @@
+// Package manifest implements the versioned segment catalog of a
+// multi-segment table directory. The manifest is the single commit
+// point of the store: a segment file only becomes visible — and only
+// survives recovery — once a manifest generation referencing it has
+// been atomically renamed into place. Everything else in the
+// directory (half-written temporaries, segments whose commit never
+// happened) is garbage that recovery removes on open.
+//
+// On disk a manifest is one small text file:
+//
+//	JTMAN001 <xxh64 of body, 16 hex digits>\n
+//	{ ...JSON body: version, next segment id, segment list... }
+//
+// The checksum covers the JSON body, so a torn or bit-flipped
+// manifest is detected before any field is trusted. Writes go to a
+// temporary sibling, fsync, then rename — the same protocol segment
+// files use — so a crash at any instant leaves either the previous
+// generation or the new one, never a mix.
+package manifest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/xxhash"
+)
+
+const (
+	// FileName is the manifest's name inside a table directory.
+	FileName = "MANIFEST"
+
+	// headerMagic opens the file; the version suffix is bumped on any
+	// incompatible layout change.
+	headerMagic = "JTMAN001"
+
+	// segPrefix/segSuffix frame segment file names: seg-%06d.seg.
+	segPrefix = "seg-"
+	segSuffix = ".seg"
+
+	tmpSuffix = ".tmp"
+)
+
+// Rename is the commit step of every manifest write. Tests inject a
+// failing hook here to simulate a crash between writing a segment
+// file and publishing it — the exact window the recovery protocol
+// exists for. Production code never touches it.
+var Rename = os.Rename
+
+// Segment is one committed segment file.
+type Segment struct {
+	// ID is the segment's allocation number; segment files are named
+	// SegmentFileName(ID) and IDs are never reused within a table.
+	ID uint64 `json:"id"`
+	// File is the segment's file name relative to the table directory.
+	File string `json:"file"`
+	// Rows and Bytes mirror the segment's row count and file size so
+	// planning-time summaries need no file access.
+	Rows  int   `json:"rows"`
+	Bytes int64 `json:"bytes"`
+}
+
+// Manifest is one committed generation of a table directory: which
+// segment files are live, in scan order.
+type Manifest struct {
+	// Version is the commit sequence number, incremented on every
+	// successful commit (append or compaction).
+	Version uint64 `json:"version"`
+	// NextID is the next unallocated segment ID.
+	NextID uint64 `json:"next_id"`
+	// Segments lists the live segments in scan order.
+	Segments []Segment `json:"segments"`
+}
+
+// SegmentFileName returns the canonical file name for segment id.
+func SegmentFileName(id uint64) string {
+	return fmt.Sprintf("%s%06d%s", segPrefix, id, segSuffix)
+}
+
+// IsSegmentFileName reports whether name looks like a segment file —
+// the shape recovery considers for orphan collection.
+func IsSegmentFileName(name string) bool {
+	return strings.HasPrefix(name, segPrefix) && strings.HasSuffix(name, segSuffix)
+}
+
+// Encode serializes the manifest: checksummed header line plus JSON
+// body.
+func (m *Manifest) Encode() []byte {
+	body, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		// Manifest has no unmarshalable fields; this cannot happen.
+		panic(err)
+	}
+	head := fmt.Sprintf("%s %016x\n", headerMagic, xxhash.Sum64(body))
+	return append([]byte(head), body...)
+}
+
+// Decode parses and validates an encoded manifest. Any structural
+// problem — bad magic, checksum mismatch, malformed JSON, duplicate
+// or ill-formed segment entries — returns an error; a nil error
+// guarantees the manifest is internally consistent.
+func Decode(b []byte) (*Manifest, error) {
+	nl := -1
+	for i, c := range b {
+		if c == '\n' {
+			nl = i
+			break
+		}
+	}
+	if nl < 0 {
+		return nil, fmt.Errorf("manifest: missing header line")
+	}
+	head := string(b[:nl])
+	body := b[nl+1:]
+	var magic string
+	var sum uint64
+	if _, err := fmt.Sscanf(head, "%8s %16x", &magic, &sum); err != nil || magic != headerMagic {
+		return nil, fmt.Errorf("manifest: bad header %q", head)
+	}
+	if got := xxhash.Sum64(body); got != sum {
+		return nil, fmt.Errorf("manifest: checksum %016x, want %016x", got, sum)
+	}
+	var m Manifest
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	seen := make(map[string]bool, len(m.Segments))
+	for _, s := range m.Segments {
+		switch {
+		case s.File != SegmentFileName(s.ID):
+			return nil, fmt.Errorf("manifest: segment %d named %q, want %q", s.ID, s.File, SegmentFileName(s.ID))
+		case s.ID >= m.NextID:
+			return nil, fmt.Errorf("manifest: segment id %d not below next_id %d", s.ID, m.NextID)
+		case s.Rows < 0 || s.Bytes < 0:
+			return nil, fmt.Errorf("manifest: segment %d with %d rows, %d bytes", s.ID, s.Rows, s.Bytes)
+		case seen[s.File]:
+			return nil, fmt.Errorf("manifest: duplicate segment %q", s.File)
+		}
+		seen[s.File] = true
+	}
+	return &m, nil
+}
+
+// Commit atomically publishes the manifest as dir's current
+// generation: write to a temporary sibling, fsync, rename over
+// FileName. On return with a nil error the generation is durable; on
+// any error the previous generation is untouched.
+func Commit(dir string, m *Manifest) error {
+	path := filepath.Join(dir, FileName)
+	tmp := path + tmpSuffix
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(m.Encode()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir makes the rename itself durable (best effort — some
+// platforms cannot fsync directories).
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// Load reads dir's current manifest. A missing manifest returns
+// (nil, nil): the directory holds no committed generation (a fresh
+// table). A present-but-invalid manifest is an error — the store
+// refuses to guess at its contents.
+func Load(dir string) (*Manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, FileName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return Decode(b)
+}
+
+// Recover loads dir's committed generation and removes everything
+// the generation does not reference: temporary files from interrupted
+// writes and segment files whose manifest commit never happened. It
+// returns the manifest (an empty first generation when the directory
+// holds none) and the number of files garbage-collected. Files that
+// are neither temporaries nor segment-shaped are left alone.
+func Recover(dir string) (*Manifest, int, error) {
+	m, err := Load(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	if m == nil {
+		m = &Manifest{Version: 0, NextID: 0}
+	}
+	live := make(map[string]bool, len(m.Segments))
+	for _, s := range m.Segments {
+		live[s.File] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	removed := 0
+	for _, name := range names {
+		orphan := strings.HasSuffix(name, tmpSuffix) ||
+			(IsSegmentFileName(name) && !live[name])
+		if !orphan {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err == nil {
+			removed++
+		}
+	}
+	return m, removed, nil
+}

@@ -187,3 +187,22 @@ var (
 	// array-indexed (code-keyed) GROUP BY fast path.
 	DictGroupByFastpath = Default.Counter("dict_groupby_fastpath")
 )
+
+// Multi-segment table store counters (manifest + compaction).
+var (
+	// SegmentsLive tracks the number of currently open segments across
+	// all directory-backed tables (a gauge: opens add, closes and
+	// compaction drops subtract).
+	SegmentsLive = Default.Counter("segments_live")
+	// CompactionsRun counts completed compaction rounds (each merges
+	// one group of segments into a larger one).
+	CompactionsRun = Default.Counter("compactions_run")
+	// CompactionBytesRewritten totals the bytes of merged segment
+	// files written by compaction — the write amplification spent to
+	// keep segment counts bounded.
+	CompactionBytesRewritten = Default.Counter("compaction_bytes_rewritten")
+	// ManifestRecoveries counts table-directory opens that had to
+	// garbage-collect leftovers of an interrupted commit (orphaned
+	// segments or half-written manifests).
+	ManifestRecoveries = Default.Counter("manifest_recoveries")
+)

@@ -11,6 +11,11 @@ type ScanStats struct {
 	// formats without tiles).
 	NumTiles int64
 
+	// SegmentsLive is the number of live segments backing the scanned
+	// relation (0 for single-file and in-memory formats). Set by the
+	// planner alongside NumTiles.
+	SegmentsLive int64
+
 	TilesScanned   atomic.Int64
 	TilesSkipped   atomic.Int64
 	RowsScanned    atomic.Int64

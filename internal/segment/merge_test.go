@@ -1,0 +1,170 @@
+package segment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bufpool"
+	"repro/internal/stats"
+	"repro/internal/tile"
+)
+
+// writeSegmentWith writes one segment holding the given tiles.
+func writeSegmentWith(t *testing.T, dir, name string, tiles ...*tile.Tile) string {
+	t.Helper()
+	st := stats.New(0, 0)
+	for _, tl := range tiles {
+		st.AddTile(tl)
+	}
+	path := filepath.Join(dir, name)
+	if err := WriteFile(path, tiles, st); err != nil {
+		t.Fatalf("WriteFile(%s): %v", name, err)
+	}
+	return path
+}
+
+func TestMergeFiles(t *testing.T) {
+	dir := t.TempDir()
+	var srcTiles [][]*tile.Tile
+	var paths []string
+	for s := 0; s < 3; s++ {
+		var docs []string
+		for i := 0; i < 32; i++ {
+			docs = append(docs, fmt.Sprintf(
+				`{"seg":%d,"id":%d,"name":"n-%d-%d","price":%g}`, s, s*32+i, s, i, float64(i)*0.5))
+		}
+		tl := buildTile(t, docs...)
+		srcTiles = append(srcTiles, []*tile.Tile{tl})
+		paths = append(paths, writeSegmentWith(t, dir, fmt.Sprintf("src%d.seg", s), tl))
+	}
+
+	pool := bufpool.New(bufpool.DefaultCapacity)
+	var readers []*Reader
+	for _, p := range paths {
+		r, err := Open(p, pool)
+		if err != nil {
+			t.Fatalf("Open(%s): %v", p, err)
+		}
+		defer r.Close()
+		readers = append(readers, r)
+	}
+
+	merged := filepath.Join(dir, "merged.seg")
+	n, err := MergeFiles(merged, readers)
+	if err != nil {
+		t.Fatalf("MergeFiles: %v", err)
+	}
+	fi, err := os.Stat(merged)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if n != fi.Size() {
+		t.Errorf("MergeFiles returned %d bytes, file is %d", n, fi.Size())
+	}
+
+	mr, err := Open(merged, pool)
+	if err != nil {
+		t.Fatalf("Open(merged): %v", err)
+	}
+	defer mr.Close()
+
+	if mr.NumTiles() != 3 {
+		t.Fatalf("NumTiles = %d, want 3", mr.NumTiles())
+	}
+	if mr.NumRows() != 96 {
+		t.Fatalf("NumRows = %d, want 96", mr.NumRows())
+	}
+	if got := mr.Stats().RowCount(); got != 96 {
+		t.Errorf("stats rows = %d, want 96", got)
+	}
+	if got := mr.Stats().PathCount("id"); got != 96 {
+		t.Errorf("stats PathCount(id) = %d, want 96", got)
+	}
+
+	// Every merged tile must serve the same columns and documents as
+	// its source tile.
+	ti := 0
+	for s, tiles := range srcTiles {
+		for _, src := range tiles {
+			tm := mr.Tile(ti)
+			if tm.Rows != src.NumRows() {
+				t.Fatalf("tile %d rows = %d, want %d", ti, tm.Rows, src.NumRows())
+			}
+			srcCols := src.Columns()
+			if len(tm.Columns) != len(srcCols) {
+				t.Fatalf("tile %d: %d columns, want %d", ti, len(tm.Columns), len(srcCols))
+			}
+			for ci := range tm.Columns {
+				col, _, err := mr.Column(ti, ci)
+				if err != nil {
+					t.Fatalf("tile %d column %d: %v", ti, ci, err)
+				}
+				want := srcCols[ci].Col
+				if col.Len() != want.Len() || col.Type() != want.Type() {
+					t.Fatalf("tile %d column %q shape mismatch", ti, tm.Columns[ci].Path)
+				}
+				for i := 0; i < col.Len(); i++ {
+					if col.IsNull(i) != want.IsNull(i) {
+						t.Fatalf("tile %d column %q row %d null mismatch", ti, tm.Columns[ci].Path, i)
+					}
+				}
+			}
+			docs, _, err := mr.Docs(ti)
+			if err != nil {
+				t.Fatalf("tile %d docs: %v", ti, err)
+			}
+			if len(docs) != src.NumRows() {
+				t.Fatalf("tile %d: %d docs, want %d", ti, len(docs), src.NumRows())
+			}
+			if !tm.MayContainPath("seg") {
+				t.Fatalf("tile %d (source segment %d) lost its seen filter", ti, s)
+			}
+			ti++
+		}
+	}
+}
+
+func TestMergeAcceptsV1Sources(t *testing.T) {
+	dir := t.TempDir()
+	tl := buildTile(t,
+		`{"a":1,"b":"x"}`, `{"a":2,"b":"y"}`, `{"a":3}`)
+	st := stats.New(0, 0)
+	st.AddTile(tl)
+	v1path := filepath.Join(dir, "v1.seg")
+	f, err := os.Create(v1path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteV1(f, []*tile.Tile{tl}, st); err != nil {
+		t.Fatalf("WriteV1: %v", err)
+	}
+	f.Close()
+
+	pool := bufpool.New(bufpool.DefaultCapacity)
+	r1, err := Open(v1path, pool)
+	if err != nil {
+		t.Fatalf("Open v1: %v", err)
+	}
+	defer r1.Close()
+
+	merged := filepath.Join(dir, "merged.seg")
+	if _, err := MergeFiles(merged, []*Reader{r1, r1}); err != nil {
+		t.Fatalf("MergeFiles: %v", err)
+	}
+	mr, err := Open(merged, pool)
+	if err != nil {
+		t.Fatalf("Open merged: %v", err)
+	}
+	defer mr.Close()
+	if mr.Version() != 2 {
+		t.Errorf("merged version = %d, want 2", mr.Version())
+	}
+	if mr.NumRows() != 6 {
+		t.Errorf("NumRows = %d, want 6", mr.NumRows())
+	}
+	if _, _, err := mr.Column(0, 0); err != nil {
+		t.Errorf("Column: %v", err)
+	}
+}

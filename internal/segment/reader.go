@@ -227,8 +227,9 @@ func (r *Reader) pooledBlock(ref BlockRef) ([]byte, ReadInfo, error) {
 	return b, info, nil
 }
 
-// readBlock reads, verifies, and decompresses one block from disk.
-func (r *Reader) readBlock(ref BlockRef) ([]byte, error) {
+// readStored reads and checksum-verifies one block's stored bytes
+// without decompressing — merges copy blocks verbatim through this.
+func (r *Reader) readStored(ref BlockRef) ([]byte, error) {
 	stored := make([]byte, ref.StoredLen)
 	if _, err := r.f.ReadAt(stored, int64(ref.Off)); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
@@ -238,6 +239,15 @@ func (r *Reader) readBlock(ref BlockRef) ([]byte, error) {
 	}
 	if sum := xxhash.Sum64(stored); sum != ref.Sum {
 		return nil, corruptf("block at %d: checksum %016x, want %016x", ref.Off, sum, ref.Sum)
+	}
+	return stored, nil
+}
+
+// readBlock reads, verifies, and decompresses one block from disk.
+func (r *Reader) readBlock(ref BlockRef) ([]byte, error) {
+	stored, err := r.readStored(ref)
+	if err != nil {
+		return nil, err
 	}
 	if ref.Codec == codecRaw {
 		return stored, nil

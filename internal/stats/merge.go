@@ -1,0 +1,83 @@
+package stats
+
+// Merge folds other's statistics into s. Compaction uses this to
+// give a merged segment the union of its inputs' statistics, and the
+// multi-segment store uses it to present one relation-level view over
+// many per-segment footers. The slot-replacement policy is the same
+// as AddTile's: existing entries accumulate, new entries fill free
+// slots, and once full a new entry must beat the stalest victim.
+// Paths are folded in sorted order so merging the same inputs always
+// produces the same statistics.
+func (s *TableStats) Merge(other *TableStats) {
+	if other == nil || other == s {
+		return
+	}
+	other.mu.RLock()
+	defer other.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tileSeq++
+	seq := s.tileSeq
+	s.totalRows += other.totalRows
+
+	for _, path := range sortedKeys(other.freq) {
+		oe := other.freq[path]
+		if e, ok := s.freq[path]; ok {
+			e.count += oe.count
+			e.lastTile = seq
+			continue
+		}
+		if len(s.freq) < s.freqSlots {
+			s.freq[path] = &freqEntry{count: oe.count, lastTile: seq}
+			continue
+		}
+		if victim := s.pickFreqVictim(); victim != "" && s.freq[victim].count < oe.count {
+			delete(s.freq, victim)
+			s.freq[path] = &freqEntry{count: oe.count, lastTile: seq}
+		}
+	}
+
+	for _, path := range sortedKeys(other.histograms) {
+		oe := other.histograms[path]
+		if e, ok := s.histograms[path]; ok {
+			e.hist.Merge(oe.hist)
+			e.lastTile = seq
+			continue
+		}
+		cp := *oe.hist
+		if len(s.histograms) < s.sketchSlots {
+			s.histograms[path] = &histEntry{hist: &cp, lastTile: seq}
+			continue
+		}
+		victim, vE := "", (*histEntry)(nil)
+		for p, e := range s.histograms {
+			if vE == nil || e.lastTile < vE.lastTile {
+				victim, vE = p, e
+			}
+		}
+		if victim != "" && vE.hist.Total() < oe.hist.Total() {
+			delete(s.histograms, victim)
+			s.histograms[path] = &histEntry{hist: &cp, lastTile: seq}
+		}
+	}
+
+	for _, path := range sortedKeys(other.sketches) {
+		oe := other.sketches[path]
+		if e, ok := s.sketches[path]; ok {
+			e.sketch.Merge(oe.sketch)
+			e.lastTile = seq
+			continue
+		}
+		if len(s.sketches) < s.sketchSlots {
+			s.sketches[path] = &sketchEntry{sketch: oe.sketch.Clone(), lastTile: seq}
+			continue
+		}
+		if victim := s.pickSketchVictim(); victim != "" {
+			ve := s.sketches[victim]
+			if ve.sketch.Estimate() < oe.sketch.Estimate() || ve.lastTile < seq-int64(s.sketchSlots) {
+				delete(s.sketches, victim)
+				s.sketches[path] = &sketchEntry{sketch: oe.sketch.Clone(), lastTile: seq}
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func buildStats(t *testing.T, docs []string) *TableStats {
+	t.Helper()
+	s := New(0, 0)
+	s.AddTile(buildTile(t, docs...))
+	return s
+}
+
+func TestMergeMatchesCombinedBuild(t *testing.T) {
+	a := []string{`{"x": 1, "y": "a"}`, `{"x": 2, "y": "b"}`}
+	b := []string{`{"x": 3, "z": true}`, `{"x": 4, "y": "a"}`}
+
+	sa := buildStats(t, a)
+	sa.Merge(buildStats(t, b))
+
+	combined := buildStats(t, append(append([]string{}, a...), b...))
+
+	if sa.RowCount() != combined.RowCount() {
+		t.Fatalf("RowCount = %d, want %d", sa.RowCount(), combined.RowCount())
+	}
+	for _, path := range combined.TrackedPaths() {
+		if got, want := sa.PathCount(path), combined.PathCount(path); got != want {
+			t.Errorf("PathCount(%q) = %d, want %d", path, got, want)
+		}
+		if got, want := sa.DistinctCount(path), combined.DistinctCount(path); math.Abs(got-want) > 0.5 {
+			t.Errorf("DistinctCount(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestMergeNilAndSelf(t *testing.T) {
+	s := buildStats(t, []string{`{"x": 1}`})
+	rows := s.RowCount()
+	s.Merge(nil)
+	s.Merge(s)
+	if s.RowCount() != rows {
+		t.Fatalf("RowCount changed on nil/self merge: %d != %d", s.RowCount(), rows)
+	}
+}
+
+func TestMergeIsDeterministic(t *testing.T) {
+	build := func() *TableStats {
+		s := buildStats(t, []string{`{"a": 1, "b": 2}`})
+		s.Merge(buildStats(t, []string{`{"b": 3, "c": 4}`}))
+		s.Merge(buildStats(t, []string{`{"c": 5, "d": 6}`}))
+		return s
+	}
+	x, y := build(), build()
+	xs, ys := x.TrackedPaths(), y.TrackedPaths()
+	if len(xs) != len(ys) {
+		t.Fatalf("tracked path counts differ: %v vs %v", xs, ys)
+	}
+	for i := range xs {
+		if xs[i] != ys[i] || x.PathCount(xs[i]) != y.PathCount(ys[i]) {
+			t.Fatalf("merge not deterministic: %v vs %v", xs, ys)
+		}
+	}
+}
+
+func TestMergeRespectsSlotBounds(t *testing.T) {
+	s := New(4, 2)
+	s.AddTile(buildTile(t, `{"a":1,"b":2,"c":3,"d":4}`))
+	other := New(4, 2)
+	other.AddTile(buildTile(t, `{"e":1,"f":2,"g":3,"h":4}`))
+	s.Merge(other)
+	if got := len(s.TrackedPaths()); got > 4 {
+		t.Errorf("%d tracked paths, bound 4", got)
+	}
+	if s.SketchCount() > 2 {
+		t.Errorf("%d sketches, bound 2", s.SketchCount())
+	}
+	if s.RowCount() != 2 {
+		t.Errorf("rows = %d", s.RowCount())
+	}
+}

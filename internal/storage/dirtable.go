@@ -1,0 +1,687 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bufpool"
+	"repro/internal/keypath"
+	"repro/internal/manifest"
+	"repro/internal/obs"
+	"repro/internal/segment"
+	"repro/internal/stats"
+	"repro/internal/tile"
+)
+
+// DirTable is a multi-segment, disk-backed relation: a directory of
+// immutable segment files catalogued by a crash-safe manifest.
+// Appends write a new segment and commit a new manifest generation —
+// O(new data), never a table rewrite — and a size-tiered compactor
+// folds accumulated small segments into larger ones in the
+// background. Queries scan the union of the live segments through
+// the shared scan core, so per-segment zone-map and bloom skipping
+// work exactly as they do for a single segment.
+//
+// Concurrency follows an epoch scheme: every scan pins the segment
+// list it starts with (per-segment refcounts), so compaction can
+// commit a new generation and mark old segments dead while in-flight
+// scans keep reading them; the last release closes the reader, drops
+// its pool blocks, and deletes the dead file.
+type DirTable struct {
+	name    string
+	dir     string
+	pool    *bufpool.Pool
+	ownPool bool
+	cfg     LoaderConfig
+	scancfg scanConfig
+	fanIn   int  // segments merged per compaction round (≥2)
+	auto    bool // compact in the background after appends
+
+	// mu guards the current generation: manifest, segment list,
+	// closed flag, and segment-id allocation. nextID is the allocation
+	// watermark — kept outside the manifest object because t.man is
+	// swapped wholesale on commit, and a reservation taken between a
+	// commit's clone and its swap must survive the swap.
+	mu     sync.Mutex
+	man    *manifest.Manifest
+	segs   []*liveSeg
+	nextID uint64
+	closed bool
+
+	// writeMu serializes manifest commits (append and compaction
+	// publish steps). Held only around clone-commit-swap, never
+	// during segment file writes.
+	writeMu sync.Mutex
+
+	// compactMu serializes compaction work; wg tracks background
+	// compaction goroutines so Close can wait them out.
+	compactMu sync.Mutex
+	wg        sync.WaitGroup
+
+	statsMu     sync.Mutex
+	statsCache  *stats.TableStats
+	evictionsMu sync.Mutex
+	lastEvict   int64
+
+	errMu sync.Mutex
+	err   error
+}
+
+var (
+	_ Relation       = (*DirTable)(nil)
+	_ StatsScanner   = (*DirTable)(nil)
+	_ BatchScanner   = (*DirTable)(nil)
+	_ TileCounter    = (*DirTable)(nil)
+	_ SegmentCounter = (*DirTable)(nil)
+)
+
+// SegmentCounter is implemented by relations backed by a set of live
+// segment files; the planner surfaces the count as EXPLAIN ANALYZE's
+// segments_live figure.
+type SegmentCounter interface {
+	NumSegments() int
+}
+
+// liveSeg is one open segment of some table generation. refs counts
+// the store's own membership (1 while the segment is in the current
+// generation) plus one per in-flight scan pinning it; the release
+// that drops refs to zero closes the reader and, if the segment was
+// compacted away, deletes its file.
+type liveSeg struct {
+	rel   *segRelation
+	id    uint64
+	path  string
+	rows  int
+	bytes int64
+	refs  atomic.Int64
+	drop  atomic.Bool
+}
+
+func (ls *liveSeg) retain() { ls.refs.Add(1) }
+
+func (ls *liveSeg) release() {
+	if ls.refs.Add(-1) == 0 {
+		ls.rel.Close()
+		if ls.drop.Load() {
+			os.Remove(ls.path)
+		}
+	}
+}
+
+var errDirTableClosed = errors.New("storage: directory table is closed")
+
+// DefaultCompactFanIn is how many same-tier segments trigger (and
+// take part in) one compaction round when no explicit fan-in is set.
+const DefaultCompactFanIn = 4
+
+// OpenDirTable opens (or creates) a multi-segment table directory.
+// Recovery runs first: temporaries and segment files the committed
+// manifest does not reference are garbage-collected, so a crash
+// between segment write and manifest rename leaves no trace beyond
+// this cleanup. fanIn sets the compaction fan-in (0 selects
+// DefaultCompactFanIn, values below 2 are raised to 2); auto enables
+// background compaction after appends. All block reads flow through
+// pool (a private default-capacity pool is created when nil).
+func OpenDirTable(name, dir string, pool *bufpool.Pool, cfg LoaderConfig, fanIn int, auto bool) (*DirTable, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	man, removed, err := manifest.Recover(dir)
+	if err != nil {
+		return nil, err
+	}
+	if removed > 0 {
+		obs.ManifestRecoveries.Add(1)
+	}
+	if man.Version == 0 {
+		// Fresh directory: commit the empty first generation so the
+		// directory is a recognizable table from here on.
+		man.Version = 1
+		if err := manifest.Commit(dir, man); err != nil {
+			return nil, err
+		}
+	}
+	ownPool := pool == nil
+	if ownPool {
+		pool = bufpool.New(0)
+	}
+	maxSlots := cfg.Tile.MaxArraySlots
+	if maxSlots <= 0 {
+		maxSlots = keypath.DefaultMaxArraySlots
+	}
+	if fanIn == 0 {
+		fanIn = DefaultCompactFanIn
+	}
+	if fanIn < 2 {
+		fanIn = 2
+	}
+	t := &DirTable{
+		name:    name,
+		dir:     dir,
+		pool:    pool,
+		ownPool: ownPool,
+		cfg:     cfg,
+		scancfg: scanConfig{skipTiles: cfg.SkipTiles, maxSlots: maxSlots},
+		fanIn:   fanIn,
+		auto:    auto,
+		man:     man,
+		nextID:  man.NextID,
+	}
+	for _, s := range man.Segments {
+		path := filepath.Join(dir, s.File)
+		rel, err := OpenSegmentFile(name, path, pool, cfg)
+		if err != nil {
+			for _, ls := range t.segs {
+				ls.rel.Close()
+			}
+			return nil, fmt.Errorf("segment %s: %w", s.File, err)
+		}
+		ls := &liveSeg{rel: rel, id: s.ID, path: path, rows: s.Rows, bytes: s.Bytes}
+		ls.refs.Store(1)
+		t.segs = append(t.segs, ls)
+	}
+	obs.SegmentsLive.Add(int64(len(t.segs)))
+	return t, nil
+}
+
+func (t *DirTable) Name() string { return t.name }
+
+// Dir returns the table directory path.
+func (t *DirTable) Dir() string { return t.dir }
+
+func (t *DirTable) NumRows() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := 0
+	for _, ls := range t.segs {
+		total += ls.rows
+	}
+	return total
+}
+
+// SizeBytes is the on-disk footprint of the live segment files.
+func (t *DirTable) SizeBytes() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := int64(0)
+	for _, ls := range t.segs {
+		total += ls.bytes
+	}
+	return int(total)
+}
+
+// NumTiles sums the live segments' tile counts.
+func (t *DirTable) NumTiles() int {
+	segs := t.snapshot()
+	defer releaseSegs(segs)
+	total := 0
+	for _, ls := range segs {
+		total += ls.rel.NumTiles()
+	}
+	return total
+}
+
+// NumSegments returns the number of live segments (the EXPLAIN
+// ANALYZE segments_live figure).
+func (t *DirTable) NumSegments() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.segs)
+}
+
+// Generation returns the committed manifest version.
+func (t *DirTable) Generation() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.man.Version
+}
+
+// Pool exposes the buffer pool serving this table.
+func (t *DirTable) Pool() *bufpool.Pool { return t.pool }
+
+// Stats returns the relation statistics: the merged view over every
+// live segment's persisted footer statistics, cached until the
+// segment set changes.
+func (t *DirTable) Stats() *stats.TableStats {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	if t.statsCache == nil {
+		merged := stats.New(0, 0)
+		segs := t.snapshot()
+		for _, ls := range segs {
+			merged.Merge(ls.rel.Stats())
+		}
+		releaseSegs(segs)
+		t.statsCache = merged
+	}
+	return t.statsCache
+}
+
+func (t *DirTable) invalidateStats() {
+	t.statsMu.Lock()
+	t.statsCache = nil
+	t.statsMu.Unlock()
+}
+
+// Err returns the first degraded-scan error any live segment
+// recorded, or the table's own first error.
+func (t *DirTable) Err() error {
+	t.errMu.Lock()
+	err := t.err
+	t.errMu.Unlock()
+	if err != nil {
+		return err
+	}
+	segs := t.snapshot()
+	defer releaseSegs(segs)
+	for _, ls := range segs {
+		if err := ls.rel.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *DirTable) recordErr(err error) {
+	t.errMu.Lock()
+	if t.err == nil {
+		t.err = err
+	}
+	t.errMu.Unlock()
+}
+
+// snapshot pins and returns the current generation's segment list.
+// Callers must releaseSegs the result.
+func (t *DirTable) snapshot() []*liveSeg {
+	t.mu.Lock()
+	segs := make([]*liveSeg, len(t.segs))
+	copy(segs, t.segs)
+	for _, ls := range segs {
+		ls.retain()
+	}
+	t.mu.Unlock()
+	return segs
+}
+
+func releaseSegs(segs []*liveSeg) {
+	for _, ls := range segs {
+		ls.release()
+	}
+}
+
+// multiSource drives the shared scan core over the union of pinned
+// segments: tile indexes are globalized across segments, so tile
+// parallelism and skip accounting span the whole table.
+type multiSource struct {
+	rels []*segRelation
+	offs []int // offs[i] = first global tile index of segment i; offs[len] = total
+	cfg  scanConfig
+}
+
+func newMultiSource(segs []*liveSeg, cfg scanConfig) *multiSource {
+	m := &multiSource{
+		rels: make([]*segRelation, len(segs)),
+		offs: make([]int, len(segs)+1),
+		cfg:  cfg,
+	}
+	for i, ls := range segs {
+		m.rels[i] = ls.rel
+		m.offs[i+1] = m.offs[i] + ls.rel.NumTiles()
+	}
+	return m
+}
+
+func (m *multiSource) numScanTiles() int      { return m.offs[len(m.rels)] }
+func (m *multiSource) scanConfig() scanConfig { return m.cfg }
+
+func (m *multiSource) openScanTile(ti int, cnt *scanCounters) scanTile {
+	i := sort.Search(len(m.rels), func(i int) bool { return m.offs[i+1] > ti })
+	return m.rels[i].openScanTile(ti-m.offs[i], cnt)
+}
+
+func (t *DirTable) Scan(accesses []Access, workers int, emit EmitFunc) {
+	t.ScanWithStats(accesses, workers, emit, nil)
+}
+
+// ScanWithStats runs the shared row-scan core over the pinned union
+// of live segments.
+func (t *DirTable) ScanWithStats(accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
+	segs := t.snapshot()
+	defer releaseSegs(segs)
+	scanRowsCore(newMultiSource(segs, t.scancfg), accesses, workers, emit, st)
+	t.flushPoolCounters()
+}
+
+// ScanBatches runs the shared batch-scan core over the pinned union
+// of live segments.
+func (t *DirTable) ScanBatches(accesses []Access, workers int, emit BatchEmitFunc, st *obs.ScanStats) {
+	segs := t.snapshot()
+	defer releaseSegs(segs)
+	scanBatchesCore(newMultiSource(segs, t.scancfg), accesses, workers, emit, st)
+	t.flushPoolCounters()
+}
+
+// flushPoolCounters forwards the shared pool's eviction delta to the
+// registry once per scan (per-segment flushing would multiply-count
+// a pool shared by every segment).
+func (t *DirTable) flushPoolCounters() {
+	ps := t.pool.Stats()
+	t.evictionsMu.Lock()
+	delta := ps.Evictions - t.lastEvict
+	t.lastEvict = ps.Evictions
+	t.evictionsMu.Unlock()
+	obs.BufpoolEvictions.Add(delta)
+}
+
+// AppendTiles persists the tiles (with their relation statistics) as
+// one new segment and commits a manifest generation referencing it —
+// the incremental flush path. Work is O(new data): existing segments
+// are untouched. If the manifest commit fails, the freshly written
+// segment file is left for recovery to collect, exactly as a crash
+// at that point would; the table keeps serving the prior generation.
+func (t *DirTable) AppendTiles(tiles []*tile.Tile, st *stats.TableStats) error {
+	if len(tiles) == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return errDirTableClosed
+	}
+	id := t.nextID
+	t.nextID++
+	t.mu.Unlock()
+
+	file := manifest.SegmentFileName(id)
+	path := filepath.Join(t.dir, file)
+	if err := segment.WriteFile(path, tiles, st); err != nil {
+		return err
+	}
+	rel, err := OpenSegmentFile(t.name, path, t.pool, t.cfg)
+	if err != nil {
+		os.Remove(path)
+		return err
+	}
+	ls := &liveSeg{rel: rel, id: id, path: path, rows: rel.NumRows(), bytes: int64(rel.SizeBytes())}
+	ls.refs.Store(1)
+
+	entry := manifest.Segment{ID: id, File: file, Rows: ls.rows, Bytes: ls.bytes}
+	if err := t.commitGeneration(func(man *manifest.Manifest) {
+		if id >= man.NextID {
+			man.NextID = id + 1
+		}
+		man.Segments = append(man.Segments, entry)
+	}, func() {
+		t.segs = append(t.segs, ls)
+	}); err != nil {
+		// Crash-equivalent state: the segment file exists but no
+		// generation references it. Recovery on the next open removes
+		// it; the current generation stays live and consistent.
+		rel.Close()
+		return err
+	}
+	obs.SegmentsLive.Add(1)
+	t.invalidateStats()
+	if t.auto {
+		t.compactAsync()
+	}
+	return nil
+}
+
+// commitGeneration clones the current manifest, applies edit, commits
+// it durably, and on success applies swap to the in-memory segment
+// list — all under the commit lock so generations are totally
+// ordered.
+func (t *DirTable) commitGeneration(edit func(*manifest.Manifest), swap func()) error {
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return errDirTableClosed
+	}
+	man := &manifest.Manifest{
+		Version: t.man.Version,
+		// The committed NextID is the live allocation watermark, so ids
+		// reserved by in-flight writers are never reusable after a
+		// crash, even before their own commits land.
+		NextID:   t.nextID,
+		Segments: append([]manifest.Segment(nil), t.man.Segments...),
+	}
+	t.mu.Unlock()
+	man.Version++
+	edit(man)
+	if err := manifest.Commit(t.dir, man); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.man = man
+	swap()
+	t.mu.Unlock()
+	return nil
+}
+
+// Compact runs size-tiered compaction rounds until no tier holds
+// fanIn segments, returning how many rounds ran. Safe to call
+// concurrently with scans and appends; rounds are serialized.
+func (t *DirTable) Compact() (int, error) {
+	t.compactMu.Lock()
+	defer t.compactMu.Unlock()
+	rounds := 0
+	for {
+		did, err := t.compactOnce()
+		if err != nil || !did {
+			return rounds, err
+		}
+		rounds++
+	}
+}
+
+// compactAsync kicks one background compaction pass if none is
+// running (a running pass loops until stable, so a skipped kick loses
+// nothing).
+func (t *DirTable) compactAsync() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.wg.Add(1)
+	t.mu.Unlock()
+	go func() {
+		defer t.wg.Done()
+		if !t.compactMu.TryLock() {
+			return
+		}
+		defer t.compactMu.Unlock()
+		for {
+			did, err := t.compactOnce()
+			if err != nil {
+				t.recordErr(err)
+				return
+			}
+			if !did {
+				return
+			}
+		}
+	}()
+}
+
+// tierOf buckets a segment by size: tier 0 under 64 KiB, each tier
+// spanning a 4× size range above that. Segments only merge within a
+// tier, so one big early segment never forces rewriting the table to
+// absorb small appends.
+func tierOf(bytes int64) int {
+	t := 0
+	for s := int64(64 << 10); bytes >= s && t < 30; s *= 4 {
+		t++
+	}
+	return t
+}
+
+// pickCompaction chooses the fanIn smallest segments of the lowest
+// tier holding at least fanIn members, or nil when the table is
+// already compact. Called with t.mu held.
+func (t *DirTable) pickCompaction() []*liveSeg {
+	byTier := map[int][]*liveSeg{}
+	for _, ls := range t.segs {
+		tier := tierOf(ls.bytes)
+		byTier[tier] = append(byTier[tier], ls)
+	}
+	best := -1
+	for tier, group := range byTier {
+		if len(group) >= t.fanIn && (best < 0 || tier < best) {
+			best = tier
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	group := byTier[best]
+	sort.Slice(group, func(i, j int) bool {
+		if group[i].bytes != group[j].bytes {
+			return group[i].bytes < group[j].bytes
+		}
+		return group[i].id < group[j].id
+	})
+	return group[:t.fanIn]
+}
+
+// compactOnce merges one group of same-tier segments into a new
+// segment and commits the generation that swaps them. Sources stay
+// readable throughout: in-flight scans hold pins, and files are
+// deleted only when the last pin drops.
+func (t *DirTable) compactOnce() (bool, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return false, nil
+	}
+	group := t.pickCompaction()
+	if group == nil {
+		t.mu.Unlock()
+		return false, nil
+	}
+	for _, ls := range group {
+		ls.retain()
+	}
+	id := t.nextID
+	t.nextID++
+	t.mu.Unlock()
+	defer releaseSegs(group)
+
+	readers := make([]*segment.Reader, len(group))
+	for i, ls := range group {
+		readers[i] = ls.rel.r
+	}
+	file := manifest.SegmentFileName(id)
+	path := filepath.Join(t.dir, file)
+	n, err := segment.MergeFiles(path, readers)
+	if err != nil {
+		return false, err
+	}
+	rel, err := OpenSegmentFile(t.name, path, t.pool, t.cfg)
+	if err != nil {
+		os.Remove(path)
+		return false, err
+	}
+	merged := &liveSeg{rel: rel, id: id, path: path, rows: rel.NumRows(), bytes: int64(rel.SizeBytes())}
+	merged.refs.Store(1)
+
+	dead := make(map[*liveSeg]bool, len(group))
+	for _, ls := range group {
+		dead[ls] = true
+	}
+	entry := manifest.Segment{ID: id, File: file, Rows: merged.rows, Bytes: merged.bytes}
+	if err := t.commitGeneration(func(man *manifest.Manifest) {
+		if id >= man.NextID {
+			man.NextID = id + 1
+		}
+		deadFiles := make(map[string]bool, len(group))
+		for _, ls := range group {
+			deadFiles[manifest.SegmentFileName(ls.id)] = true
+		}
+		kept := man.Segments[:0]
+		inserted := false
+		for _, s := range man.Segments {
+			if deadFiles[s.File] {
+				// The merged segment takes the slot of the first dead
+				// source, preserving rough scan order.
+				if !inserted {
+					kept = append(kept, entry)
+					inserted = true
+				}
+				continue
+			}
+			kept = append(kept, s)
+		}
+		if !inserted {
+			kept = append(kept, entry)
+		}
+		man.Segments = kept
+	}, func() {
+		segs := t.segs[:0]
+		inserted := false
+		for _, ls := range t.segs {
+			if dead[ls] {
+				if !inserted {
+					segs = append(segs, merged)
+					inserted = true
+				}
+				continue
+			}
+			segs = append(segs, ls)
+		}
+		if !inserted {
+			segs = append(segs, merged)
+		}
+		t.segs = segs
+	}); err != nil {
+		// Failed publish: drop the merged output (it is unreferenced)
+		// and keep serving the sources.
+		rel.Close()
+		os.Remove(path)
+		return false, err
+	}
+	// Retire the sources: mark dead so the final release deletes the
+	// file, then drop the store's own reference. Scans still holding
+	// pins keep the old generation alive until they finish.
+	for _, ls := range group {
+		ls.drop.Store(true)
+		ls.release()
+	}
+	obs.SegmentsLive.Add(1 - int64(len(group)))
+	obs.CompactionsRun.Add(1)
+	obs.CompactionBytesRewritten.Add(n)
+	t.invalidateStats()
+	return true, nil
+}
+
+// Close waits out background compaction, releases every live segment,
+// and (for a privately created pool) leaves its blocks to the
+// garbage collector. In-flight scans finish against their pinned
+// generation.
+func (t *DirTable) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	t.wg.Wait()
+	t.mu.Lock()
+	segs := t.segs
+	t.segs = nil
+	t.mu.Unlock()
+	for _, ls := range segs {
+		ls.release()
+	}
+	obs.SegmentsLive.Add(-int64(len(segs)))
+	return nil
+}

@@ -1,0 +1,358 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/keypath"
+	"repro/internal/manifest"
+	"repro/internal/stats"
+	"repro/internal/tile"
+)
+
+// dirTestBatch builds one flush-worth of tiles plus statistics from
+// JSON lines.
+func dirTestBatch(t *testing.T, lines []string) ([]*tile.Tile, *stats.TableStats) {
+	t.Helper()
+	raw := make([][]byte, len(lines))
+	for i, l := range lines {
+		raw[i] = []byte(l)
+	}
+	docs, err := parseAll(raw, 2)
+	if err != nil {
+		t.Fatalf("parseAll: %v", err)
+	}
+	cfg := DefaultLoaderConfig()
+	cfg.Tile.TileSize = 16
+	rel := BuildTiles("batch", docs, cfg, 2, nil)
+	return rel.(TileIntrospector).Tiles(), rel.Stats()
+}
+
+func dirTestLines(batch, n int) []string {
+	lines := make([]string, n)
+	for i := 0; i < n; i++ {
+		id := batch*n + i
+		lines[i] = fmt.Sprintf(`{"id":%d,"batch":%d,"name":"doc-%d","score":%g}`,
+			id, batch, id, float64(id)*0.25)
+	}
+	return lines
+}
+
+func dirTestAccesses() []Access {
+	return []Access{
+		NewAccessPath(expr.TBigInt, keypath.NewPath("id")),
+		NewAccessPath(expr.TBigInt, keypath.NewPath("batch")),
+		NewAccessPath(expr.TText, keypath.NewPath("name")),
+		NewAccessPath(expr.TFloat, keypath.NewPath("score")),
+	}
+}
+
+// scanMultiset collects a relation's row scan as a multiset of
+// rendered rows.
+func scanMultiset(rel Relation, accesses []Access) map[string]int {
+	got := map[string]int{}
+	var mu sync.Mutex
+	rel.Scan(accesses, 2, func(w int, row []expr.Value) {
+		key := ""
+		for _, v := range row {
+			key += v.String() + "|"
+		}
+		mu.Lock()
+		got[key]++
+		mu.Unlock()
+	})
+	return got
+}
+
+func sameMultiset(t *testing.T, label string, got, want map[string]int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d distinct rows, want %d", label, len(got), len(want))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("%s: row %q count %d, want %d", label, k, got[k], n)
+		}
+	}
+}
+
+func TestDirTableAppendCompactReopen(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultLoaderConfig()
+	cfg.Tile.TileSize = 16
+	dt, err := OpenDirTable("t", dir, nil, cfg, 4, false)
+	if err != nil {
+		t.Fatalf("OpenDirTable: %v", err)
+	}
+
+	const batches, rows = 8, 48
+	var all []string
+	for b := 0; b < batches; b++ {
+		lines := dirTestLines(b, rows)
+		all = append(all, lines...)
+		tiles, st := dirTestBatch(t, lines)
+		if err := dt.AppendTiles(tiles, st); err != nil {
+			t.Fatalf("AppendTiles %d: %v", b, err)
+		}
+	}
+	if got := dt.NumSegments(); got != batches {
+		t.Fatalf("NumSegments = %d, want %d", got, batches)
+	}
+	if got := dt.NumRows(); got != batches*rows {
+		t.Fatalf("NumRows = %d, want %d", got, batches*rows)
+	}
+	if got := dt.Stats().RowCount(); got != int64(batches*rows) {
+		t.Fatalf("stats rows = %d, want %d", got, batches*rows)
+	}
+
+	// Ground truth: the same documents as one in-memory relation.
+	raw := make([][]byte, len(all))
+	for i, l := range all {
+		raw[i] = []byte(l)
+	}
+	docs, err := parseAll(raw, 2)
+	if err != nil {
+		t.Fatalf("parseAll: %v", err)
+	}
+	mem := BuildTiles("mem", docs, cfg, 2, nil)
+	accesses := dirTestAccesses()
+	want := scanMultiset(mem, accesses)
+
+	sameMultiset(t, "before compaction", scanMultiset(dt, accesses), want)
+
+	rounds, err := dt.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if rounds == 0 {
+		t.Fatal("Compact ran no rounds over 8 small segments")
+	}
+	after := dt.NumSegments()
+	if after >= batches {
+		t.Fatalf("NumSegments = %d after compaction, want < %d", after, batches)
+	}
+	sameMultiset(t, "after compaction", scanMultiset(dt, accesses), want)
+	if dt.NumRows() != batches*rows {
+		t.Fatalf("NumRows after compaction = %d", dt.NumRows())
+	}
+	if err := dt.Err(); err != nil {
+		t.Fatalf("Err after compaction: %v", err)
+	}
+
+	// Dead segment files must be gone; live ones must match the
+	// manifest exactly.
+	man, err := manifest.Load(dir)
+	if err != nil {
+		t.Fatalf("Load manifest: %v", err)
+	}
+	if len(man.Segments) != after {
+		t.Fatalf("manifest lists %d segments, table has %d", len(man.Segments), after)
+	}
+	entries, _ := os.ReadDir(dir)
+	segFiles := 0
+	for _, e := range entries {
+		if manifest.IsSegmentFileName(e.Name()) {
+			segFiles++
+		}
+	}
+	if segFiles != after {
+		t.Fatalf("%d segment files on disk, want %d", segFiles, after)
+	}
+
+	if err := dt.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen: the compacted generation serves identical results.
+	dt2, err := OpenDirTable("t", dir, nil, cfg, 4, false)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer dt2.Close()
+	if dt2.NumSegments() != after {
+		t.Fatalf("reopened NumSegments = %d, want %d", dt2.NumSegments(), after)
+	}
+	sameMultiset(t, "after reopen", scanMultiset(dt2, accesses), want)
+}
+
+func TestDirTableScansPinOldGenerationDuringCompact(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultLoaderConfig()
+	cfg.Tile.TileSize = 16
+	dt, err := OpenDirTable("t", dir, nil, cfg, 2, false)
+	if err != nil {
+		t.Fatalf("OpenDirTable: %v", err)
+	}
+	defer dt.Close()
+
+	var all []string
+	for b := 0; b < 4; b++ {
+		lines := dirTestLines(b, 64)
+		all = append(all, lines...)
+		tiles, st := dirTestBatch(t, lines)
+		if err := dt.AppendTiles(tiles, st); err != nil {
+			t.Fatalf("AppendTiles: %v", err)
+		}
+	}
+	accesses := dirTestAccesses()
+	want := scanMultiset(dt, accesses)
+
+	// Concurrent scans race one compaction; every scan must see a
+	// complete, consistent generation (old or new).
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := scanMultiset(dt, accesses)
+			if len(got) != len(want) {
+				errs <- fmt.Sprintf("scan saw %d distinct rows, want %d", len(got), len(want))
+			}
+		}()
+	}
+	if _, err := dt.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if err := dt.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+	sameMultiset(t, "post-compact", scanMultiset(dt, accesses), want)
+}
+
+func TestDirTableCrashBeforeManifestRenameRecovers(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultLoaderConfig()
+	cfg.Tile.TileSize = 16
+	dt, err := OpenDirTable("t", dir, nil, cfg, 4, false)
+	if err != nil {
+		t.Fatalf("OpenDirTable: %v", err)
+	}
+	tiles, st := dirTestBatch(t, dirTestLines(0, 32))
+	if err := dt.AppendTiles(tiles, st); err != nil {
+		t.Fatalf("AppendTiles: %v", err)
+	}
+	accesses := dirTestAccesses()
+	want := scanMultiset(dt, accesses)
+
+	// Crash between segment write and manifest rename: the append
+	// fails, the orphan segment stays on disk (nothing runs after a
+	// real crash), and the committed generation is untouched.
+	manifest.Rename = func(oldpath, newpath string) error {
+		return fmt.Errorf("injected crash before rename")
+	}
+	tiles2, st2 := dirTestBatch(t, dirTestLines(1, 32))
+	err = dt.AppendTiles(tiles2, st2)
+	manifest.Rename = os.Rename
+	if err == nil {
+		t.Fatal("AppendTiles succeeded despite failing rename")
+	}
+	dt.Close()
+
+	orphans := 0
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if manifest.IsSegmentFileName(e.Name()) {
+			orphans++
+		}
+	}
+	if orphans != 2 {
+		t.Fatalf("%d segment files before recovery, want 2 (1 live + 1 orphan)", orphans)
+	}
+
+	dt2, err := OpenDirTable("t", dir, nil, cfg, 4, false)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer dt2.Close()
+	if dt2.NumSegments() != 1 || dt2.NumRows() != 32 {
+		t.Fatalf("recovered table: %d segments, %d rows; want 1, 32", dt2.NumSegments(), dt2.NumRows())
+	}
+	sameMultiset(t, "recovered", scanMultiset(dt2, accesses), want)
+
+	entries, _ = os.ReadDir(dir)
+	for _, e := range entries {
+		if manifest.IsSegmentFileName(e.Name()) && e.Name() != manifest.SegmentFileName(0) {
+			t.Fatalf("orphan %s survived recovery", e.Name())
+		}
+	}
+}
+
+func TestDirTableBackgroundCompaction(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultLoaderConfig()
+	cfg.Tile.TileSize = 16
+	dt, err := OpenDirTable("t", dir, nil, cfg, 2, true)
+	if err != nil {
+		t.Fatalf("OpenDirTable: %v", err)
+	}
+	for b := 0; b < 6; b++ {
+		tiles, st := dirTestBatch(t, dirTestLines(b, 32))
+		if err := dt.AppendTiles(tiles, st); err != nil {
+			t.Fatalf("AppendTiles: %v", err)
+		}
+	}
+	// Close waits out background compaction; afterwards the manifest
+	// must be internally consistent and reopenable.
+	if err := dt.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	dt2, err := OpenDirTable("t", dir, nil, cfg, 2, false)
+	if err != nil {
+		t.Fatalf("reopen after background compaction: %v", err)
+	}
+	defer dt2.Close()
+	if dt2.NumRows() != 6*32 {
+		t.Fatalf("NumRows = %d, want %d", dt2.NumRows(), 6*32)
+	}
+}
+
+func TestTierOf(t *testing.T) {
+	cases := []struct {
+		bytes int64
+		tier  int
+	}{
+		{0, 0}, {1 << 10, 0}, {63 << 10, 0},
+		{64 << 10, 1}, {255 << 10, 1},
+		{256 << 10, 2}, {1 << 20, 3},
+	}
+	for _, c := range cases {
+		if got := tierOf(c.bytes); got != c.tier {
+			t.Errorf("tierOf(%d) = %d, want %d", c.bytes, got, c.tier)
+		}
+	}
+}
+
+func TestDirTableEmpty(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "tbl")
+	cfg := DefaultLoaderConfig()
+	dt, err := OpenDirTable("t", dir, nil, cfg, 0, false)
+	if err != nil {
+		t.Fatalf("OpenDirTable: %v", err)
+	}
+	defer dt.Close()
+	if dt.NumRows() != 0 || dt.NumSegments() != 0 {
+		t.Fatalf("empty table: %d rows, %d segments", dt.NumRows(), dt.NumSegments())
+	}
+	if got := scanMultiset(dt, dirTestAccesses()); len(got) != 0 {
+		t.Fatalf("empty table scan returned %d rows", len(got))
+	}
+	if rounds, err := dt.Compact(); err != nil || rounds != 0 {
+		t.Fatalf("Compact on empty = %d, %v", rounds, err)
+	}
+	// The empty first generation is committed: a second open sees it.
+	dt2, err := OpenDirTable("t", dir, nil, cfg, 0, false)
+	if err != nil {
+		t.Fatalf("reopen empty: %v", err)
+	}
+	dt2.Close()
+}

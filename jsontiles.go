@@ -63,10 +63,16 @@ type Options struct {
 	// Workers bounds loading and query parallelism (0 = all CPUs).
 	Workers int
 	// CacheBytes bounds the buffer pool of tables opened from segment
-	// files (OpenSegment): decompressed block bytes kept resident
-	// across queries. 0 means the 64 MiB default; in-memory tables
-	// ignore it.
+	// files (OpenSegment) or table directories (OpenDir): decompressed
+	// block bytes kept resident across queries. 0 means the 64 MiB
+	// default; in-memory tables ignore it.
 	CacheBytes int64
+	// CompactFanIn is how many same-size-tier segments a directory-
+	// backed table (OpenDir) merges per compaction round. 0 selects
+	// the default (4); a negative value disables background
+	// compaction — segments then accumulate one per flush until
+	// Compact is called explicitly.
+	CompactFanIn int
 	// OnQueryDone, when set, receives a QueryStats after every
 	// Run/RunAnalyzed on this table's queries (slow-query logging,
 	// metrics export). Called synchronously before Run returns.
@@ -139,8 +145,8 @@ func LoadReader(name string, r io.Reader, opts Options) (*Table, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
 	for sc.Scan() {
-		line := sc.Bytes()
-		if len(trimSpace(line)) == 0 {
+		line := trimSpace(sc.Bytes())
+		if len(line) == 0 {
 			continue
 		}
 		docs = append(docs, append([]byte(nil), line...))
@@ -152,13 +158,21 @@ func LoadReader(name string, r io.Reader, opts Options) (*Table, error) {
 }
 
 func trimSpace(b []byte) []byte {
-	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t' || b[0] == '\r') {
+	for len(b) > 0 && isASCIISpace(b[0]) {
 		b = b[1:]
 	}
-	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t' || b[len(b)-1] == '\r') {
+	for len(b) > 0 && isASCIISpace(b[len(b)-1]) {
 		b = b[:len(b)-1]
 	}
 	return b
+}
+
+func isASCIISpace(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\r', '\v', '\f':
+		return true
+	}
+	return false
 }
 
 // New returns an empty table for incremental insertion. Documents are
@@ -183,24 +197,33 @@ func (t *Table) Insert(doc []byte) error {
 	}
 	t.pending = append(t.pending, v)
 	if len(t.pending) >= t.opts.TileSize*t.opts.PartitionSize {
-		t.Flush()
+		return t.Flush()
 	}
 	return nil
 }
 
-// Flush materializes pending documents into tiles.
-func (t *Table) Flush() {
+// Flush materializes pending documents into tiles. On an in-memory
+// table the new tiles are concatenated onto the relation; on a
+// directory-backed table (OpenDir) they are persisted as one new
+// segment and committed to the manifest — work proportional to the
+// pending documents, independent of table size.
+func (t *Table) Flush() error {
 	if len(t.pending) == 0 {
-		return
+		return nil
 	}
 	docs := t.pending
 	t.pending = nil
 	newRel := storage.BuildTiles(t.name, docs, t.opts.loaderConfig(), t.opts.workers(), t.metrics)
+	if dt, ok := t.rel.(*storage.DirTable); ok {
+		ti := newRel.(storage.TileIntrospector)
+		return dt.AppendTiles(ti.Tiles(), newRel.Stats())
+	}
 	if t.rel == nil || t.rel.NumRows() == 0 {
 		t.rel = newRel
-		return
+		return nil
 	}
 	t.rel = storage.Concat(t.name, t.rel, newRel)
+	return nil
 }
 
 // Name returns the table name.

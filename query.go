@@ -327,6 +327,9 @@ func (q *Query) buildPlan(analyze bool, sp *obs.Span) (engine.Operator, error) {
 			if tc, ok := sc.Rel.(storage.TileCounter); ok {
 				st.NumTiles = int64(tc.NumTiles())
 			}
+			if nc, ok := sc.Rel.(storage.SegmentCounter); ok {
+				st.SegmentsLive = int64(nc.NumSegments())
+			}
 			sc.Stats = st
 			tr.ScanStats = st
 		}

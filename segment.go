@@ -21,7 +21,9 @@ import (
 // inserts are flushed first. The write is atomic: the file appears
 // under its final name only when complete.
 func (t *Table) WriteSegment(path string) error {
-	t.Flush()
+	if err := t.Flush(); err != nil {
+		return err
+	}
 	if t.rel == nil {
 		return fmt.Errorf("jsontiles: table %q has no data to persist", t.name)
 	}
