@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	jsontiles "repro"
 	"repro/internal/bench"
 )
 
@@ -23,7 +24,17 @@ func main() {
 	flag.IntVar(&opts.Workers, "workers", 0, "scan/load parallelism (0 = all CPUs)")
 	flag.IntVar(&opts.Repeats, "repeats", opts.Repeats, "timed repetitions per measurement (median reported)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/queries, /debug/trace, and pprof on this address")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		addr, err := jsontiles.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jtbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "jtbench: debug server on http://%s\n", addr)
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {

@@ -26,7 +26,17 @@ func main() {
 	dir := flag.String("dir", "", "append the input to a multi-segment table directory (created if absent)")
 	compact := flag.Bool("compact", false, "with -dir: compact the table after appending")
 	verbose := flag.Bool("v", false, "print per-tile extracted columns")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/queries, /debug/trace, and pprof on this address")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		addr, err := jsontiles.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jtload:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "jtload: debug server on http://%s\n", addr)
+	}
 
 	opts := jsontiles.DefaultOptions()
 	opts.TileSize = *tileSize

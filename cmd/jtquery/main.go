@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	jsontiles "repro"
 	"repro/internal/obs"
@@ -28,6 +29,9 @@ func main() {
 	explain := flag.Bool("explain", false, "print the chosen plan without executing")
 	analyze := flag.Bool("analyze", false, "execute and print the plan with measured per-operator stats")
 	metrics := flag.Bool("metrics", false, "dump the process-wide metrics registry after the query")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/queries, /debug/trace, and pprof on this address")
+	serve := flag.Bool("serve", false, "with -debug-addr: keep re-running the query so the debug endpoints stay observable (ctrl-c to stop)")
+	slowMS := flag.Int("slow-ms", 0, "log queries slower than this many milliseconds as JSON lines on stderr")
 	flag.Parse()
 
 	selects := flag.Args()
@@ -36,9 +40,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *debugAddr != "" {
+		addr, err := jsontiles.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jtquery:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "jtquery: debug server on http://%s\n", addr)
+	}
+
 	opts := jsontiles.DefaultOptions()
 	opts.TileSize = *tileSize
 	opts.Workers = *workers
+	if *slowMS > 0 {
+		opts.SlowQueryThreshold = time.Duration(*slowMS) * time.Millisecond
+	}
 	var tbl *jsontiles.Table
 	var err error
 	switch {
@@ -117,6 +133,18 @@ func main() {
 		if _, err := obs.Default.WriteTo(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "jtquery:", err)
 			os.Exit(1)
+		}
+	}
+	if *serve {
+		// Keep the process observable: re-run the query forever so
+		// /debug/queries has in-flight entries and the histograms keep
+		// filling. CI smoke tests and interactive profiling use this.
+		fmt.Fprintln(os.Stderr, "jtquery: -serve: re-running query until interrupted")
+		for {
+			if _, err := q.Run(); err != nil {
+				fmt.Fprintln(os.Stderr, "jtquery:", err)
+				os.Exit(1)
+			}
 		}
 	}
 }

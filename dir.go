@@ -29,9 +29,8 @@ import (
 // Concurrent queries during Flush, Compact, and Close are safe — each
 // query pins the segment generation it started with.
 func OpenDir(name, dir string, opts Options) (*Table, error) {
-	if opts.TileSize == 0 {
-		opts = DefaultOptions()
-	}
+	opts = opts.withDefaults()
+	maybeServeDebug(opts.DebugAddr)
 	pool := bufpool.New(opts.CacheBytes)
 	fanIn := opts.CompactFanIn
 	auto := fanIn >= 0

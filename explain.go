@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/xxhash"
 )
 
 // PlanNode is one operator of a query plan. A node from Explain
@@ -105,6 +106,12 @@ type QueryStats struct {
 	RowsReturned int64
 	// Analyzed reports whether per-operator statistics were collected.
 	Analyzed bool
+	// QueryID is the live-query registry's ID for this execution;
+	// PlanDigest is a stable 64-bit hash of the plan shape (hex), the
+	// key used to correlate slow-query log lines, /debug/queries rows,
+	// and trace-ring entries of the same query template.
+	QueryID    uint64
+	PlanDigest string
 	// DictKernelShortcuts counts predicate kernels that evaluated in
 	// dictionary code space during this query's execution window;
 	// DictGroupByBatches counts batches aggregated through the
@@ -135,11 +142,38 @@ func (s QueryStats) String() string {
 // order, cardinality estimates, pushed-down filters — without
 // executing it.
 func (q *Query) Explain() (*PlanNode, error) {
-	root, err := q.buildPlan(true, nil)
+	root, err := q.buildPlan(true, nil, nil)
 	if err != nil {
 		return nil, err
 	}
 	return planNode(root, false), nil
+}
+
+// planDigest hashes the plan's shape — operator kinds, details, and
+// tree structure, not runtime statistics — so repeated executions of
+// the same query template share one digest.
+func planDigest(root engine.Operator) string {
+	var sb strings.Builder
+	digestWalk(&sb, root)
+	return fmt.Sprintf("%016x", xxhash.Sum64([]byte(sb.String())))
+}
+
+func digestWalk(sb *strings.Builder, op engine.Operator) {
+	if tr, ok := op.(*engine.Traced); ok {
+		fmt.Fprintf(sb, "%s(%s)", tr.Label, tr.Detail)
+		sb.WriteByte('[')
+		digestWalk(sb, tr.In)
+		sb.WriteByte(']')
+		return
+	}
+	n := describeOperator(op)
+	fmt.Fprintf(sb, "%s(%s)", n.Op, n.Detail)
+	sb.WriteByte('[')
+	for _, in := range engine.Inputs(op) {
+		digestWalk(sb, in)
+		sb.WriteByte(';')
+	}
+	sb.WriteByte(']')
 }
 
 // RunAnalyzed executes the query with per-operator instrumentation and

@@ -51,6 +51,8 @@ type compactReport struct {
 	CompactionsRun   int64          `json:"compactions_run"`
 	BytesRewritten   int64          `json:"compaction_bytes_rewritten"`
 	DirBytes         int            `json:"dir_bytes"`
+	// Metrics is the process-wide instrument delta over the experiment.
+	Metrics obs.Snapshot `json:"metrics"`
 }
 
 // compactExp — multi-segment tables: lineitem is loaded in 8
@@ -64,6 +66,7 @@ type compactReport struct {
 func compactExp(w io.Writer, c *Context) error {
 	const numBatches = 8
 	workers := c.Opts.workers()
+	metricsBase := obs.Default.Snapshot()
 	lines := c.lineitemLines()
 
 	root, err := os.MkdirTemp("", "jtbench-compact")
@@ -189,6 +192,7 @@ func compactExp(w io.Writer, c *Context) error {
 		report.SegmentsBefore, report.SegmentsAfter, report.CompactionRounds,
 		report.CompactionsRun, report.BytesRewritten, report.DirBytes)
 
+	report.Metrics = obs.Default.Snapshot().Diff(metricsBase)
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -34,6 +34,8 @@ type dictReport struct {
 	Workers     int          `json:"workers"`
 	DictColumns int64        `json:"dict_columns_built"`
 	Results     []dictResult `json:"results"`
+	// Metrics is the process-wide instrument delta over the experiment.
+	Metrics obs.Snapshot `json:"metrics"`
 }
 
 // dictLogLines synthesizes a log-analytics workload dominated by
@@ -114,6 +116,7 @@ func dictQueries() []struct {
 // same pipelines over both, recording the baseline to BENCH_dict.json.
 func dictExp(w io.Writer, c *Context) error {
 	workers := c.Opts.workers()
+	metricsBase := obs.Default.Snapshot()
 	lines := c.dictLogLines()
 
 	arenaCfg := tile.DefaultConfig()
@@ -146,6 +149,7 @@ func dictExp(w io.Writer, c *Context) error {
 	}
 	t.write(w)
 
+	report.Metrics = obs.Default.Snapshot().Diff(metricsBase)
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/bufpool"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -35,6 +36,8 @@ type segReport struct {
 	RawJSONBytes int64       `json:"raw_json_bytes"`
 	SegVsRawJSON float64     `json:"segment_vs_raw_json"`
 	Results      []segResult `json:"results"`
+	// Metrics is the process-wide instrument delta over the experiment.
+	Metrics obs.Snapshot `json:"metrics"`
 }
 
 // segExp — segment persistence: the vec experiment's pipelines over
@@ -45,6 +48,7 @@ type segReport struct {
 // baseline to BENCH_segment.json.
 func segExp(w io.Writer, c *Context) error {
 	workers := c.Opts.workers()
+	metricsBase := obs.Default.Snapshot()
 	lines := c.lineitemLines()
 	rel := c.relation("tpch-lineitem", storage.KindTiles, c.lineitemLines)
 
@@ -103,6 +107,7 @@ func segExp(w io.Writer, c *Context) error {
 	fmt.Fprintf(w, "segment %d B, raw JSON %d B (%.0f%%)\n",
 		report.SegmentBytes, report.RawJSONBytes, 100*report.SegVsRawJSON)
 
+	report.Metrics = obs.Default.Snapshot().Diff(metricsBase)
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -10,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/expr"
 	"repro/internal/exprparse"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -31,6 +32,10 @@ type vecReport struct {
 	Rows     int         `json:"rows"`
 	Workers  int         `json:"workers"`
 	Results  []vecResult `json:"results"`
+	// Metrics is the process-wide instrument delta over the experiment
+	// (counters, gauges, histograms) — what the run cost in engine
+	// terms, not just wall clock.
+	Metrics obs.Snapshot `json:"metrics"`
 }
 
 // vecQueries are the micro-pipelines both paths execute: scan+filter,
@@ -84,6 +89,7 @@ func vecQueries() []struct {
 // BENCH_vectorized.json.
 func vecExp(w io.Writer, c *Context) error {
 	workers := c.Opts.workers()
+	metricsBase := obs.Default.Snapshot()
 	rel := c.relation("tpch-lineitem", storage.KindTiles, c.lineitemLines)
 	rowRel := storage.RowOnly(rel)
 
@@ -105,6 +111,7 @@ func vecExp(w io.Writer, c *Context) error {
 	}
 	t.write(w)
 
+	report.Metrics = obs.Default.Snapshot().Diff(metricsBase)
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

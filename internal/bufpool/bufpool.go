@@ -15,6 +15,8 @@ package bufpool
 
 import (
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Key identifies one block: a pool-unique file ID (assigned by
@@ -163,6 +165,7 @@ func (p *Pool) Get(key Key, load func() ([]byte, error)) (*Handle, error) {
 		p.entries[key] = e
 		p.ring = append(p.ring, e)
 		p.resident += int64(len(e.bytes))
+		obs.BufpoolBytes.Add(float64(len(e.bytes)))
 		p.evictLocked()
 		p.mu.Unlock()
 		close(f.done)
@@ -194,6 +197,7 @@ func (p *Pool) evictLocked() {
 			e.dead = true
 			delete(p.entries, e.key)
 			p.resident -= int64(len(e.bytes))
+			obs.BufpoolBytes.Add(-float64(len(e.bytes)))
 			p.evictions++
 			// Compact in place: move the last entry into the hole.
 			last := len(p.ring) - 1
@@ -230,6 +234,7 @@ func (p *Pool) DropFile(file uint64) {
 		if e.key.File == file && e.pins == 0 {
 			delete(p.entries, e.key)
 			p.resident -= int64(len(e.bytes))
+			obs.BufpoolBytes.Add(-float64(len(e.bytes)))
 			e.dead = true
 			continue
 		}

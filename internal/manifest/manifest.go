@@ -25,7 +25,9 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/xxhash"
 )
 
@@ -149,6 +151,7 @@ func Decode(b []byte) (*Manifest, error) {
 // FileName. On return with a nil error the generation is durable; on
 // any error the previous generation is untouched.
 func Commit(dir string, m *Manifest) error {
+	start := time.Now()
 	path := filepath.Join(dir, FileName)
 	tmp := path + tmpSuffix
 	f, err := os.Create(tmp)
@@ -174,6 +177,7 @@ func Commit(dir string, m *Manifest) error {
 		return err
 	}
 	syncDir(dir)
+	obs.ManifestCommitSeconds.ObserveSince(start)
 	return nil
 }
 

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Gauge is a point-in-time value: bytes resident in a cache, live
+// segments, queries in flight. Unlike a Counter it can go down, and
+// unlike a Counter it is a float64 so ratios (bufpool hit rate) fit
+// the same instrument. All methods are nil-safe, matching Counter.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by delta (negative to decrease). Levels
+// maintained by multiple writers — e.g. resident bytes across several
+// buffer pools — Add their deltas so the gauge tracks the global sum.
+func (g *Gauge) Add(delta float64) {
+	if g == nil || delta == 0 {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}

@@ -1,15 +1,18 @@
 // Package obs is the observability layer of the engine: atomic
-// counters aggregated in a process-wide Registry, a nil-safe span
-// tracer for wall-time breakdowns, and the per-scan statistics the
-// query path fills for EXPLAIN ANALYZE. Everything here is designed to
-// stay off the hot path: counters are batched per tile or chunk before
-// one atomic add, and a nil *Span makes the whole tracing API a no-op.
+// counters, gauges, and histograms aggregated in a process-wide
+// Registry, a nil-safe span tracer for wall-time breakdowns, a
+// live-query registry for in-flight progress, and the per-scan
+// statistics the query path fills for EXPLAIN ANALYZE. Everything
+// here is designed to stay off the hot path: counters are batched per
+// tile or chunk before one atomic add, histograms are two atomic adds
+// and a CAS, and a nil *Span makes the whole tracing API a no-op.
 package obs
 
 import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -38,17 +41,24 @@ func (c *Counter) Load() int64 {
 	return c.v.Load()
 }
 
-// Registry is a named collection of counters. Counters are created on
-// first use and live for the lifetime of the registry; reads never
-// block writers (counter updates are lock-free once obtained).
+// Registry is a named collection of counters, gauges, and histograms.
+// Instruments are created on first use and live for the lifetime of
+// the registry; reads never block writers (instrument updates are
+// lock-free once obtained).
 type Registry struct {
-	mu       sync.RWMutex
-	counters map[string]*Counter
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: map[string]*Counter{}}
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
 }
 
 // Counter returns the counter registered under name, creating it if
@@ -71,59 +81,195 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
-// Snapshot is a point-in-time copy of every counter value.
-type Snapshot map[string]int64
+// Gauge returns the gauge registered under name, creating it if
+// needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
 
-// Snapshot copies the current counter values.
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket bounds if needed (nil bounds select
+// DurationBuckets). The first registration fixes the bounds; later
+// calls return the existing histogram regardless of bounds.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[name]; ok {
+		return h
+	}
+	h = NewHistogram(bounds)
+	r.histograms[name] = h
+	return h
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]float64      `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the current instrument values.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	s := make(Snapshot, len(r.counters))
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistSnapshot, len(r.histograms)),
+	}
 	for name, c := range r.counters {
-		s[name] = c.Load()
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
 	}
 	return s
 }
 
-// Diff returns s minus base, counter by counter (counters absent from
-// base count from zero).
+// Diff returns s minus base, instrument by instrument. Names absent
+// from base count from zero; names present only in base are emitted
+// as negative values (a counter that vanished — fresh registry,
+// renamed instrument — still shows up in the delta instead of being
+// silently dropped).
 func (s Snapshot) Diff(base Snapshot) Snapshot {
-	out := make(Snapshot, len(s))
-	for name, v := range s {
-		out[name] = v - base[name]
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]HistSnapshot, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = v - base.Counters[name]
+	}
+	for name, v := range base.Counters {
+		if _, ok := s.Counters[name]; !ok {
+			out.Counters[name] = -v
+		}
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v - base.Gauges[name]
+	}
+	for name, v := range base.Gauges {
+		if _, ok := s.Gauges[name]; !ok {
+			out.Gauges[name] = -v
+		}
+	}
+	for name, v := range s.Histograms {
+		out.Histograms[name] = v.Diff(base.Histograms[name])
+	}
+	for name, v := range base.Histograms {
+		if _, ok := s.Histograms[name]; !ok {
+			out.Histograms[name] = v.Neg()
+		}
 	}
 	return out
 }
 
-// Get returns the snapshot value for name (0 when absent).
-func (s Snapshot) Get(name string) int64 { return s[name] }
+// Get returns the snapshot counter value for name (0 when absent).
+func (s Snapshot) Get(name string) int64 { return s.Counters[name] }
 
-// WriteTo exports every counter as "name value" lines in sorted order
-// (expvar-style text format), implementing io.WriterTo.
+// GaugeVal returns the snapshot gauge value for name (0 when absent).
+func (s Snapshot) GaugeVal(name string) float64 { return s.Gauges[name] }
+
+// Hist returns the snapshot of the named histogram (zero when
+// absent).
+func (s Snapshot) Hist(name string) HistSnapshot { return s.Histograms[name] }
+
+// WriteTo exports every instrument in Prometheus text exposition
+// format, implementing io.WriterTo.
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	return r.Snapshot().WriteTo(w)
 }
 
-// WriteTo exports the snapshot as sorted "name value" lines.
+// WriteTo exports the snapshot in Prometheus text exposition format:
+// one "# TYPE" line per metric followed by its samples, histograms as
+// cumulative _bucket series plus _sum and _count, all sorted by
+// metric name.
 func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
-	names := make([]string, 0, len(s))
-	for name := range s {
+	var total int64
+	emit := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	var total int64
 	for _, name := range names {
-		n, err := fmt.Fprintf(w, "%s %d\n", name, s[name])
-		total += int64(n)
-		if err != nil {
+		if err := emit("# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
+			return total, err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := emit("# TYPE %s gauge\n%s %s\n", name, name, formatFloat(s.Gauges[name])); err != nil {
+			return total, err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		if err := emit("# TYPE %s histogram\n", name); err != nil {
+			return total, err
+		}
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			if err := emit("%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum); err != nil {
+				return total, err
+			}
+		}
+		if err := emit("%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			name, h.Count, name, formatFloat(h.Sum), name, h.Count); err != nil {
 			return total, err
 		}
 	}
 	return total, nil
 }
 
-// Default is the process-wide registry every scan and load reports
-// into.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Default is the process-wide registry every scan, load, and query
+// reports into.
 var Default = NewRegistry()
 
 // The standard engine counters (see README "Observability" for the
@@ -190,10 +336,6 @@ var (
 
 // Multi-segment table store counters (manifest + compaction).
 var (
-	// SegmentsLive tracks the number of currently open segments across
-	// all directory-backed tables (a gauge: opens add, closes and
-	// compaction drops subtract).
-	SegmentsLive = Default.Counter("segments_live")
 	// CompactionsRun counts completed compaction rounds (each merges
 	// one group of segments into a larger one).
 	CompactionsRun = Default.Counter("compactions_run")
@@ -205,4 +347,49 @@ var (
 	// garbage-collect leftovers of an interrupted commit (orphaned
 	// segments or half-written manifests).
 	ManifestRecoveries = Default.Counter("manifest_recoveries")
+)
+
+// Point-in-time gauges.
+var (
+	// SegmentsLive tracks the number of currently open segments across
+	// all directory-backed tables (opens add, closes and compaction
+	// drops subtract).
+	SegmentsLive = Default.Gauge("segments_live")
+	// QueriesActive is the number of queries currently executing
+	// (mirrors the live-query registry's size).
+	QueriesActive = Default.Gauge("queries_active")
+	// BufpoolBytes is the total decompressed payload bytes resident
+	// across every buffer pool in the process.
+	BufpoolBytes = Default.Gauge("bufpool_bytes")
+	// BufpoolHitRatio is hits/(hits+misses) over all pool lookups so
+	// far (0 before the first lookup). Refreshed after every scan.
+	BufpoolHitRatio = Default.Gauge("bufpool_hit_ratio")
+	// CompactionBacklog is the number of segments currently eligible
+	// for compaction (members of tiers holding at least fan-in
+	// segments), summed over all directory tables.
+	CompactionBacklog = Default.Gauge("compaction_backlog")
+)
+
+// Latency and size distributions.
+var (
+	// QueryWallSeconds, QueryPlanSeconds, and QueryExecSeconds are the
+	// end-to-end, optimizer, and execution latency distributions over
+	// every Run/RunAnalyzed in the process.
+	QueryWallSeconds = Default.Histogram("query_wall_seconds", DurationBuckets)
+	QueryPlanSeconds = Default.Histogram("query_plan_seconds", DurationBuckets)
+	QueryExecSeconds = Default.Histogram("query_exec_seconds", DurationBuckets)
+	// QueryRowsReturned is the result-size distribution.
+	QueryRowsReturned = Default.Histogram("query_rows_returned", ExpBuckets(1, 4, 12))
+	// CompactionSeconds is the duration distribution of compaction
+	// rounds (merge + manifest publish).
+	CompactionSeconds = Default.Histogram("compaction_seconds", DurationBuckets)
+	// SegmentWriteSeconds and SegmentOpenSeconds time segment-file
+	// writes (flush, merge) and metadata-only opens.
+	SegmentWriteSeconds = Default.Histogram("segment_write_seconds", DurationBuckets)
+	SegmentOpenSeconds  = Default.Histogram("segment_open_seconds", DurationBuckets)
+	// SegmentWriteBytes is the size distribution of written segments.
+	SegmentWriteBytes = Default.Histogram("segment_write_bytes", SizeBuckets)
+	// ManifestCommitSeconds times durable manifest commits
+	// (write + fsync + rename + dir sync).
+	ManifestCommitSeconds = Default.Histogram("manifest_commit_seconds", DurationBuckets)
 )

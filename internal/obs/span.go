@@ -66,6 +66,14 @@ func (s *Span) SetDuration(d time.Duration) {
 	s.mu.Unlock()
 }
 
+// StartTime returns when the span started (zero on nil).
+func (s *Span) StartTime() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
 // Name returns the span name ("" on nil).
 func (s *Span) Name() string {
 	if s == nil {

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// QueryTrace is one completed query's span tree, retained in the
+// trace ring for post-hoc inspection (/debug/trace).
+type QueryTrace struct {
+	ID     uint64
+	Digest string
+	Root   *Span
+}
+
+// TraceRing is a fixed-capacity ring buffer of recent query traces.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []QueryTrace
+	next int
+	n    int
+}
+
+// NewTraceRing returns a ring retaining the last capacity traces.
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRing{buf: make([]QueryTrace, capacity)}
+}
+
+// Traces is the process-wide ring of recent query traces.
+var Traces = NewTraceRing(128)
+
+// Add records a completed trace, evicting the oldest when full.
+func (t *TraceRing) Add(qt QueryTrace) {
+	t.mu.Lock()
+	t.buf[t.next] = qt
+	t.next = (t.next + 1) % len(t.buf)
+	if t.n < len(t.buf) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// Last returns up to n most recent traces, oldest first (n <= 0 means
+// everything retained).
+func (t *TraceRing) Last(n int) []QueryTrace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || n > t.n {
+		n = t.n
+	}
+	out := make([]QueryTrace, 0, n)
+	start := t.next - n
+	if start < 0 {
+		start += len(t.buf)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, t.buf[(start+i)%len(t.buf)])
+	}
+	return out
+}
+
+// WriteChromeTrace exports the traces as Chrome trace-event JSON (the
+// format chrome://tracing and Perfetto load): one complete ("X")
+// event per span, query id as the thread id, timestamps in
+// microseconds since the Unix epoch.
+func WriteChromeTrace(w io.Writer, traces []QueryTrace) error {
+	if _, err := io.WriteString(w, "{\"traceEvents\":["); err != nil {
+		return err
+	}
+	first := true
+	for _, qt := range traces {
+		if err := writeChromeSpan(w, qt, qt.Root, &first); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}
+
+func writeChromeSpan(w io.Writer, qt QueryTrace, s *Span, first *bool) error {
+	if s == nil {
+		return nil
+	}
+	sep := ","
+	if *first {
+		sep = ""
+		*first = false
+	}
+	name := s.Name()
+	if s == qt.Root && qt.Digest != "" {
+		name = fmt.Sprintf("%s %s", name, qt.Digest)
+	}
+	_, err := fmt.Fprintf(w, `%s{"name":%q,"ph":"X","pid":1,"tid":%d,"ts":%d,"dur":%d,"args":{"query_id":%d}}`,
+		sep, escapeName(name), qt.ID,
+		s.StartTime().UnixMicro(), s.Duration().Microseconds(), qt.ID)
+	if err != nil {
+		return err
+	}
+	for _, c := range s.Children() {
+		if err := writeChromeSpan(w, qt, c, first); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func escapeName(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r < 0x20 {
+			return ' '
+		}
+		return r
+	}, s)
+}

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -22,6 +24,7 @@ import (
 // renamed into place, so a crashed merge never leaves a half-segment
 // under the target name.
 func MergeFiles(path string, srcs []*Reader) (int64, error) {
+	start := time.Now()
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -42,6 +45,8 @@ func MergeFiles(path string, srcs []*Reader) (int64, error) {
 		os.Remove(tmp)
 		return 0, err
 	}
+	obs.SegmentWriteSeconds.ObserveSince(start)
+	obs.SegmentWriteBytes.Observe(float64(n))
 	return n, nil
 }
 

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/bufpool"
 	"repro/internal/column"
 	"repro/internal/lz4"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/xxhash"
 )
@@ -41,6 +43,7 @@ type ReadInfo struct {
 // and relation statistics are then in memory, and data blocks load
 // lazily through the pool. The returned Reader owns the file handle.
 func Open(path string, pool *bufpool.Pool) (*Reader, error) {
+	start := time.Now()
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -50,6 +53,7 @@ func Open(path string, pool *bufpool.Pool) (*Reader, error) {
 		f.Close()
 		return nil, err
 	}
+	obs.SegmentOpenSeconds.ObserveSince(start)
 	return r, nil
 }
 

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/bloom"
 	"repro/internal/column"
 	"repro/internal/keypath"
 	"repro/internal/lz4"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/tile"
 	"repro/internal/xxhash"
@@ -21,6 +23,7 @@ import (
 // and renamed into place so a crashed write never leaves a
 // half-segment under the target name.
 func WriteFile(path string, tiles []*tile.Tile, st *stats.TableStats) error {
+	start := time.Now()
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -36,11 +39,20 @@ func WriteFile(path string, tiles []*tile.Tile, st *stats.TableStats) error {
 		os.Remove(tmp)
 		return err
 	}
+	var size int64
+	if fi, err := f.Stat(); err == nil {
+		size = fi.Size()
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	obs.SegmentWriteSeconds.ObserveSince(start)
+	obs.SegmentWriteBytes.Observe(float64(size))
+	return nil
 }
 
 // Write serializes the tiles and statistics as one segment stream:

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bufpool"
 	"repro/internal/keypath"
@@ -67,6 +68,8 @@ type DirTable struct {
 	statsCache  *stats.TableStats
 	evictionsMu sync.Mutex
 	lastEvict   int64
+	backlogMu   sync.Mutex
+	lastBacklog int64
 
 	errMu sync.Mutex
 	err   error
@@ -185,7 +188,8 @@ func OpenDirTable(name, dir string, pool *bufpool.Pool, cfg LoaderConfig, fanIn 
 		ls.refs.Store(1)
 		t.segs = append(t.segs, ls)
 	}
-	obs.SegmentsLive.Add(int64(len(t.segs)))
+	obs.SegmentsLive.Add(float64(len(t.segs)))
+	t.updateBacklogGauge()
 	return t, nil
 }
 
@@ -376,6 +380,7 @@ func (t *DirTable) flushPoolCounters() {
 	t.lastEvict = ps.Evictions
 	t.evictionsMu.Unlock()
 	obs.BufpoolEvictions.Add(delta)
+	updateHitRatioGauge()
 }
 
 // AppendTiles persists the tiles (with their relation statistics) as
@@ -426,11 +431,36 @@ func (t *DirTable) AppendTiles(tiles []*tile.Tile, st *stats.TableStats) error {
 		return err
 	}
 	obs.SegmentsLive.Add(1)
+	t.updateBacklogGauge()
 	t.invalidateStats()
 	if t.auto {
 		t.compactAsync()
 	}
 	return nil
+}
+
+// updateBacklogGauge refreshes this table's contribution to the
+// process-wide compaction-backlog gauge: the number of live segments
+// sitting in tiers that have reached the compaction fan-in. Deltas
+// are added (not Set) so tables sharing the gauge sum correctly.
+func (t *DirTable) updateBacklogGauge() {
+	t.mu.Lock()
+	byTier := map[int]int{}
+	for _, ls := range t.segs {
+		byTier[tierOf(ls.bytes)]++
+	}
+	backlog := 0
+	for _, n := range byTier {
+		if n >= t.fanIn {
+			backlog += n
+		}
+	}
+	t.mu.Unlock()
+	t.backlogMu.Lock()
+	delta := int64(backlog) - t.lastBacklog
+	t.lastBacklog = int64(backlog)
+	t.backlogMu.Unlock()
+	obs.CompactionBacklog.Add(float64(delta))
 }
 
 // commitGeneration clones the current manifest, applies edit, commits
@@ -557,6 +587,7 @@ func (t *DirTable) pickCompaction() []*liveSeg {
 // readable throughout: in-flight scans hold pins, and files are
 // deleted only when the last pin drops.
 func (t *DirTable) compactOnce() (bool, error) {
+	start := time.Now()
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -655,9 +686,11 @@ func (t *DirTable) compactOnce() (bool, error) {
 		ls.drop.Store(true)
 		ls.release()
 	}
-	obs.SegmentsLive.Add(1 - int64(len(group)))
+	obs.SegmentsLive.Add(float64(1 - len(group)))
 	obs.CompactionsRun.Add(1)
 	obs.CompactionBytesRewritten.Add(n)
+	obs.CompactionSeconds.ObserveSince(start)
+	t.updateBacklogGauge()
 	t.invalidateStats()
 	return true, nil
 }
@@ -682,6 +715,7 @@ func (t *DirTable) Close() error {
 	for _, ls := range segs {
 		ls.release()
 	}
-	obs.SegmentsLive.Add(-int64(len(segs)))
+	obs.SegmentsLive.Add(-float64(len(segs)))
+	t.updateBacklogGauge()
 	return nil
 }

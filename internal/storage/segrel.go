@@ -141,6 +141,16 @@ func (r *segRelation) flushPoolCounters(_ *obs.ScanStats) {
 	r.lastEvictions = ps.Evictions
 	r.mu.Unlock()
 	obs.BufpoolEvictions.Add(delta)
+	updateHitRatioGauge()
+}
+
+// updateHitRatioGauge refreshes the process-wide pool hit-ratio gauge
+// from the global hit/miss counters (exact across all pools).
+func updateHitRatioGauge() {
+	hits, misses := obs.BufpoolHits.Load(), obs.BufpoolMisses.Load()
+	if total := hits + misses; total > 0 {
+		obs.BufpoolHitRatio.Set(float64(hits) / float64(total))
+	}
 }
 
 // scanSource implementation.

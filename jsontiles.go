@@ -75,8 +75,44 @@ type Options struct {
 	CompactFanIn int
 	// OnQueryDone, when set, receives a QueryStats after every
 	// Run/RunAnalyzed on this table's queries (slow-query logging,
-	// metrics export). Called synchronously before Run returns.
+	// metrics export). Called synchronously before Run returns. On a
+	// multi-table query the hook of the first table (in add order)
+	// that sets one fires, once per query.
 	OnQueryDone func(QueryStats)
+	// SlowQueryThreshold, when positive, instruments every query on
+	// this table like RunAnalyzed and writes one JSON line to
+	// SlowQueryLog for each query whose wall time reaches the
+	// threshold. On a multi-table query the first table (in add
+	// order) with a positive threshold provides both settings.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives slow-query lines (default os.Stderr).
+	// Writes are serialized process-wide, so one line never
+	// interleaves with another even across tables.
+	SlowQueryLog io.Writer
+	// DebugAddr, when non-empty, starts the process-wide debug HTTP
+	// server on that address (once; later tables reuse it) serving
+	// /metrics, /debug/queries, /debug/trace, and net/http/pprof.
+	// Equivalent to calling ServeDebug directly.
+	DebugAddr string
+}
+
+// withDefaults substitutes DefaultOptions for the tile-layout fields
+// when the caller left TileSize zero, while preserving the runtime
+// fields (workers, cache, compaction, hooks, slow-query logging,
+// DebugAddr) the caller may have set without picking a layout.
+func (o Options) withDefaults() Options {
+	if o.TileSize != 0 {
+		return o
+	}
+	def := DefaultOptions()
+	def.Workers = o.Workers
+	def.CacheBytes = o.CacheBytes
+	def.CompactFanIn = o.CompactFanIn
+	def.OnQueryDone = o.OnQueryDone
+	def.SlowQueryThreshold = o.SlowQueryThreshold
+	def.SlowQueryLog = o.SlowQueryLog
+	def.DebugAddr = o.DebugAddr
+	return def
 }
 
 // DefaultOptions returns the paper's recommended settings.
@@ -127,9 +163,8 @@ type Table struct {
 // Load parses and ingests a batch of JSON documents (one document per
 // element) into a new table.
 func Load(name string, docs [][]byte, opts Options) (*Table, error) {
-	if opts.TileSize == 0 {
-		opts = DefaultOptions()
-	}
+	opts = opts.withDefaults()
+	maybeServeDebug(opts.DebugAddr)
 	m := &tile.Metrics{}
 	loader := storage.NewTilesLoader(opts.loaderConfig(), m)
 	rel, err := loader.Load(name, docs, opts.workers())
@@ -179,9 +214,8 @@ func isASCIISpace(c byte) bool {
 // buffered and materialized into tiles partition by partition; call
 // Flush to force pending documents into tiles.
 func New(name string, opts Options) *Table {
-	if opts.TileSize == 0 {
-		opts = DefaultOptions()
-	}
+	opts = opts.withDefaults()
+	maybeServeDebug(opts.DebugAddr)
 	m := &tile.Metrics{}
 	return &Table{name: name, opts: opts, rel: storage.BuildTiles(name, nil, opts.loaderConfig(), 1, m), metrics: m}
 }

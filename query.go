@@ -2,6 +2,8 @@ package jsontiles
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"repro/internal/dates"
@@ -301,12 +303,23 @@ func (q *Query) Run() (*Result, error) {
 	return res, err
 }
 
-// buildPlan assembles the operator tree. With analyze set, every
-// constructed operator is wrapped in an engine.Traced node measuring
-// wall time and row counts, and scans get per-scan tile counters —
-// the plain Run path constructs no wrappers and pays nothing. sp (may
-// be nil) receives a child span for the optimizer's plan search.
-func (q *Query) buildPlan(analyze bool, sp *obs.Span) (engine.Operator, error) {
+// planScans collects what the live-query registry needs from plan
+// construction: every scan's per-scan statistics (progress is read
+// from them while the query runs) and the scanned table names.
+type planScans struct {
+	stats  []*obs.ScanStats
+	tables []string
+}
+
+// buildPlan assembles the operator tree. Scans always receive
+// per-scan statistics (they feed the live-query registry and cost a
+// few batched atomic adds per tile). With instrument set, every
+// constructed operator is additionally wrapped in an engine.Traced
+// node measuring wall time and row counts — the plain Run path
+// constructs no wrappers and pays nothing beyond the scan counters.
+// sp (may be nil) receives a child span for the optimizer's plan
+// search.
+func (q *Query) buildPlan(instrument bool, sp *obs.Span, scans *planScans) (engine.Operator, error) {
 	if q.err != nil {
 		return nil, q.err
 	}
@@ -315,15 +328,9 @@ func (q *Query) buildPlan(analyze bool, sp *obs.Span) (engine.Operator, error) {
 	}
 
 	wrap := func(op engine.Operator, label, detail string, est float64) engine.Operator {
-		if !analyze {
-			return op
-		}
-		if sc, ok := op.(*engine.Scan); ok && sc.BatchCapable() {
-			detail += " [vectorized]"
-		}
-		tr := engine.NewTraced(label, detail, est, op)
+		var st *obs.ScanStats
 		if sc, ok := op.(*engine.Scan); ok {
-			st := &obs.ScanStats{}
+			st = &obs.ScanStats{}
 			if tc, ok := sc.Rel.(storage.TileCounter); ok {
 				st.NumTiles = int64(tc.NumTiles())
 			}
@@ -331,8 +338,19 @@ func (q *Query) buildPlan(analyze bool, sp *obs.Span) (engine.Operator, error) {
 				st.SegmentsLive = int64(nc.NumSegments())
 			}
 			sc.Stats = st
-			tr.ScanStats = st
+			if scans != nil {
+				scans.stats = append(scans.stats, st)
+				scans.tables = append(scans.tables, sc.Rel.Name())
+			}
 		}
+		if !instrument {
+			return op
+		}
+		if sc, ok := op.(*engine.Scan); ok && sc.BatchCapable() {
+			detail += " [vectorized]"
+		}
+		tr := engine.NewTraced(label, detail, est, op)
+		tr.ScanStats = st
 		return tr
 	}
 
@@ -367,10 +385,7 @@ func (q *Query) buildPlan(analyze bool, sp *obs.Span) (engine.Operator, error) {
 		root = wrap(scan, "Scan", detail, float64(specs[0].Rel.NumRows()))
 		slotOf = func(global int) int { return global }
 	} else {
-		oq := optimizer.Query{Tables: specs, Joins: q.joins}
-		if analyze {
-			oq.Instrument = wrap
-		}
+		oq := optimizer.Query{Tables: specs, Joins: q.joins, Instrument: wrap}
 		psp := sp.Child("plan")
 		op, m, err := optimizer.Plan(oq)
 		psp.End()
@@ -453,24 +468,56 @@ func (q *Query) buildPlan(analyze bool, sp *obs.Span) (engine.Operator, error) {
 	return root, nil
 }
 
+// resolveHooks resolves the per-query observation options across the
+// query's tables. The rule: the first table — in the order tables
+// were added to the query (the root table, then joined tables in call
+// order) — that sets OnQueryDone provides the hook, and likewise the
+// first table that sets SlowQueryThreshold provides the slow-query
+// configuration. A multi-table query therefore fires a hook set on
+// any of its tables, not just the first.
+func (q *Query) resolveHooks() (hook func(QueryStats), slowThr time.Duration, slowLog io.Writer) {
+	for _, qt := range q.tables {
+		if qt.table == nil {
+			continue
+		}
+		if hook == nil && qt.table.opts.OnQueryDone != nil {
+			hook = qt.table.opts.OnQueryDone
+		}
+		if slowThr == 0 && qt.table.opts.SlowQueryThreshold > 0 {
+			slowThr = qt.table.opts.SlowQueryThreshold
+			slowLog = qt.table.opts.SlowQueryLog
+		}
+	}
+	if slowThr > 0 && slowLog == nil {
+		slowLog = os.Stderr
+	}
+	return hook, slowThr, slowLog
+}
+
 // run executes the query, optionally with per-operator analysis.
+// Every execution — analyzed or not — registers in the live-query
+// registry, folds its wall/plan/exec times into the latency
+// histograms, and leaves its span tree in the trace ring.
 func (q *Query) run(analyze bool) (*Result, *QueryStats, error) {
-	sp := (*obs.Span)(nil)
-	var hook func(QueryStats)
-	if len(q.tables) > 0 && q.tables[0].table != nil {
-		hook = q.tables[0].table.opts.OnQueryDone
-	}
-	if analyze || hook != nil {
-		sp = obs.StartSpan("query")
-	}
-	root, err := q.buildPlan(analyze, sp)
+	hook, slowThr, slowLog := q.resolveHooks()
+	// Slow-query logging needs per-operator wall times for its top-
+	// operator breakdown, so a configured threshold instruments the
+	// plan exactly like RunAnalyzed does.
+	instrument := analyze || slowThr > 0
+	sp := obs.StartSpan("query")
+	scans := &planScans{}
+	root, err := q.buildPlan(instrument, sp, scans)
 	if err != nil {
 		return nil, nil, err
 	}
+	digest := planDigest(root)
+	qh := obs.Queries.Begin(digest, scans.tables, scans.stats)
+	defer qh.Finish()
 	workers := q.tables[0].table.opts.workers()
 
 	var base obs.Snapshot
-	if analyze || hook != nil {
+	needStats := instrument || hook != nil
+	if needStats {
 		base = obs.Default.Snapshot()
 	}
 	esp := sp.Child("execute")
@@ -480,21 +527,28 @@ func (q *Query) run(analyze bool) (*Result, *QueryStats, error) {
 		res.SortRows() // deterministic output for plain scans
 	}
 	sp.End()
+	qh.Finish()
 	obs.QueriesRun.Inc()
 	obs.RowsEmitted.Add(int64(len(res.Rows)))
+	obs.QueryWallSeconds.ObserveDuration(sp.Duration())
+	obs.QueryExecSeconds.ObserveDuration(esp.Duration())
+	obs.QueryRowsReturned.Observe(float64(len(res.Rows)))
+	obs.Traces.Add(obs.QueryTrace{ID: qh.ID, Digest: digest, Root: sp})
 
 	var stats *QueryStats
-	if analyze || hook != nil {
+	if needStats {
 		// Process-wide counter deltas across the execution window. With
 		// concurrent queries the deltas include their work too — they
 		// are attribution hints, not exact per-query accounting.
 		delta := obs.Default.Snapshot().Diff(base)
 		stats = &QueryStats{
-			Plan:                planNode(root, analyze),
+			Plan:                planNode(root, instrument),
 			Wall:                sp.Duration(),
 			ExecTime:            esp.Duration(),
 			RowsReturned:        int64(len(res.Rows)),
-			Analyzed:            analyze,
+			Analyzed:            instrument,
+			QueryID:             qh.ID,
+			PlanDigest:          digest,
 			DictKernelShortcuts: delta.Get("dict_kernel_shortcuts"),
 			DictGroupByBatches:  delta.Get("dict_groupby_fastpath"),
 		}
@@ -503,8 +557,16 @@ func (q *Query) run(analyze bool) (*Result, *QueryStats, error) {
 				stats.PlanTime = c.Duration()
 			}
 		}
+		if slowThr > 0 && stats.Wall >= slowThr {
+			writeSlowQueryLog(slowLog, stats)
+		}
 		if hook != nil {
 			hook(*stats)
+		}
+	}
+	for _, c := range sp.Children() {
+		if c.Name() == "plan" {
+			obs.QueryPlanSeconds.ObserveDuration(c.Duration())
 		}
 	}
 	return newResult(res), stats, nil

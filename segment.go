@@ -39,9 +39,8 @@ func (t *Table) WriteSegment(path string) error {
 //
 // The returned table holds an open file handle; call Close when done.
 func OpenSegment(name, path string, opts Options) (*Table, error) {
-	if opts.TileSize == 0 {
-		opts = DefaultOptions()
-	}
+	opts = opts.withDefaults()
+	maybeServeDebug(opts.DebugAddr)
 	pool := bufpool.New(opts.CacheBytes)
 	rel, err := storage.OpenSegmentFile(name, path, pool, opts.loaderConfig())
 	if err != nil {
