@@ -25,6 +25,8 @@ func main() {
 	flag.IntVar(&opts.Repeats, "repeats", opts.Repeats, "timed repetitions per measurement (median reported)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/queries, /debug/trace, and pprof on this address")
+	morselMin := flag.Float64("morsel-min-speedup", 0,
+		"CI gate: require at least this groupby speedup at 4 workers vs 1 (0 = off; skipped on <4 cores)")
 	flag.Parse()
 
 	if *debugAddr != "" {
@@ -42,6 +44,17 @@ func main() {
 		}
 		return
 	}
+	if *morselMin > 0 {
+		ctx := bench.NewContext(opts)
+		if err := bench.MorselSmoke(os.Stdout, ctx, *morselMin); err != nil {
+			fmt.Fprintln(os.Stderr, "jtbench:", err)
+			os.Exit(1)
+		}
+		if flag.NArg() == 0 {
+			return
+		}
+	}
+
 	ids := flag.Args()
 	if len(ids) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: jtbench [flags] <experiment-id>... | all   (see -list)")

@@ -38,6 +38,9 @@ type PlanNode struct {
 	Rows int64
 	// Scan holds the storage-level counters for scan nodes.
 	Scan *ScanStats
+	// AggPartitions is the hash-partition fan-out of a GroupBy node's
+	// merge phase (0 for other operators; 1 = serial merge).
+	AggPartitions int64
 }
 
 // ScanStats are the storage-level counters of one table scan.
@@ -50,6 +53,9 @@ type ScanStats struct {
 	// SegmentsLive is the number of live segment files backing the
 	// relation at plan time (0 for in-memory and single-file tables).
 	SegmentsLive int64
+	// Morsels is the number of work units the morsel scheduler cut the
+	// scan into (what parallel workers pulled from the shared queue).
+	Morsels      int64
 	TilesScanned int64
 	// TilesSkipped counts tiles pruned without reading any tuple
 	// (§4.8).
@@ -192,6 +198,9 @@ func planNode(op engine.Operator, analyzed bool) *PlanNode {
 			n.Analyzed = true
 			n.Wall = tr.WallTime()
 			n.Rows = tr.Rows()
+			if gb, ok := tr.In.(*engine.GroupBy); ok {
+				n.AggPartitions = gb.Partitions()
+			}
 			if tr.ScanStats != nil {
 				s := snapshotScanStats(tr.ScanStats)
 				if sc, ok := tr.In.(*engine.Scan); ok {
@@ -248,6 +257,7 @@ func snapshotScanStats(st *obs.ScanStats) ScanStats {
 	return ScanStats{
 		NumTiles:       st.NumTiles,
 		SegmentsLive:   st.SegmentsLive,
+		Morsels:        st.Morsels.Load(),
 		TilesScanned:   st.TilesScanned.Load(),
 		TilesSkipped:   st.TilesSkipped.Load(),
 		RowsScanned:    st.RowsScanned.Load(),
@@ -303,9 +313,15 @@ func (n *PlanNode) write(sb *strings.Builder, prefix, childPrefix string) {
 	}
 	if n.Analyzed {
 		fmt.Fprintf(sb, "  [rows=%d wall=%s", n.Rows, n.Wall.Round(time.Microsecond))
+		if n.AggPartitions > 0 {
+			fmt.Fprintf(sb, " agg_partitions=%d", n.AggPartitions)
+		}
 		if s := n.Scan; s != nil {
 			if s.SegmentsLive > 0 {
 				fmt.Fprintf(sb, "; segments_live=%d", s.SegmentsLive)
+			}
+			if s.Morsels > 0 {
+				fmt.Fprintf(sb, "; morsels=%d", s.Morsels)
 			}
 			if s.NumTiles > 0 {
 				fmt.Fprintf(sb, "; tiles %d/%d scanned, %d skipped (%.0f%%)",

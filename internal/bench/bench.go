@@ -80,6 +80,7 @@ func Experiments() []Experiment {
 		{"fig19", "Figure 19: storage size relative to JSON text", fig19},
 		{"fig20", "Figure 20: random accesses/sec on nested documents", fig20},
 		{"vec", "Vectorized vs row-at-a-time execution over tiles (records BENCH_vectorized.json)", vecExp},
+		{"morsel", "Morsel-driven worker sweep on skewed tiles: scan/filter/groupby/join (records BENCH_morsel.json)", morselExp},
 		{"seg", "Segment persistence: cold-open vs warm buffer pool vs in-memory (records BENCH_segment.json)", segExp},
 		{"dict", "Dictionary-encoded vs arena string columns: predicate and group-by fast paths (records BENCH_dict.json)", dictExp},
 		{"compact", "Multi-segment tables: incremental append vs monolithic rewrite, compaction payoff (records BENCH_compact.json)", compactExp},

@@ -48,8 +48,8 @@ func TestByID(t *testing.T) {
 			t.Errorf("experiment %s incomplete", e.ID)
 		}
 	}
-	if len(ids) != 24 {
-		t.Errorf("%d experiments, want 24 (every table and figure + vec + seg + dict + compact)", len(ids))
+	if len(ids) != 25 {
+		t.Errorf("%d experiments, want 25 (every table and figure + vec + morsel + seg + dict + compact)", len(ids))
 	}
 }
 

@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/exprparse"
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/tile"
+)
+
+// morselBenchFile records the morsel-scheduler worker sweep
+// (committed next to EXPERIMENTS.md as the parallelism baseline).
+const morselBenchFile = "BENCH_morsel.json"
+
+// morselPoint is one worker count in a sweep curve.
+type morselPoint struct {
+	Workers int     `json:"workers"`
+	Secs    float64 `json:"secs"`
+	// Speedup is relative to the same query at workers=1.
+	Speedup float64 `json:"speedup"`
+}
+
+type morselCurve struct {
+	Query  string        `json:"query"`
+	Points []morselPoint `json:"points"`
+}
+
+type morselReport struct {
+	Workload string `json:"workload"`
+	Rows     int    `json:"rows"`
+	// NumCPU is the machine this sweep ran on; speedups above 1 are
+	// only expected up to this worker count.
+	NumCPU int           `json:"numcpu"`
+	Tiles  int           `json:"tiles"`
+	Curves []morselCurve `json:"curves"`
+	// Metrics is the process-wide instrument delta over the experiment
+	// (morsels_dispatched, morsel_queue_waits, worker-skew histogram,
+	// agg_partitioned_merges, ...).
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+// skewedTiles builds a deliberately skewed tiles relation from the
+// shuffled TPC-H documents: ~80% of the rows in huge tiles and the
+// remaining 20% in tiny ones, concatenated natively. Static chunking
+// parks whole workers behind the huge tiles; the morsel scheduler
+// splits them and batches the tiny ones.
+func (c *Context) skewedTiles() storage.Relation {
+	return cached(c, "morsel-skewed", func() storage.Relation {
+		lines := c.tpchShuffled()
+		cut := len(lines) * 4 / 5
+		bigCfg := tile.DefaultConfig()
+		bigCfg.TileSize = 16 << 10
+		big := c.loadTiles(lines[:cut], bigCfg, false)
+		tinyCfg := tile.DefaultConfig()
+		tinyCfg.TileSize = 64
+		tiny := c.loadTiles(lines[cut:], tinyCfg, false)
+		return storage.Concat("tpch-skewed", big, tiny)
+	})
+}
+
+// morselQueries are the swept pipelines: raw scan, selective filter,
+// hash group-by (the partitioned-merge path), and a hash join against
+// a small build side.
+func morselQueries() []struct {
+	name string
+	run  func(rel storage.Relation, workers int)
+} {
+	accs := func() []storage.Access {
+		return []storage.Access{
+			exprparse.MustParse(`data->>'l_linenumber'::BigInt`),
+			exprparse.MustParse(`data->>'l_quantity'::Float`),
+			exprparse.MustParse(`data->>'l_partkey'::BigInt`),
+		}
+	}
+	filter := func() expr.Expr {
+		return expr.NewCmp(expr.LT, expr.NewCol(0, expr.TBigInt),
+			expr.NewConst(expr.IntValue(4)))
+	}
+	return []struct {
+		name string
+		run  func(rel storage.Relation, workers int)
+	}{
+		{"scan", func(rel storage.Relation, workers int) {
+			engine.CountRows(engine.NewScan(rel, accs(), nil, nil), workers)
+		}},
+		{"filter", func(rel storage.Relation, workers int) {
+			engine.CountRows(engine.NewScan(rel, accs(), nil, filter()), workers)
+		}},
+		{"groupby", func(rel storage.Relation, workers int) {
+			gb := engine.NewGroupBy(engine.NewScan(rel, accs(), nil, nil),
+				[]expr.Expr{expr.NewCol(2, expr.TBigInt)}, []string{"pk"},
+				[]engine.AggSpec{
+					{Func: engine.CountStar, Name: "n"},
+					{Func: engine.Sum, Arg: expr.NewCol(1, expr.TFloat), Name: "q"},
+				})
+			engine.Materialize(gb, workers)
+		}},
+		{"join", func(rel storage.Relation, workers int) {
+			build := engine.NewScan(rel, []storage.Access{
+				exprparse.MustParse(`data->>'l_orderkey'::BigInt`),
+			}, nil, expr.NewCmp(expr.LT, expr.NewCol(0, expr.TBigInt),
+				expr.NewConst(expr.IntValue(100))))
+			probe := engine.NewScan(rel, []storage.Access{
+				exprparse.MustParse(`data->>'l_orderkey'::BigInt`),
+				exprparse.MustParse(`data->>'l_quantity'::Float`),
+			}, nil, nil)
+			join := engine.NewHashJoin(build, probe, []int{0}, []int{0}, engine.InnerJoin)
+			engine.CountRows(join, workers)
+		}},
+	}
+}
+
+// morselSweepWorkers is the worker grid: 1, 2, 4, ... up to NumCPU,
+// plus NumCPU itself, plus one oversubscribed point (2×NumCPU) to show
+// surplus workers are harmless.
+func morselSweepWorkers() []int {
+	n := runtime.NumCPU()
+	var ws []int
+	for w := 1; w < n; w <<= 1 {
+		ws = append(ws, w)
+	}
+	ws = append(ws, n)
+	if n > 1 {
+		ws = append(ws, 2*n)
+	}
+	return ws
+}
+
+// morselExp — morsel-driven scalability sweep over the skewed tile
+// relation, recording BENCH_morsel.json.
+func morselExp(w io.Writer, c *Context) error {
+	metricsBase := obs.Default.Snapshot()
+	rel := c.skewedTiles()
+	tiles := 0
+	if ti, ok := rel.(storage.TileIntrospector); ok {
+		tiles = len(ti.Tiles())
+	}
+	report := morselReport{
+		Workload: "tpch-skewed", Rows: rel.NumRows(),
+		NumCPU: runtime.NumCPU(), Tiles: tiles,
+	}
+
+	sweep := morselSweepWorkers()
+	header := []string{"query"}
+	for _, ws := range sweep {
+		header = append(header, fmt.Sprintf("w=%d", ws))
+	}
+	t := &table{header: header}
+	for _, q := range morselQueries() {
+		curve := morselCurve{Query: q.name}
+		row := []string{q.name}
+		var base float64
+		for _, ws := range sweep {
+			d := c.timeIt(func() { q.run(rel, ws) })
+			s := d.Seconds()
+			if ws == 1 {
+				base = s
+			}
+			curve.Points = append(curve.Points, morselPoint{
+				Workers: ws, Secs: s, Speedup: base / maxf(s, 1e-9),
+			})
+			row = append(row, fmt.Sprintf("%.4fs/%.1fx", s, base/maxf(s, 1e-9)))
+		}
+		report.Curves = append(report.Curves, curve)
+		t.row(row...)
+	}
+	t.write(w)
+
+	report.Metrics = obs.Default.Snapshot().Diff(metricsBase)
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	path := filepath.Join(c.Opts.OutDir, morselBenchFile)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "sweep written to %s (numcpu=%d)\n", path, report.NumCPU)
+	return nil
+}
+
+// MorselSmoke is the CI gate: the group-by sweep at 4 workers must
+// beat the serial run by minSpeedup. On machines with fewer than 4
+// cores the check is skipped (a 1-core runner cannot show wall-clock
+// parallel speedup) — it still runs the queries once per worker count
+// as a smoke test.
+func MorselSmoke(w io.Writer, c *Context, minSpeedup float64) error {
+	rel := c.skewedTiles()
+	gq := morselQueries()[2]
+	serial := c.timeIt(func() { gq.run(rel, 1) })
+	par := c.timeIt(func() { gq.run(rel, 4) })
+	speedup := serial.Seconds() / maxf(par.Seconds(), 1e-9)
+	fmt.Fprintf(w, "groupby workers=1 %s, workers=4 %s: %.2fx (numcpu=%d)\n",
+		serial, par, speedup, runtime.NumCPU())
+	if runtime.NumCPU() < 4 {
+		fmt.Fprintf(w, "skipping speedup gate: %d cores < 4\n", runtime.NumCPU())
+		return nil
+	}
+	if speedup < minSpeedup {
+		return fmt.Errorf("groupby speedup at 4 workers = %.2fx, below the %.2fx gate", speedup, minSpeedup)
+	}
+	return nil
+}

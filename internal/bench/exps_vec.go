@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"repro/internal/engine"
 	"repro/internal/expr"
@@ -27,11 +28,22 @@ type vecResult struct {
 	RowsPerSec float64 `json:"vec_rows_per_sec"`
 }
 
+// vecSweepPoint is one worker count of the vectorized scalability
+// sweep (filter+groupby pipeline, batch path).
+type vecSweepPoint struct {
+	Workers int     `json:"workers"`
+	VecSecs float64 `json:"vec_secs"`
+	// Speedup is relative to the same pipeline at workers=1.
+	Speedup float64 `json:"speedup"`
+}
+
 type vecReport struct {
-	Workload string      `json:"workload"`
-	Rows     int         `json:"rows"`
-	Workers  int         `json:"workers"`
-	Results  []vecResult `json:"results"`
+	Workload string          `json:"workload"`
+	Rows     int             `json:"rows"`
+	Workers  int             `json:"workers"`
+	NumCPU   int             `json:"numcpu"`
+	Results  []vecResult     `json:"results"`
+	Sweep    []vecSweepPoint `json:"workers_sweep"`
 	// Metrics is the process-wide instrument delta over the experiment
 	// (counters, gauges, histograms) — what the run cost in engine
 	// terms, not just wall clock.
@@ -93,7 +105,8 @@ func vecExp(w io.Writer, c *Context) error {
 	rel := c.relation("tpch-lineitem", storage.KindTiles, c.lineitemLines)
 	rowRel := storage.RowOnly(rel)
 
-	report := vecReport{Workload: "tpch-lineitem", Rows: rel.NumRows(), Workers: workers}
+	report := vecReport{Workload: "tpch-lineitem", Rows: rel.NumRows(),
+		Workers: workers, NumCPU: runtime.NumCPU()}
 	t := &table{header: []string{"query", "row s", "vec s", "speedup"}}
 	for _, q := range vecQueries() {
 		rowD := c.timeIt(func() { q.run(rowRel, workers) })
@@ -110,6 +123,21 @@ func vecExp(w io.Writer, c *Context) error {
 		})
 	}
 	t.write(w)
+
+	// Worker sweep of the vectorized filter+groupby pipeline: how the
+	// batch path scales now that morsels feed the workers.
+	gq := vecQueries()[2]
+	var base float64
+	for _, ws := range morselSweepWorkers() {
+		d := c.timeIt(func() { gq.run(rel, ws) })
+		s := d.Seconds()
+		if ws == 1 {
+			base = s
+		}
+		report.Sweep = append(report.Sweep, vecSweepPoint{
+			Workers: ws, VecSecs: s, Speedup: base / maxf(s, 1e-9),
+		})
+	}
 
 	report.Metrics = obs.Default.Snapshot().Diff(metricsBase)
 	buf, err := json.MarshalIndent(report, "", "  ")

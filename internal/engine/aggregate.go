@@ -9,6 +9,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/obs"
 	"repro/internal/vec"
+	"repro/internal/xxhash"
 )
 
 // AggFunc enumerates the aggregate functions.
@@ -33,13 +34,60 @@ type AggSpec struct {
 	Distinct bool // COUNT(DISTINCT x) style
 }
 
-// GroupBy is a hash aggregation operator: per-worker hash tables are
-// merged at the end, so the input runs fully parallel.
+// GroupBy is a hash aggregation operator: each worker radix-partitions
+// its groups by key hash into P per-worker hash tables during the
+// pipeline, and the merge phase then folds the P partitions in
+// parallel — one goroutine per partition, no shared map (morsel-driven
+// parallelism's partitioned aggregation). Output order and aggregate
+// semantics (DISTINCT, null handling, empty-input rows) are identical
+// to a serial merge.
 type GroupBy struct {
 	In     Operator
 	Groups []expr.Expr
 	Names  []string
 	Aggs   []AggSpec
+
+	// lastPartitions records the partition fan-out of the most recent
+	// run's merge phase (EXPLAIN ANALYZE `agg_partitions=`).
+	lastPartitions atomic.Int64
+}
+
+// Partitions reports the hash-partition fan-out of the last
+// execution's merge phase: 0 before any run, 1 for a serial merge
+// (workers <= 1 or the global-aggregation kernel path).
+func (g *GroupBy) Partitions() int64 { return g.lastPartitions.Load() }
+
+// aggPartitionCount picks the merge fan-out: 1 keeps the serial merge
+// at workers <= 1; otherwise the next power of two >= 2×workers so
+// every merge goroutine has partitions to pull even under skewed
+// group distributions, capped at 64 so tiny aggregations don't pay
+// setup for mostly-empty partitions.
+func aggPartitionCount(workers int) int {
+	if workers <= 1 {
+		return 1
+	}
+	p := 2
+	for p < 2*workers && p < 64 {
+		p <<= 1
+	}
+	return p
+}
+
+// partitionOf selects the partition of a group key (P a power of two).
+func partitionOf(key []byte, p int) int {
+	if p <= 1 {
+		return 0
+	}
+	return int(xxhash.Sum64(key) & uint64(p-1))
+}
+
+// newPartTables allocates one hash table per partition.
+func newPartTables(p int) []map[string]*group {
+	out := make([]map[string]*group, p)
+	for i := range out {
+		out[i] = map[string]*group{}
+	}
+	return out
 }
 
 // NewGroupBy builds a hash aggregation.
@@ -237,6 +285,9 @@ func (g *GroupBy) aggSlots(width int) ([]int, bool) {
 // per-worker states, merged at the end exactly like the row path's
 // per-worker tables.
 func (g *GroupBy) runBatchAgg(in BatchOperator, slots []int, workers int, emit EmitFunc) {
+	// One state vector per worker; the merge is an O(workers × nAggs)
+	// fold with no keys to partition, so it stays serial by design.
+	g.lastPartitions.Store(1)
 	states := make([][]aggState, workers+1)
 	for i := range states {
 		states[i] = make([]aggState, len(g.Aggs))
@@ -408,24 +459,27 @@ func (g *GroupBy) Run(workers int, emit EmitFunc) {
 	if g.tryBatchGroupBy(workers, emit) {
 		return
 	}
-	// One hash table per worker id, preallocated so the per-row path
-	// is lock-free (ids are bounded by the requested parallelism).
-	// Unexpected ids share a mutex-guarded overflow table.
-	tables := make([]map[string]*group, workers+1)
+	// One table set per worker id, preallocated so the per-row path
+	// is lock-free (ids are bounded by the requested parallelism);
+	// each set is radix-partitioned by key hash so the merge phase can
+	// fold partitions in parallel. Unexpected ids share a
+	// mutex-guarded overflow set.
+	P := aggPartitionCount(workers)
+	tables := make([][]map[string]*group, workers+1)
 	for i := range tables {
-		tables[i] = map[string]*group{}
+		tables[i] = newPartTables(P)
 	}
-	overflow := map[string]*group{}
+	overflow := newPartTables(P)
 	var mu sync.Mutex
 
 	g.In.Run(workers, func(w int, row []expr.Value) {
-		var t map[string]*group
+		var parts []map[string]*group
 		if w >= 0 && w < len(tables) {
-			t = tables[w]
+			parts = tables[w]
 		} else {
 			mu.Lock()
 			defer mu.Unlock()
-			t = overflow
+			parts = overflow
 		}
 		var keyB []byte
 		keyVals := make([]expr.Value, len(g.Groups))
@@ -434,52 +488,113 @@ func (g *GroupBy) Run(workers int, emit EmitFunc) {
 			keyB = append(keyB, keyVals[i].GroupKey()...)
 			keyB = append(keyB, 0)
 		}
-		key := string(keyB)
-		grp, ok := t[key]
+		t := parts[partitionOf(keyB, P)]
+		grp, ok := t[string(keyB)]
 		if !ok {
 			grp = &group{keyVals: keyVals, states: make([]aggState, len(g.Aggs))}
-			t[key] = grp
+			t[string(keyB)] = grp
 		}
 		for i := range g.Aggs {
 			grp.states[i].update(g.Aggs[i], row)
 		}
 	})
 
-	g.finishTables(append(tables, overflow), emit)
+	g.finishPartitioned(append(tables, overflow), workers, emit)
 }
 
-// finishTables merges per-worker hash tables and emits the groups in
-// deterministic (sorted key) order — the shared tail of the row path
-// and the dictionary batch path.
-func (g *GroupBy) finishTables(tables []map[string]*group, emit EmitFunc) {
-	merged := map[string]*group{}
-	for _, t := range tables {
-		for key, grp := range t {
-			if m, ok := merged[key]; ok {
-				for i := range g.Aggs {
-					m.states[i].merge(g.Aggs[i], &grp.states[i])
+// finishPartitioned merges the per-worker partition table sets and
+// emits the groups in deterministic (sorted key) order — the shared
+// tail of the row path and the dictionary batch path. Equal keys land
+// in the same partition by construction, so partitions merge
+// independently (in parallel when workers and partitions allow) and
+// the globally sorted order is the k-way merge of the per-partition
+// sorted runs. Per-key merge order stays worker-ascending, exactly
+// like the serial fold.
+func (g *GroupBy) finishPartitioned(workerParts [][]map[string]*group, workers int, emit EmitFunc) {
+	P := len(workerParts[0])
+	g.lastPartitions.Store(int64(P))
+	type partRun struct {
+		keys   []string
+		groups map[string]*group
+	}
+	runs := make([]partRun, P)
+	mergeOne := func(p int) {
+		merged := map[string]*group{}
+		for _, parts := range workerParts {
+			for key, grp := range parts[p] {
+				if m, ok := merged[key]; ok {
+					for i := range g.Aggs {
+						m.states[i].merge(g.Aggs[i], &grp.states[i])
+					}
+				} else {
+					merged[key] = grp
 				}
-			} else {
-				merged[key] = grp
 			}
+		}
+		keys := make([]string, 0, len(merged))
+		for k := range merged {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		runs[p] = partRun{keys: keys, groups: merged}
+	}
+	if mergeWorkers := min(P, workers); mergeWorkers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(mergeWorkers)
+		for i := 0; i < mergeWorkers; i++ {
+			go func() {
+				defer wg.Done()
+				for {
+					p := int(next.Add(1)) - 1
+					if p >= P {
+						return
+					}
+					mergeOne(p)
+				}
+			}()
+		}
+		wg.Wait()
+		obs.AggPartitionedMerges.Inc()
+	} else {
+		for p := 0; p < P; p++ {
+			mergeOne(p)
 		}
 	}
 
+	total := 0
+	for _, r := range runs {
+		total += len(r.keys)
+	}
 	// Global aggregation with zero groups over empty input still
 	// yields one row (SQL semantics for e.g. SELECT count(*)).
-	if len(g.Groups) == 0 && len(merged) == 0 {
-		merged[""] = &group{states: make([]aggState, len(g.Aggs))}
+	if len(g.Groups) == 0 && total == 0 {
+		states := make([]aggState, len(g.Aggs))
+		out := make([]expr.Value, len(g.Aggs))
+		for i := range g.Aggs {
+			out[i] = states[i].result(g.Aggs[i])
+		}
+		emit(0, out)
+		return
 	}
 
-	// Deterministic output order.
-	keys := make([]string, 0, len(merged))
-	for k := range merged {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
+	// K-way merge of the sorted partition runs: deterministic global
+	// key order without re-sorting the union.
+	idx := make([]int, P)
 	out := make([]expr.Value, len(g.Groups)+len(g.Aggs))
-	for _, k := range keys {
-		grp := merged[k]
+	for n := 0; n < total; n++ {
+		best := -1
+		for p := 0; p < P; p++ {
+			if idx[p] >= len(runs[p].keys) {
+				continue
+			}
+			if best < 0 || runs[p].keys[idx[p]] < runs[best].keys[idx[best]] {
+				best = p
+			}
+		}
+		k := runs[best].keys[idx[best]]
+		idx[best]++
+		grp := runs[best].groups[k]
 		copy(out, grp.keyVals)
 		for i := range g.Aggs {
 			out[len(g.Groups)+i] = grp.states[i].result(g.Aggs[i])
@@ -560,60 +675,114 @@ func (o *OrderBy) Run(workers int, emit EmitFunc) {
 	}
 }
 
-// runTopK keeps a max-heap of the K best rows seen so far (the root
-// is the worst retained row); a new row replaces the root only when
-// it sorts strictly before it. Memory is O(K) regardless of input
-// size, and each input row costs O(log K) comparisons.
-func (o *OrderBy) runTopK(workers int, emit EmitFunc) {
-	k := o.Limit
-	var mu sync.Mutex
-	heap := make([][]expr.Value, 0, k)
-	// worse reports whether heap[i] sorts after heap[j] — the max-heap
-	// ordering that keeps the worst retained row at the root.
-	worse := func(i, j int) bool { return o.rowLess(heap[j], heap[i]) }
-	siftDown := func(i int) {
-		for {
-			l, r := 2*i+1, 2*i+2
-			big := i
-			if l < len(heap) && worse(l, big) {
-				big = l
-			}
-			if r < len(heap) && worse(r, big) {
-				big = r
-			}
-			if big == i {
-				return
-			}
-			heap[i], heap[big] = heap[big], heap[i]
-			i = big
+// topKHeap is a max-heap of the K best rows seen so far (the root is
+// the worst retained row); a new row replaces the root only when it
+// sorts strictly before it. Memory is O(K) regardless of input size,
+// and each input row costs O(log K) comparisons.
+type topKHeap struct {
+	o    *OrderBy
+	k    int
+	rows [][]expr.Value
+}
+
+// worse reports whether rows[i] sorts after rows[j] — the max-heap
+// ordering that keeps the worst retained row at the root.
+func (h *topKHeap) worse(i, j int) bool { return h.o.rowLess(h.rows[j], h.rows[i]) }
+
+func (h *topKHeap) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h.rows) && h.worse(l, big) {
+			big = l
 		}
-	}
-	o.In.Run(workers, func(w int, row []expr.Value) {
-		mu.Lock()
-		defer mu.Unlock()
-		if len(heap) < k {
-			cp := append([]expr.Value(nil), row...)
-			heap = append(heap, cp)
-			// Sift up.
-			for i := len(heap) - 1; i > 0; {
-				p := (i - 1) / 2
-				if !worse(i, p) {
-					break
-				}
-				heap[i], heap[p] = heap[p], heap[i]
-				i = p
-			}
+		if r < len(h.rows) && h.worse(r, big) {
+			big = r
+		}
+		if big == i {
 			return
 		}
-		if !o.rowLess(row, heap[0]) {
-			return // not better than the worst retained row
+		h.rows[i], h.rows[big] = h.rows[big], h.rows[i]
+		i = big
+	}
+}
+
+// pushOwned folds one row the heap may retain without copying.
+func (h *topKHeap) pushOwned(row []expr.Value) {
+	if len(h.rows) < h.k {
+		h.rows = append(h.rows, row)
+		// Sift up.
+		for i := len(h.rows) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !h.worse(i, p) {
+				break
+			}
+			h.rows[i], h.rows[p] = h.rows[p], h.rows[i]
+			i = p
 		}
-		cp := append([]expr.Value(nil), row...)
-		heap[0] = cp
-		siftDown(0)
+		return
+	}
+	if !h.o.rowLess(row, h.rows[0]) {
+		return // not better than the worst retained row
+	}
+	h.rows[0] = row
+	h.siftDown(0)
+}
+
+// push folds one emitted row (whose backing slice is reused by the
+// producer, so it is copied first when it stands a chance of being
+// retained).
+func (h *topKHeap) push(row []expr.Value) {
+	if len(h.rows) >= h.k && !h.o.rowLess(row, h.rows[0]) {
+		return
+	}
+	h.pushOwned(append([]expr.Value(nil), row...))
+}
+
+// runTopK runs the bounded top-K sort with one lock-free heap per
+// worker; the per-worker heaps are then merged pairwise in parallel
+// (each worker's local top-K is a superset of its contribution to the
+// global top-K, so merging heaps loses nothing).
+func (o *OrderBy) runTopK(workers int, emit EmitFunc) {
+	if workers < 1 {
+		workers = 1
+	}
+	heaps := make([]*topKHeap, workers+1)
+	for i := range heaps {
+		heaps[i] = &topKHeap{o: o, k: o.Limit}
+	}
+	overflow := &topKHeap{o: o, k: o.Limit}
+	var mu sync.Mutex // guards overflow (unexpected worker ids)
+	o.In.Run(workers, func(w int, row []expr.Value) {
+		if w >= 0 && w < len(heaps) {
+			heaps[w].push(row)
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		overflow.push(row)
 	})
-	sort.SliceStable(heap, func(i, j int) bool { return o.rowLess(heap[i], heap[j]) })
-	for _, r := range heap {
+	heaps = append(heaps, overflow)
+	// Parallel pairwise merge: each round folds the back half of the
+	// heap list into the front half concurrently.
+	for len(heaps) > 1 {
+		half := (len(heaps) + 1) / 2
+		var wg sync.WaitGroup
+		for i := 0; i+half < len(heaps); i++ {
+			wg.Add(1)
+			go func(dst, src *topKHeap) {
+				defer wg.Done()
+				for _, r := range src.rows {
+					dst.pushOwned(r)
+				}
+			}(heaps[i], heaps[i+half])
+		}
+		wg.Wait()
+		heaps = heaps[:half]
+	}
+	rows := heaps[0].rows
+	sort.SliceStable(rows, func(i, j int) bool { return o.rowLess(rows[i], rows[j]) })
+	for _, r := range rows {
 		emit(0, r)
 	}
 }

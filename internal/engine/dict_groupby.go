@@ -45,22 +45,26 @@ func (g *GroupBy) tryBatchGroupBy(workers int, emit EmitFunc) bool {
 	return true
 }
 
-// gbWorker is one worker's grouping state: the cross-batch hash table
-// plus the per-batch code-indexed scratch (states laid out row-major:
-// code*nAggs+agg; code dictLen is the NULL group).
+// gbWorker is one worker's grouping state: the cross-batch hash
+// tables (radix-partitioned by key hash, like the row path) plus the
+// per-batch code-indexed scratch (states laid out row-major:
+// code*nAggs+agg; code dictLen is the NULL group) and a reusable key
+// buffer.
 type gbWorker struct {
-	table   map[string]*group
+	parts   []map[string]*group
 	states  []aggState
 	used    []bool
 	touched []int32
+	keyBuf  []byte
 }
 
 func (g *GroupBy) runBatchGroupBy(in BatchOperator, groupSlot int, slots []int, workers int, emit EmitFunc) {
+	P := aggPartitionCount(workers)
 	ws := make([]*gbWorker, workers+1)
 	for i := range ws {
-		ws[i] = &gbWorker{table: map[string]*group{}}
+		ws[i] = &gbWorker{parts: newPartTables(P)}
 	}
-	overflow := &gbWorker{table: map[string]*group{}}
+	overflow := &gbWorker{parts: newPartTables(P)}
 	var mu sync.Mutex // guards overflow (unexpected worker ids)
 	var dictBatches atomic.Int64
 
@@ -87,12 +91,12 @@ func (g *GroupBy) runBatchGroupBy(in BatchOperator, groupSlot int, slots []int, 
 	})
 	obs.DictGroupByFastpath.Add(dictBatches.Load())
 
-	tables := make([]map[string]*group, 0, len(ws)+1)
+	workerParts := make([][]map[string]*group, 0, len(ws)+1)
 	for _, w := range ws {
-		tables = append(tables, w.table)
+		workerParts = append(workerParts, w.parts)
 	}
-	tables = append(tables, overflow.table)
-	g.finishTables(tables, emit)
+	workerParts = append(workerParts, overflow.parts)
+	g.finishPartitioned(workerParts, workers, emit)
 }
 
 // dictBatch aggregates one dictionary batch into the code-indexed
@@ -150,7 +154,7 @@ func (g *GroupBy) dictBatch(w *gbWorker, b *vec.Batch, gv *vec.Vector, slots []i
 		if k != nullSlot {
 			keyVal = expr.TextValue(string(gv.DictEntry(k)))
 		}
-		grp := g.lookupGroup(w.table, keyVal)
+		grp := g.lookupGroup(w, keyVal)
 		base := k * nA
 		for ai := range g.Aggs {
 			grp.states[ai].merge(g.Aggs[ai], &w.states[base+ai])
@@ -166,7 +170,7 @@ func (g *GroupBy) dictBatch(w *gbWorker, b *vec.Batch, gv *vec.Vector, slots []i
 // boxing overhead).
 func (g *GroupBy) hashBatch(w *gbWorker, b *vec.Batch, gv *vec.Vector, slots []int) {
 	step := func(i int) {
-		grp := g.lookupGroup(w.table, gv.Value(i))
+		grp := g.lookupGroup(w, gv.Value(i))
 		for ai := range g.Aggs {
 			spec := &g.Aggs[ai]
 			if spec.Func == CountStar {
@@ -191,13 +195,16 @@ func (g *GroupBy) hashBatch(w *gbWorker, b *vec.Batch, gv *vec.Vector, slots []i
 
 // lookupGroup finds or creates the group for one key value, encoding
 // the table key exactly like the row path (GroupKey + NUL per group
-// column) so finishTables merges and orders identically.
-func (g *GroupBy) lookupGroup(t map[string]*group, keyVal expr.Value) *group {
-	key := keyVal.GroupKey() + "\x00"
-	grp, ok := t[key]
+// column) and hashing it into the same partition, so
+// finishPartitioned merges and orders identically.
+func (g *GroupBy) lookupGroup(w *gbWorker, keyVal expr.Value) *group {
+	w.keyBuf = append(w.keyBuf[:0], keyVal.GroupKey()...)
+	w.keyBuf = append(w.keyBuf, 0)
+	t := w.parts[partitionOf(w.keyBuf, len(w.parts))]
+	grp, ok := t[string(w.keyBuf)]
 	if !ok {
 		grp = &group{keyVals: []expr.Value{keyVal}, states: make([]aggState, len(g.Aggs))}
-		t[key] = grp
+		t[string(w.keyBuf)] = grp
 	}
 	return grp
 }

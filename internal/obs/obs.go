@@ -334,6 +334,32 @@ var (
 	DictGroupByFastpath = Default.Counter("dict_groupby_fastpath")
 )
 
+// Morsel-scheduler counters (dynamic parallel work distribution).
+var (
+	// MorselsDispatched counts morsels — tile/row-range work units —
+	// pulled off shared scan queues (one increment per queue drain,
+	// covering all its morsels).
+	MorselsDispatched = Default.Counter("morsels_dispatched")
+	// MorselQueueWaits counts workers that found the morsel queue
+	// already dry before processing a single morsel — parallelism the
+	// input was too small to use.
+	MorselQueueWaits = Default.Counter("morsel_queue_waits")
+	// AggPartitionedMerges counts GROUP BY merge phases that ran
+	// hash-partitioned in parallel (vs the serial single-map fold used
+	// at workers <= 1).
+	AggPartitionedMerges = Default.Counter("agg_partitioned_merges")
+)
+
+// SkewBuckets is the layout for load-imbalance ratios (1.0 = perfectly
+// balanced).
+var SkewBuckets = []float64{1, 1.1, 1.25, 1.5, 2, 3, 5, 8}
+
+// MorselWorkerSkew records, per parallel queue drain, the maximum over
+// workers of morsels-pulled divided by the balanced share — how uneven
+// the dynamic schedule ended up (1.0 = every worker pulled the same
+// number of morsels).
+var MorselWorkerSkew = Default.Histogram("morsel_worker_skew", SkewBuckets)
+
 // Multi-segment table store counters (manifest + compaction).
 var (
 	// CompactionsRun counts completed compaction rounds (each merges

@@ -16,6 +16,10 @@ type ScanStats struct {
 	// planner alongside NumTiles.
 	SegmentsLive int64
 
+	// Morsels is the number of work units the scan was cut into for
+	// the morsel scheduler (EXPLAIN ANALYZE `morsels=`).
+	Morsels atomic.Int64
+
 	TilesScanned   atomic.Int64
 	TilesSkipped   atomic.Int64
 	RowsScanned    atomic.Int64

@@ -169,7 +169,7 @@ func OpenDirTable(name, dir string, pool *bufpool.Pool, cfg LoaderConfig, fanIn 
 		pool:    pool,
 		ownPool: ownPool,
 		cfg:     cfg,
-		scancfg: scanConfig{skipTiles: cfg.SkipTiles, maxSlots: maxSlots},
+		scancfg: scanConfig{skipTiles: cfg.SkipTiles, maxSlots: maxSlots, morselRows: cfg.MorselRows},
 		fanIn:   fanIn,
 		auto:    auto,
 		man:     man,

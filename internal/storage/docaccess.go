@@ -26,6 +26,10 @@ type LoaderConfig struct {
 	// SkipTiles enables tile skipping (§4.8); the fig14 "no Skip"
 	// ablation turns it off.
 	SkipTiles bool
+	// MorselRows is the target rows per scan morsel (0 selects
+	// DefaultMorselRows). Small inputs shrink it automatically so
+	// every worker still gets several morsels.
+	MorselRows int
 	// Metrics, when non-nil, accumulates the load-time breakdown
 	// (parse/mine/extract/JSONB/reorder nanos — Figure 16) across every
 	// load performed with this config.

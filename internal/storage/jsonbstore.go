@@ -23,7 +23,7 @@ func (jsonbLoader) Load(name string, lines [][]byte, workers int) (Relation, err
 		return nil, err
 	}
 	encoded := make([][]byte, len(docs))
-	parallelRange(len(docs), workers, func(w, lo, hi int) {
+	morselRange(len(docs), workers, func(w, lo, hi int) {
 		var enc jsonb.Encoder
 		for i := lo; i < hi; i++ {
 			encoded[i] = enc.Encode(docs[i])
@@ -52,8 +52,8 @@ func (r *jsonbStore) Scan(accesses []Access, workers int, emit EmitFunc) {
 // per-document binary JSON, so they all count as fallbacks — the
 // baseline the tiles column-hit ratio is compared against.
 func (r *jsonbStore) ScanWithStats(accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
-	parallelRange(len(r.docs), workers, func(w, lo, hi int) {
-		var cnt scanCounters
+	morselRange(len(r.docs), workers, func(w, lo, hi int) {
+		cnt := scanCounters{morsels: 1}
 		defer cnt.flush(st)
 		cnt.rows = int64(hi - lo)
 		cnt.fallbacks = int64(hi-lo) * int64(len(accesses))

@@ -1,0 +1,196 @@
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Morsel-driven parallel execution (Leis et al., "Morsel-Driven
+// Parallelism"): instead of statically splitting an input range into
+// one chunk per worker, the input is cut into many small morsels that
+// all workers pull from one shared queue. A worker that finishes its
+// morsel immediately grabs the next, so skewed tile sizes, skipped
+// tiles, and workers > morsels no longer leave cores idle behind the
+// slowest static chunk. The queue is a prebuilt slice consumed with a
+// single atomic fetch-add per morsel — no locks, no channels.
+
+// DefaultMorselRows is the target number of rows per morsel when the
+// caller does not configure one (Options.MorselRows). The paper-style
+// sweet spot is 16–64K rows: large enough that per-morsel setup
+// (tile access resolution, scratch checkout) is amortized, small
+// enough that a scan produces several morsels per worker.
+const DefaultMorselRows = 32 << 10
+
+// minMorselRows floors the adaptive morsel size so tiny inputs are
+// not shredded into per-row morsels whose scheduling overhead would
+// dominate the work.
+const minMorselRows = 256
+
+// morselsPerWorker is how many morsels per worker the adaptive sizing
+// aims for at minimum — enough queue slack to absorb skew without a
+// worker idling behind one outsized chunk.
+const morselsPerWorker = 4
+
+// morsel is one unit of schedulable scan work. For tile sources it
+// covers the tile range [tileLo, tileHi); when rowHi >= 0 it instead
+// covers rows [rowLo, rowHi) of the single tile tileLo (an oversized
+// tile split into row ranges). Flat (tile-less) sources use only
+// [rowLo, rowHi) as an item range.
+type morsel struct {
+	tileLo, tileHi int
+	rowLo, rowHi   int
+}
+
+// wholeTiles reports whether the morsel covers whole tiles (no row
+// split).
+func (m morsel) wholeTiles() bool { return m.rowHi < 0 }
+
+// morselSizeFor adapts the target morsel size to the input: aim for
+// `target` rows, but shrink (down to minMorselRows) when the input is
+// so small that target-sized morsels would not give every worker
+// morselsPerWorker pulls.
+func morselSizeFor(n, workers, target int) int {
+	if target <= 0 {
+		target = DefaultMorselRows
+	}
+	if workers > 1 {
+		if per := n / (workers * morselsPerWorker); per < target {
+			target = per
+		}
+	}
+	if target < minMorselRows {
+		target = minMorselRows
+	}
+	return target
+}
+
+// runMorsels drives fn over the morsel queue with up to `workers`
+// goroutines. Worker ids passed to fn are dense in [0, workers). The
+// morsels_dispatched / morsel_queue_waits counters and the per-scan
+// worker-skew histogram are maintained here, once per queue drain.
+func runMorsels(morsels []morsel, workers int, fn func(worker int, m morsel)) {
+	n := len(morsels)
+	if n == 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	obs.MorselsDispatched.Add(int64(n))
+	if workers > n {
+		// Surplus workers would pull from an already-dry queue.
+		obs.MorselQueueWaits.Add(int64(workers - n))
+		workers = n
+	}
+	if workers == 1 {
+		for _, m := range morsels {
+			fn(0, m)
+		}
+		return
+	}
+	var next atomic.Int64
+	counts := make([]int64, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			var got int64
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					break
+				}
+				fn(w, morsels[i])
+				got++
+			}
+			if got == 0 {
+				obs.MorselQueueWaits.Inc()
+			}
+			counts[w] = got
+		}(w)
+	}
+	wg.Wait()
+	var maxGot int64
+	for _, c := range counts {
+		if c > maxGot {
+			maxGot = c
+		}
+	}
+	// max/mean morsels per worker: 1.0 = perfectly balanced pull.
+	obs.MorselWorkerSkew.Observe(float64(maxGot) * float64(workers) / float64(n))
+}
+
+// morselRange is the drop-in replacement for static range splitting
+// over n uniform items: fn(worker, lo, hi) is invoked once per morsel
+// of adaptively-sized item ranges that workers pull dynamically.
+func morselRange(n, workers int, fn func(worker, lo, hi int)) {
+	morselRangeSized(n, workers, morselSizeFor(n, workers, DefaultMorselRows), fn)
+}
+
+// morselRangeSized is morselRange with an explicit morsel size — size
+// 1 makes every item its own morsel (coarse units such as tile
+// partitions, where one item is already thousands of documents).
+func morselRangeSized(n, workers, size int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if size < 1 {
+		size = 1
+	}
+	ms := make([]morsel, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		ms = append(ms, morsel{rowLo: lo, rowHi: hi})
+	}
+	runMorsels(ms, workers, func(w int, m morsel) { fn(w, m.rowLo, m.rowHi) })
+}
+
+// buildTileMorsels cuts a tile sequence into morsels of ~size rows:
+// consecutive tiny tiles are batched into one morsel, and — when
+// split is set (row path) — a tile of at least twice the target is
+// cut into row-range morsels so one giant tile cannot serialize the
+// scan. The batch path keeps tile granularity (a batch aliases one
+// tile's column slices), so it passes split=false.
+func buildTileMorsels(rowCounts []int, workers, target int, split bool) []morsel {
+	total := 0
+	for _, r := range rowCounts {
+		total += r
+	}
+	size := morselSizeFor(total, workers, target)
+	ms := make([]morsel, 0, workers*morselsPerWorker)
+	runLo, runRows := 0, 0
+	flush := func(hi int) {
+		if runLo < hi {
+			ms = append(ms, morsel{tileLo: runLo, tileHi: hi, rowLo: 0, rowHi: -1})
+		}
+	}
+	for ti, r := range rowCounts {
+		if split && r >= 2*size {
+			flush(ti)
+			parts := (r + size - 1) / size
+			per := (r + parts - 1) / parts
+			for lo := 0; lo < r; lo += per {
+				hi := lo + per
+				if hi > r {
+					hi = r
+				}
+				ms = append(ms, morsel{tileLo: ti, tileHi: ti + 1, rowLo: lo, rowHi: hi})
+			}
+			runLo, runRows = ti+1, 0
+			continue
+		}
+		runRows += r
+		if runRows >= size {
+			flush(ti + 1)
+			runLo, runRows = ti+1, 0
+		}
+	}
+	flush(len(rowCounts))
+	return ms
+}

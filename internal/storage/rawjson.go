@@ -50,8 +50,8 @@ func (r *rawJSON) Scan(accesses []Access, workers int, emit EmitFunc) {
 // ScanWithStats implements StatsScanner (rows only; the text format
 // re-parses every document, there is nothing columnar to hit).
 func (r *rawJSON) ScanWithStats(accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
-	parallelRange(len(r.lines), workers, func(w, lo, hi int) {
-		var cnt scanCounters
+	morselRange(len(r.lines), workers, func(w, lo, hi int) {
+		cnt := scanCounters{morsels: 1}
 		defer cnt.flush(st)
 		cnt.rows = int64(hi - lo)
 		row := make([]expr.Value, len(accesses))

@@ -46,8 +46,9 @@ type scanSource interface {
 }
 
 type scanConfig struct {
-	skipTiles bool
-	maxSlots  int
+	skipTiles  bool
+	maxSlots   int
+	morselRows int
 }
 
 // mayContainTile answers MayContainPath with the capped-slot
@@ -160,27 +161,48 @@ func resolveTileAccessBatch(t scanTile, a Access, maxSlots int) batchResolver {
 // §4.5 per-tile resolution, §4.5/§5 column-hit vs fallback split).
 func scanRowsCore(src scanSource, accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
 	cfg := src.scanConfig()
-	parallelRange(src.numScanTiles(), workers, func(w, lo, hi int) {
+	nTiles := src.numScanTiles()
+	if nTiles == 0 {
+		return
+	}
+	// Row counts come from tile metadata: no I/O.
+	var head scanCounters
+	rowCounts := make([]int, nTiles)
+	for i := range rowCounts {
+		rowCounts[i] = src.openScanTile(i, &head).NumRows()
+	}
+	head.flush(st)
+	morsels := buildTileMorsels(rowCounts, workers, cfg.morselRows, true)
+	runMorsels(morsels, workers, func(w int, m morsel) {
 		scratch := getScanScratch(len(accesses))
 		defer putScanScratch(scratch)
 		row, res := scratch.row, scratch.res
-		var cnt scanCounters
+		cnt := scanCounters{morsels: 1}
 		defer cnt.flush(st)
-		for ti := lo; ti < hi; ti++ {
+		for ti := m.tileLo; ti < m.tileHi; ti++ {
 			t := src.openScanTile(ti, &cnt)
+			lo, hi := 0, t.NumRows()
+			if !m.wholeTiles() {
+				lo, hi = m.rowLo, m.rowHi
+			}
+			// Tile-level counters fire once per tile: the sub-morsel
+			// starting at row 0 accounts for the whole tile.
 			if cfg.skipTiles && skippableTile(t, accesses, cfg.maxSlots) {
-				cnt.tilesSkipped++
+				if lo == 0 {
+					cnt.tilesSkipped++
+				}
 				continue
 			}
-			cnt.tilesScanned++
+			if lo == 0 {
+				cnt.tilesScanned++
+			}
 			// Per-tile access resolution, computed once and reused for
-			// every tuple of the tile (§4.5).
+			// every tuple of the morsel (§4.5).
 			for ai, a := range accesses {
 				res[ai] = resolveTileAccess(t, a, cfg.maxSlots)
 			}
-			n := t.NumRows()
-			cnt.rows += int64(n)
-			for i := 0; i < n; i++ {
+			cnt.rows += int64(hi - lo)
+			for i := lo; i < hi; i++ {
 				var d jsonb.Doc
 				haveDoc := false
 				for ai := range accesses {
@@ -212,25 +234,35 @@ func scanRowsCore(src scanSource, accesses []Access, workers int, emit EmitFunc,
 func scanBatchesCore(src scanSource, accesses []Access, workers int, emit BatchEmitFunc, st *obs.ScanStats) {
 	cfg := src.scanConfig()
 	nTiles := src.numScanTiles()
+	if nTiles == 0 {
+		return
+	}
 	// Global row id of each tile's first row (Base of its batch).
 	// Row counts come from metadata, so this loop performs no I/O.
 	offs := make([]int64, nTiles)
+	rowCounts := make([]int, nTiles)
 	var run int64
 	var head scanCounters
 	for i := 0; i < nTiles; i++ {
 		offs[i] = run
-		run += int64(src.openScanTile(i, &head).NumRows())
+		rowCounts[i] = src.openScanTile(i, &head).NumRows()
+		run += int64(rowCounts[i])
 	}
-	parallelRange(nTiles, workers, func(w, lo, hi int) {
+	head.flush(st)
+	// Batches alias one tile's column slices, so morsels stay at tile
+	// granularity here: tiny tiles batch together, big tiles are one
+	// morsel each (never row-split).
+	morsels := buildTileMorsels(rowCounts, workers, cfg.morselRows, false)
+	runMorsels(morsels, workers, func(w int, m morsel) {
 		var (
 			batch vec.Batch
 			boxed = make([][]expr.Value, len(accesses))
 			fbuf  = make([][]float64, len(accesses))
-			cnt   scanCounters
+			cnt   = scanCounters{morsels: 1}
 		)
 		batch.Cols = make([]vec.Vector, len(accesses))
 		defer cnt.flush(st)
-		for ti := lo; ti < hi; ti++ {
+		for ti := m.tileLo; ti < m.tileHi; ti++ {
 			t := src.openScanTile(ti, &cnt)
 			if cfg.skipTiles && skippableTile(t, accesses, cfg.maxSlots) {
 				cnt.tilesSkipped++

@@ -75,7 +75,7 @@ func OpenSegmentFile(name, path string, pool *bufpool.Pool, cfg LoaderConfig) (*
 		pool:    pool,
 		ownPool: ownPool,
 		numRows: r.NumRows(),
-		cfg:     scanConfig{skipTiles: cfg.SkipTiles, maxSlots: maxSlots},
+		cfg:     scanConfig{skipTiles: cfg.SkipTiles, maxSlots: maxSlots, morselRows: cfg.MorselRows},
 	}, nil
 }
 

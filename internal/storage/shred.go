@@ -160,8 +160,8 @@ func (r *shredded) Scan(accesses []Access, workers int, emit EmitFunc) {
 // format has neither tiles nor a binary-JSON fallback — record
 // reassembly is its cost model, not fallback counts).
 func (r *shredded) ScanWithStats(accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
-	parallelRange(r.numRows, workers, func(w, lo, hi int) {
-		var cnt scanCounters
+	morselRange(r.numRows, workers, func(w, lo, hi int) {
+		cnt := scanCounters{morsels: 1}
 		defer cnt.flush(st)
 		cnt.rows = int64(hi - lo)
 		row := make([]expr.Value, len(accesses))

@@ -127,7 +127,7 @@ func (l sinewLoader) Load(name string, lines [][]byte, workers int) (Relation, e
 
 	// Binary JSON fallback storage (parallel, like the JSONB format).
 	r.raw = make([][]byte, len(docs))
-	parallelRange(len(docs), workers, func(w, lo, hi int) {
+	morselRange(len(docs), workers, func(w, lo, hi int) {
 		var enc jsonb.Encoder
 		for i := lo; i < hi; i++ {
 			r.raw[i] = enc.Encode(docs[i])
@@ -187,9 +187,9 @@ func (r *sinew) ScanWithStats(accesses []Access, workers int, emit EmitFunc, st 
 			res[i] = colResolver{mode: modeFallback}
 		}
 	}
-	parallelRange(r.numRows, workers, func(w, lo, hi int) {
+	morselRange(r.numRows, workers, func(w, lo, hi int) {
 		row := make([]expr.Value, len(accesses))
-		var cnt scanCounters
+		cnt := scanCounters{morsels: 1}
 		defer cnt.flush(st)
 		cnt.rows = int64(hi - lo)
 		for i := lo; i < hi; i++ {

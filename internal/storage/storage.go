@@ -15,7 +15,6 @@ package storage
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/expr"
 	"repro/internal/jsonvalue"
@@ -202,44 +201,12 @@ func NewLoader(kind FormatKind, cfg LoaderConfig) (Loader, error) {
 	}
 }
 
-// parallelRange splits [0, n) into `workers` chunks and runs fn(worker,
-// lo, hi) concurrently.
-func parallelRange(n, workers int, fn func(worker, lo, hi int)) {
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		fn(0, 0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			fn(w, lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
-}
-
-// parseAll parses JSON lines into documents in parallel.
+// parseAll parses JSON lines into documents in parallel (morsels of
+// lines pulled from a shared queue — see morsel.go).
 func parseAll(lines [][]byte, workers int) ([]jsonvalue.Value, error) {
 	docs := make([]jsonvalue.Value, len(lines))
 	errs := make([]error, workers+1)
-	parallelRange(len(lines), workers, func(w, lo, hi int) {
+	morselRange(len(lines), workers, func(w, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			v, err := parseDoc(lines[i])
 			if err != nil {

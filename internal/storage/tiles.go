@@ -79,7 +79,10 @@ func BuildTiles(name string, docs []jsonvalue.Value, cfg LoaderConfig, workers i
 		stats: stats.New(0, 0), metrics: metrics}
 	partTiles := make([][]*tile.Tile, numParts)
 
-	parallelRange(numParts, workers, func(w, lo, hi int) {
+	// One morsel per partition: a partition is already thousands of
+	// documents, so unit granularity gives the queue its work stealing
+	// without splitting the reorder/extraction scope.
+	morselRangeSized(numParts, workers, 1, func(w, lo, hi int) {
 		builder := tile.NewBuilder(tcfg, metrics)
 		for p := lo; p < hi; p++ {
 			dlo := p * partDocs
@@ -212,6 +215,9 @@ func (r *tilesRelation) Scan(accesses []Access, workers int, emit EmitFunc) {
 type scanCounters struct {
 	tilesScanned, tilesSkipped      int64
 	rows, hits, fallbacks, castErrs int64
+	// morsels processed (flushed to per-scan stats only; the global
+	// morsels_dispatched counter is maintained by the queue runner).
+	morsels int64
 	// Batch path only.
 	batches, rowsVec, rowsFallback int64
 	// Segment-backed scans only: block I/O and buffer-pool traffic.
@@ -235,6 +241,7 @@ func (c *scanCounters) flush(st *obs.ScanStats) {
 	if st == nil {
 		return
 	}
+	st.Morsels.Add(c.morsels)
 	st.TilesScanned.Add(c.tilesScanned)
 	st.TilesSkipped.Add(c.tilesSkipped)
 	st.RowsScanned.Add(c.rows)
@@ -291,7 +298,7 @@ func (r *tilesRelation) ScanWithStats(accesses []Access, workers int, emit EmitF
 func (r *tilesRelation) numScanTiles() int                             { return len(r.tiles) }
 func (r *tilesRelation) openScanTile(ti int, _ *scanCounters) scanTile { return r.tiles[ti] }
 func (r *tilesRelation) scanConfig() scanConfig {
-	return scanConfig{skipTiles: r.cfg.SkipTiles, maxSlots: r.maxSlots()}
+	return scanConfig{skipTiles: r.cfg.SkipTiles, maxSlots: r.maxSlots(), morselRows: r.cfg.MorselRows}
 }
 
 func (r *tilesRelation) maxSlots() int {

@@ -62,6 +62,11 @@ type Options struct {
 	DetectDates bool
 	// Workers bounds loading and query parallelism (0 = all CPUs).
 	Workers int
+	// MorselRows is the target number of rows per scan morsel — the
+	// unit of work parallel scans pull from the shared queue (0 = the
+	// 32K default). Smaller morsels balance skew better; larger ones
+	// amortize per-morsel setup. Small tables shrink it automatically.
+	MorselRows int
 	// CacheBytes bounds the buffer pool of tables opened from segment
 	// files (OpenSegment) or table directories (OpenDir): decompressed
 	// block bytes kept resident across queries. 0 means the 64 MiB
@@ -106,6 +111,7 @@ func (o Options) withDefaults() Options {
 	}
 	def := DefaultOptions()
 	def.Workers = o.Workers
+	def.MorselRows = o.MorselRows
 	def.CacheBytes = o.CacheBytes
 	def.CompactFanIn = o.CompactFanIn
 	def.OnQueryDone = o.OnQueryDone
@@ -141,6 +147,7 @@ func (o Options) loaderConfig() storage.LoaderConfig {
 	cfg.Tile.DetectDates = o.DetectDates
 	cfg.Reorder = o.Reorder
 	cfg.SkipTiles = o.SkipTiles
+	cfg.MorselRows = o.MorselRows
 	return cfg
 }
 

@@ -1,0 +1,208 @@
+package jsontiles
+
+// End-to-end tests for morsel-driven parallel execution: worker
+// resolution across joined tables, EXPLAIN ANALYZE morsel/partition
+// tokens, cross-worker result conformance through the public API, and
+// concurrent queries racing a compacting directory table (run under
+// -race in CI).
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestEffectiveWorkersTakesMaxAcrossTables is the regression test for
+// worker resolution: the query must take the maximum Workers across
+// every referenced table, not whatever the first table happened to be
+// configured with.
+func TestEffectiveWorkersTakesMaxAcrossTables(t *testing.T) {
+	lo := opts()
+	lo.Workers = 1
+	hi := opts()
+	hi.Workers = 6
+
+	left, err := Load("left", reviewDocs(100), lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bdocs [][]byte
+	for i := 0; i < 10; i++ {
+		bdocs = append(bdocs, []byte(fmt.Sprintf(`{"id":"b%02d","city":"c%d"}`, i, i%3)))
+	}
+	right, err := Load("right", bdocs, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Workers=1 table first: the join partner's higher setting must
+	// still win.
+	q := left.Query("data->>'business'", "data->>'stars'::BigInt").
+		Join(right, []string{"data->>'id'", "data->>'city'"}, 0, 0)
+	if got := q.effectiveWorkers(); got != 6 {
+		t.Fatalf("effectiveWorkers = %d, want 6 (max across tables)", got)
+	}
+	// Order flipped: same answer.
+	q2 := right.Query("data->>'id'", "data->>'city'").
+		Join(left, []string{"data->>'business'", "data->>'stars'::BigInt"}, 0, 0)
+	if got := q2.effectiveWorkers(); got != 6 {
+		t.Fatalf("flipped effectiveWorkers = %d, want 6", got)
+	}
+	// Single table: its own setting.
+	if got := left.Query("data->>'business'").effectiveWorkers(); got != 1 {
+		t.Fatalf("single-table effectiveWorkers = %d, want 1", got)
+	}
+
+	// The join still answers correctly under the resolved parallelism.
+	res, err := q.GroupBy(3).Aggregate(CountAll("n")).OrderBy(0, false).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for i := 0; i < res.NumRows(); i++ {
+		total += res.Value(i, 1).Int64()
+	}
+	if total != 100 {
+		t.Fatalf("join row count = %d, want 100", total)
+	}
+}
+
+// TestExplainAnalyzeMorselTokens: EXPLAIN ANALYZE surfaces the morsel
+// count on scans and the partition fan-out on aggregations.
+func TestExplainAnalyzeMorselTokens(t *testing.T) {
+	o := opts()
+	o.Workers = 4
+	o.TileSize = 32
+	tbl, err := Load("reviews", reviewDocs(800), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := tbl.Query("data->>'stars'::BigInt", "data->>'useful'::BigInt").
+		GroupBy(0).
+		Aggregate(CountAll("n"), Sum(1, "u")).
+		OrderBy(0, false).
+		RunAnalyzed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := stats.Plan.String()
+	if !strings.Contains(plan, "morsels=") {
+		t.Fatalf("EXPLAIN ANALYZE misses morsels= token:\n%s", plan)
+	}
+	if !strings.Contains(plan, "agg_partitions=") {
+		t.Fatalf("EXPLAIN ANALYZE misses agg_partitions= token:\n%s", plan)
+	}
+	// 800 rows over 32-row tiles with 4 workers must produce several
+	// morsels and a multi-partition merge.
+	var morsels, parts int
+	for _, line := range strings.Split(plan, "\n") {
+		if i := strings.Index(line, "morsels="); i >= 0 {
+			fmt.Sscanf(line[i:], "morsels=%d", &morsels)
+		}
+		if i := strings.Index(line, "agg_partitions="); i >= 0 {
+			fmt.Sscanf(line[i:], "agg_partitions=%d", &parts)
+		}
+	}
+	if morsels < 2 {
+		t.Fatalf("morsels=%d, want >= 2:\n%s", morsels, plan)
+	}
+	if parts < 8 {
+		t.Fatalf("agg_partitions=%d, want >= 8 at 4 workers:\n%s", parts, plan)
+	}
+}
+
+// TestQueryConformanceAcrossWorkerCounts: the public API returns
+// byte-identical rendered results for every worker count, across scan,
+// filter, group-by, and join query shapes.
+func TestQueryConformanceAcrossWorkerCounts(t *testing.T) {
+	all := reviewDocs(600)
+	queries := dirQueries()
+	var want []string
+	for _, w := range []int{1, 2, 3, 8} {
+		o := opts()
+		o.Workers = w
+		o.TileSize = 48
+		tbl, err := Load("reviews", all, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		for qi, mk := range queries {
+			res, err := mk(tbl).Run()
+			if err != nil {
+				t.Fatalf("workers=%d query %d: %v", w, qi, err)
+			}
+			got = append(got, res.String())
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %d differs at workers=%d:\nworkers=1:\n%s\nworkers=%d:\n%s",
+					i, w, want[i], w, got[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentQueriesDuringCompaction races parallel queries against
+// explicit compaction on a multi-segment directory table. Under -race
+// this doubles as the data-race check for the morsel scheduler and the
+// partitioned aggregation merge on a live, generation-swapping table.
+func TestConcurrentQueriesDuringCompaction(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "reviews")
+	o := dirOpts()
+	o.Workers = 4
+	tbl, err := OpenDir("reviews", dir, o)
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	defer tbl.Close()
+	all := reviewDocs(480)
+	flushBatches(t, tbl, all, 8)
+
+	want := runAll(t, tbl, "pre-compaction")
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 4; iter++ {
+				for qi, mk := range dirQueries() {
+					res, err := mk(tbl).Run()
+					if err != nil {
+						errs <- fmt.Sprintf("goroutine %d query %d: %v", g, qi, err)
+						return
+					}
+					if got := res.String(); got != want[qi] {
+						errs <- fmt.Sprintf("goroutine %d query %d differs during compaction", g, qi)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	if _, err := tbl.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if err := tbl.ScanErr(); err != nil {
+		t.Fatalf("ScanErr: %v", err)
+	}
+	got := runAll(t, tbl, "post-compaction")
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("query %d differs after compaction", i)
+		}
+	}
+}

@@ -494,6 +494,26 @@ func (q *Query) resolveHooks() (hook func(QueryStats), slowThr time.Duration, sl
 	return hook, slowThr, slowLog
 }
 
+// effectiveWorkers resolves the query's parallelism across every
+// referenced table: the maximum of the per-table Workers settings
+// (each already resolved, so a table with Workers 0 contributes
+// GOMAXPROCS). The maximum — rather than the first table's value —
+// means a join partner that asked for more parallelism is never
+// silently throttled by the table that happened to be added first;
+// the morsel scheduler keeps extra workers harmless on small inputs.
+func (q *Query) effectiveWorkers() int {
+	workers := 1
+	for _, qt := range q.tables {
+		if qt.table == nil {
+			continue
+		}
+		if w := qt.table.opts.workers(); w > workers {
+			workers = w
+		}
+	}
+	return workers
+}
+
 // run executes the query, optionally with per-operator analysis.
 // Every execution — analyzed or not — registers in the live-query
 // registry, folds its wall/plan/exec times into the latency
@@ -513,7 +533,7 @@ func (q *Query) run(analyze bool) (*Result, *QueryStats, error) {
 	digest := planDigest(root)
 	qh := obs.Queries.Begin(digest, scans.tables, scans.stats)
 	defer qh.Finish()
-	workers := q.tables[0].table.opts.workers()
+	workers := q.effectiveWorkers()
 
 	var base obs.Snapshot
 	needStats := instrument || hook != nil
