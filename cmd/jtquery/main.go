@@ -9,8 +9,13 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"time"
 
@@ -32,12 +37,20 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/queries, /debug/trace, and pprof on this address")
 	serve := flag.Bool("serve", false, "with -debug-addr: keep re-running the query so the debug endpoints stay observable (ctrl-c to stop)")
 	slowMS := flag.Int("slow-ms", 0, "log queries slower than this many milliseconds as JSON lines on stderr")
+	url := flag.String("url", "", "query a running jtserve instead of local data, e.g. http://localhost:8080 (uses -table, -tenant)")
+	table := flag.String("table", "input", "with -url: table name on the server")
+	tenant := flag.String("tenant", "", "with -url: tenant identity sent in X-JT-Tenant")
 	flag.Parse()
 
 	selects := flag.Args()
 	if len(selects) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: jtquery [flags] <access-expression>...")
 		os.Exit(2)
+	}
+
+	if *url != "" {
+		runRemote(*url, *table, *tenant, selects, *notNull, *limit)
+		return
 	}
 
 	if *debugAddr != "" {
@@ -146,5 +159,63 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+}
+
+// remoteEnvelope mirrors the service's query envelope (the subset the
+// CLI can express).
+type remoteEnvelope struct {
+	Table  string        `json:"table"`
+	Select []string      `json:"select"`
+	Where  []remoteWhere `json:"where,omitempty"`
+	Limit  *int          `json:"limit,omitempty"`
+}
+
+type remoteWhere struct {
+	Col int    `json:"col"`
+	Op  string `json:"op"`
+}
+
+// runRemote posts the query to a jtserve and streams the NDJSON
+// response to stdout.
+func runRemote(url, table, tenant string, selects []string, notNull, limit int) {
+	env := remoteEnvelope{Table: table, Select: selects}
+	if notNull >= 0 {
+		env.Where = append(env.Where, remoteWhere{Col: notNull, Op: "not_null"})
+	}
+	if limit > 0 {
+		env.Limit = &limit
+	}
+	body, err := json.Marshal(env)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jtquery:", err)
+		os.Exit(1)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/query", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jtquery:", err)
+		os.Exit(1)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-JT-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jtquery:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		fmt.Fprintf(os.Stderr, "jtquery: server: %s: %s", resp.Status, msg)
+		os.Exit(1)
+	}
+	// Stream the NDJSON lines through verbatim.
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	if _, err := io.Copy(out, resp.Body); err != nil {
+		fmt.Fprintln(os.Stderr, "jtquery:", err)
+		os.Exit(1)
 	}
 }

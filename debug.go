@@ -7,6 +7,7 @@ package jsontiles
 // implicitly through Options.DebugAddr.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -22,6 +23,7 @@ import (
 var debugSrv struct {
 	mu   sync.Mutex
 	addr string // actual listen address once started
+	srv  *http.Server
 }
 
 // ServeDebug starts the process-wide debug HTTP server on addr
@@ -53,7 +55,24 @@ func ServeDebug(addr string) (string, error) {
 	srv := &http.Server{Handler: debugMux()}
 	go srv.Serve(ln)
 	debugSrv.addr = ln.Addr().String()
+	debugSrv.srv = srv
 	return debugSrv.addr, nil
+}
+
+// ShutdownDebug gracefully stops the process-wide debug server,
+// waiting for in-flight handlers up to ctx's deadline. A no-op when
+// the server was never started. After shutdown, ServeDebug can start
+// a fresh server.
+func ShutdownDebug(ctx context.Context) error {
+	debugSrv.mu.Lock()
+	srv := debugSrv.srv
+	debugSrv.srv = nil
+	debugSrv.addr = ""
+	debugSrv.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
 }
 
 // maybeServeDebug starts the debug server for Options.DebugAddr,
@@ -83,7 +102,7 @@ func debugMux() *http.ServeMux {
 
 func handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	obs.Default.Snapshot().WriteTo(w)
+	obs.WriteAllMetrics(w)
 }
 
 func handleQueries(w http.ResponseWriter, r *http.Request) {

@@ -57,6 +57,20 @@ func (t *Table) Compact() (int, error) {
 	return 0, nil
 }
 
+// SetTenantQuota caps how many buffer-pool payload bytes queries
+// running under the named tenant (obs.WithTenant) may keep resident
+// in this table's pool. Exceeding the quota evicts the tenant's own
+// unpinned blocks first, so one tenant's working set cannot push out
+// everyone else's. Quota 0 removes the cap. A no-op for table kinds
+// without a buffer pool (in-memory tables).
+func (t *Table) SetTenantQuota(tenant string, quota int64) {
+	if pp, ok := t.rel.(interface{ Pool() *bufpool.Pool }); ok {
+		if p := pp.Pool(); p != nil {
+			p.SetQuota(tenant, quota)
+		}
+	}
+}
+
 // NumSegments returns the number of live segment files backing a
 // directory-backed table (1-per-flush until compaction folds them).
 // Other table kinds return 0.

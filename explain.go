@@ -6,6 +6,7 @@ package jsontiles
 // vs binary-JSON-fallback splits (§4.5/§5).
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -100,6 +101,9 @@ func (s ScanStats) SkipRatio() float64 {
 // receives it after every Run/RunAnalyzed (e.g. for slow-query
 // logging).
 type QueryStats struct {
+	// Tenant is the identity the query ran under (obs.WithTenant);
+	// empty for direct library calls.
+	Tenant string
 	// Plan is the executed plan; per-operator stats are filled only
 	// when Analyzed is set (RunAnalyzed).
 	Plan *PlanNode
@@ -148,7 +152,7 @@ func (s QueryStats) String() string {
 // order, cardinality estimates, pushed-down filters — without
 // executing it.
 func (q *Query) Explain() (*PlanNode, error) {
-	root, err := q.buildPlan(true, nil, nil)
+	root, err := q.buildPlan(context.Background(), true, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -187,7 +191,13 @@ func digestWalk(sb *strings.Builder, op engine.Operator) {
 // time and row count per operator, and per-table scan statistics
 // (tiles scanned vs skipped, column hits vs binary-JSON fallbacks).
 func (q *Query) RunAnalyzed() (*Result, *QueryStats, error) {
-	return q.run(true)
+	return q.run(context.Background(), true)
+}
+
+// RunAnalyzedContext is RunAnalyzed under a per-query context (see
+// RunContext for the cancellation and tenant semantics).
+func (q *Query) RunAnalyzedContext(ctx context.Context) (*Result, *QueryStats, error) {
+	return q.run(ctx, true)
 }
 
 // planNode converts an operator (sub)tree into its plan description.

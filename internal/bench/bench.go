@@ -84,6 +84,7 @@ func Experiments() []Experiment {
 		{"seg", "Segment persistence: cold-open vs warm buffer pool vs in-memory (records BENCH_segment.json)", segExp},
 		{"dict", "Dictionary-encoded vs arena string columns: predicate and group-by fast paths (records BENCH_dict.json)", dictExp},
 		{"compact", "Multi-segment tables: incremental append vs monolithic rewrite, compaction payoff (records BENCH_compact.json)", compactExp},
+		{"service", "Query service: HTTP throughput vs client concurrency under admission control, cancellation latency (records BENCH_service.json)", serviceExp},
 	}
 }
 

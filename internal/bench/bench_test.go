@@ -48,8 +48,8 @@ func TestByID(t *testing.T) {
 			t.Errorf("experiment %s incomplete", e.ID)
 		}
 	}
-	if len(ids) != 25 {
-		t.Errorf("%d experiments, want 25 (every table and figure + vec + morsel + seg + dict + compact)", len(ids))
+	if len(ids) != 26 {
+		t.Errorf("%d experiments, want 26 (every table and figure + vec + morsel + seg + dict + compact + service)", len(ids))
 	}
 }
 

@@ -1,0 +1,199 @@
+package bench
+
+// The query-service experiment: end-to-end HTTP throughput through
+// the admission-controlled front door at increasing client
+// concurrency, plus the cancellation-latency distribution that the
+// morsel-boundary context checks bound.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	jsontiles "repro"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+const serviceBenchFile = "BENCH_service.json"
+
+// servicePoint is one client-concurrency level.
+type servicePoint struct {
+	Clients int     `json:"clients"`
+	Queries int     `json:"queries"`
+	Secs    float64 `json:"secs"`
+	QPS     float64 `json:"qps"`
+	// Rejected429 counts admission pushback the clients retried
+	// through (nonzero once clients outnumber slots+queue).
+	Rejected429 int `json:"rejected_429"`
+}
+
+type serviceReport struct {
+	Workload string `json:"workload"`
+	Rows     int    `json:"rows"`
+	NumCPU   int    `json:"numcpu"`
+	// MaxConcurrent/QueueDepth are the admission settings the sweep
+	// ran under.
+	MaxConcurrent int            `json:"max_concurrent"`
+	QueueDepth    int            `json:"queue_depth"`
+	Points        []servicePoint `json:"points"`
+	// CancelLatencyMS is the p50/p95/max wall time for RunContext to
+	// return after its context is cancelled mid-scan — bounded by one
+	// morsel, not by the remaining table.
+	CancelLatencyMS map[string]float64 `json:"cancel_latency_ms"`
+	// Metrics is the process-wide instrument delta over the experiment
+	// (admission_admitted, admission_queued, queries_cancelled, ...).
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+// serviceEnvelope is the benchmark query: a selective filter plus
+// group-by over the Yelp reviews, heavy enough to hold an execution
+// slot for a measurable moment.
+const serviceEnvelope = `{
+  "table": "reviews",
+  "select": ["data->>'stars'::BigInt", "data->>'useful'::BigInt"],
+  "where": [{"col": 0, "op": ">=", "value": 2}],
+  "group_by": [0],
+  "aggs": [{"fn": "count", "name": "n"}, {"fn": "avg", "col": 1, "name": "u"}],
+  "order_by": [{"col": 0}]
+}`
+
+// serviceExp — HTTP client sweep against an in-process server,
+// recording BENCH_service.json.
+func serviceExp(w io.Writer, c *Context) error {
+	metricsBase := obs.Default.Snapshot()
+
+	opts := jsontiles.DefaultOptions()
+	opts.Workers = c.Opts.workers()
+	tbl, err := jsontiles.Load("reviews", c.yelpLines(), opts)
+	if err != nil {
+		return err
+	}
+
+	maxConc := runtime.NumCPU()
+	queueDepth := 4 * maxConc
+	srv := service.New(service.Config{
+		Addr:          "127.0.0.1:0",
+		MaxConcurrent: maxConc,
+		QueueDepth:    queueDepth,
+		QueueTimeout:  5 * time.Second,
+	})
+	srv.Register("reviews", tbl)
+	addr, err := srv.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	url := "http://" + addr + "/query"
+
+	report := serviceReport{
+		Workload: "yelp-reviews", Rows: tbl.NumRows(), NumCPU: runtime.NumCPU(),
+		MaxConcurrent: maxConc, QueueDepth: queueDepth,
+	}
+
+	t := &table{header: []string{"clients", "queries", "secs", "qps", "429s"}}
+	const queriesPerClient = 20
+	for _, clients := range []int{1, 2, 4, 8, 16, 32} {
+		total := clients * queriesPerClient
+		var rejected int64
+		var mu sync.Mutex
+		start := time.Now()
+		var wg sync.WaitGroup
+		for g := 0; g < clients; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				tenant := fmt.Sprintf("bench-%d", g%4)
+				for q := 0; q < queriesPerClient; q++ {
+					for {
+						req, _ := http.NewRequest(http.MethodPost, url, strings.NewReader(serviceEnvelope))
+						req.Header.Set("X-JT-Tenant", tenant)
+						resp, err := http.DefaultClient.Do(req)
+						if err != nil {
+							return
+						}
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						if resp.StatusCode == http.StatusTooManyRequests {
+							mu.Lock()
+							rejected++
+							mu.Unlock()
+							time.Sleep(time.Millisecond)
+							continue
+						}
+						break
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		secs := time.Since(start).Seconds()
+		p := servicePoint{
+			Clients: clients, Queries: total, Secs: secs,
+			QPS: float64(total) / maxf(secs, 1e-9), Rejected429: int(rejected),
+		}
+		report.Points = append(report.Points, p)
+		t.row(fmt.Sprint(clients), fmt.Sprint(total),
+			fmt.Sprintf("%.3f", p.Secs), fmt.Sprintf("%.1f", p.QPS), fmt.Sprint(p.Rejected429))
+	}
+	t.write(w)
+
+	// Cancellation latency: how long RunContext takes to return after
+	// a mid-scan cancel. Bounded by one morsel of work.
+	var lat []float64
+	for i := 0; i < 30; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		var elapsed time.Duration
+		go func() {
+			defer close(done)
+			begin := time.Now()
+			tbl.Query("data->>'review_id'", "data->>'stars'::BigInt").RunContext(ctx)
+			elapsed = time.Since(begin)
+		}()
+		time.Sleep(200 * time.Microsecond)
+		cancelAt := time.Now()
+		cancel()
+		<-done
+		if after := elapsed - time.Since(cancelAt); after < 0 {
+			// Query finished before the cancel landed; skip the sample.
+			continue
+		}
+		lat = append(lat, float64(elapsed)/float64(time.Millisecond))
+	}
+	sort.Float64s(lat)
+	report.CancelLatencyMS = map[string]float64{}
+	if n := len(lat); n > 0 {
+		report.CancelLatencyMS["p50"] = lat[n/2]
+		report.CancelLatencyMS["p95"] = lat[n*95/100]
+		report.CancelLatencyMS["max"] = lat[n-1]
+		fmt.Fprintf(w, "cancel latency: p50=%.2fms p95=%.2fms max=%.2fms (%d samples)\n",
+			report.CancelLatencyMS["p50"], report.CancelLatencyMS["p95"], report.CancelLatencyMS["max"], n)
+	}
+
+	report.Metrics = obs.Default.Snapshot().Diff(metricsBase)
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	path := filepath.Join(c.Opts.OutDir, serviceBenchFile)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "sweep written to %s (max_concurrent=%d queue_depth=%d)\n", path, maxConc, queueDepth)
+	return nil
+}

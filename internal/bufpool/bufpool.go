@@ -2,15 +2,23 @@
 // read flows through. The paper's host system (Umbra) manages tile
 // blocks through its buffer manager; this package is the equivalent
 // for the standalone engine: a capacity-bounded cache of decompressed
-// block bytes with clock (second-chance) eviction, refcount pinning,
-// and singleflight loading so concurrent scans of the same block pay
-// for one disk read + decompression, not N.
+// block bytes with second-chance eviction, refcount pinning, and
+// singleflight loading so concurrent scans of the same block pay for
+// one disk read + decompression, not N.
 //
 // The pool caches *decompressed* payloads. Checksum verification and
 // LZ4 decompression happen inside the load function on a miss; a hit
 // returns bytes that are immediately scannable. Capacity is accounted
 // in payload bytes, not entry counts, because block sizes vary by
 // orders of magnitude (a tile's JSONB fallback vs. a bool column).
+//
+// Multi-tenant governance: every block is attributed to the tenant
+// whose scan loaded it (GetAs), tenants can be given byte quotas
+// (SetQuota), and eviction is usage-ranked — a tenant over its quota
+// evicts its own blocks, and global capacity pressure evicts from the
+// tenant using the largest fraction of its allowance first, so one
+// tenant's scan storm cannot wash every other tenant's working set
+// out of the cache.
 package bufpool
 
 import (
@@ -36,6 +44,19 @@ type Stats struct {
 	// Resident is the current payload byte total; Capacity the bound.
 	Resident int64
 	Capacity int64
+	// PinnedBytes is the payload byte total of currently pinned
+	// entries (handles not yet released). A quiesced pool — no scan in
+	// flight — must report 0: pins leaking past a query (cancelled or
+	// not) would make its blocks unevictable forever.
+	PinnedBytes int64
+}
+
+// TenantStats is a snapshot of one tenant's pool accounting.
+type TenantStats struct {
+	// Resident is the payload bytes attributed to the tenant; Quota
+	// its configured bound (0 = unquoted, bounded only by capacity).
+	Resident int64
+	Quota    int64
 }
 
 // Pool is a capacity-bounded block cache. The zero value is unusable;
@@ -45,26 +66,34 @@ type Pool struct {
 	capacity int64
 	resident int64
 	entries  map[Key]*entry
-	ring     []*entry // clock hand sweeps this
-	hand     int
+	ring     []*entry // eviction sweeps this
 	flights  map[Key]*flight
 	nextFile uint64
+	tenants  map[string]*tenantAcct
 
 	hits, misses, evictions int64
 }
 
 type entry struct {
-	key   Key
-	bytes []byte
-	pins  int32
-	ref   bool // clock reference bit: set on access, cleared by the hand
-	dead  bool // removed from entries; awaiting ring compaction
+	key    Key
+	bytes  []byte
+	tenant string // loader attribution (usage-ranked eviction)
+	pins   int32
+	ref    bool // second-chance bit: set on access, cleared by sweeps
+	dead   bool // removed from entries; awaiting ring compaction
+}
+
+// tenantAcct is one tenant's resident-byte ledger within a pool.
+type tenantAcct struct {
+	resident int64
+	quota    int64 // 0 = unquoted
 }
 
 type flight struct {
-	done  chan struct{}
-	bytes []byte
-	err   error
+	done   chan struct{}
+	bytes  []byte
+	err    error
+	tenant string
 }
 
 // DefaultCapacity bounds the pool when the caller passes 0: 64 MiB,
@@ -80,6 +109,7 @@ func New(capacity int64) *Pool {
 		capacity: capacity,
 		entries:  make(map[Key]*entry),
 		flights:  make(map[Key]*flight),
+		tenants:  make(map[string]*tenantAcct),
 	}
 }
 
@@ -91,6 +121,45 @@ func (p *Pool) RegisterFile() uint64 {
 	defer p.mu.Unlock()
 	p.nextFile++
 	return p.nextFile
+}
+
+// SetQuota bounds tenant's resident bytes in this pool. Loading past
+// the quota evicts the tenant's own unpinned blocks first, so a noisy
+// tenant degrades its own hit ratio, not its neighbors'. A quota of 0
+// removes the bound (capacity still applies). The quota is also
+// mirrored to the tenant's metrics gauge.
+func (p *Pool) SetQuota(tenant string, quota int64) {
+	if tenant == "" {
+		return
+	}
+	if quota < 0 {
+		quota = 0
+	}
+	p.mu.Lock()
+	p.acctLocked(tenant).quota = quota
+	p.enforceTenantLocked(tenant)
+	p.mu.Unlock()
+	obs.Tenants.Get(tenant).PoolQuota.Set(float64(quota))
+}
+
+// Quota returns tenant's configured byte quota (0 = unquoted).
+func (p *Pool) Quota(tenant string) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if a, ok := p.tenants[tenant]; ok {
+		return a.quota
+	}
+	return 0
+}
+
+// acctLocked returns tenant's ledger, creating it if needed.
+func (p *Pool) acctLocked(tenant string) *tenantAcct {
+	a, ok := p.tenants[tenant]
+	if !ok {
+		a = &tenantAcct{}
+		p.tenants[tenant] = a
+	}
+	return a
 }
 
 // Handle is a pinned reference to a cached block. The payload stays
@@ -115,9 +184,23 @@ func (h *Handle) Release() {
 	if h.ent == nil {
 		return
 	}
-	h.pool.mu.Lock()
+	p := h.pool
+	p.mu.Lock()
 	h.ent.pins--
-	h.pool.mu.Unlock()
+	if h.ent.pins == 0 {
+		obs.BufpoolPinnedBytes.Add(-float64(len(h.ent.bytes)))
+		// A block pinned through the last insert may have carried its
+		// tenant (or the pool) over the bound; the unpin is the first
+		// moment it becomes evictable, so enforce here rather than
+		// waiting for the next load.
+		if t := h.ent.tenant; t != "" {
+			p.enforceTenantLocked(t)
+		}
+		if p.resident > p.capacity {
+			p.evictLocked()
+		}
+	}
+	p.mu.Unlock()
 	h.ent = nil
 }
 
@@ -125,11 +208,25 @@ func (h *Handle) Release() {
 // lock) to produce the payload on a miss. Concurrent Gets for the same
 // absent key share one load: the losers block until the winner's load
 // returns. A failed load caches nothing and the error propagates to
-// every waiter.
+// every waiter. Blocks loaded through Get carry no tenant
+// attribution; tenanted scans use GetAs.
 func (p *Pool) Get(key Key, load func() ([]byte, error)) (*Handle, error) {
+	return p.GetAs("", key, load)
+}
+
+// GetAs is Get with tenant attribution: a loaded block's bytes charge
+// the tenant's ledger, and the insert enforces the tenant's quota by
+// evicting its own unpinned blocks. A hit on a block another tenant
+// loaded stays attributed to the loader — attribution follows who
+// paid the I/O, and a shared hot block should not bounce between
+// ledgers on every access.
+func (p *Pool) GetAs(tenant string, key Key, load func() ([]byte, error)) (*Handle, error) {
 	for {
 		p.mu.Lock()
 		if e, ok := p.entries[key]; ok {
+			if e.pins == 0 {
+				obs.BufpoolPinnedBytes.Add(float64(len(e.bytes)))
+			}
 			e.pins++
 			e.ref = true
 			p.hits++
@@ -147,7 +244,7 @@ func (p *Pool) Get(key Key, load func() ([]byte, error)) (*Handle, error) {
 			}
 			continue
 		}
-		f := &flight{done: make(chan struct{})}
+		f := &flight{done: make(chan struct{}), tenant: tenant}
 		p.flights[key] = f
 		p.misses++
 		p.mu.Unlock()
@@ -161,11 +258,14 @@ func (p *Pool) Get(key Key, load func() ([]byte, error)) (*Handle, error) {
 			close(f.done)
 			return nil, f.err
 		}
-		e := &entry{key: key, bytes: f.bytes, pins: 1, ref: true}
+		e := &entry{key: key, bytes: f.bytes, tenant: tenant, pins: 1, ref: true}
+		obs.BufpoolPinnedBytes.Add(float64(len(e.bytes)))
 		p.entries[key] = e
 		p.ring = append(p.ring, e)
-		p.resident += int64(len(e.bytes))
-		obs.BufpoolBytes.Add(float64(len(e.bytes)))
+		p.chargeLocked(e, 1)
+		if tenant != "" {
+			p.enforceTenantLocked(tenant)
+		}
 		p.evictLocked()
 		p.mu.Unlock()
 		close(f.done)
@@ -173,39 +273,127 @@ func (p *Pool) Get(key Key, load func() ([]byte, error)) (*Handle, error) {
 	}
 }
 
-// evictLocked runs the clock hand until resident fits capacity or no
-// entry is evictable (everything pinned or recently referenced —
-// recently-referenced entries get their second chance even under
-// pressure, but a full fruitless sweep stops to avoid spinning: the
-// pool then temporarily exceeds capacity rather than deadlocking).
+// chargeLocked books an entry's bytes into the pool-wide and
+// per-tenant ledgers and their metrics gauges; sign is +1 on insert,
+// -1 on eviction.
+func (p *Pool) chargeLocked(e *entry, sign int64) {
+	n := sign * int64(len(e.bytes))
+	p.resident += n
+	obs.BufpoolBytes.Add(float64(n))
+	if e.tenant != "" {
+		p.acctLocked(e.tenant).resident += n
+		obs.Tenants.Get(e.tenant).PoolBytes.Add(float64(n))
+	}
+}
+
+// removeLocked evicts ring slot i: unbooks the entry and compacts the
+// ring in place (the last entry moves into the hole).
+func (p *Pool) removeLocked(i int) {
+	e := p.ring[i]
+	e.dead = true
+	delete(p.entries, e.key)
+	p.chargeLocked(e, -1)
+	p.evictions++
+	last := len(p.ring) - 1
+	p.ring[i] = p.ring[last]
+	p.ring[last] = nil
+	p.ring = p.ring[:last]
+}
+
+// victimLocked picks one evictable ring slot belonging to tenant
+// (any tenant when ""): unpinned, preferring entries without the
+// second-chance bit; an entry passed over for its ref bit loses it,
+// so repeated pressure degrades gracefully to LRU-ish behavior.
+// Returns -1 when the tenant has nothing evictable (all pinned).
+func (p *Pool) victimLocked(tenant string) int {
+	fallback := -1
+	for i, e := range p.ring {
+		if e.pins > 0 || (tenant != "" && e.tenant != tenant) {
+			continue
+		}
+		if !e.ref {
+			return i
+		}
+		e.ref = false // second chance spent
+		if fallback < 0 {
+			fallback = i
+		}
+	}
+	return fallback
+}
+
+// enforceTenantLocked evicts tenant's own unpinned blocks until its
+// resident bytes fit its quota. With everything pinned the quota is
+// temporarily exceeded (like capacity) and re-enforced as pins drop
+// (Handle.Release) or on subsequent loads.
+func (p *Pool) enforceTenantLocked(tenant string) {
+	a, ok := p.tenants[tenant]
+	if !ok || a.quota <= 0 {
+		return
+	}
+	for a.resident > a.quota {
+		i := p.victimLocked(tenant)
+		if i < 0 {
+			return
+		}
+		p.removeLocked(i)
+	}
+}
+
+// usageLocked is a tenant's fraction of its allowance: resident/quota
+// for quoted tenants, resident/capacity otherwise (untenanted bytes
+// rank by capacity share too). Usage-ranked global eviction targets
+// the highest fraction first.
+func (p *Pool) usageLocked(tenant string) float64 {
+	var resident int64
+	quota := p.capacity
+	if tenant == "" {
+		resident = p.resident
+		for _, a := range p.tenants {
+			resident -= a.resident
+		}
+	} else if a, ok := p.tenants[tenant]; ok {
+		resident = a.resident
+		if a.quota > 0 {
+			quota = a.quota
+		}
+	}
+	if quota <= 0 {
+		return 0
+	}
+	return float64(resident) / float64(quota)
+}
+
+// evictLocked enforces the global capacity: while over, evict one
+// block from the tenant with the highest allowance usage (sneller's
+// tenant-cache policy: heaviest relative user pays first). A heaviest
+// tenant with everything pinned falls through to any evictable block;
+// when nothing at all is evictable the pool temporarily exceeds
+// capacity rather than deadlocking.
 func (p *Pool) evictLocked() {
-	fruitless := 0
-	for p.resident > p.capacity && len(p.ring) > 0 && fruitless < 2*len(p.ring) {
-		if p.hand >= len(p.ring) {
-			p.hand = 0
+	for p.resident > p.capacity && len(p.ring) > 0 {
+		heaviest, top, found := "", 0.0, false
+		seen := map[string]bool{}
+		for _, e := range p.ring {
+			if e.pins > 0 || seen[e.tenant] {
+				continue
+			}
+			seen[e.tenant] = true
+			if u := p.usageLocked(e.tenant); !found || u > top {
+				heaviest, top, found = e.tenant, u, true
+			}
 		}
-		e := p.ring[p.hand]
-		switch {
-		case e.pins > 0:
-			fruitless++
-			p.hand++
-		case e.ref:
-			e.ref = false
-			fruitless++
-			p.hand++
-		default:
-			e.dead = true
-			delete(p.entries, e.key)
-			p.resident -= int64(len(e.bytes))
-			obs.BufpoolBytes.Add(-float64(len(e.bytes)))
-			p.evictions++
-			// Compact in place: move the last entry into the hole.
-			last := len(p.ring) - 1
-			p.ring[p.hand] = p.ring[last]
-			p.ring[last] = nil
-			p.ring = p.ring[:last]
-			fruitless = 0
+		i := -1
+		if found {
+			i = p.victimLocked(heaviest)
 		}
+		if i < 0 && heaviest != "" {
+			i = p.victimLocked("")
+		}
+		if i < 0 {
+			return // everything pinned
+		}
+		p.removeLocked(i)
 	}
 }
 
@@ -213,13 +401,30 @@ func (p *Pool) evictLocked() {
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return Stats{
-		Hits:      p.hits,
-		Misses:    p.misses,
-		Evictions: p.evictions,
-		Resident:  p.resident,
-		Capacity:  p.capacity,
+	var pinned int64
+	for _, e := range p.ring {
+		if e.pins > 0 {
+			pinned += int64(len(e.bytes))
+		}
 	}
+	return Stats{
+		Hits:        p.hits,
+		Misses:      p.misses,
+		Evictions:   p.evictions,
+		Resident:    p.resident,
+		Capacity:    p.capacity,
+		PinnedBytes: pinned,
+	}
+}
+
+// TenantStats returns tenant's ledger snapshot.
+func (p *Pool) TenantStats(tenant string) TenantStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if a, ok := p.tenants[tenant]; ok {
+		return TenantStats{Resident: a.resident, Quota: a.quota}
+	}
+	return TenantStats{}
 }
 
 // DropFile evicts every unpinned resident block of the given file
@@ -233,8 +438,7 @@ func (p *Pool) DropFile(file uint64) {
 	for _, e := range p.ring {
 		if e.key.File == file && e.pins == 0 {
 			delete(p.entries, e.key)
-			p.resident -= int64(len(e.bytes))
-			obs.BufpoolBytes.Add(-float64(len(e.bytes)))
+			p.chargeLocked(e, -1)
 			e.dead = true
 			continue
 		}
@@ -244,7 +448,4 @@ func (p *Pool) DropFile(file uint64) {
 		p.ring[i] = nil
 	}
 	p.ring = kept
-	if p.hand > len(p.ring) {
-		p.hand = 0
-	}
 }

@@ -107,7 +107,7 @@ func (s *Scan) BatchCapable() bool {
 func (s *Scan) RunBatches(workers int, emit BatchEmitFunc) {
 	bs := s.Rel.(storage.BatchScanner)
 	if s.Filter == nil {
-		bs.ScanBatches(s.Accesses, workers, storage.BatchEmitFunc(emit), s.Stats)
+		bs.ScanBatches(s.ctx(), s.Accesses, workers, storage.BatchEmitFunc(emit), s.Stats)
 		return
 	}
 	if pred, ok := vec.Compile(s.Filter, len(s.Accesses)); ok {
@@ -121,7 +121,7 @@ func (s *Scan) RunBatches(workers int, emit BatchEmitFunc) {
 		}
 		var kernelCalls atomic.Int64
 		defer func() { obs.KernelDispatches.Add(kernelCalls.Load()) }()
-		bs.ScanBatches(s.Accesses, workers, func(w int, b *vec.Batch) {
+		bs.ScanBatches(s.ctx(), s.Accesses, workers, func(w int, b *vec.Batch) {
 			var st *state
 			if w >= 0 && w < len(states) {
 				st = &states[w]
@@ -150,7 +150,7 @@ func (s *Scan) RunBatches(workers int, emit BatchEmitFunc) {
 	for i := range states {
 		states[i].row = make([]expr.Value, len(s.Accesses))
 	}
-	bs.ScanBatches(s.Accesses, workers, func(w int, b *vec.Batch) {
+	bs.ScanBatches(s.ctx(), s.Accesses, workers, func(w int, b *vec.Batch) {
 		var st *state
 		if w >= 0 && w < len(states) {
 			st = &states[w]

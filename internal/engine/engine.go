@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -45,6 +46,19 @@ type Scan struct {
 	// (tiles scanned/skipped, column hits, fallbacks) — set by the
 	// EXPLAIN ANALYZE path, nil on plain runs.
 	Stats *obs.ScanStats
+	// Ctx, when non-nil, is the per-query context: cancellation stops
+	// the scan at the next morsel claim, and the tenant identity it
+	// carries attributes buffer-pool charges. Nil means Background
+	// (library calls without a service in front).
+	Ctx context.Context
+}
+
+// ctx returns the scan's context, defaulting to Background.
+func (s *Scan) ctx() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
 }
 
 // NewScan builds a scan and derives the null-rejection flags for tile
@@ -96,10 +110,10 @@ func (s *Scan) Run(workers int, emit EmitFunc) {
 		return
 	}
 	if s.Filter == nil {
-		storage.ScanWith(s.Rel, s.Accesses, workers, storage.EmitFunc(emit), s.Stats)
+		storage.ScanWith(s.ctx(), s.Rel, s.Accesses, workers, storage.EmitFunc(emit), s.Stats)
 		return
 	}
-	storage.ScanWith(s.Rel, s.Accesses, workers, func(w int, row []expr.Value) {
+	storage.ScanWith(s.ctx(), s.Rel, s.Accesses, workers, func(w int, row []expr.Value) {
 		if s.Filter.Eval(row).IsTrue() {
 			emit(w, row)
 		}

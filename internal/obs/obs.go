@@ -350,6 +350,37 @@ var (
 	AggPartitionedMerges = Default.Counter("agg_partitioned_merges")
 )
 
+// Shared worker-pool counters (the scheduler concurrent queries draw
+// scan helpers from).
+var (
+	// SchedTasksRun counts tasks executed by shared-pool workers.
+	SchedTasksRun = Default.Counter("sched_tasks_run")
+	// SchedSubmitMisses counts helper submissions rejected because the
+	// pool queue was full — scans that ran with less parallelism
+	// because the machine was already saturated.
+	SchedSubmitMisses = Default.Counter("sched_submit_misses")
+	// SchedHelpersLate counts pool helpers that started only after
+	// their scan had already drained its queue (pool latency the scan
+	// absorbed inline).
+	SchedHelpersLate = Default.Counter("sched_helpers_late")
+)
+
+// Admission-control counters (the query service's front door).
+var (
+	// AdmissionAdmitted counts queries that acquired an execution slot
+	// (immediately or after queueing).
+	AdmissionAdmitted = Default.Counter("admission_admitted")
+	// AdmissionQueued counts queries that had to wait in the admission
+	// queue before getting a slot.
+	AdmissionQueued = Default.Counter("admission_queued")
+	// AdmissionRejected counts queries turned away: queue full, queue
+	// timeout, or server draining.
+	AdmissionRejected = Default.Counter("admission_rejected")
+	// QueriesCancelled counts queries that ended with a context
+	// cancellation or deadline instead of a result.
+	QueriesCancelled = Default.Counter("queries_cancelled")
+)
+
 // SkewBuckets is the layout for load-imbalance ratios (1.0 = perfectly
 // balanced).
 var SkewBuckets = []float64{1, 1.1, 1.25, 1.5, 2, 3, 5, 8}
@@ -387,6 +418,11 @@ var (
 	// BufpoolBytes is the total decompressed payload bytes resident
 	// across every buffer pool in the process.
 	BufpoolBytes = Default.Gauge("bufpool_bytes")
+	// BufpoolPinnedBytes is the payload bytes currently pinned by
+	// outstanding handles across every pool. With no scan in flight it
+	// must read 0 — a nonzero quiesced value means a query (cancelled
+	// or not) leaked pins and its blocks can never be evicted.
+	BufpoolPinnedBytes = Default.Gauge("bufpool_pinned_bytes")
 	// BufpoolHitRatio is hits/(hits+misses) over all pool lookups so
 	// far (0 before the first lookup). Refreshed after every scan.
 	BufpoolHitRatio = Default.Gauge("bufpool_hit_ratio")
@@ -394,6 +430,9 @@ var (
 	// for compaction (members of tiers holding at least fan-in
 	// segments), summed over all directory tables.
 	CompactionBacklog = Default.Gauge("compaction_backlog")
+	// QueriesQueued is the number of queries currently waiting in the
+	// admission queue for an execution slot.
+	QueriesQueued = Default.Gauge("queries_queued")
 )
 
 // Latency and size distributions.

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTenantContext(t *testing.T) {
+	if got := TenantFrom(context.Background()); got != "" {
+		t.Fatalf("TenantFrom(Background) = %q, want empty", got)
+	}
+	ctx := WithTenant(context.Background(), "acme")
+	if got := TenantFrom(ctx); got != "acme" {
+		t.Fatalf("TenantFrom = %q, want acme", got)
+	}
+	// Empty tenant is a no-op wrap.
+	if got := TenantFrom(WithTenant(context.Background(), "")); got != "" {
+		t.Fatalf("TenantFrom(WithTenant(\"\")) = %q, want empty", got)
+	}
+	if got := TenantFrom(nil); got != "" {
+		t.Fatalf("TenantFrom(nil) = %q, want empty", got)
+	}
+}
+
+func TestTenantRegistryStablePointers(t *testing.T) {
+	r := NewTenantRegistry()
+	a := r.Get("a")
+	a.Queries.Inc()
+	if again := r.Get("a"); again != a {
+		t.Fatal("Get returned a different pointer for the same tenant")
+	}
+	if got := r.Get("a").Queries.Load(); got != 1 {
+		t.Fatalf("Queries = %d, want 1", got)
+	}
+	names := r.Names()
+	if len(names) != 1 || names[0] != "a" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestTenantRegistryWriteTo(t *testing.T) {
+	r := NewTenantRegistry()
+	// Empty registry emits nothing (no dangling TYPE lines).
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("empty registry wrote %q", sb.String())
+	}
+
+	r.Get("b").Queries.Add(3)
+	r.Get("a").RowsReturned.Add(7)
+	r.Get("a").PoolQuota.Set(1 << 20)
+	sb.Reset()
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE tenant_queries_total counter",
+		`tenant_queries_total{tenant="b"} 3`,
+		`tenant_queries_total{tenant="a"} 0`,
+		`tenant_rows_returned_total{tenant="a"} 7`,
+		"# TYPE tenant_pool_quota_bytes gauge",
+		`tenant_pool_quota_bytes{tenant="a"} 1.048576e+06`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteTo output missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted tenant order within each metric.
+	if strings.Index(out, `tenant_queries_total{tenant="a"}`) > strings.Index(out, `tenant_queries_total{tenant="b"}`) {
+		t.Error("tenants not sorted in WriteTo output")
+	}
+}

@@ -1,0 +1,63 @@
+// Package sched provides the process-wide worker pool that parallel
+// scans draw their helper goroutines from. Before the query service,
+// every scan spawned its own `workers` goroutines; N concurrent
+// queries therefore ran N×workers goroutines fighting over the same
+// cores. The pool caps execution parallelism at the machine's core
+// count: each scan drains its morsel queue inline on the calling
+// goroutine and enlists up to workers−1 pool helpers, so concurrent
+// queries share the cores instead of oversubscribing them — the
+// morsel-driven equivalent of a database's shared worker scheduler.
+package sched
+
+import (
+	"runtime"
+
+	"repro/internal/obs"
+)
+
+// Pool is a fixed-size worker pool fed by a bounded task queue.
+// Submission is non-blocking: when the queue is full the caller keeps
+// the work (runs it inline), so the pool can never deadlock on its own
+// backlog and overload degrades to less parallelism, not more
+// goroutines.
+type Pool struct {
+	tasks chan func()
+}
+
+// New returns a pool of n workers (minimum 1) with a task queue of
+// 8×n slots — enough for several concurrent scans to park their
+// helper requests without unbounded buildup.
+func New(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{tasks: make(chan func(), 8*n)}
+	for i := 0; i < n; i++ {
+		go p.loop()
+	}
+	return p
+}
+
+func (p *Pool) loop() {
+	for f := range p.tasks {
+		f()
+		obs.SchedTasksRun.Inc()
+	}
+}
+
+// TrySubmit enqueues f for a pool worker, reporting whether it was
+// accepted. A full queue rejects immediately — callers fall back to
+// doing the work inline with less parallelism.
+func (p *Pool) TrySubmit(f func()) bool {
+	select {
+	case p.tasks <- f:
+		return true
+	default:
+		obs.SchedSubmitMisses.Inc()
+		return false
+	}
+}
+
+// Shared is the process-wide pool, sized to the machine: all scans —
+// and through them all concurrent queries — share these workers.
+var Shared = New(runtime.GOMAXPROCS(0))

@@ -1,0 +1,47 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsSubmittedTasks(t *testing.T) {
+	p := New(2)
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		for !p.TrySubmit(func() { n.Add(1); wg.Done() }) {
+			time.Sleep(time.Millisecond) // queue full: wait for drain
+		}
+	}
+	wg.Wait()
+	if got := n.Load(); got != 50 {
+		t.Fatalf("ran %d tasks, want 50", got)
+	}
+}
+
+func TestTrySubmitRejectsWhenSaturated(t *testing.T) {
+	p := New(1) // 1 worker, queue of 8
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	// Occupy the worker...
+	for !p.TrySubmit(func() { <-block; wg.Done() }) {
+	}
+	// ...then fill the queue until rejection.
+	rejected := false
+	for i := 0; i < 100; i++ {
+		if !p.TrySubmit(func() {}) {
+			rejected = true
+			break
+		}
+	}
+	close(block)
+	wg.Wait()
+	if !rejected {
+		t.Fatal("TrySubmit never rejected with a blocked worker and 100 pending tasks")
+	}
+}

@@ -163,15 +163,21 @@ func (r *Reader) NumRows() int {
 // dictionary column costs two block accesses (codes + dictionary),
 // reported as separate ReadInfo entries.
 func (r *Reader) Column(tileIdx, colIdx int) (*column.Column, []ReadInfo, error) {
+	return r.ColumnT("", tileIdx, colIdx)
+}
+
+// ColumnT is Column with the loading tenant: cache misses it causes
+// are charged against tenant's buffer-pool quota ("" = unattributed).
+func (r *Reader) ColumnT(tenant string, tileIdx, colIdx int) (*column.Column, []ReadInfo, error) {
 	cm := &r.tiles[tileIdx].Columns[colIdx]
-	payload, info, err := r.pooledBlock(cm.Block)
+	payload, info, err := r.pooledBlock(tenant, cm.Block)
 	infos := []ReadInfo{info}
 	if err != nil {
 		return nil, infos, fmt.Errorf("tile %d column %q: %w", tileIdx, cm.Path, err)
 	}
 	var col *column.Column
 	if cm.HasDict {
-		dictPayload, dinfo, derr := r.pooledBlock(cm.Dict)
+		dictPayload, dinfo, derr := r.pooledBlock(tenant, cm.Dict)
 		infos = append(infos, dinfo)
 		if derr != nil {
 			return nil, infos, fmt.Errorf("tile %d column %q dict: %w", tileIdx, cm.Path, derr)
@@ -196,8 +202,13 @@ func (r *Reader) Column(tileIdx, colIdx int) (*column.Column, []ReadInfo, error)
 // immutable and garbage-collected), but each scan should re-fetch so
 // the pool sees the access.
 func (r *Reader) Docs(tileIdx int) ([][]byte, ReadInfo, error) {
+	return r.DocsT("", tileIdx)
+}
+
+// DocsT is Docs with the loading tenant (see ColumnT).
+func (r *Reader) DocsT(tenant string, tileIdx int) ([][]byte, ReadInfo, error) {
 	tm := &r.tiles[tileIdx]
-	payload, info, err := r.pooledBlock(tm.Docs)
+	payload, info, err := r.pooledBlock(tenant, tm.Docs)
 	if err != nil {
 		return nil, info, fmt.Errorf("tile %d docs: %w", tileIdx, err)
 	}
@@ -211,12 +222,12 @@ func (r *Reader) Docs(tileIdx int) ([][]byte, ReadInfo, error) {
 // pooledBlock fetches one block's decompressed payload through the
 // buffer pool (or directly when the reader has no pool, as during
 // Open before registration).
-func (r *Reader) pooledBlock(ref BlockRef) ([]byte, ReadInfo, error) {
+func (r *Reader) pooledBlock(tenant string, ref BlockRef) ([]byte, ReadInfo, error) {
 	if r.pool == nil {
 		b, err := r.readBlock(ref)
 		return b, ReadInfo{StoredBytes: int(ref.StoredLen)}, err
 	}
-	h, err := r.pool.Get(bufpool.Key{File: r.fileID, Off: ref.Off}, func() ([]byte, error) {
+	h, err := r.pool.GetAs(tenant, bufpool.Key{File: r.fileID, Off: ref.Off}, func() ([]byte, error) {
 		return r.readBlock(ref)
 	})
 	if err != nil {

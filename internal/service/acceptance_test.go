@@ -1,0 +1,311 @@
+package service
+
+// The subsystem acceptance test: ten tenants hammer one server over a
+// directory-backed table that compacts mid-run — long scans,
+// client-cancelled requests, 1 ms deadlines, and two tenants bounded
+// by buffer-pool quotas. Admitted queries must return byte-identical
+// results to direct library calls, cancelled queries must free their
+// buffer-pool pins, and the final /metrics snapshot must show every
+// quoted tenant at or under its quota. Run with -race.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	jsontiles "repro"
+)
+
+// metricValue extracts one sample (by exact series name, labels
+// included) from a /metrics body.
+func metricValue(t *testing.T, body, series string) (float64, bool) {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("bad sample %q: %v", line, err)
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func TestMultiTenantServiceOverCompactingTable(t *testing.T) {
+	const batches = 8
+	dir := filepath.Join(t.TempDir(), "reviews")
+	o := jsontiles.DefaultOptions()
+	o.TileSize = 64
+	o.Workers = 2
+	o.CompactFanIn = -1    // the test compacts explicitly, mid-run
+	o.CacheBytes = 8 << 10 // a pool far smaller than the table: every scan churns blocks
+	tbl, err := jsontiles.OpenDir("reviews", dir, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	docs := testDocs(800)
+	per := len(docs) / batches
+	for b := 0; b < batches; b++ {
+		for _, d := range docs[b*per : (b+1)*per] {
+			if err := tbl.Insert(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tbl.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	quotas := map[string]int64{"acc-quota-a": 2 << 10, "acc-quota-b": 4 << 10}
+	for tenant, q := range quotas {
+		tbl.SetTenantQuota(tenant, q)
+	}
+
+	s := New(Config{
+		MaxConcurrent:  3,
+		QueueDepth:     4,
+		QueueTimeout:   200 * time.Millisecond,
+		DefaultTimeout: 10 * time.Second,
+	})
+	s.Register("reviews", tbl)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// The envelopes normal tenants send, with library ground truth
+	// computed up front (compaction must not change any answer).
+	envelopes := []string{
+		`{"table": "reviews", "select": ["data->>'review_id'", "data->>'stars'::BigInt"],
+		  "where": [{"col": 1, "op": ">=", "value": 4}], "order_by": [{"col": 0}]}`,
+		`{"table": "reviews", "select": ["data->>'stars'::BigInt", "data->>'useful'::BigInt"],
+		  "group_by": [0], "aggs": [{"fn": "count", "name": "n"}, {"fn": "sum", "col": 1, "name": "u"}],
+		  "order_by": [{"col": 0}]}`,
+		`{"table": "reviews", "select": ["data->>'review_id'", "data->>'business'"],
+		  "where": [{"col": 1, "op": "in", "values": ["b00", "b07"]}],
+		  "order_by": [{"col": 0, "desc": true}], "limit": 25}`,
+	}
+	want := make([][]string, len(envelopes))
+	for i, env := range envelopes {
+		req, err := decodeRequest(strings.NewReader(env))
+		if err != nil {
+			t.Fatalf("envelope %d: %v", i, err)
+		}
+		q, err := buildQuery(tbl, req)
+		if err != nil {
+			t.Fatalf("envelope %d: %v", i, err)
+		}
+		res, err := q.RunContext(context.Background())
+		if err != nil {
+			t.Fatalf("envelope %d: %v", i, err)
+		}
+		want[i] = libraryRows(t, res)
+	}
+
+	// post sends env for tenant, retrying 429s (admission pushback is
+	// expected under 10 concurrent tenants and 3 slots).
+	post := func(tenant, env string) (int, string, error) {
+		for {
+			req, err := http.NewRequest(http.MethodPost, ts.URL+"/query", strings.NewReader(env))
+			if err != nil {
+				return 0, "", err
+			}
+			req.Header.Set("X-JT-Tenant", tenant)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return 0, "", err
+			}
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests {
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
+			return resp.StatusCode, buf.String(), nil
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+
+	// Five normal tenants: every envelope, answers checked against the
+	// library ground truth.
+	for n := 0; n < 5; n++ {
+		tenant := fmt.Sprintf("acc-n%d", n)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, env := range envelopes {
+				status, body, err := post(tenant, env)
+				if err != nil {
+					errs <- fmt.Errorf("%s env %d: %v", tenant, i, err)
+					return
+				}
+				if status != http.StatusOK {
+					errs <- fmt.Errorf("%s env %d: status %d: %s", tenant, i, status, body)
+					return
+				}
+				_, _, rows := ndjsonRows(t, body)
+				if len(rows) != len(want[i]) {
+					errs <- fmt.Errorf("%s env %d: %d rows, library %d", tenant, i, len(rows), len(want[i]))
+					return
+				}
+				for j := range rows {
+					if rows[j] != want[i][j] {
+						errs <- fmt.Errorf("%s env %d row %d:\nhttp:    %s\nlibrary: %s",
+							tenant, i, j, rows[j], want[i][j])
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Two cancelled tenants: the client walks away almost immediately.
+	// Outcome per request is timing-dependent; the invariants (no
+	// leaked pins, server keeps serving) are checked after the run.
+	for c := 0; c < 2; c++ {
+		tenant := fmt.Sprintf("acc-cancel%d", c)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 4; k++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+					ts.URL+"/query", strings.NewReader(envelopes[0]))
+				req.Header.Set("X-JT-Tenant", tenant)
+				go func() {
+					time.Sleep(500 * time.Microsecond)
+					cancel()
+				}()
+				if resp, err := http.DefaultClient.Do(req); err == nil {
+					resp.Body.Close()
+				}
+				cancel()
+			}
+		}()
+	}
+
+	// One deadline tenant: a 1 ms budget usually expires mid-scan.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		env := `{"table": "reviews", "select": ["data->>'review_id'", "data->>'stars'::BigInt"], "timeout_ms": 1}`
+		for k := 0; k < 4; k++ {
+			status, body, err := post("acc-deadline", env)
+			if err != nil {
+				errs <- fmt.Errorf("acc-deadline: %v", err)
+				return
+			}
+			if status != http.StatusOK && status != http.StatusGatewayTimeout && status != http.StatusServiceUnavailable {
+				errs <- fmt.Errorf("acc-deadline: unexpected status %d: %s", status, body)
+				return
+			}
+		}
+	}()
+
+	// Two quoted tenants: repeated full scans churn far more block
+	// bytes than their buffer-pool quotas admit.
+	for tenant := range quotas {
+		tenant := tenant
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			env := `{"table": "reviews", "select": ["data->>'review_id'", "data->>'business'", "data->>'useful'::BigInt"]}`
+			for k := 0; k < 4; k++ {
+				status, body, err := post(tenant, env)
+				if err != nil {
+					errs <- fmt.Errorf("%s: %v", tenant, err)
+					return
+				}
+				if status != http.StatusOK {
+					errs <- fmt.Errorf("%s: status %d: %s", tenant, status, body)
+					return
+				}
+			}
+		}()
+	}
+
+	// Mid-run: compact the table under the live queries.
+	time.Sleep(5 * time.Millisecond)
+	rounds, err := tbl.Compact()
+	if err != nil {
+		t.Fatalf("Compact under load: %v", err)
+	}
+	if rounds == 0 {
+		t.Fatal("Compact ran no rounds over 8 segments")
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	if got := tbl.NumSegments(); got >= batches {
+		t.Fatalf("NumSegments = %d after mid-run compaction, want < %d", got, batches)
+	}
+
+	// Final snapshot.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	metrics := buf.String()
+
+	// Every quoted tenant ends at or under its quota.
+	for tenant, q := range quotas {
+		quota, ok := metricValue(t, metrics, fmt.Sprintf("tenant_pool_quota_bytes{tenant=%q}", tenant))
+		if !ok || quota != float64(q) {
+			t.Fatalf("%s: quota gauge %v (present=%v), want %d", tenant, quota, ok, q)
+		}
+		resident, ok := metricValue(t, metrics, fmt.Sprintf("tenant_pool_bytes{tenant=%q}", tenant))
+		if !ok {
+			t.Fatalf("%s: no tenant_pool_bytes sample", tenant)
+		}
+		if resident > quota {
+			t.Errorf("%s: resident %v bytes > quota %v in final snapshot", tenant, resident, quota)
+		}
+		scanned, _ := metricValue(t, metrics, fmt.Sprintf("tenant_bytes_scanned_total{tenant=%q}", tenant))
+		if scanned <= quota {
+			t.Errorf("%s: scanned only %v bytes, not enough churn to exercise the quota", tenant, scanned)
+		}
+	}
+
+	// Query accounting reached every tenant that ran to completion.
+	for n := 0; n < 5; n++ {
+		series := fmt.Sprintf("tenant_queries_total{tenant=%q}", fmt.Sprintf("acc-n%d", n))
+		if v, ok := metricValue(t, metrics, series); !ok || v < float64(len(envelopes)) {
+			t.Errorf("%s = %v (present=%v), want >= %d", series, v, ok, len(envelopes))
+		}
+	}
+
+	// No pins survive the run: cancelled and admitted queries alike
+	// released every buffer-pool handle.
+	if v, ok := metricValue(t, metrics, "bufpool_pinned_bytes"); !ok || v != 0 {
+		t.Errorf("bufpool_pinned_bytes = %v (present=%v), want 0", v, ok)
+	}
+
+	// The server is still healthy after all of it.
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d after the run", hr.StatusCode)
+	}
+}

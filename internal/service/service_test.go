@@ -1,0 +1,337 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	jsontiles "repro"
+)
+
+// testDocs builds n small review documents.
+func testDocs(n int) [][]byte {
+	var out [][]byte
+	for i := 0; i < n; i++ {
+		out = append(out, []byte(fmt.Sprintf(
+			`{"review_id":"r%04d","business":"b%02d","stars":%d,"useful":%d}`,
+			i, i%10, 1+i%5, i%50)))
+	}
+	return out
+}
+
+func testOpts() jsontiles.Options {
+	o := jsontiles.DefaultOptions()
+	o.TileSize = 64
+	o.Workers = 2
+	return o
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *jsontiles.Table) {
+	t.Helper()
+	tbl, err := jsontiles.Load("reviews", testDocs(400), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(cfg)
+	s.Register("reviews", tbl)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, tbl
+}
+
+// postQuery sends an envelope and returns status, headers, and body.
+func postQuery(t *testing.T, url string, tenant string, env string) (int, http.Header, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/query", strings.NewReader(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set("X-JT-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, resp.Header, buf.String()
+}
+
+// ndjsonRows splits an NDJSON response into header, data rows, and
+// trailer.
+func ndjsonRows(t *testing.T, body string) (header, trailer string, rows []string) {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("NDJSON response too short:\n%s", body)
+	}
+	return lines[0], lines[len(lines)-1], lines[1 : len(lines)-1]
+}
+
+// libraryRows renders a direct library result the way streamResult
+// does, for byte-identical comparison.
+func libraryRows(t *testing.T, res *jsontiles.Result) []string {
+	t.Helper()
+	out := make([]string, res.NumRows())
+	for i := range out {
+		row := res.Row(i)
+		vals := make([]any, len(row))
+		for j, v := range row {
+			vals[j] = v.Any()
+		}
+		b, err := json.Marshal(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = string(b)
+	}
+	return out
+}
+
+func TestQueryEndpointMatchesLibrary(t *testing.T) {
+	_, ts, tbl := newTestServer(t, Config{})
+	status, _, body := postQuery(t, ts.URL, "", `{
+		"table": "reviews",
+		"select": ["data->>'stars'::BigInt", "data->>'useful'::BigInt"],
+		"where":  [{"col": 0, "op": ">=", "value": 2}],
+		"group_by": [0],
+		"aggs": [{"fn": "count", "name": "n"}, {"fn": "sum", "col": 1, "name": "u"}],
+		"order_by": [{"col": 0}]
+	}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d:\n%s", status, body)
+	}
+	header, trailer, rows := ndjsonRows(t, body)
+	if !strings.Contains(header, `"columns"`) {
+		t.Fatalf("bad header line: %s", header)
+	}
+	var tr struct {
+		Rows   int     `json:"rows"`
+		WallMS float64 `json:"wall_ms"`
+	}
+	if err := json.Unmarshal([]byte(trailer), &tr); err != nil {
+		t.Fatalf("bad trailer %q: %v", trailer, err)
+	}
+	if tr.Rows != len(rows) {
+		t.Fatalf("trailer rows %d, body rows %d", tr.Rows, len(rows))
+	}
+
+	res, err := tbl.Query("data->>'stars'::BigInt", "data->>'useful'::BigInt").
+		WhereCmp(0, jsontiles.Ge, 2).GroupBy(0).
+		Aggregate(jsontiles.CountAll("n"), jsontiles.Sum(1, "u")).
+		OrderBy(0, false).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := libraryRows(t, res)
+	if len(rows) != len(want) {
+		t.Fatalf("HTTP returned %d rows, library %d", len(rows), len(want))
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("row %d differs:\nhttp:    %s\nlibrary: %s", i, rows[i], want[i])
+		}
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	cases := []struct {
+		name, env string
+		status    int
+	}{
+		{"missing table", `{"select": ["data->>'x'"]}`, http.StatusBadRequest},
+		{"missing select", `{"table": "reviews"}`, http.StatusBadRequest},
+		{"unknown table", `{"table": "nope", "select": ["data->>'x'"]}`, http.StatusNotFound},
+		{"unknown field", `{"table": "reviews", "select": ["data->>'x'"], "wat": 1}`, http.StatusBadRequest},
+		{"unknown op", `{"table": "reviews", "select": ["data->>'x'"], "where": [{"col": 0, "op": "~="}]}`, http.StatusBadRequest},
+		{"like non-string", `{"table": "reviews", "select": ["data->>'x'"], "where": [{"col": 0, "op": "like", "value": 3}]}`, http.StatusBadRequest},
+		{"group without aggs", `{"table": "reviews", "select": ["data->>'x'"], "group_by": [0]}`, http.StatusBadRequest},
+		{"bad column index", `{"table": "reviews", "select": ["data->>'x'"], "where": [{"col": 9, "op": "not_null"}]}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		status, _, body := postQuery(t, ts.URL, "", c.env)
+		if status != c.status {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, status, c.status, strings.TrimSpace(body))
+		}
+		if !strings.Contains(body, `"error"`) {
+			t.Errorf("%s: error body missing: %s", c.name, body)
+		}
+	}
+	// GET is not a query.
+	resp, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestAdmissionRejections drives the queue deterministically by
+// occupying the execution slots directly (white-box): with the one
+// slot taken and the one queue place occupied by a waiting request,
+// the next request bounces immediately, and the waiter times out.
+func TestAdmissionRejections(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{
+		MaxConcurrent: 1,
+		QueueDepth:    1,
+		QueueTimeout:  80 * time.Millisecond,
+	})
+	s.sem <- struct{}{} // occupy the only execution slot
+	defer func() { <-s.sem }()
+
+	env := `{"table": "reviews", "select": ["data->>'review_id'"], "limit": 1}`
+	type result struct {
+		status int
+		hdr    http.Header
+		body   string
+	}
+	waiter := make(chan result, 1)
+	go func() {
+		st, hdr, body := postQuery(t, ts.URL, "tenant-q", env)
+		waiter <- result{st, hdr, body}
+	}()
+	// Wait until the first request holds the queue slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(s.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never entered the admission queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Queue full: immediate 429.
+	st, hdr, body := postQuery(t, ts.URL, "tenant-full", env)
+	if st != http.StatusTooManyRequests {
+		t.Fatalf("queue-full status %d:\n%s", st, body)
+	}
+	if hdr.Get("Retry-After") != "1" {
+		t.Fatalf("queue-full Retry-After = %q, want 1", hdr.Get("Retry-After"))
+	}
+	if !strings.Contains(body, "queue is full") {
+		t.Fatalf("queue-full body: %s", body)
+	}
+
+	// Queue timeout: the waiter gives up after QueueTimeout.
+	r := <-waiter
+	if r.status != http.StatusTooManyRequests {
+		t.Fatalf("queue-timeout status %d:\n%s", r.status, r.body)
+	}
+	if !strings.Contains(r.body, "timed out") {
+		t.Fatalf("queue-timeout body: %s", r.body)
+	}
+	if r.hdr.Get("Retry-After") != "1" {
+		t.Fatalf("queue-timeout Retry-After = %q, want 1", r.hdr.Get("Retry-After"))
+	}
+}
+
+// TestQueueAdmitsWhenSlotFrees: a queued request runs once the slot
+// holder releases.
+func TestQueueAdmitsWhenSlotFrees(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{
+		MaxConcurrent: 1,
+		QueueDepth:    1,
+		QueueTimeout:  5 * time.Second,
+	})
+	s.sem <- struct{}{}
+	env := `{"table": "reviews", "select": ["data->>'review_id'"], "limit": 1}`
+	done := make(chan int, 1)
+	go func() {
+		st, _, _ := postQuery(t, ts.URL, "", env)
+		done <- st
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(s.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-s.sem // free the slot
+	if st := <-done; st != http.StatusOK {
+		t.Fatalf("queued request finished with %d, want 200", st)
+	}
+}
+
+func TestDrainingRejectsNewQueries(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{})
+	s.draining.Store(true)
+	st, _, body := postQuery(t, ts.URL, "", `{"table": "reviews", "select": ["data->>'review_id'"]}`)
+	if st != http.StatusServiceUnavailable {
+		t.Fatalf("draining /query status %d:\n%s", st, body)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /healthz = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestStartAndShutdown(t *testing.T) {
+	tbl, err := jsontiles.Load("reviews", testDocs(200), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Addr: "127.0.0.1:0"})
+	s.Register("reviews", tbl)
+	addr, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + addr
+	st, _, body := postQuery(t, url, "", `{"table": "reviews", "select": ["data->>'review_id'"], "limit": 3}`)
+	if st != http.StatusOK {
+		t.Fatalf("live server query status %d:\n%s", st, body)
+	}
+
+	sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// Past shutdown, the listener is closed.
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after Shutdown")
+	}
+	// Shutdown is idempotent.
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	if st, _, _ := postQuery(t, ts.URL, "metrics-tenant", `{"table": "reviews", "select": ["data->>'review_id'"], "limit": 1}`); st != http.StatusOK {
+		t.Fatalf("query status %d", st)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE admission_admitted counter",
+		`tenant_queries_total{tenant="metrics-tenant"} `,
+		"bufpool_pinned_bytes 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"context"
+
 	"repro/internal/obs"
 	"repro/internal/stats"
 )
@@ -59,8 +61,11 @@ func (r *concatRelation) Scan(accesses []Access, workers int, emit EmitFunc) {
 
 // ScanWithStats implements StatsScanner by delegating to each part, so
 // counters aggregate across the concatenated segments.
-func (r *concatRelation) ScanWithStats(accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
+func (r *concatRelation) ScanWithStats(ctx context.Context, accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
 	for _, p := range r.parts {
-		ScanWith(p, accesses, workers, emit, st)
+		if ctx.Err() != nil {
+			return
+		}
+		ScanWith(ctx, p, accesses, workers, emit, st)
 	}
 }

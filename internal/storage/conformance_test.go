@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -168,7 +169,7 @@ func verifyConformance(t *testing.T, trial int, label string, rel Relation, acce
 		return
 	}
 	got = map[string]int{}
-	bs.ScanBatches(accesses, 2, func(w int, b *vec.Batch) {
+	bs.ScanBatches(context.Background(), accesses, 2, func(w int, b *vec.Batch) {
 		rows := make([]string, 0, b.Rows())
 		emitRow := func(i int) {
 			cells := make([]string, len(b.Cols))

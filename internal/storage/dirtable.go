@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -349,24 +350,26 @@ func (m *multiSource) openScanTile(ti int, cnt *scanCounters) scanTile {
 }
 
 func (t *DirTable) Scan(accesses []Access, workers int, emit EmitFunc) {
-	t.ScanWithStats(accesses, workers, emit, nil)
+	t.ScanWithStats(context.Background(), accesses, workers, emit, nil)
 }
 
 // ScanWithStats runs the shared row-scan core over the pinned union
-// of live segments.
-func (t *DirTable) ScanWithStats(accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
+// of live segments. A cancelled ctx stops the scan within one morsel;
+// the deferred release drops the segment pins either way, so
+// compaction is never blocked by abandoned queries.
+func (t *DirTable) ScanWithStats(ctx context.Context, accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
 	segs := t.snapshot()
 	defer releaseSegs(segs)
-	scanRowsCore(newMultiSource(segs, t.scancfg), accesses, workers, emit, st)
+	scanRowsCore(ctx, newMultiSource(segs, t.scancfg), accesses, workers, emit, st)
 	t.flushPoolCounters()
 }
 
 // ScanBatches runs the shared batch-scan core over the pinned union
 // of live segments.
-func (t *DirTable) ScanBatches(accesses []Access, workers int, emit BatchEmitFunc, st *obs.ScanStats) {
+func (t *DirTable) ScanBatches(ctx context.Context, accesses []Access, workers int, emit BatchEmitFunc, st *obs.ScanStats) {
 	segs := t.snapshot()
 	defer releaseSegs(segs)
-	scanBatchesCore(newMultiSource(segs, t.scancfg), accesses, workers, emit, st)
+	scanBatchesCore(ctx, newMultiSource(segs, t.scancfg), accesses, workers, emit, st)
 	t.flushPoolCounters()
 }
 

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"context"
+
 	"repro/internal/expr"
 	"repro/internal/jsonb"
 	"repro/internal/obs"
@@ -45,14 +47,14 @@ func (r *jsonbStore) SizeBytes() int {
 }
 
 func (r *jsonbStore) Scan(accesses []Access, workers int, emit EmitFunc) {
-	r.ScanWithStats(accesses, workers, emit, nil)
+	r.ScanWithStats(context.Background(), accesses, workers, emit, nil)
 }
 
 // ScanWithStats implements StatsScanner. Every access traverses the
 // per-document binary JSON, so they all count as fallbacks — the
 // baseline the tiles column-hit ratio is compared against.
-func (r *jsonbStore) ScanWithStats(accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
-	morselRange(len(r.docs), workers, func(w, lo, hi int) {
+func (r *jsonbStore) ScanWithStats(ctx context.Context, accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
+	morselRangeCtx(ctx, len(r.docs), workers, func(w, lo, hi int) {
 		cnt := scanCounters{morsels: 1}
 		defer cnt.flush(st)
 		cnt.rows = int64(hi - lo)

@@ -1,10 +1,12 @@
 package storage
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/internal/sched"
 )
 
 // Morsel-driven parallel execution (Leis et al., "Morsel-Driven
@@ -15,6 +17,17 @@ import (
 // tiles, and workers > morsels no longer leave cores idle behind the
 // slowest static chunk. The queue is a prebuilt slice consumed with a
 // single atomic fetch-add per morsel — no locks, no channels.
+//
+// Two properties matter for the query service on top:
+//
+//   - Cancellation: the queue checks ctx before every morsel claim, so
+//     a cancelled query stops within one morsel (~32K rows) on every
+//     worker, releases its tile views, and lets segment pins drop.
+//   - Shared workers: parallel drains run inline on the caller plus
+//     helpers borrowed from the process-wide sched pool, so N
+//     concurrent queries share the machine's cores instead of each
+//     spawning its own `workers` goroutines. A saturated pool just
+//     means fewer helpers — the inline drain always makes progress.
 
 // DefaultMorselRows is the target number of rows per morsel when the
 // caller does not configure one (Options.MorselRows). The paper-style
@@ -66,13 +79,57 @@ func morselSizeFor(n, workers, target int) int {
 	return target
 }
 
+// drainGate coordinates the inline drain with pool helpers: helpers
+// register on start and are refused once the drain is closed, so
+// runMorsels waits only for helpers that actually began working — a
+// helper still queued behind other scans' tasks when the queue runs
+// dry becomes a no-op instead of a latency tax.
+type drainGate struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	active int
+	closed bool
+}
+
+func (g *drainGate) enter() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return false
+	}
+	g.active++
+	return true
+}
+
+func (g *drainGate) exit() {
+	g.mu.Lock()
+	g.active--
+	if g.active == 0 {
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// closeAndWait refuses new helpers and waits out the active ones.
+func (g *drainGate) closeAndWait() {
+	g.mu.Lock()
+	g.closed = true
+	for g.active > 0 {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
 // runMorsels drives fn over the morsel queue with up to `workers`
-// goroutines. Worker ids passed to fn are dense in [0, workers). The
+// participants: the calling goroutine plus helpers borrowed from the
+// shared scheduler pool. Worker ids passed to fn are dense in
+// [0, workers). ctx is checked before every morsel claim, bounding
+// cancellation latency to one morsel per participant. The
 // morsels_dispatched / morsel_queue_waits counters and the per-scan
 // worker-skew histogram are maintained here, once per queue drain.
-func runMorsels(morsels []morsel, workers int, fn func(worker int, m morsel)) {
+func runMorsels(ctx context.Context, morsels []morsel, workers int, fn func(worker int, m morsel)) {
 	n := len(morsels)
-	if n == 0 {
+	if n == 0 || ctx.Err() != nil {
 		return
 	}
 	if workers < 1 {
@@ -86,53 +143,97 @@ func runMorsels(morsels []morsel, workers int, fn func(worker int, m morsel)) {
 	}
 	if workers == 1 {
 		for _, m := range morsels {
+			if ctx.Err() != nil {
+				return
+			}
 			fn(0, m)
 		}
 		return
 	}
 	var next atomic.Int64
-	counts := make([]int64, workers)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			var got int64
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					break
-				}
-				fn(w, morsels[i])
-				got++
+	counts := make([]atomic.Int64, workers)
+	drain := func(w int) {
+		var got int64
+		for ctx.Err() == nil {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				break
 			}
-			if got == 0 {
-				obs.MorselQueueWaits.Inc()
-			}
-			counts[w] = got
-		}(w)
+			fn(w, morsels[i])
+			got++
+		}
+		if got == 0 {
+			obs.MorselQueueWaits.Inc()
+		}
+		counts[w].Store(got)
 	}
-	wg.Wait()
-	var maxGot int64
-	for _, c := range counts {
+	gate := &drainGate{}
+	gate.cond = sync.NewCond(&gate.mu)
+	participants := 1
+	for w := 1; w < workers; w++ {
+		w := w
+		ok := sched.Shared.TrySubmit(func() {
+			// A helper arriving after the drain closed does nothing:
+			// its morsels were already claimed by the others.
+			if !gate.enter() {
+				obs.SchedHelpersLate.Inc()
+				return
+			}
+			defer gate.exit()
+			drain(w)
+		})
+		if !ok {
+			break // pool saturated: run with fewer helpers
+		}
+		participants++
+	}
+	drain(0)
+	gate.closeAndWait()
+	var maxGot, total int64
+	for w := 0; w < participants; w++ {
+		c := counts[w].Load()
+		total += c
 		if c > maxGot {
 			maxGot = c
 		}
 	}
-	// max/mean morsels per worker: 1.0 = perfectly balanced pull.
-	obs.MorselWorkerSkew.Observe(float64(maxGot) * float64(workers) / float64(n))
+	if total > 0 {
+		// max/mean morsels per participant: 1.0 = perfectly balanced.
+		obs.MorselWorkerSkew.Observe(float64(maxGot) * float64(participants) / float64(total))
+	}
 }
 
 // morselRange is the drop-in replacement for static range splitting
 // over n uniform items: fn(worker, lo, hi) is invoked once per morsel
 // of adaptively-sized item ranges that workers pull dynamically.
 func morselRange(n, workers int, fn func(worker, lo, hi int)) {
-	morselRangeSized(n, workers, morselSizeFor(n, workers, DefaultMorselRows), fn)
+	morselRangeCtx(context.Background(), n, workers, fn)
+}
+
+// morselRangeCtx is morselRange with a per-request context: scan-path
+// ranges over flat (tile-less) sources thread the query context here
+// so cancellation stops them at the next morsel claim.
+func morselRangeCtx(ctx context.Context, n, workers int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	size := morselSizeFor(n, workers, DefaultMorselRows)
+	ms := make([]morsel, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		ms = append(ms, morsel{rowLo: lo, rowHi: hi})
+	}
+	runMorsels(ctx, ms, workers, func(w int, m morsel) { fn(w, m.rowLo, m.rowHi) })
 }
 
 // morselRangeSized is morselRange with an explicit morsel size — size
 // 1 makes every item its own morsel (coarse units such as tile
 // partitions, where one item is already thousands of documents).
+// Load-path ranges have no per-request context; they run under
+// Background.
 func morselRangeSized(n, workers, size int, fn func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
@@ -148,7 +249,7 @@ func morselRangeSized(n, workers, size int, fn func(worker, lo, hi int)) {
 		}
 		ms = append(ms, morsel{rowLo: lo, rowHi: hi})
 	}
-	runMorsels(ms, workers, func(w int, m morsel) { fn(w, m.rowLo, m.rowHi) })
+	runMorsels(context.Background(), ms, workers, func(w int, m morsel) { fn(w, m.rowLo, m.rowHi) })
 }
 
 // buildTileMorsels cuts a tile sequence into morsels of ~size rows:

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"reflect"
@@ -235,7 +236,7 @@ func rowMultiset(rel Relation, accesses []Access, workers int) map[string]int {
 func batchMultiset(bs BatchScanner, accesses []Access, workers int) map[string]int {
 	got := map[string]int{}
 	var mu sync.Mutex
-	bs.ScanBatches(accesses, workers, func(w int, b *vec.Batch) {
+	bs.ScanBatches(context.Background(), accesses, workers, func(w int, b *vec.Batch) {
 		rows := make([]string, 0, b.Rows())
 		emit := func(i int) {
 			key := ""

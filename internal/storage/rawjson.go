@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"context"
+
 	"repro/internal/expr"
 	"repro/internal/jsontext"
 	"repro/internal/obs"
@@ -44,13 +46,13 @@ func (r *rawJSON) SizeBytes() int {
 }
 
 func (r *rawJSON) Scan(accesses []Access, workers int, emit EmitFunc) {
-	r.ScanWithStats(accesses, workers, emit, nil)
+	r.ScanWithStats(context.Background(), accesses, workers, emit, nil)
 }
 
 // ScanWithStats implements StatsScanner (rows only; the text format
 // re-parses every document, there is nothing columnar to hit).
-func (r *rawJSON) ScanWithStats(accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
-	morselRange(len(r.lines), workers, func(w, lo, hi int) {
+func (r *rawJSON) ScanWithStats(ctx context.Context, accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
+	morselRangeCtx(ctx, len(r.lines), workers, func(w, lo, hi int) {
 		cnt := scanCounters{morsels: 1}
 		defer cnt.flush(st)
 		cnt.rows = int64(hi - lo)

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"context"
+
 	"repro/internal/expr"
 	"repro/internal/jsonb"
 	"repro/internal/keypath"
@@ -159,25 +161,26 @@ func resolveTileAccessBatch(t scanTile, a Access, maxSlots int) batchResolver {
 
 // scanRowsCore is the shared row-at-a-time scan loop (§4.8 skipping,
 // §4.5 per-tile resolution, §4.5/§5 column-hit vs fallback split).
-func scanRowsCore(src scanSource, accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
+func scanRowsCore(ctx context.Context, src scanSource, accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
 	cfg := src.scanConfig()
 	nTiles := src.numScanTiles()
 	if nTiles == 0 {
 		return
 	}
+	tenant := obs.TenantFrom(ctx)
 	// Row counts come from tile metadata: no I/O.
-	var head scanCounters
+	head := scanCounters{tenant: tenant}
 	rowCounts := make([]int, nTiles)
 	for i := range rowCounts {
 		rowCounts[i] = src.openScanTile(i, &head).NumRows()
 	}
 	head.flush(st)
 	morsels := buildTileMorsels(rowCounts, workers, cfg.morselRows, true)
-	runMorsels(morsels, workers, func(w int, m morsel) {
+	runMorsels(ctx, morsels, workers, func(w int, m morsel) {
 		scratch := getScanScratch(len(accesses))
 		defer putScanScratch(scratch)
 		row, res := scratch.row, scratch.res
-		cnt := scanCounters{morsels: 1}
+		cnt := scanCounters{morsels: 1, tenant: tenant}
 		defer cnt.flush(st)
 		for ti := m.tileLo; ti < m.tileHi; ti++ {
 			t := src.openScanTile(ti, &cnt)
@@ -231,18 +234,19 @@ func scanRowsCore(src scanSource, accesses []Access, workers int, emit EmitFunc,
 // scanBatchesCore is the shared batch scan loop: one batch per
 // surviving tile, with the same skip decisions and accounting as the
 // row scan plus the batch/vectorized-row split.
-func scanBatchesCore(src scanSource, accesses []Access, workers int, emit BatchEmitFunc, st *obs.ScanStats) {
+func scanBatchesCore(ctx context.Context, src scanSource, accesses []Access, workers int, emit BatchEmitFunc, st *obs.ScanStats) {
 	cfg := src.scanConfig()
 	nTiles := src.numScanTiles()
 	if nTiles == 0 {
 		return
 	}
+	tenant := obs.TenantFrom(ctx)
 	// Global row id of each tile's first row (Base of its batch).
 	// Row counts come from metadata, so this loop performs no I/O.
 	offs := make([]int64, nTiles)
 	rowCounts := make([]int, nTiles)
 	var run int64
-	var head scanCounters
+	head := scanCounters{tenant: tenant}
 	for i := 0; i < nTiles; i++ {
 		offs[i] = run
 		rowCounts[i] = src.openScanTile(i, &head).NumRows()
@@ -253,12 +257,12 @@ func scanBatchesCore(src scanSource, accesses []Access, workers int, emit BatchE
 	// granularity here: tiny tiles batch together, big tiles are one
 	// morsel each (never row-split).
 	morsels := buildTileMorsels(rowCounts, workers, cfg.morselRows, false)
-	runMorsels(morsels, workers, func(w int, m morsel) {
+	runMorsels(ctx, morsels, workers, func(w int, m morsel) {
 		var (
 			batch vec.Batch
 			boxed = make([][]expr.Value, len(accesses))
 			fbuf  = make([][]float64, len(accesses))
-			cnt   = scanCounters{morsels: 1}
+			cnt   = scanCounters{morsels: 1, tenant: tenant}
 		)
 		batch.Cols = make([]vec.Vector, len(accesses))
 		defer cnt.flush(st)

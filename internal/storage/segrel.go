@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -114,18 +115,18 @@ func (r *segRelation) recordErr(err error) {
 }
 
 func (r *segRelation) Scan(accesses []Access, workers int, emit EmitFunc) {
-	r.ScanWithStats(accesses, workers, emit, nil)
+	r.ScanWithStats(context.Background(), accesses, workers, emit, nil)
 }
 
 // ScanWithStats runs the shared row-scan core over lazy tile views.
-func (r *segRelation) ScanWithStats(accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
-	scanRowsCore(r, accesses, workers, emit, st)
+func (r *segRelation) ScanWithStats(ctx context.Context, accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
+	scanRowsCore(ctx, r, accesses, workers, emit, st)
 	r.flushPoolCounters(st)
 }
 
 // ScanBatches runs the shared batch-scan core over lazy tile views.
-func (r *segRelation) ScanBatches(accesses []Access, workers int, emit BatchEmitFunc, st *obs.ScanStats) {
-	scanBatchesCore(r, accesses, workers, emit, st)
+func (r *segRelation) ScanBatches(ctx context.Context, accesses []Access, workers int, emit BatchEmitFunc, st *obs.ScanStats) {
+	scanBatchesCore(ctx, r, accesses, workers, emit, st)
 	r.flushPoolCounters(st)
 }
 
@@ -207,7 +208,7 @@ func (v *segTileView) Column(idx int) *tile.ColumnInfo {
 	if !v.loaded[idx] {
 		v.loaded[idx] = true
 		cm := &v.meta.Columns[idx]
-		col, infos, err := v.rel.r.Column(v.ti, idx)
+		col, infos, err := v.rel.r.ColumnT(v.cnt.tenant, v.ti, idx)
 		for _, info := range infos {
 			v.account(info)
 		}
@@ -231,7 +232,7 @@ func (v *segTileView) Column(idx int) *tile.ColumnInfo {
 func (v *segTileView) Raw(i int) jsonb.Doc {
 	if !v.docsOK {
 		v.docsOK = true
-		docs, info, err := v.rel.r.Docs(v.ti)
+		docs, info, err := v.rel.r.DocsT(v.cnt.tenant, v.ti)
 		v.account(info)
 		if err != nil {
 			v.rel.recordErr(err)

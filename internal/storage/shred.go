@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/expr"
@@ -153,14 +154,14 @@ func (r *shredded) SizeBytes() int {
 func (r *shredded) NumColumns() int { return len(r.cols) }
 
 func (r *shredded) Scan(accesses []Access, workers int, emit EmitFunc) {
-	r.ScanWithStats(accesses, workers, emit, nil)
+	r.ScanWithStats(context.Background(), accesses, workers, emit, nil)
 }
 
 // ScanWithStats implements StatsScanner (rows only: the shredded
 // format has neither tiles nor a binary-JSON fallback — record
 // reassembly is its cost model, not fallback counts).
-func (r *shredded) ScanWithStats(accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
-	morselRange(r.numRows, workers, func(w, lo, hi int) {
+func (r *shredded) ScanWithStats(ctx context.Context, accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
+	morselRangeCtx(ctx, r.numRows, workers, func(w, lo, hi int) {
 		cnt := scanCounters{morsels: 1}
 		defer cnt.flush(st)
 		cnt.rows = int64(hi - lo)

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -170,13 +171,13 @@ func (r *sinew) ExtractedPaths() []string {
 }
 
 func (r *sinew) Scan(accesses []Access, workers int, emit EmitFunc) {
-	r.ScanWithStats(accesses, workers, emit, nil)
+	r.ScanWithStats(context.Background(), accesses, workers, emit, nil)
 }
 
 // ScanWithStats implements StatsScanner; Sinew's global schema has no
 // tiles, but the column-hit vs fallback split is still the interesting
 // signal (accesses missing from the single schema always fall back).
-func (r *sinew) ScanWithStats(accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
+func (r *sinew) ScanWithStats(ctx context.Context, accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
 	// Resolve each access once against the single global schema.
 	res := make([]colResolver, len(accesses))
 	for i, a := range accesses {
@@ -187,7 +188,7 @@ func (r *sinew) ScanWithStats(accesses []Access, workers int, emit EmitFunc, st 
 			res[i] = colResolver{mode: modeFallback}
 		}
 	}
-	morselRange(r.numRows, workers, func(w, lo, hi int) {
+	morselRangeCtx(ctx, r.numRows, workers, func(w, lo, hi int) {
 		row := make([]expr.Value, len(accesses))
 		cnt := scanCounters{morsels: 1}
 		defer cnt.flush(st)

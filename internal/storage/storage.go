@@ -14,6 +14,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/expr"
@@ -80,14 +81,16 @@ type Relation interface {
 // binary-JSON fallbacks). Scanning with a nil *obs.ScanStats is
 // equivalent to Scan.
 type StatsScanner interface {
-	ScanWithStats(accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats)
+	ScanWithStats(ctx context.Context, accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats)
 }
 
-// ScanWith scans rel, routing per-scan counters into st when non-nil.
-// Relations without native stats support still report rows scanned.
-func ScanWith(rel Relation, accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
+// ScanWith scans rel, routing per-scan counters into st when non-nil
+// and threading ctx (cancellation, tenant identity) into relations
+// that support it. Relations without native stats support still
+// report rows scanned.
+func ScanWith(ctx context.Context, rel Relation, accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
 	if ss, ok := rel.(StatsScanner); ok {
-		ss.ScanWithStats(accesses, workers, emit, st)
+		ss.ScanWithStats(ctx, accesses, workers, emit, st)
 		return
 	}
 	if st == nil {
@@ -112,7 +115,7 @@ type BatchEmitFunc func(worker int, b *vec.Batch)
 // else is materialized into boxed vectors, so batch scans are always
 // complete (never a subset of the accesses).
 type BatchScanner interface {
-	ScanBatches(accesses []Access, workers int, emit BatchEmitFunc, st *obs.ScanStats)
+	ScanBatches(ctx context.Context, accesses []Access, workers int, emit BatchEmitFunc, st *obs.ScanStats)
 }
 
 // RowOnly wraps rel so that it no longer advertises batch scanning —
@@ -132,12 +135,12 @@ func (r rowOnlyRel) Scan(accesses []Access, workers int, emit EmitFunc) {
 
 // ScanWithStats delegates to the wrapped relation's stats-aware row
 // scan (RowOnly hides only the batch capability).
-func (r rowOnlyRel) ScanWithStats(accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
+func (r rowOnlyRel) ScanWithStats(ctx context.Context, accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
 	if ss, ok := r.rel.(StatsScanner); ok {
-		ss.ScanWithStats(accesses, workers, emit, st)
+		ss.ScanWithStats(ctx, accesses, workers, emit, st)
 		return
 	}
-	ScanWith(r.rel, accesses, workers, emit, st)
+	ScanWith(ctx, r.rel, accesses, workers, emit, st)
 }
 
 // TileCounter is implemented by relations that know their tile count

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -206,7 +207,7 @@ func (r *tilesRelation) RawSizeBytes() int {
 }
 
 func (r *tilesRelation) Scan(accesses []Access, workers int, emit EmitFunc) {
-	r.ScanWithStats(accesses, workers, emit, nil)
+	r.ScanWithStats(context.Background(), accesses, workers, emit, nil)
 }
 
 // scanCounters batches per-worker observability counts so the per-row
@@ -222,6 +223,9 @@ type scanCounters struct {
 	batches, rowsVec, rowsFallback int64
 	// Segment-backed scans only: block I/O and buffer-pool traffic.
 	blocksRead, blockBytes, poolHits, poolMisses int64
+	// tenant attributes the scan's buffer-pool charges and byte
+	// accounting to the query's tenant ("" for library calls).
+	tenant string
 }
 
 func (c *scanCounters) flush(st *obs.ScanStats) {
@@ -238,6 +242,9 @@ func (c *scanCounters) flush(st *obs.ScanStats) {
 	obs.SegmentBytesRead.Add(c.blockBytes)
 	obs.BufpoolHits.Add(c.poolHits)
 	obs.BufpoolMisses.Add(c.poolMisses)
+	if c.tenant != "" && c.blockBytes > 0 {
+		obs.Tenants.Get(c.tenant).BytesScanned.Add(c.blockBytes)
+	}
 	if st == nil {
 		return
 	}
@@ -289,8 +296,8 @@ func putScanScratch(s *scanScratch) {
 // per-tile skip decisions (§4.8) and the column-hit vs
 // binary-JSON-fallback split (§4.5/§5) are the key observability
 // signals of the format.
-func (r *tilesRelation) ScanWithStats(accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
-	scanRowsCore(r, accesses, workers, emit, st)
+func (r *tilesRelation) ScanWithStats(ctx context.Context, accesses []Access, workers int, emit EmitFunc, st *obs.ScanStats) {
+	scanRowsCore(ctx, r, accesses, workers, emit, st)
 }
 
 // scanSource implementation: in-memory tiles are their own scan

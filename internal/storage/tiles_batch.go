@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"context"
+
 	"repro/internal/column"
 	"repro/internal/expr"
 	"repro/internal/keypath"
@@ -63,6 +65,6 @@ var _ BatchScanner = (*tilesRelation)(nil)
 // batch per surviving tile, with the same skip decisions and
 // observability accounting as the row scan plus the
 // batch/vectorized-row split.
-func (r *tilesRelation) ScanBatches(accesses []Access, workers int, emit BatchEmitFunc, st *obs.ScanStats) {
-	scanBatchesCore(r, accesses, workers, emit, st)
+func (r *tilesRelation) ScanBatches(ctx context.Context, accesses []Access, workers int, emit BatchEmitFunc, st *obs.ScanStats) {
+	scanBatchesCore(ctx, r, accesses, workers, emit, st)
 }

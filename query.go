@@ -1,6 +1,7 @@
 package jsontiles
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -299,7 +300,17 @@ func (q *Query) Limit(n int) *Query {
 // invoked with plan-shape statistics (per-operator detail requires
 // RunAnalyzed).
 func (q *Query) Run() (*Result, error) {
-	res, _, err := q.run(false)
+	res, _, err := q.run(context.Background(), false)
+	return res, err
+}
+
+// RunContext executes the query under ctx: cancellation or deadline
+// expiry stops the scans at the next morsel boundary and returns the
+// context's error, and a tenant identity attached with obs.WithTenant
+// attributes the query's buffer-pool and counter accounting. The
+// query service runs every request through here.
+func (q *Query) RunContext(ctx context.Context) (*Result, error) {
+	res, _, err := q.run(ctx, false)
 	return res, err
 }
 
@@ -319,7 +330,7 @@ type planScans struct {
 // constructs no wrappers and pays nothing beyond the scan counters.
 // sp (may be nil) receives a child span for the optimizer's plan
 // search.
-func (q *Query) buildPlan(instrument bool, sp *obs.Span, scans *planScans) (engine.Operator, error) {
+func (q *Query) buildPlan(ctx context.Context, instrument bool, sp *obs.Span, scans *planScans) (engine.Operator, error) {
 	if q.err != nil {
 		return nil, q.err
 	}
@@ -330,6 +341,7 @@ func (q *Query) buildPlan(instrument bool, sp *obs.Span, scans *planScans) (engi
 	wrap := func(op engine.Operator, label, detail string, est float64) engine.Operator {
 		var st *obs.ScanStats
 		if sc, ok := op.(*engine.Scan); ok {
+			sc.Ctx = ctx
 			st = &obs.ScanStats{}
 			if tc, ok := sc.Rel.(storage.TileCounter); ok {
 				st.NumTiles = int64(tc.NumTiles())
@@ -518,7 +530,11 @@ func (q *Query) effectiveWorkers() int {
 // Every execution — analyzed or not — registers in the live-query
 // registry, folds its wall/plan/exec times into the latency
 // histograms, and leaves its span tree in the trace ring.
-func (q *Query) run(analyze bool) (*Result, *QueryStats, error) {
+func (q *Query) run(ctx context.Context, analyze bool) (*Result, *QueryStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tenant := obs.TenantFrom(ctx)
 	hook, slowThr, slowLog := q.resolveHooks()
 	// Slow-query logging needs per-operator wall times for its top-
 	// operator breakdown, so a configured threshold instruments the
@@ -526,7 +542,7 @@ func (q *Query) run(analyze bool) (*Result, *QueryStats, error) {
 	instrument := analyze || slowThr > 0
 	sp := obs.StartSpan("query")
 	scans := &planScans{}
-	root, err := q.buildPlan(instrument, sp, scans)
+	root, err := q.buildPlan(ctx, instrument, sp, scans)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -543,6 +559,18 @@ func (q *Query) run(analyze bool) (*Result, *QueryStats, error) {
 	esp := sp.Child("execute")
 	res := materialize(root, workers)
 	esp.End()
+	if cerr := ctx.Err(); cerr != nil {
+		// The scans stopped at a morsel boundary; the partial result is
+		// discarded rather than returned as a silent subset.
+		sp.End()
+		obs.QueriesCancelled.Inc()
+		if tenant != "" {
+			tc := obs.Tenants.Get(tenant)
+			tc.Queries.Inc()
+			tc.Cancelled.Inc()
+		}
+		return nil, nil, fmt.Errorf("jsontiles: query cancelled: %w", cerr)
+	}
 	if q.aggs == nil && len(q.orderBy) == 0 {
 		res.SortRows() // deterministic output for plain scans
 	}
@@ -550,6 +578,11 @@ func (q *Query) run(analyze bool) (*Result, *QueryStats, error) {
 	qh.Finish()
 	obs.QueriesRun.Inc()
 	obs.RowsEmitted.Add(int64(len(res.Rows)))
+	if tenant != "" {
+		tc := obs.Tenants.Get(tenant)
+		tc.Queries.Inc()
+		tc.RowsReturned.Add(int64(len(res.Rows)))
+	}
 	obs.QueryWallSeconds.ObserveDuration(sp.Duration())
 	obs.QueryExecSeconds.ObserveDuration(esp.Duration())
 	obs.QueryRowsReturned.Observe(float64(len(res.Rows)))
@@ -562,6 +595,7 @@ func (q *Query) run(analyze bool) (*Result, *QueryStats, error) {
 		// are attribution hints, not exact per-query accounting.
 		delta := obs.Default.Snapshot().Diff(base)
 		stats = &QueryStats{
+			Tenant:              tenant,
 			Plan:                planNode(root, instrument),
 			Wall:                sp.Duration(),
 			ExecTime:            esp.Duration(),

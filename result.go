@@ -121,3 +121,28 @@ func (v Value) Time() time.Time {
 
 // String implements fmt.Stringer ("NULL" for nulls).
 func (v Value) String() string { return v.v.String() }
+
+// Any returns the value as a plain Go type suitable for
+// encoding/json: nil for NULL, int64, float64, string, bool, an
+// RFC 3339 string for timestamps, and the rendered text for JSON
+// documents. The query service streams results through this.
+func (v Value) Any() any {
+	if v.v.Null {
+		return nil
+	}
+	switch v.v.Typ {
+	case expr.TBigInt:
+		return v.v.I
+	case expr.TFloat:
+		return v.v.F
+	case expr.TText:
+		return v.v.S
+	case expr.TBool:
+		return v.v.B
+	case expr.TTimestamp:
+		return dates.ToTime(v.v.I).UTC().Format(time.RFC3339Nano)
+	case expr.TJSON:
+		return v.v.String()
+	}
+	return v.v.String()
+}

@@ -22,6 +22,9 @@ var slowLogMu sync.Mutex
 type SlowQueryRecord struct {
 	// Time is when the line was written (RFC 3339, UTC).
 	Time string `json:"time"`
+	// Tenant is the identity the query ran under; omitted for direct
+	// library calls (lines from older versions also lack it).
+	Tenant string `json:"tenant,omitempty"`
 	// QueryID and PlanDigest match QueryStats and /debug/queries.
 	QueryID    uint64 `json:"query_id"`
 	PlanDigest string `json:"plan_digest"`
@@ -53,6 +56,7 @@ func writeSlowQueryLog(w io.Writer, stats *QueryStats) {
 	}
 	rec := SlowQueryRecord{
 		Time:         time.Now().UTC().Format(time.RFC3339Nano),
+		Tenant:       stats.Tenant,
 		QueryID:      stats.QueryID,
 		PlanDigest:   stats.PlanDigest,
 		WallMS:       durationMS(stats.Wall),
