@@ -21,6 +21,10 @@ type Encoder struct {
 	numeric []numericInfo        // numeric-string detection per node (strings only)
 	cursor  int                  // node cursor for the write pass
 	buf     []byte
+	// Tape-driven encoding scratch (EncodeTape): decoded string
+	// content and sorted members per pre-order record.
+	tstr [][]byte
+	tmem [][]tapeMember
 }
 
 type numericInfo struct {

@@ -1,0 +1,68 @@
+package jsonb
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/jsontape"
+	"repro/internal/jsontext"
+)
+
+var tapeEncodeDocs = []string{
+	`null`, `true`, `false`, `0`, `7`, `8`, `-1`, `123456789012`,
+	`2.5`, `-0.5e2`, `1e308`, `1e-999`, `3.14159265358979`,
+	`""`, `"short"`, `"a longer string that exceeds the inline bound"`,
+	`"12.50"`, `"-42"`, `"007"`, `"-0"`, `"9223372036854775807"`,
+	`"é😀"`, `"tab\there"`,
+	`{}`, `[]`, `[null,true,1,2.5,"x",[],{}]`,
+	`{"b":1,"a":2}`, `{"a":1,"b":2}`, `{"dup":1,"dup":2}`,
+	`{"outer":{"z":[1,{"y":"str"}],"a":{"deep":null}},"n":"12.50"}`,
+	`{"id":1,"user":{"id":3,"tags":["a","b"]},"geo":null}`,
+	`[{"a":[[]]},2,"x"]`,
+	`{"k1":"v","k2":[1,2,3,4,5,6,7,8,9],"k3":{"s":"😀"},"":0}`,
+}
+
+// TestEncodeTapeMatchesEncode locks the tape encoder to the tree
+// encoder byte for byte.
+func TestEncodeTapeMatchesEncode(t *testing.T) {
+	var e Encoder
+	for _, src := range tapeEncodeDocs {
+		v, err := jsontext.Parse([]byte(src))
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		var d jsontape.Doc
+		if err := jsontape.Parse([]byte(src), &d); err != nil {
+			t.Fatalf("tape parse %q: %v", src, err)
+		}
+		want := Encode(v)
+		got := e.EncodeTape(&d)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%q: tape encoding differs\n got=%x\nwant=%x", src, got, want)
+		}
+		if !Valid(got) {
+			t.Errorf("%q: tape encoding invalid", src)
+		}
+		if !NewDoc(got).Decode().Equal(v) {
+			t.Errorf("%q: tape encoding does not round trip", src)
+		}
+	}
+}
+
+// TestEncodeTapeReuse checks encoder scratch state resets across
+// documents of different shapes.
+func TestEncodeTapeReuse(t *testing.T) {
+	var e Encoder
+	for i := 0; i < 3; i++ {
+		for _, src := range tapeEncodeDocs {
+			var d jsontape.Doc
+			if err := jsontape.Parse([]byte(src), &d); err != nil {
+				t.Fatal(err)
+			}
+			v, _ := jsontext.Parse([]byte(src))
+			if !bytes.Equal(e.EncodeTape(&d), Encode(v)) {
+				t.Fatalf("round %d: %q differs after reuse", i, src)
+			}
+		}
+	}
+}

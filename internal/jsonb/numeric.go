@@ -16,8 +16,10 @@ import "strconv"
 
 // detectNumeric parses s as a decimal numeral. ok is false when s is
 // not representable. scale is the number of digits after the decimal
-// point; scale 0 means the integral form (no point).
-func detectNumeric(s string) (mantissa int64, scale uint8, ok bool) {
+// point; scale 0 means the integral form (no point). Generic over
+// string and []byte so the tape encoder can run it on decoded content
+// without allocating.
+func detectNumeric[S ~string | ~[]byte](s S) (mantissa int64, scale uint8, ok bool) {
 	if len(s) == 0 || len(s) > 20 {
 		return 0, 0, false
 	}
@@ -68,7 +70,8 @@ func detectNumeric(s string) (mantissa int64, scale uint8, ok bool) {
 		return 0, 0, false
 	}
 	var m int64
-	for _, c := range []byte(s[intStart:]) {
+	for j := intStart; j < len(s); j++ {
+		c := s[j]
 		if c == '.' {
 			continue
 		}

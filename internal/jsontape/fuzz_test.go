@@ -1,0 +1,80 @@
+package jsontape_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/jsonb"
+	"repro/internal/jsontape"
+	"repro/internal/jsontext"
+)
+
+// FuzzTapeVsTree is the tape parser's differential oracle: for every
+// input, the tape parse and jsontext.Parse must agree on
+// accept/reject (same SyntaxError offset and message), and when both
+// accept, fully materializing the tape must reproduce the tree
+// byte-for-byte (compared via Equal and via serialization, which also
+// covers -0 vs 0 and string sanitizing).
+func FuzzTapeVsTree(f *testing.F) {
+	seeds := []string{
+		// The jsonb ingest fuzz corpus seeds.
+		`{}`, `[]`, `null`, `0`, `-0.5e2`, `"str"`,
+		`{"id":1,"user":{"id":3,"tags":["a","b"]},"geo":null}`,
+		`[{"a":[[]]},2,"x"]`,
+		`{"n":"12.50","big":9223372036854775807}`,
+		"{\"u\":\"\\u00e9\\ud83d\\ude00\"}",
+		`{"dup":1,"dup":2}`,
+		"[1,2",
+		`{"a":`,
+		"\"\\ud800\"",
+		// Deep nesting (around the MaxDepth boundary).
+		strings.Repeat("[", 600) + strings.Repeat("]", 600),
+		strings.Repeat(`{"a":`, 511) + "1" + strings.Repeat("}", 511),
+		// Long escape runs and surrogate edge cases.
+		`"` + strings.Repeat(`\u0041\n\t`, 50) + `"`,
+		"\"\\ud800\\udc00\"", "\"\\ud800\\ud800\"", "\"\\udc00x\"",
+		"\"\\ud800\\u0041\"", "\"\\ud800\\\"",
+		// Big and boundary numbers.
+		"1e308", "2e308", "-1e309", "1e-999", "0.0e99999",
+		"17976931348623157e292", "9223372036854775808",
+		"-9223372036854775809", "999999999999999999", "1000000000000000000",
+		strings.Repeat("9", 400), "0." + strings.Repeat("0", 400) + "1e420",
+		// Invalid UTF-8 in raw and escaped strings.
+		"\"\xff\xfe\"", "\"a\\n\xff\"",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		treeVal, treeErr := jsontext.Parse(data)
+		var d jsontape.Doc
+		tapeErr := jsontape.Parse(data, &d)
+		if jsontape.IsLimit(tapeErr) {
+			t.Fatalf("limit error on small input %q: %v", data, tapeErr)
+		}
+		if (treeErr == nil) != (tapeErr == nil) {
+			t.Fatalf("accept/reject mismatch on %q: tree=%v tape=%v", data, treeErr, tapeErr)
+		}
+		if treeErr != nil {
+			if treeErr.Error() != tapeErr.Error() {
+				t.Fatalf("error mismatch on %q: tree=%v tape=%v", data, treeErr, tapeErr)
+			}
+			return
+		}
+		tapeVal := d.Root().Materialize()
+		if !tapeVal.Equal(treeVal) {
+			t.Fatalf("materialized tape differs from tree on %q:\n tape=%s\n tree=%s",
+				data, jsontext.Serialize(tapeVal), jsontext.Serialize(treeVal))
+		}
+		if got, want := jsontext.Serialize(tapeVal), jsontext.Serialize(treeVal); string(got) != string(want) {
+			t.Fatalf("serialization differs on %q: tape=%q tree=%q", data, got, want)
+		}
+		// The tape-driven JSONB encoder must match the tree encoder
+		// byte for byte.
+		var enc jsonb.Encoder
+		if got, want := enc.EncodeTape(&d), jsonb.Encode(treeVal); !bytes.Equal(got, want) {
+			t.Fatalf("EncodeTape differs on %q:\n got=%x\nwant=%x", data, got, want)
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package jsontape
+
+import (
+	"unicode/utf8"
+
+	"repro/internal/jsonvalue"
+)
+
+// Materialize builds the jsonvalue tree for the subtree rooted at
+// this node. The result is identical to what jsontext.Parse would
+// have produced for the same input — the tape path's correctness
+// oracle, and the boxed fallback for heterogeneous outlier documents.
+func (n Node) Materialize() jsonvalue.Value {
+	switch n.Kind() {
+	case KNull:
+		return jsonvalue.Null()
+	case KTrue:
+		return jsonvalue.Bool(true)
+	case KFalse:
+		return jsonvalue.Bool(false)
+	case KInt:
+		return jsonvalue.Int(n.IntVal())
+	case KFloat, KFloatPre:
+		return jsonvalue.Float(n.FloatVal())
+	case KString, KStringEsc:
+		return jsonvalue.String(n.StringVal())
+	case KObj:
+		members := make([]jsonvalue.Member, 0, n.Count())
+		j := n.i + 1
+		for k := 0; k < n.Count(); k++ {
+			key := Node{n.d, j}
+			val := Node{n.d, j + 1}
+			members = append(members, jsonvalue.Member{Key: key.StringVal(), Value: val.Materialize()})
+			j = n.d.Skip(j + 1)
+		}
+		return jsonvalue.Object(members...)
+	case KArr:
+		elems := make([]jsonvalue.Value, 0, n.Count())
+		j := n.i + 1
+		for k := 0; k < n.Count(); k++ {
+			elems = append(elems, Node{n.d, j}.Materialize())
+			j = n.d.Skip(j)
+		}
+		return jsonvalue.Array(elems...)
+	}
+	return jsonvalue.Null()
+}
+
+// Member returns the value of the first member with the given key in
+// an object node, decoding keys lazily (raw bytes are compared
+// directly when the stored key needs no decoding).
+func (n Node) Member(key string) (Node, bool) {
+	if n.Kind() != KObj {
+		return Node{}, false
+	}
+	j := n.i + 1
+	for k := 0; k < n.Count(); k++ {
+		kn := Node{n.d, j}
+		val := Node{n.d, j + 1}
+		if kn.keyEqual(key) {
+			return val, true
+		}
+		j = n.d.Skip(j + 1)
+	}
+	return Node{}, false
+}
+
+func (kn Node) keyEqual(key string) bool {
+	raw, escaped := kn.RawString()
+	if !escaped {
+		// The decoded form of an unescaped key only differs from raw
+		// when raw is invalid UTF-8 (U+FFFD substitution).
+		if bstr(raw) == key {
+			return true
+		}
+		if utf8.Valid(raw) {
+			return false
+		}
+	}
+	return kn.StringVal() == key
+}
+
+// Elem returns the k'th element of an array node, walking from the
+// start (O(k) skips).
+func (n Node) Elem(k int) (Node, bool) {
+	if n.Kind() != KArr || k < 0 || k >= n.Count() {
+		return Node{}, false
+	}
+	j := n.i + 1
+	for ; k > 0; k-- {
+		j = n.d.Skip(j)
+	}
+	return Node{n.d, j}, true
+}

@@ -305,7 +305,7 @@ func (p *parser) parseUnicodeEscape() (rune, error) {
 		// anything else decodes to U+FFFD, matching encoding/json.
 		if p.pos+1 < len(p.data) && p.data[p.pos] == '\\' && p.data[p.pos+1] == 'u' {
 			save := p.pos
-			p.pos += 2
+			p.pos++ // consume '\\'; hex4 consumes the 'u'
 			r2, err := p.hex4()
 			if err != nil {
 				return 0, err

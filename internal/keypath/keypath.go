@@ -322,33 +322,72 @@ type Item struct {
 
 // Dict assigns dense int32 ids to (path, type) items — the database
 // the FPGrowth miner runs on. Ids are assigned in first-seen order.
+// Entries are keyed by path with a small per-type id array so the
+// tape walker can look paths up by []byte without allocating.
 type Dict struct {
-	byKey map[Item]int32
-	items []Item
+	byPath map[string]*dictEntry
+	items  []Item
 }
+
+// dictEntry holds one id per ValueType (-1 = unassigned). ValueType
+// has 8 values; TypeTimestamp never appears in mined items but the
+// slot costs nothing.
+type dictEntry [8]int32
 
 // NewDict returns an empty dictionary.
 func NewDict() *Dict {
-	return &Dict{byKey: map[Item]int32{}}
+	return &Dict{byPath: map[string]*dictEntry{}}
+}
+
+func (d *Dict) entry(path string) *dictEntry {
+	e := d.byPath[path]
+	if e == nil {
+		e = &dictEntry{-1, -1, -1, -1, -1, -1, -1, -1}
+		d.byPath[path] = e
+	}
+	return e
 }
 
 // Add returns the id for the item, assigning the next id on first
 // sight.
 func (d *Dict) Add(path string, t ValueType) int32 {
-	it := Item{Path: path, Type: t}
-	if id, ok := d.byKey[it]; ok {
+	e := d.entry(path)
+	if id := e[t]; id >= 0 {
 		return id
 	}
 	id := int32(len(d.items))
-	d.byKey[it] = id
-	d.items = append(d.items, it)
+	e[t] = id
+	d.items = append(d.items, Item{Path: path, Type: t})
+	return id
+}
+
+// AddBytes is Add for a path rendered into a byte buffer: the lookup
+// allocates no string, and the path is only copied when the item is
+// new.
+func (d *Dict) AddBytes(path []byte, t ValueType) int32 {
+	if e, ok := d.byPath[string(path)]; ok {
+		if id := e[t]; id >= 0 {
+			return id
+		}
+		id := int32(len(d.items))
+		e[t] = id
+		d.items = append(d.items, Item{Path: string(path), Type: t})
+		return id
+	}
+	p := string(path)
+	e := d.entry(p)
+	id := int32(len(d.items))
+	e[t] = id
+	d.items = append(d.items, Item{Path: p, Type: t})
 	return id
 }
 
 // Get returns the id for the item and whether it exists.
 func (d *Dict) Get(path string, t ValueType) (int32, bool) {
-	id, ok := d.byKey[Item{Path: path, Type: t}]
-	return id, ok
+	if e, ok := d.byPath[path]; ok && e[t] >= 0 {
+		return e[t], true
+	}
+	return 0, false
 }
 
 // Item returns the entry for an id.

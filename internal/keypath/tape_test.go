@@ -1,0 +1,156 @@
+package keypath_test
+
+import (
+	"testing"
+
+	"repro/internal/jsontape"
+	"repro/internal/jsontext"
+	"repro/internal/jsonvalue"
+	"repro/internal/keypath"
+)
+
+var walkDocs = []string{
+	`{"a":1,"b":{"c":[1,2.5,"x",true,null]},"d":[]}`,
+	`{"deep":{"er":{"est":{"leaf":"v"}}},"empty":{},"n":null}`,
+	`[1,2,3,4,5,6,7,8,9,10,11,12]`,
+	`{"arr":[{"x":1},{"x":2},[1,[2]],"s"],"weird.key":1,"w[0]":2,"back\\slash":3,"":{"":9}}`,
+	`{"dup":1,"dup":"two","dup":null}`,
+	`{"u":"é😀","esc.key":5}`,
+	`42`, `"scalar root"`, `null`, `{}`, `[]`,
+	`{"big":[0,1,2,3,4,5,6,7,8,9,[10],{"k":11}]}`,
+}
+
+type leaf struct {
+	path string
+	typ  keypath.ValueType
+	val  jsonvalue.Value
+}
+
+func collectTree(t *testing.T, src string, maxSlots int) []leaf {
+	t.Helper()
+	v, err := jsontext.Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	var out []leaf
+	keypath.Collect(v, maxSlots, func(p keypath.Path, vt keypath.ValueType, lv jsonvalue.Value) {
+		out = append(out, leaf{p.Encode(), vt, lv})
+	})
+	return out
+}
+
+func collectTape(t *testing.T, src string, maxSlots int) ([]leaf, int) {
+	t.Helper()
+	var d jsontape.Doc
+	if err := jsontape.Parse([]byte(src), &d); err != nil {
+		t.Fatalf("tape parse %q: %v", src, err)
+	}
+	var out []leaf
+	skipped := keypath.CollectTape(&d, maxSlots, func(p []byte, vt keypath.ValueType, n jsontape.Node) {
+		out = append(out, leaf{string(p), vt, n.Materialize()})
+	})
+	return out, skipped
+}
+
+// TestCollectTapeMatchesCollect locks the tape walker to the tree
+// walker: same leaves, same encoded paths, same order, same types,
+// same values, at both the default and a tiny array-slot cap.
+func TestCollectTapeMatchesCollect(t *testing.T) {
+	for _, src := range walkDocs {
+		for _, maxSlots := range []int{0, 2} {
+			tree := collectTree(t, src, maxSlots)
+			tape, _ := collectTape(t, src, maxSlots)
+			if len(tree) != len(tape) {
+				t.Fatalf("%q slots=%d: leaf count tree=%d tape=%d\ntree=%v\ntape=%v",
+					src, maxSlots, len(tree), len(tape), tree, tape)
+			}
+			for i := range tree {
+				if tree[i].path != tape[i].path || tree[i].typ != tape[i].typ {
+					t.Errorf("%q slots=%d leaf %d: tree=(%q,%v) tape=(%q,%v)",
+						src, maxSlots, i, tree[i].path, tree[i].typ, tape[i].path, tape[i].typ)
+				}
+				if !tree[i].val.Equal(tape[i].val) {
+					t.Errorf("%q slots=%d leaf %d (%s): value mismatch", src, maxSlots, i, tree[i].path)
+				}
+			}
+		}
+	}
+}
+
+func TestCollectTapeSkippedCount(t *testing.T) {
+	var d jsontape.Doc
+	if err := jsontape.Parse([]byte(`{"a":[1,2,3,4,5],"b":[[6,7],[8]]}`), &d); err != nil {
+		t.Fatal(err)
+	}
+	_, skipped := func() ([]leaf, int) {
+		var out []leaf
+		n := keypath.CollectTape(&d, 2, func(p []byte, vt keypath.ValueType, nd jsontape.Node) {
+			out = append(out, leaf{string(p), vt, nd.Materialize()})
+		})
+		return out, n
+	}()
+	// a: elements 2,3,4 skipped; b: fully visited (2 elems), inner
+	// arrays lose nothing under cap 2.
+	if skipped != 3 {
+		t.Fatalf("skipped = %d, want 3", skipped)
+	}
+}
+
+func TestDictAddBytes(t *testing.T) {
+	d := keypath.NewDict()
+	id1 := d.Add("a.b", keypath.TypeBigInt)
+	if got := d.AddBytes([]byte("a.b"), keypath.TypeBigInt); got != id1 {
+		t.Fatalf("AddBytes existing = %d, want %d", got, id1)
+	}
+	id2 := d.AddBytes([]byte("a.b"), keypath.TypeString)
+	if id2 == id1 {
+		t.Fatal("different type must get a new id")
+	}
+	id3 := d.AddBytes([]byte("fresh"), keypath.TypeDouble)
+	if got, ok := d.Get("fresh", keypath.TypeDouble); !ok || got != id3 {
+		t.Fatalf("Get after AddBytes = %d,%v", got, ok)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", d.Len())
+	}
+	// Ids are first-seen dense.
+	for i := 0; i < d.Len(); i++ {
+		it := d.Item(int32(i))
+		if got, ok := d.Get(it.Path, it.Type); !ok || got != int32(i) {
+			t.Fatalf("item %d round trip failed: %v %v", i, got, ok)
+		}
+	}
+}
+
+func TestLookupTapeMatchesLookup(t *testing.T) {
+	src := `{"a":{"b":[10,{"c":true}]},"weird.key":"w","arr":[]}`
+	v, err := jsontext.Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d jsontape.Doc
+	if err := jsontape.Parse([]byte(src), &d); err != nil {
+		t.Fatal(err)
+	}
+	paths := []keypath.Path{
+		keypath.NewPath("a"),
+		keypath.NewPath("a", "b").Slot(0),
+		keypath.NewPath("a", "b").Slot(1).Child("c"),
+		keypath.NewPath("weird.key"),
+		keypath.NewPath("arr"),
+		keypath.NewPath("missing"),
+		keypath.NewPath("a", "b").Slot(9),
+		keypath.NewPath("a", "b", "notobj"),
+	}
+	for _, p := range paths {
+		tv, tok := keypath.Lookup(v, p)
+		nd, nok := keypath.LookupTape(&d, p)
+		if tok != nok {
+			t.Fatalf("%s: found mismatch tree=%v tape=%v", p.Encode(), tok, nok)
+		}
+		if tok && !nd.Materialize().Equal(tv) {
+			t.Fatalf("%s: value mismatch %s vs %s", p.Encode(),
+				jsontext.Serialize(nd.Materialize()), jsontext.Serialize(tv))
+		}
+	}
+}

@@ -288,6 +288,24 @@ var (
 	QueriesRun        = Default.Counter("queries_run")
 )
 
+// On-demand ingest counters (structural-tape parsing; DESIGN.md §6.8).
+var (
+	// IngestDocsTape counts documents ingested through the structural
+	// tape without materializing a jsonvalue tree.
+	IngestDocsTape = Default.Counter("ingest_docs_tape")
+	// IngestDocsTreeFallback counts documents ingested through the
+	// boxed jsonvalue-tree path — tape-limit fallbacks, tree-mode
+	// loads, tile recomputation, and synthesized star-schema side
+	// documents.
+	IngestDocsTreeFallback = Default.Counter("ingest_docs_tree_fallback")
+	// IngestSubtreesSkipped counts subtrees the ingest walks skipped
+	// via the tape (array elements past the slot cap).
+	IngestSubtreesSkipped = Default.Counter("ingest_subtrees_skipped")
+	// IngestTapeBytes counts bytes of structural tape built (8 bytes
+	// per tape word).
+	IngestTapeBytes = Default.Counter("ingest_tape_bytes")
+)
+
 // Batch-execution counters (vectorized query path).
 var (
 	// BatchesEmitted counts column batches produced by batch scans.

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/fpgrowth"
+	"repro/internal/jsontape"
 	"repro/internal/jsonvalue"
 	"repro/internal/keypath"
 	"repro/internal/tile"
@@ -59,17 +60,78 @@ func Partition(docs []jsonvalue.Value, cfg tile.Config, m *tile.Metrics) Result 
 	if len(docs) == 0 || cfg.PartitionSize <= 1 {
 		return Result{}
 	}
-	tileSize := cfg.TileSize
-	if tileSize <= 0 {
-		tileSize = tile.DefaultConfig().TileSize
-	}
+	tileSize := effectiveTileSize(cfg)
 	if len(docs) <= tileSize {
 		return Result{} // a single tile: nothing to redistribute
 	}
 
 	dict := keypath.NewDict()
 	txs := tile.CollectTransactions(docs, cfg.MaxArraySlots, dict)
+	order, res := computeOrder(txs, cfg, tileSize)
+	if order == nil {
+		return res
+	}
 
+	// Apply the permutation.
+	newDocs := make([]jsonvalue.Value, len(docs))
+	for newPos, oldPos := range order {
+		newDocs[newPos] = docs[oldPos]
+		if newPos != oldPos {
+			res.Moved++
+		}
+	}
+	copy(docs, newDocs)
+	return res
+}
+
+// PartitionTapes is the tape-ingest analogue of Partition: it reorders
+// parsed tape documents in place using transactions collected straight
+// from the tapes, with the identical clustering algorithm — the
+// resulting permutation matches Partition over the materialized trees.
+func PartitionTapes(tapes []*jsontape.Doc, cfg tile.Config, m *tile.Metrics) Result {
+	start := time.Now()
+	defer func() {
+		if m != nil {
+			m.ReorderNanos.Add(time.Since(start).Nanoseconds())
+		}
+	}()
+	if len(tapes) == 0 || cfg.PartitionSize <= 1 {
+		return Result{}
+	}
+	tileSize := effectiveTileSize(cfg)
+	if len(tapes) <= tileSize {
+		return Result{} // a single tile: nothing to redistribute
+	}
+
+	dict := keypath.NewDict()
+	txs := tile.CollectTapeTransactions(tapes, cfg.MaxArraySlots, dict)
+	order, res := computeOrder(txs, cfg, tileSize)
+	if order == nil {
+		return res
+	}
+
+	newTapes := make([]*jsontape.Doc, len(tapes))
+	for newPos, oldPos := range order {
+		newTapes[newPos] = tapes[oldPos]
+		if newPos != oldPos {
+			res.Moved++
+		}
+	}
+	copy(tapes, newTapes)
+	return res
+}
+
+func effectiveTileSize(cfg tile.Config) int {
+	if cfg.TileSize > 0 {
+		return cfg.TileSize
+	}
+	return tile.DefaultConfig().TileSize
+}
+
+// computeOrder runs steps 1-4 over the collected transactions and
+// returns the tuple permutation (nil when nothing survives filtering)
+// plus the partial Result (Moved is filled in by the caller).
+func computeOrder(txs [][]int32, cfg tile.Config, tileSize int) ([]int, Result) {
 	// Step 1: per-tile mining with the reduced threshold.
 	reduced := cfg.Threshold / float64(cfg.PartitionSize)
 	var candidates []fpgrowth.Itemset
@@ -114,7 +176,7 @@ func Partition(docs []jsonvalue.Value, cfg tile.Config, m *tile.Metrics) Result 
 		}
 	}
 	if len(survivors) == 0 {
-		return Result{}
+		return nil, Result{}
 	}
 	// Deterministic survivor order: size desc, count desc, items asc.
 	sort.Slice(survivors, func(i, j int) bool {
@@ -237,17 +299,7 @@ func Partition(docs []jsonvalue.Value, cfg tile.Config, m *tile.Metrics) Result 
 		}
 	}
 
-	// Apply the permutation.
-	moved := 0
-	newDocs := make([]jsonvalue.Value, len(docs))
-	for newPos, oldPos := range order {
-		newDocs[newPos] = docs[oldPos]
-		if newPos != oldPos {
-			moved++
-		}
-	}
-	copy(docs, newDocs)
-	return Result{SurvivingItemsets: len(survivors), Matched: matched, Moved: moved}
+	return order, Result{SurvivingItemsets: len(survivors), Matched: matched}
 }
 
 func itemsKey(items []int32) string {

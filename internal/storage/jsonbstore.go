@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/expr"
 	"repro/internal/jsonb"
+	"repro/internal/jsontape"
 	"repro/internal/obs"
 	"repro/internal/stats"
 )
@@ -17,20 +18,66 @@ type jsonbStore struct {
 	docs [][]byte
 }
 
-type jsonbLoader struct{}
+type jsonbLoader struct{ cfg LoaderConfig }
 
-func (jsonbLoader) Load(name string, lines [][]byte, workers int) (Relation, error) {
-	docs, err := parseAll(lines, workers)
-	if err != nil {
-		return nil, err
+func (l jsonbLoader) Load(name string, lines [][]byte, workers int) (Relation, error) {
+	if l.cfg.TreeIngest {
+		docs, err := parseAll(lines, workers)
+		if err != nil {
+			return nil, err
+		}
+		obs.IngestDocsTreeFallback.Add(int64(len(docs)))
+		encoded := make([][]byte, len(docs))
+		morselRange(len(docs), workers, func(w, lo, hi int) {
+			var enc jsonb.Encoder
+			for i := lo; i < hi; i++ {
+				encoded[i] = enc.Encode(docs[i])
+			}
+		})
+		return &jsonbStore{name: name, docs: encoded}, nil
 	}
-	encoded := make([][]byte, len(docs))
-	morselRange(len(docs), workers, func(w, lo, hi int) {
-		var enc jsonb.Encoder
+	// Tape path: parse and encode per document in one pass — the tree
+	// is never materialized, and each worker reuses one pooled tape and
+	// encoder. Over-limit documents fall back individually.
+	encoded := make([][]byte, len(lines))
+	pe := newParseErrs()
+	morselRange(len(lines), workers, func(w, lo, hi int) {
+		if pe.failedBefore(lo) {
+			return
+		}
+		s := ingestScratchPool.Get().(*ingestScratch)
+		defer ingestScratchPool.Put(s)
+		var tapeDocs, treeDocs, tapeBytes int64
+		defer func() {
+			obs.IngestDocsTape.Add(tapeDocs)
+			obs.IngestDocsTreeFallback.Add(treeDocs)
+			obs.IngestTapeBytes.Add(tapeBytes)
+		}()
 		for i := lo; i < hi; i++ {
-			encoded[i] = enc.Encode(docs[i])
+			err := jsontape.Parse(lines[i], &s.doc)
+			if err == nil {
+				tapeDocs++
+				tapeBytes += int64(8 * len(s.doc.Tape))
+				encoded[i] = s.enc.EncodeTape(&s.doc)
+				continue
+			}
+			if jsontape.IsLimit(err) {
+				v, terr := parseDoc(lines[i])
+				if terr != nil {
+					pe.record(i, terr)
+					return
+				}
+				treeDocs++
+				encoded[i] = s.enc.Encode(v)
+				continue
+			}
+			pe.record(i, err)
+			return
 		}
 	})
+	if err := pe.get(); err != nil {
+		return nil, err
+	}
 	return &jsonbStore{name: name, docs: encoded}, nil
 }
 

@@ -2,10 +2,12 @@ package storage
 
 import (
 	"context"
+	"errors"
 	"sort"
 
 	"repro/internal/expr"
 	"repro/internal/jsonb"
+	"repro/internal/jsontape"
 	"repro/internal/jsonvalue"
 	"repro/internal/keypath"
 	"repro/internal/obs"
@@ -61,6 +63,23 @@ func (c *sparseColumn) appendVal(row int, v jsonvalue.Value) {
 	}
 }
 
+// appendTape is appendVal decoding straight from a tape node.
+func (c *sparseColumn) appendTape(row int, n jsontape.Node) {
+	c.rows = append(c.rows, int32(row))
+	switch c.item.Type {
+	case keypath.TypeBigInt:
+		c.ints = append(c.ints, n.IntVal())
+	case keypath.TypeDouble:
+		c.flts = append(c.flts, n.FloatVal())
+	case keypath.TypeString:
+		c.strs = append(c.strs, n.StringVal())
+	case keypath.TypeBool:
+		c.bls = append(c.bls, n.BoolVal())
+	case keypath.TypeObject, keypath.TypeArray:
+		// Empty containers: presence only, no payload.
+	}
+}
+
 // value converts the stored payload to the desired SQL type through
 // the same conversion matrix every other format uses (treeValue), so
 // e.g. a Float access on a Bool value is NULL everywhere.
@@ -96,10 +115,18 @@ const shredMaxArraySlots = 4096
 type shredLoader struct{ cfg LoaderConfig }
 
 func (l shredLoader) Load(name string, lines [][]byte, workers int) (Relation, error) {
+	if !l.cfg.TreeIngest {
+		r, err := l.loadTapes(name, lines, workers)
+		if !errors.Is(err, errTapeLimit) {
+			return r, err
+		}
+		// Some document exceeds the tape limits: retry on the tree path.
+	}
 	docs, err := parseAll(lines, workers)
 	if err != nil {
 		return nil, err
 	}
+	obs.IngestDocsTreeFallback.Add(int64(len(docs)))
 	r := &shredded{
 		name:    name,
 		numRows: len(docs),
@@ -122,6 +149,52 @@ func (l shredLoader) Load(name string, lines [][]byte, workers int) (Relation, e
 			r.cols[ci].appendVal(i, v)
 		})
 	}
+	return finishShredded(r)
+}
+
+// loadTapes is the tape-driven shredded load: stripes are appended
+// straight from tape nodes. A shared dictionary maps (path, type)
+// items to column indexes so the per-leaf path string is allocated
+// only on a column's first appearance.
+func (l shredLoader) loadTapes(name string, lines [][]byte, workers int) (Relation, error) {
+	tapes, err := parseAllTapes(lines, workers)
+	if err != nil {
+		return nil, err
+	}
+	obs.IngestDocsTape.Add(int64(len(tapes)))
+	r := &shredded{
+		name:    name,
+		numRows: len(tapes),
+		byItem:  map[keypath.Item]int{},
+		byPath:  map[string][]int{},
+	}
+	dict := keypath.NewDict()
+	var colOfID []int32
+	for i, d := range tapes {
+		keypath.CollectTape(d, shredMaxArraySlots, func(pathEnc []byte, t keypath.ValueType, n jsontape.Node) {
+			if t == keypath.TypeNull {
+				return
+			}
+			id := dict.AddBytes(pathEnc, t)
+			for int(id) >= len(colOfID) {
+				colOfID = append(colOfID, -1)
+			}
+			ci := colOfID[id]
+			if ci < 0 {
+				it := dict.Item(id)
+				ci = int32(len(r.cols))
+				colOfID[id] = ci
+				r.byItem[it] = int(ci)
+				r.cols = append(r.cols, &sparseColumn{item: it})
+				r.byPath[it.Path] = append(r.byPath[it.Path], int(ci))
+			}
+			r.cols[ci].appendTape(i, n)
+		})
+	}
+	return finishShredded(r)
+}
+
+func finishShredded(r *shredded) (Relation, error) {
 	for p := range r.byPath {
 		r.pathsSorted = append(r.pathsSorted, p)
 	}

@@ -2,12 +2,14 @@ package storage
 
 import (
 	"context"
+	"errors"
 	"math"
 	"sort"
 
 	"repro/internal/column"
 	"repro/internal/expr"
 	"repro/internal/jsonb"
+	"repro/internal/jsontape"
 	"repro/internal/jsonvalue"
 	"repro/internal/keypath"
 	"repro/internal/obs"
@@ -39,10 +41,18 @@ type sinewColumn struct {
 type sinewLoader struct{ cfg LoaderConfig }
 
 func (l sinewLoader) Load(name string, lines [][]byte, workers int) (Relation, error) {
+	if !l.cfg.TreeIngest {
+		r, err := l.loadTapes(name, lines, workers)
+		if !errors.Is(err, errTapeLimit) {
+			return r, err
+		}
+		// Some document exceeds the tape limits: retry on the tree path.
+	}
 	docs, err := parseAll(lines, workers)
 	if err != nil {
 		return nil, err
 	}
+	obs.IngestDocsTreeFallback.Add(int64(len(docs)))
 	threshold := l.cfg.SinewThreshold
 	if threshold <= 0 {
 		threshold = 0.6
@@ -216,4 +226,135 @@ func (r *sinew) ScanWithStats(ctx context.Context, accesses []Access, workers in
 			emit(w, row)
 		}
 	})
+}
+
+// loadTapes is the tape-driven Sinew load: the global frequency pass
+// and the column materialization walk tapes (the deliberately
+// single-threaded part matching the paper), and the binary JSON
+// fallback encodes tapes in parallel. The result is identical to the
+// tree path column for column and byte for byte.
+func (l sinewLoader) loadTapes(name string, lines [][]byte, workers int) (Relation, error) {
+	tapes, err := parseAllTapes(lines, workers)
+	if err != nil {
+		return nil, err
+	}
+	obs.IngestDocsTape.Add(int64(len(tapes)))
+	threshold := l.cfg.SinewThreshold
+	if threshold <= 0 {
+		threshold = 0.6
+	}
+	maxSlots := l.cfg.Tile.MaxArraySlots
+
+	// Global frequency pass over a shared dictionary: AddBytes avoids
+	// the per-leaf path allocation of the map-of-Item tree pass.
+	dict := keypath.NewDict()
+	var counts []int
+	for _, d := range tapes {
+		keypath.CollectTape(d, maxSlots, func(pathEnc []byte, t keypath.ValueType, n jsontape.Node) {
+			switch t {
+			case keypath.TypeBool, keypath.TypeBigInt, keypath.TypeDouble, keypath.TypeString:
+				id := dict.AddBytes(pathEnc, t)
+				for int(id) >= len(counts) {
+					counts = append(counts, 0)
+				}
+				counts[id]++
+			}
+		})
+	}
+	need := int(math.Ceil(threshold * float64(len(tapes))))
+	if need < 1 {
+		need = 1
+	}
+	bestForPath := map[string]keypath.Item{}
+	freqOf := func(it keypath.Item) int {
+		if id, ok := dict.Get(it.Path, it.Type); ok {
+			return counts[id]
+		}
+		return 0
+	}
+	for id := int32(0); id < int32(dict.Len()); id++ {
+		c := counts[id]
+		if c < need {
+			continue
+		}
+		it := dict.Item(id)
+		if prev, ok := bestForPath[it.Path]; !ok || freqOf(prev) < c ||
+			(freqOf(prev) == c && it.Type < prev.Type) {
+			bestForPath[it.Path] = it
+		}
+	}
+	var items []keypath.Item
+	for _, it := range bestForPath {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].Path < items[j].Path })
+
+	r := &sinew{name: name, numRows: len(tapes), byPath: map[string]int{}}
+	for _, it := range items {
+		r.byPath[it.Path] = len(r.cols)
+		r.cols = append(r.cols, sinewColumn{
+			path:      it.Path,
+			minedType: it.Type,
+			col:       column.New(it.Type),
+		})
+	}
+
+	// Materialize. The tree path gathers a per-document leaves map with
+	// last-occurrence-wins; here a generation-stamped per-column slot
+	// does the same without the map: the walk overwrites the slot on
+	// every occurrence of the column's path, whatever the type.
+	nCols := len(r.cols)
+	stamp := make([]int, nCols)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	lastType := make([]keypath.ValueType, nCols)
+	lastNode := make([]jsontape.Node, nCols)
+	for di, d := range tapes {
+		keypath.CollectTape(d, maxSlots, func(pathEnc []byte, t keypath.ValueType, n jsontape.Node) {
+			ci, ok := r.byPath[string(pathEnc)]
+			if !ok {
+				return
+			}
+			stamp[ci] = di
+			lastType[ci] = t
+			lastNode[ci] = n
+		})
+		for ci := range r.cols {
+			sc := &r.cols[ci]
+			if stamp[ci] != di {
+				sc.col.AppendNull()
+				continue
+			}
+			if lastType[ci] != sc.minedType {
+				sc.col.AppendNull()
+				if lastType[ci] != keypath.TypeNull {
+					sc.hasTypeOutliers = true
+				}
+				continue
+			}
+			n := lastNode[ci]
+			switch sc.minedType {
+			case keypath.TypeBigInt:
+				sc.col.AppendInt(n.IntVal())
+			case keypath.TypeDouble:
+				sc.col.AppendFloat(n.FloatVal())
+			case keypath.TypeBool:
+				sc.col.AppendBool(n.BoolVal())
+			case keypath.TypeString:
+				sc.col.AppendString(n.StringVal())
+			}
+		}
+	}
+
+	// Binary JSON fallback storage (parallel, like the JSONB format).
+	r.raw = make([][]byte, len(tapes))
+	morselRange(len(tapes), workers, func(w, lo, hi int) {
+		s := ingestScratchPool.Get().(*ingestScratch)
+		defer ingestScratchPool.Put(s)
+		for i := lo; i < hi; i++ {
+			r.raw[i] = s.enc.EncodeTape(tapes[i])
+		}
+	})
+	return r, nil
 }

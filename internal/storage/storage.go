@@ -190,9 +190,9 @@ type Loader interface {
 func NewLoader(kind FormatKind, cfg LoaderConfig) (Loader, error) {
 	switch kind {
 	case KindJSON:
-		return rawJSONLoader{}, nil
+		return rawJSONLoader{cfg: cfg}, nil
 	case KindJSONB:
-		return jsonbLoader{}, nil
+		return jsonbLoader{cfg: cfg}, nil
 	case KindSinew:
 		return sinewLoader{cfg: cfg}, nil
 	case KindTiles:
@@ -205,24 +205,28 @@ func NewLoader(kind FormatKind, cfg LoaderConfig) (Loader, error) {
 }
 
 // parseAll parses JSON lines into documents in parallel (morsels of
-// lines pulled from a shared queue — see morsel.go).
+// lines pulled from a shared queue — see morsel.go). On malformed
+// input it reports the lowest failing document index regardless of
+// worker count or morsel scheduling, with the byte offset carried by
+// the wrapped syntax error.
 func parseAll(lines [][]byte, workers int) ([]jsonvalue.Value, error) {
 	docs := make([]jsonvalue.Value, len(lines))
-	errs := make([]error, workers+1)
+	pe := newParseErrs()
 	morselRange(len(lines), workers, func(w, lo, hi int) {
+		if pe.failedBefore(lo) {
+			return
+		}
 		for i := lo; i < hi; i++ {
 			v, err := parseDoc(lines[i])
 			if err != nil {
-				errs[w] = fmt.Errorf("document %d: %w", i, err)
+				pe.record(i, err)
 				return
 			}
 			docs[i] = v
 		}
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := pe.get(); err != nil {
+		return nil, err
 	}
 	return docs, nil
 }

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sync"
-	"time"
 
 	"repro/internal/expr"
 	"repro/internal/jsonvalue"
@@ -47,16 +46,7 @@ func NewTilesLoader(cfg LoaderConfig, m *tile.Metrics) Loader {
 }
 
 func (l tilesLoader) Load(name string, lines [][]byte, workers int) (Relation, error) {
-	start := time.Now()
-	docs, err := parseAll(lines, workers)
-	if err != nil {
-		return nil, err
-	}
-	if l.cfg.Metrics != nil {
-		l.cfg.Metrics.ParseNanos.Add(time.Since(start).Nanoseconds())
-	}
-	obs.DocsLoaded.Add(int64(len(docs)))
-	return BuildTiles(name, docs, l.cfg, workers, l.cfg.Metrics), nil
+	return BuildTilesFromLines(name, lines, l.cfg, workers, l.cfg.Metrics)
 }
 
 // BuildTiles constructs a Tiles relation from parsed documents.

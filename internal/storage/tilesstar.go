@@ -1,10 +1,13 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/jsontape"
 	"repro/internal/jsonvalue"
 	"repro/internal/keypath"
+	"repro/internal/obs"
 )
 
 // TilesStar is the §6.3 "Tiles-*" configuration: JSON tiles for the
@@ -36,10 +39,18 @@ const (
 func BuildTilesStar(name string, lines [][]byte, cfg LoaderConfig, workers int,
 	idPath keypath.Path, arrayPaths ...keypath.Path) (*TilesStar, error) {
 
+	if !cfg.TreeIngest {
+		star, err := buildTilesStarTapes(name, lines, cfg, workers, idPath, arrayPaths...)
+		if !errors.Is(err, errTapeLimit) {
+			return star, err
+		}
+		// Some document exceeds the tape limits: retry on the tree path.
+	}
 	docs, err := parseAll(lines, workers)
 	if err != nil {
 		return nil, err
 	}
+	obs.IngestDocsTreeFallback.Add(int64(len(docs)))
 	star := &TilesStar{Sides: map[string]Relation{}}
 	star.Main = BuildTiles(name, docs, cfg, workers, nil)
 
@@ -56,22 +67,66 @@ func BuildTilesStar(name string, lines [][]byte, cfg LoaderConfig, workers int,
 			}
 			for i := 0; i < arr.Len(); i++ {
 				el := arr.Elem(i)
-				members := []jsonvalue.Member{
-					jsonvalue.M(ParentField, parent),
-					jsonvalue.M(IndexField, jsonvalue.Int(int64(i))),
-				}
-				if el.Kind() == jsonvalue.KindObject {
-					members = append(members, el.Members()...)
-				} else {
-					members = append(members, jsonvalue.M("value", el))
-				}
-				sideDocs = append(sideDocs, jsonvalue.Object(members...))
+				sideDocs = append(sideDocs, sideDoc(parent, i, el))
 			}
 		}
 		enc := ap.Encode()
 		star.Sides[enc] = BuildTiles(fmt.Sprintf("%s[%s]", name, enc), sideDocs, cfg, workers, nil)
 	}
 	return star, nil
+}
+
+// buildTilesStarTapes is the tape-driven Tiles-* load: the main
+// relation builds straight from the resident tapes, while side
+// documents — small synthesized objects — materialize only the parent
+// id and the extracted array elements.
+func buildTilesStarTapes(name string, lines [][]byte, cfg LoaderConfig, workers int,
+	idPath keypath.Path, arrayPaths ...keypath.Path) (*TilesStar, error) {
+
+	tapes, err := parseAllTapes(lines, workers)
+	if err != nil {
+		return nil, err
+	}
+	obs.IngestDocsTape.Add(int64(len(tapes)))
+	star := &TilesStar{Sides: map[string]Relation{}}
+	star.Main = buildTilesFromTapes(name, tapes, cfg, workers, nil)
+
+	for _, ap := range arrayPaths {
+		var sideDocs []jsonvalue.Value
+		for _, d := range tapes {
+			pn, ok := keypath.LookupTape(d, idPath)
+			if !ok {
+				continue
+			}
+			an, ok := keypath.LookupTape(d, ap)
+			if !ok || an.Kind() != jsontape.KArr {
+				continue
+			}
+			parent := pn.Materialize()
+			for i := 0; i < an.Count(); i++ {
+				el, _ := an.Elem(i)
+				sideDocs = append(sideDocs, sideDoc(parent, i, el.Materialize()))
+			}
+		}
+		enc := ap.Encode()
+		star.Sides[enc] = BuildTiles(fmt.Sprintf("%s[%s]", name, enc), sideDocs, cfg, workers, nil)
+	}
+	return star, nil
+}
+
+// sideDoc synthesizes one side-relation document from a parent id,
+// slot index, and array element.
+func sideDoc(parent jsonvalue.Value, idx int, el jsonvalue.Value) jsonvalue.Value {
+	members := []jsonvalue.Member{
+		jsonvalue.M(ParentField, parent),
+		jsonvalue.M(IndexField, jsonvalue.Int(int64(idx))),
+	}
+	if el.Kind() == jsonvalue.KindObject {
+		members = append(members, el.Members()...)
+	} else {
+		members = append(members, jsonvalue.M("value", el))
+	}
+	return jsonvalue.Object(members...)
 }
 
 // Side returns the side relation for an array path.

@@ -85,6 +85,12 @@ type Metrics struct {
 	WriteJSONBNanos atomic.Int64
 	ReorderNanos    atomic.Int64
 	TilesBuilt      atomic.Int64
+	// On-demand ingest accounting (DESIGN.md §6.8): documents built
+	// from the structural tape vs the boxed jsonvalue-tree fallback,
+	// and subtrees the tape walks skipped.
+	DocsTape        atomic.Int64
+	DocsTree        atomic.Int64
+	SubtreesSkipped atomic.Int64
 }
 
 // MetricsSnapshot is a point-in-time copy of Metrics, comparable and
@@ -96,6 +102,9 @@ type MetricsSnapshot struct {
 	WriteJSONBNanos int64
 	ReorderNanos    int64
 	TilesBuilt      int64
+	DocsTape        int64
+	DocsTree        int64
+	SubtreesSkipped int64
 }
 
 // Snapshot copies the current counter values.
@@ -110,6 +119,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		WriteJSONBNanos: m.WriteJSONBNanos.Load(),
 		ReorderNanos:    m.ReorderNanos.Load(),
 		TilesBuilt:      m.TilesBuilt.Load(),
+		DocsTape:        m.DocsTape.Load(),
+		DocsTree:        m.DocsTree.Load(),
+		SubtreesSkipped: m.SubtreesSkipped.Load(),
 	}
 }
 
@@ -122,6 +134,9 @@ func (s MetricsSnapshot) Sub(base MetricsSnapshot) MetricsSnapshot {
 		WriteJSONBNanos: s.WriteJSONBNanos - base.WriteJSONBNanos,
 		ReorderNanos:    s.ReorderNanos - base.ReorderNanos,
 		TilesBuilt:      s.TilesBuilt - base.TilesBuilt,
+		DocsTape:        s.DocsTape - base.DocsTape,
+		DocsTree:        s.DocsTree - base.DocsTree,
+		SubtreesSkipped: s.SubtreesSkipped - base.SubtreesSkipped,
 	}
 }
 
@@ -129,9 +144,9 @@ func (s MetricsSnapshot) Sub(base MetricsSnapshot) MetricsSnapshot {
 func (s MetricsSnapshot) String() string {
 	ms := func(n int64) float64 { return float64(n) / 1e6 }
 	return fmt.Sprintf(
-		"parse %.1fms  mine %.1fms  extract %.1fms  jsonb %.1fms  reorder %.1fms  (%d tiles)",
+		"parse %.1fms  mine %.1fms  extract %.1fms  jsonb %.1fms  reorder %.1fms  (%d tiles, %d tape / %d tree docs)",
 		ms(s.ParseNanos), ms(s.MineNanos), ms(s.ExtractNanos),
-		ms(s.WriteJSONBNanos), ms(s.ReorderNanos), s.TilesBuilt)
+		ms(s.WriteJSONBNanos), ms(s.ReorderNanos), s.TilesBuilt, s.DocsTape, s.DocsTree)
 }
 
 // ColumnInfo describes one extracted column in the tile header.
@@ -252,6 +267,12 @@ func sortDedup(s []int32) []int32 {
 // the maximal itemsets as typed columns (§3.1), and encode every
 // document into binary JSON for the fallback path.
 func (b *Builder) Build(docs []jsonvalue.Value) *Tile {
+	// Tree-based builds are the boxed fallback path; BuildTape is the
+	// tape-driven hot path.
+	obs.IngestDocsTreeFallback.Add(int64(len(docs)))
+	if b.Metrics != nil {
+		b.Metrics.DocsTree.Add(int64(len(docs)))
+	}
 	dict := keypath.NewDict()
 	start := time.Now()
 	txs := CollectTransactions(docs, b.Config.MaxArraySlots, dict)

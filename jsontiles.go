@@ -163,7 +163,7 @@ type Table struct {
 	name    string
 	opts    Options
 	rel     storage.Relation
-	pending []jsonvalue.Value
+	pending [][]byte
 	metrics *tile.Metrics
 }
 
@@ -230,13 +230,14 @@ func New(name string, opts Options) *Table {
 // Insert buffers one JSON document. A new tile partition is
 // materialized whenever TileSize × PartitionSize documents accumulate
 // (§3.2: "A new tile is created whenever the number of newly-inserted
-// tuples reaches the tile size").
+// tuples reaches the tile size"). The document is validated now but
+// parsed into columns only at materialization time, by the structural
+// tape path (DESIGN.md §6.8).
 func (t *Table) Insert(doc []byte) error {
-	v, err := jsontext.Parse(doc)
-	if err != nil {
+	if err := storage.ValidateDoc(doc); err != nil {
 		return err
 	}
-	t.pending = append(t.pending, v)
+	t.pending = append(t.pending, append([]byte(nil), doc...))
 	if len(t.pending) >= t.opts.TileSize*t.opts.PartitionSize {
 		return t.Flush()
 	}
@@ -252,9 +253,12 @@ func (t *Table) Flush() error {
 	if len(t.pending) == 0 {
 		return nil
 	}
-	docs := t.pending
+	lines := t.pending
 	t.pending = nil
-	newRel := storage.BuildTiles(t.name, docs, t.opts.loaderConfig(), t.opts.workers(), t.metrics)
+	newRel, err := storage.BuildTilesFromLines(t.name, lines, t.opts.loaderConfig(), t.opts.workers(), t.metrics)
+	if err != nil {
+		return err
+	}
 	if dt, ok := t.rel.(*storage.DirTable); ok {
 		ti := newRel.(storage.TileIntrospector)
 		return dt.AppendTiles(ti.Tiles(), newRel.Stats())
@@ -319,26 +323,36 @@ type LoadStats struct {
 	Parse, Mine, Extract, WriteJSONB, Reorder time.Duration
 	// TilesBuilt is the number of tiles materialized.
 	TilesBuilt int64
+	// DocsTape counts documents ingested on the structural-tape path;
+	// DocsTree counts documents that fell back to the boxed
+	// jsonvalue-tree path (DESIGN.md §6.8).
+	DocsTape, DocsTree int64
+	// SubtreesSkipped counts array subtrees skipped (not walked) during
+	// extraction because they lay beyond the MaxArraySlots cap.
+	SubtreesSkipped int64
 }
 
 // String renders the breakdown on one line.
 func (s LoadStats) String() string {
-	return fmt.Sprintf("parse %s  mine %s  extract %s  jsonb %s  reorder %s  (%d tiles)",
+	return fmt.Sprintf("parse %s  mine %s  extract %s  jsonb %s  reorder %s  (%d tiles, %d tape / %d tree docs)",
 		s.Parse.Round(time.Microsecond), s.Mine.Round(time.Microsecond),
 		s.Extract.Round(time.Microsecond), s.WriteJSONB.Round(time.Microsecond),
-		s.Reorder.Round(time.Microsecond), s.TilesBuilt)
+		s.Reorder.Round(time.Microsecond), s.TilesBuilt, s.DocsTape, s.DocsTree)
 }
 
 // LoadStats reports the table's cumulative load-time breakdown.
 func (t *Table) LoadStats() LoadStats {
 	snap := t.metrics.Snapshot()
 	return LoadStats{
-		Parse:      time.Duration(snap.ParseNanos),
-		Mine:       time.Duration(snap.MineNanos),
-		Extract:    time.Duration(snap.ExtractNanos),
-		WriteJSONB: time.Duration(snap.WriteJSONBNanos),
-		Reorder:    time.Duration(snap.ReorderNanos),
-		TilesBuilt: snap.TilesBuilt,
+		Parse:           time.Duration(snap.ParseNanos),
+		Mine:            time.Duration(snap.MineNanos),
+		Extract:         time.Duration(snap.ExtractNanos),
+		WriteJSONB:      time.Duration(snap.WriteJSONBNanos),
+		Reorder:         time.Duration(snap.ReorderNanos),
+		TilesBuilt:      snap.TilesBuilt,
+		DocsTape:        snap.DocsTape,
+		DocsTree:        snap.DocsTree,
+		SubtreesSkipped: snap.SubtreesSkipped,
 	}
 }
 
