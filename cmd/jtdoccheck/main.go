@@ -1,0 +1,137 @@
+// Command jtdoccheck fails when code and docs drift apart. It is a CI
+// step, not a linter: the rules are exactly the repo's documentation
+// invariants, so a failure means a doc edit is part of the change.
+//
+// Checks:
+//
+//  1. Every instrument registered in internal/obs (Default.Counter,
+//     Default.Gauge, Default.Histogram) is documented in DESIGN.md's
+//     observability-mapping section (§7).
+//  2. Every BENCH_*.json artifact committed at the repo root is
+//     referenced in EXPERIMENTS.md.
+//
+//	jtdoccheck            # from the repo root
+//	jtdoccheck -root ..   # from elsewhere
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+var instrumentRE = regexp.MustCompile(`Default\.(Counter|Gauge|Histogram)\("([a-z0-9_]+)"`)
+
+// obsInstruments scans the obs package source for registered
+// instrument names.
+func obsInstruments(obsDir string) (map[string]string, error) {
+	files, err := filepath.Glob(filepath.Join(obsDir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	names := map[string]string{} // name -> kind
+	for _, f := range files {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		b, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range instrumentRE.FindAllStringSubmatch(string(b), -1) {
+			names[m[2]] = strings.ToLower(m[1])
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no instruments found under %s — wrong -root?", obsDir)
+	}
+	return names, nil
+}
+
+// observabilitySection extracts DESIGN.md's §7 (observability mapping)
+// region: from its heading to the next top-level section or EOF.
+func observabilitySection(design []byte) (string, error) {
+	lines := strings.Split(string(design), "\n")
+	start := -1
+	for i, l := range lines {
+		if start < 0 && strings.HasPrefix(l, "## 7.") {
+			start = i
+			continue
+		}
+		if start >= 0 && strings.HasPrefix(l, "## ") {
+			return strings.Join(lines[start:i], "\n"), nil
+		}
+	}
+	if start < 0 {
+		return "", fmt.Errorf("DESIGN.md has no '## 7.' observability section")
+	}
+	return strings.Join(lines[start:], "\n"), nil
+}
+
+func main() {
+	root := flag.String("root", ".", "repository root")
+	flag.Parse()
+
+	var problems []string
+
+	// 1. Every obs instrument appears in DESIGN.md §7.
+	names, err := obsInstruments(filepath.Join(*root, "internal", "obs"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jtdoccheck:", err)
+		os.Exit(1)
+	}
+	design, err := os.ReadFile(filepath.Join(*root, "DESIGN.md"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jtdoccheck:", err)
+		os.Exit(1)
+	}
+	section, err := observabilitySection(design)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jtdoccheck:", err)
+		os.Exit(1)
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		if !strings.Contains(section, "`"+n+"`") {
+			problems = append(problems, fmt.Sprintf(
+				"obs %s %q is not documented in DESIGN.md §7 (add a `| `%s` | ... |` row)", names[n], n, n))
+		}
+	}
+
+	// 2. Every committed BENCH_*.json is referenced in EXPERIMENTS.md.
+	benches, err := filepath.Glob(filepath.Join(*root, "BENCH_*.json"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jtdoccheck:", err)
+		os.Exit(1)
+	}
+	experiments, err := os.ReadFile(filepath.Join(*root, "EXPERIMENTS.md"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jtdoccheck:", err)
+		os.Exit(1)
+	}
+	for _, b := range benches {
+		name := filepath.Base(b)
+		if !strings.Contains(string(experiments), name) {
+			problems = append(problems, fmt.Sprintf(
+				"%s is committed but never referenced in EXPERIMENTS.md", name))
+		}
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "jtdoccheck:", p)
+		}
+		fmt.Fprintf(os.Stderr, "jtdoccheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Printf("jtdoccheck: %d instruments documented, %d bench artifacts referenced\n",
+		len(names), len(benches))
+}

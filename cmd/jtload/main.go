@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	jsontiles "repro"
 )
@@ -25,6 +26,8 @@ func main() {
 	out := flag.String("o", "", "write the loaded table to a segment file at this path")
 	dir := flag.String("dir", "", "append the input to a multi-segment table directory (created if absent)")
 	compact := flag.Bool("compact", false, "with -dir: compact the table after appending")
+	store := flag.String("store", "fs", "with -dir: block store backing the table: fs (direct filesystem), mem (in-process, lost on exit), fakes3 (simulated object store over -dir)")
+	storeLatency := flag.Duration("store-latency", 0, "with -store fakes3: simulated per-request round trip")
 	verbose := flag.Bool("v", false, "print per-tile extracted columns")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/queries, /debug/trace, and pprof on this address")
 	flag.Parse()
@@ -91,6 +94,11 @@ func main() {
 	if *dir != "" {
 		dopts := opts
 		dopts.CompactFanIn = -1 // compaction only on request below
+		dopts.Store, err = storeFor(*store, *dir, *storeLatency)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jtload:", err)
+			os.Exit(1)
+		}
 		dt, err := jsontiles.OpenDir("input", *dir, dopts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jtload:", err)
@@ -130,6 +138,26 @@ func main() {
 			fmt.Printf("  tile %d: %v\n", i, cols)
 		}
 	}
+}
+
+// storeFor builds the BlockStore selected by -store, rooted at dir.
+// "fs" returns nil — the table uses the direct filesystem path. The
+// fakes3 store persists through an FS store over dir, so tables loaded
+// through it reopen in later processes (jtquery/jtserve -store fakes3).
+func storeFor(kind, dir string, latency time.Duration) (jsontiles.BlockStore, error) {
+	switch kind {
+	case "", "fs":
+		return nil, nil
+	case "mem":
+		return jsontiles.NewMemStore(), nil
+	case "fakes3":
+		inner, err := jsontiles.NewFSStore(dir)
+		if err != nil {
+			return nil, err
+		}
+		return jsontiles.NewFakeS3Store(inner, jsontiles.FakeS3Options{Latency: latency}), nil
+	}
+	return nil, fmt.Errorf("unknown -store %q (want fs, mem, or fakes3)", kind)
 }
 
 func pct(part, whole int) float64 {

@@ -17,6 +17,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"time"
 
 	jsontiles "repro"
@@ -37,6 +38,9 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/queries, /debug/trace, and pprof on this address")
 	serve := flag.Bool("serve", false, "with -debug-addr: keep re-running the query so the debug endpoints stay observable (ctrl-c to stop)")
 	slowMS := flag.Int("slow-ms", 0, "log queries slower than this many milliseconds as JSON lines on stderr")
+	store := flag.String("store", "fs", "with -dir/-seg: block store serving the bytes: fs (direct filesystem), fakes3 (simulated object store over the same files)")
+	storeLatency := flag.Duration("store-latency", 0, "with -store fakes3: simulated per-request round trip")
+	storeGap := flag.Int64("store-gap", 0, "coalescing gap in bytes for store reads (0 = default 32KiB, negative disables merging)")
 	url := flag.String("url", "", "query a running jtserve instead of local data, e.g. http://localhost:8080 (uses -table, -tenant)")
 	table := flag.String("table", "input", "with -url: table name on the server")
 	tenant := flag.String("tenant", "", "with -url: tenant identity sent in X-JT-Tenant")
@@ -68,11 +72,17 @@ func main() {
 	if *slowMS > 0 {
 		opts.SlowQueryThreshold = time.Duration(*slowMS) * time.Millisecond
 	}
+	opts.StoreReadGap = *storeGap
 	var tbl *jsontiles.Table
 	var err error
 	switch {
 	case *dir != "":
 		opts.CompactFanIn = -1 // read-only use: no background compaction
+		opts.Store, err = storeFor(*store, *dir, *storeLatency)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jtquery:", err)
+			os.Exit(1)
+		}
 		tbl, err = jsontiles.OpenDir("input", *dir, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jtquery:", err)
@@ -80,7 +90,18 @@ func main() {
 		}
 		defer tbl.Close()
 	case *seg != "":
-		tbl, err = jsontiles.OpenSegment("input", *seg, opts)
+		// With a store, the segment object lives under its directory
+		// and is addressed by base name.
+		object := *seg
+		opts.Store, err = storeFor(*store, filepath.Dir(*seg), *storeLatency)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jtquery:", err)
+			os.Exit(1)
+		}
+		if opts.Store != nil {
+			object = filepath.Base(*seg)
+		}
+		tbl, err = jsontiles.OpenSegment("input", object, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jtquery:", err)
 			os.Exit(1)
@@ -160,6 +181,25 @@ func main() {
 			}
 		}
 	}
+}
+
+// storeFor builds the BlockStore selected by -store, rooted at dir;
+// "fs" returns nil (the direct filesystem path). fakes3 persists
+// through an FS store over dir, so data written by `jtload -store
+// fakes3` is queryable here. A mem store would always be empty in a
+// fresh process, so jtquery does not offer it.
+func storeFor(kind, dir string, latency time.Duration) (jsontiles.BlockStore, error) {
+	switch kind {
+	case "", "fs":
+		return nil, nil
+	case "fakes3":
+		inner, err := jsontiles.NewFSStore(dir)
+		if err != nil {
+			return nil, err
+		}
+		return jsontiles.NewFakeS3Store(inner, jsontiles.FakeS3Options{Latency: latency}), nil
+	}
+	return nil, fmt.Errorf("unknown -store %q (want fs or fakes3)", kind)
 }
 
 // remoteEnvelope mirrors the service's query envelope (the subset the

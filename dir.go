@@ -28,8 +28,14 @@ import (
 // The returned table holds open file handles; call Close when done.
 // Concurrent queries during Flush, Compact, and Close are safe — each
 // query pins the segment generation it started with.
+//
+// With opts.Store set, the table lives on that block store instead of
+// the local filesystem and dir is ignored (see OpenStore).
 func OpenDir(name, dir string, opts Options) (*Table, error) {
 	opts = opts.withDefaults()
+	if opts.Store != nil {
+		return OpenStore(name, opts.Store, opts)
+	}
 	maybeServeDebug(opts.DebugAddr)
 	pool := bufpool.New(opts.CacheBytes)
 	fanIn := opts.CompactFanIn

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/blockstore"
 	"repro/internal/manifest"
 )
 
@@ -172,8 +173,12 @@ func TestDirCrashRecoveryEndToEnd(t *testing.T) {
 
 	// The crash: everything up to the manifest rename runs (the
 	// segment file is written and synced), then the process "dies".
-	manifest.Rename = func(oldpath, newpath string) error {
-		return fmt.Errorf("injected crash before manifest rename")
+	// Segment puts rename too, so the hook fails only MANIFEST.
+	blockstore.Rename = func(oldpath, newpath string) error {
+		if strings.HasSuffix(newpath, manifest.FileName) {
+			return fmt.Errorf("injected crash before manifest rename")
+		}
+		return os.Rename(oldpath, newpath)
 	}
 	for _, d := range all[200:] {
 		if err := tbl.Insert(d); err != nil {
@@ -181,7 +186,7 @@ func TestDirCrashRecoveryEndToEnd(t *testing.T) {
 		}
 	}
 	err = tbl.Flush()
-	manifest.Rename = os.Rename
+	blockstore.Rename = os.Rename
 	if err == nil {
 		t.Fatal("Flush succeeded despite failing manifest rename")
 	}

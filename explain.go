@@ -86,6 +86,16 @@ type ScanStats struct {
 	BlockBytes int64
 	PoolHits   int64
 	PoolMisses int64
+	// Block-store traffic (zero for in-memory relations): ranged read
+	// requests issued to the store (retry attempts included), payload
+	// bytes those requests returned (coalescing gap bytes included),
+	// block fetches saved by coalescing adjacent reads, pool hits on
+	// readahead-resident blocks, and transient-failure retries.
+	StoreRangeReads   int64
+	StoreBytesRead    int64
+	StoreCoalesced    int64
+	StorePrefetchHits int64
+	StoreRetries      int64
 }
 
 // SkipRatio is the fraction of tiles skipped.
@@ -281,6 +291,12 @@ func snapshotScanStats(st *obs.ScanStats) ScanStats {
 		BlockBytes:     st.BlockBytes.Load(),
 		PoolHits:       st.PoolHits.Load(),
 		PoolMisses:     st.PoolMisses.Load(),
+
+		StoreRangeReads:   st.StoreRangeReads.Load(),
+		StoreBytesRead:    st.StoreBytesRead.Load(),
+		StoreCoalesced:    st.StoreCoalesced.Load(),
+		StorePrefetchHits: st.StorePrefetchHits.Load(),
+		StoreRetries:      st.StoreRetries.Load(),
 	}
 }
 
@@ -348,6 +364,13 @@ func (n *PlanNode) write(sb *strings.Builder, prefix, childPrefix string) {
 			if s.PoolHits+s.PoolMisses > 0 {
 				fmt.Fprintf(sb, "; blocks=%d io=%dB pool %d hit/%d miss",
 					s.BlocksRead, s.BlockBytes, s.PoolHits, s.PoolMisses)
+			}
+			if s.StoreRangeReads > 0 {
+				fmt.Fprintf(sb, "; store reads=%d bytes=%dB coalesced=%d prefetch_hits=%d",
+					s.StoreRangeReads, s.StoreBytesRead, s.StoreCoalesced, s.StorePrefetchHits)
+				if s.StoreRetries > 0 {
+					fmt.Fprintf(sb, " retries=%d", s.StoreRetries)
+				}
 			}
 		}
 		sb.WriteString("]")

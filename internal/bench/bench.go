@@ -86,6 +86,7 @@ func Experiments() []Experiment {
 		{"compact", "Multi-segment tables: incremental append vs monolithic rewrite, compaction payoff (records BENCH_compact.json)", compactExp},
 		{"service", "Query service: HTTP throughput vs client concurrency under admission control, cancellation latency (records BENCH_service.json)", serviceExp},
 		{"ingest", "On-demand ingest: structural-tape vs jsonvalue-tree loading across formats (records BENCH_ingest.json)", ingestExp},
+		{"blockstore", "Remote scans over a simulated object store: coalesced reads + readahead vs one request per block (records BENCH_blockstore.json)", blockstoreExp},
 	}
 }
 

@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/blockstore"
+	"repro/internal/expr"
+	"repro/internal/keypath"
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+// blockstoreBenchFile records the remote-scan comparison (committed
+// next to EXPERIMENTS.md as the storage/compute-separation baseline).
+const blockstoreBenchFile = "BENCH_blockstore.json"
+
+// blockstorePoint is one cold scan of the same table through the
+// counting fake-S3 store, under one coalescing/readahead setting.
+type blockstorePoint struct {
+	// Mode is "naive" (coalescing disabled: one request per block) or
+	// "coalesced" (default gap merging plus tile readahead).
+	Mode string  `json:"mode"`
+	Secs float64 `json:"secs"`
+	// Store-side request accounting (the fake's own counters).
+	RangeReads int64 `json:"range_reads"`
+	BytesRead  int64 `json:"bytes_read"`
+	// Scan-side accounting (obs.ScanStats of the measured scan).
+	Coalesced    int64 `json:"coalesced"`
+	PrefetchHits int64 `json:"prefetch_hits"`
+	TilesScanned int64 `json:"tiles_scanned"`
+	TilesSkipped int64 `json:"tiles_skipped"`
+	Rows         int64 `json:"rows"`
+}
+
+type blockstoreReport struct {
+	Workload string `json:"workload"`
+	Docs     int    `json:"docs"`
+	Segments int    `json:"segments"`
+	NumCPU   int    `json:"numcpu"`
+	Workers  int    `json:"workers"`
+	// LatencyMicros is the simulated per-request round trip.
+	LatencyMicros int64             `json:"latency_micros"`
+	Points        []blockstorePoint `json:"points"`
+	// CoalesceFactor is naive range reads over coalesced range reads —
+	// how many object-store requests the gap merging saves on this
+	// tile-skipping scan. The CI gate requires a floor on this.
+	CoalesceFactor float64 `json:"coalesce_factor"`
+	// Speedup is naive seconds over coalesced seconds at the simulated
+	// latency: the wall-clock payoff of the saved round trips.
+	Speedup float64 `json:"speedup"`
+}
+
+// blockstoreLines generates twitter-like documents whose geo tags only
+// appear in the later half of the batches — the seen-path tile index
+// proves the early segments irrelevant to a geo-filtered scan (§4.8),
+// and the surviving tiles each touch several column blocks, which is
+// what read coalescing merges.
+func blockstoreLines(batch, n int) [][]byte {
+	lines := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		id := batch*n + i
+		if batch%2 == 1 {
+			lines[i] = []byte(fmt.Sprintf(
+				`{"id":%d,"text":"tweet-%d","user":{"id":%d},"replies":%d,"retweets":%d,"favorites":%d,"geo":{"lat":%g,"lon":%g}}`,
+				id, id, id%97, id%13, id%7, id%29, float64(id%180), float64(id%360)))
+			continue
+		}
+		lines[i] = []byte(fmt.Sprintf(
+			`{"id":%d,"text":"tweet-%d","user":{"id":%d},"replies":%d,"retweets":%d,"favorites":%d}`,
+			id, id, id%97, id%13, id%7, id%29))
+	}
+	return lines
+}
+
+// blockstoreAccesses is the geo-filtered projection: six column reads
+// plus the null-rejecting geo access driving tile skipping.
+func blockstoreAccesses() []storage.Access {
+	geo := storage.NewAccessPath(expr.TFloat, keypath.NewPath("geo", "lat"))
+	geo.NullRejecting = true
+	return []storage.Access{
+		storage.NewAccessPath(expr.TBigInt, keypath.NewPath("id")),
+		storage.NewAccessPath(expr.TBigInt, keypath.NewPath("user", "id")),
+		storage.NewAccessPath(expr.TBigInt, keypath.NewPath("replies")),
+		storage.NewAccessPath(expr.TBigInt, keypath.NewPath("retweets")),
+		storage.NewAccessPath(expr.TBigInt, keypath.NewPath("favorites")),
+		storage.NewAccessPath(expr.TText, keypath.NewPath("text")),
+		geo,
+	}
+}
+
+// blockstoreTable builds a multi-segment table on the fake store, one
+// segment per batch.
+func blockstoreTable(c *Context, fake *blockstore.FakeS3, batches, rows int) (int, error) {
+	cfg := storage.DefaultLoaderConfig()
+	cfg.Metrics = c.Metrics
+	dt, err := storage.OpenDirStore("bench", fake, nil, cfg, 0, false)
+	if err != nil {
+		return 0, err
+	}
+	defer dt.Close()
+	docs := 0
+	for b := 0; b < batches; b++ {
+		lines := blockstoreLines(b, rows)
+		docs += len(lines)
+		l, err := storage.NewLoader(storage.KindTiles, cfg)
+		if err != nil {
+			return 0, err
+		}
+		rel, err := l.Load("bench", lines, c.Opts.workers())
+		if err != nil {
+			return 0, err
+		}
+		if err := dt.AppendTiles(rel.(storage.TileIntrospector).Tiles(), rel.Stats()); err != nil {
+			return 0, err
+		}
+	}
+	return docs, nil
+}
+
+// blockstoreScan opens the table cold (fresh buffer pool) with the
+// given coalescing gap and scans it once, returning the measured point.
+func blockstoreScan(c *Context, fake *blockstore.FakeS3, mode string, gap int64, prefetch bool) (blockstorePoint, error) {
+	cfg := storage.DefaultLoaderConfig()
+	cfg.StoreGapBytes = gap
+	cfg.StorePrefetch = prefetch
+	dt, err := storage.OpenDirStore("bench", fake, nil, cfg, 0, false)
+	if err != nil {
+		return blockstorePoint{}, err
+	}
+	defer dt.Close()
+
+	accesses := blockstoreAccesses()
+	readsBefore, bytesBefore := fake.RangeReadCount(), fake.BytesRead()
+	var st obs.ScanStats
+	var rows int64
+	start := time.Now()
+	dt.ScanWithStats(context.Background(), accesses, c.Opts.workers(),
+		func(w int, row []expr.Value) {}, &st)
+	secs := time.Since(start).Seconds()
+	if err := dt.Err(); err != nil {
+		return blockstorePoint{}, fmt.Errorf("%s scan degraded: %w", mode, err)
+	}
+	rows = st.RowsScanned.Load()
+	return blockstorePoint{
+		Mode: mode, Secs: secs,
+		RangeReads:   fake.RangeReadCount() - readsBefore,
+		BytesRead:    fake.BytesRead() - bytesBefore,
+		Coalesced:    st.StoreCoalesced.Load(),
+		PrefetchHits: st.StorePrefetchHits.Load(),
+		TilesScanned: st.TilesScanned.Load(),
+		TilesSkipped: st.TilesSkipped.Load(),
+		Rows:         rows,
+	}, nil
+}
+
+// blockstoreExp — remote scans through the fake object store: the
+// same geo-filtered projection with coalescing disabled (one request
+// per block) vs the default gap merging plus readahead, recording
+// BENCH_blockstore.json. The interesting number is requests saved:
+// with per-request latency dominating, wall time follows directly.
+func blockstoreExp(w io.Writer, c *Context) error {
+	const latency = 500 * time.Microsecond
+	fake := blockstore.NewFakeS3(nil, blockstore.FakeS3Config{Latency: latency})
+	batches := imax(4, int(8*c.Opts.Scale/0.01))
+	docs, err := blockstoreTable(c, fake, batches, 2000)
+	if err != nil {
+		return err
+	}
+	report := blockstoreReport{
+		Workload: "twitter-evolving", Docs: docs, Segments: batches,
+		NumCPU: runtime.NumCPU(), Workers: c.Opts.workers(),
+		LatencyMicros: latency.Microseconds(),
+	}
+
+	naive, err := blockstoreScan(c, fake, "naive", -1, false)
+	if err != nil {
+		return err
+	}
+	coalesced, err := blockstoreScan(c, fake, "coalesced", 0, true)
+	if err != nil {
+		return err
+	}
+	if naive.Rows != coalesced.Rows {
+		return fmt.Errorf("naive scan saw %d rows, coalesced %d", naive.Rows, coalesced.Rows)
+	}
+	report.Points = []blockstorePoint{naive, coalesced}
+	report.CoalesceFactor = float64(naive.RangeReads) / maxf(float64(coalesced.RangeReads), 1)
+	report.Speedup = naive.Secs / maxf(coalesced.Secs, 1e-9)
+
+	t := &table{header: []string{"mode", "secs", "range reads", "bytes", "coalesced", "prefetch hits", "tiles"}}
+	for _, p := range report.Points {
+		t.row(p.Mode, fmt.Sprintf("%.4f", p.Secs), fmt.Sprintf("%d", p.RangeReads),
+			fmt.Sprintf("%d", p.BytesRead), fmt.Sprintf("%d", p.Coalesced),
+			fmt.Sprintf("%d", p.PrefetchHits),
+			fmt.Sprintf("%d/%d scanned", p.TilesScanned, p.TilesScanned+p.TilesSkipped))
+	}
+	t.write(w)
+	fmt.Fprintf(w, "request reduction %.2fx, wall speedup %.2fx at %s/request\n",
+		report.CoalesceFactor, report.Speedup, latency)
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	path := filepath.Join(c.Opts.OutDir, blockstoreBenchFile)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "blockstore comparison written to %s\n", path)
+	return nil
+}
+
+// BlockstoreSmoke is the CI gate: on the geo-filtered remote scan,
+// default coalescing must cut the fake store's range-read count by at
+// least minFactor vs coalescing-disabled, with identical row counts.
+// Request counts are deterministic (unlike wall time), so the gate is
+// stable on loaded CI machines.
+func BlockstoreSmoke(w io.Writer, c *Context, minFactor float64) error {
+	fake := blockstore.NewFakeS3(nil, blockstore.FakeS3Config{})
+	if _, err := blockstoreTable(c, fake, 4, 1000); err != nil {
+		return err
+	}
+	naive, err := blockstoreScan(c, fake, "naive", -1, false)
+	if err != nil {
+		return err
+	}
+	coalesced, err := blockstoreScan(c, fake, "coalesced", 0, true)
+	if err != nil {
+		return err
+	}
+	factor := float64(naive.RangeReads) / maxf(float64(coalesced.RangeReads), 1)
+	fmt.Fprintf(w, "remote scan range reads: naive %d, coalesced %d (%.2fx; %d rows, tiles %d/%d scanned, numcpu=%d)\n",
+		naive.RangeReads, coalesced.RangeReads, factor, coalesced.Rows,
+		coalesced.TilesScanned, coalesced.TilesScanned+coalesced.TilesSkipped, runtime.NumCPU())
+	if naive.Rows != coalesced.Rows {
+		return fmt.Errorf("row counts diverge: naive %d, coalesced %d", naive.Rows, coalesced.Rows)
+	}
+	if factor < minFactor {
+		return fmt.Errorf("coalescing request reduction = %.2fx, below the %.2fx gate", factor, minFactor)
+	}
+	return nil
+}

@@ -69,6 +69,7 @@ type Pool struct {
 	ring     []*entry // eviction sweeps this
 	flights  map[Key]*flight
 	nextFile uint64
+	objIDs   map[string]uint64 // RegisterObject memo: label → file ID
 	tenants  map[string]*tenantAcct
 
 	hits, misses, evictions int64
@@ -81,6 +82,14 @@ type entry struct {
 	pins   int32
 	ref    bool // second-chance bit: set on access, cleared by sweeps
 	dead   bool // removed from entries; awaiting ring compaction
+	// warmed marks entries inserted by Put (pre-scan fetch or async
+	// readahead) and not yet hit: the first Get on one reports
+	// Handle.Warmed so scans don't double-count the block (the fetch
+	// pass already accounted the miss). prefetched additionally marks
+	// asynchronous readahead inserts: the first Get counts as a
+	// prefetch hit. Both clear on that first Get.
+	warmed     bool
+	prefetched bool
 }
 
 // tenantAcct is one tenant's resident-byte ledger within a pool.
@@ -109,6 +118,7 @@ func New(capacity int64) *Pool {
 		capacity: capacity,
 		entries:  make(map[Key]*entry),
 		flights:  make(map[Key]*flight),
+		objIDs:   make(map[string]uint64),
 		tenants:  make(map[string]*tenantAcct),
 	}
 }
@@ -121,6 +131,61 @@ func (p *Pool) RegisterFile() uint64 {
 	defer p.mu.Unlock()
 	p.nextFile++
 	return p.nextFile
+}
+
+// RegisterObject returns the pool-unique file ID for a store object
+// label (store label + "/" + object name), memoized: reopening the
+// same immutable object maps to the same ID, so its cached blocks
+// survive the reopen. Distinct labels never share an ID.
+func (p *Pool) RegisterObject(label string) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id, ok := p.objIDs[label]; ok {
+		return id
+	}
+	p.nextFile++
+	p.objIDs[label] = p.nextFile
+	return p.nextFile
+}
+
+// Contains reports whether key's payload is resident (no pin taken,
+// no hit/miss accounting). Readahead planning filters already-cached
+// blocks through this before issuing coalesced reads.
+func (p *Pool) Contains(key Key) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.entries[key]
+	return ok
+}
+
+// Put inserts an unpinned payload for key if neither resident nor
+// being loaded, reporting whether it was inserted. This is the
+// readahead insert path: coalesced and prefetched reads publish their
+// blocks for later Gets without counting as hits or misses.
+// prefetched marks the entry for prefetch-hit accounting on its first
+// Get.
+func (p *Pool) Put(tenant string, key Key, payload []byte, prefetched bool) bool {
+	p.mu.Lock()
+	if _, ok := p.entries[key]; ok {
+		p.mu.Unlock()
+		return false
+	}
+	if _, ok := p.flights[key]; ok {
+		// A demand load is already in flight; let it win (one code path
+		// for its waiters' pin accounting).
+		p.mu.Unlock()
+		return false
+	}
+	e := &entry{key: key, bytes: payload, tenant: tenant, ref: true, warmed: true, prefetched: prefetched}
+	p.entries[key] = e
+	p.ring = append(p.ring, e)
+	p.chargeLocked(e, 1)
+	if tenant != "" {
+		p.enforceTenantLocked(tenant)
+	}
+	p.evictLocked()
+	p.mu.Unlock()
+	return true
 }
 
 // SetQuota bounds tenant's resident bytes in this pool. Loading past
@@ -171,6 +236,14 @@ type Handle struct {
 	// was loaded by this Get (false). Scans aggregate this into
 	// per-query pool hit/miss counts.
 	Hit bool
+	// Warmed reports that this hit was the first access to a block a
+	// fetch pass inserted via Put (scans skip hit accounting: the
+	// fetch pass already accounted the miss).
+	Warmed bool
+	// Prefetched reports that this hit was the first access to an
+	// asynchronous-readahead-inserted block (scans count it as a
+	// prefetch hit). Implies Warmed.
+	Prefetched bool
 }
 
 // Bytes returns the cached payload. Callers must not mutate it and
@@ -230,8 +303,13 @@ func (p *Pool) GetAs(tenant string, key Key, load func() ([]byte, error)) (*Hand
 			e.pins++
 			e.ref = true
 			p.hits++
+			warmed, pf := e.warmed, e.prefetched
+			e.warmed, e.prefetched = false, false
 			p.mu.Unlock()
-			return &Handle{pool: p, ent: e, Hit: true}, nil
+			if pf {
+				obs.StorePrefetchHits.Add(1)
+			}
+			return &Handle{pool: p, ent: e, Hit: true, Warmed: warmed, Prefetched: pf}, nil
 		}
 		if f, ok := p.flights[key]; ok {
 			// Someone else is loading this block; wait and retry. The

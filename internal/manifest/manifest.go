@@ -27,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/blockstore"
 	"repro/internal/obs"
 	"repro/internal/xxhash"
 )
@@ -179,6 +180,67 @@ func Commit(dir string, m *Manifest) error {
 	syncDir(dir)
 	obs.ManifestCommitSeconds.ObserveSince(start)
 	return nil
+}
+
+// CommitStore atomically publishes the manifest as the store's
+// current generation (the store's Put contract supplies the
+// temp+fsync+rename discipline Commit hand-rolls for paths).
+func CommitStore(s blockstore.Store, m *Manifest) error {
+	start := time.Now()
+	if err := s.Put(FileName, m.Encode()); err != nil {
+		return err
+	}
+	obs.ManifestCommitSeconds.ObserveSince(start)
+	return nil
+}
+
+// LoadStore reads the store's current manifest; a missing manifest
+// returns (nil, nil) — a fresh table (see Load).
+func LoadStore(s blockstore.Store) (*Manifest, error) {
+	b, err := blockstore.ReadAll(s, FileName)
+	if blockstore.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return Decode(b)
+}
+
+// RecoverStore is Recover over a store: load the committed
+// generation, then delete every object the generation does not
+// reference — temporaries from interrupted writes and segment objects
+// whose manifest commit never happened. Objects that are neither
+// temporaries nor segment-shaped are left alone.
+func RecoverStore(s blockstore.Store) (*Manifest, int, error) {
+	m, err := LoadStore(s)
+	if err != nil {
+		return nil, 0, err
+	}
+	if m == nil {
+		m = &Manifest{Version: 0, NextID: 0}
+	}
+	live := make(map[string]bool, len(m.Segments))
+	for _, seg := range m.Segments {
+		live[seg.File] = true
+	}
+	names, err := s.List()
+	if err != nil {
+		return nil, 0, err
+	}
+	sort.Strings(names)
+	removed := 0
+	for _, name := range names {
+		orphan := strings.HasSuffix(name, tmpSuffix) ||
+			(IsSegmentFileName(name) && !live[name])
+		if !orphan {
+			continue
+		}
+		if err := s.Delete(name); err == nil {
+			removed++
+		}
+	}
+	return m, removed, nil
 }
 
 // syncDir makes the rename itself durable (best effort — some

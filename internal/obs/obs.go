@@ -338,6 +338,27 @@ var (
 	BufpoolEvictions = Default.Counter("bufpool_evictions")
 )
 
+// BlockStore counters (storage/compute separation; DESIGN.md §6.9).
+var (
+	// StoreRangeReads counts ranged read requests issued to block
+	// stores (every attempt, retries included). On a remote store this
+	// is the request count — the headline cost metric.
+	StoreRangeReads = Default.Counter("store_range_reads")
+	// StoreBytesRead counts payload bytes returned by ranged reads,
+	// gap bytes of coalesced runs included.
+	StoreBytesRead = Default.Counter("store_bytes_read")
+	// StoreReadCoalesced counts block fetches that rode along in a
+	// merged ranged read instead of issuing their own request — the
+	// requests coalescing saved.
+	StoreReadCoalesced = Default.Counter("store_read_coalesced")
+	// StorePrefetchHits counts buffer-pool hits on blocks resident
+	// because the morsel-path readahead fetched them ahead of the scan.
+	StorePrefetchHits = Default.Counter("store_prefetch_hits")
+	// StoreRetries counts transient read failures that were retried
+	// (with backoff) rather than surfaced.
+	StoreRetries = Default.Counter("store_retries")
+)
+
 // Dictionary-encoding counters (low-cardinality text columns).
 var (
 	// DictColumnsBuilt counts text columns dictionary-encoded at tile

@@ -42,6 +42,17 @@ type ScanStats struct {
 	BlockBytes atomic.Int64
 	PoolHits   atomic.Int64
 	PoolMisses atomic.Int64
+
+	// BlockStore split (zero when every block was pool-resident):
+	// ranged read requests this scan issued (retry attempts included),
+	// payload bytes those requests returned (coalescing gap bytes
+	// included), block fetches saved by coalescing, pool hits on
+	// readahead-resident blocks, and transient-failure retries.
+	StoreRangeReads   atomic.Int64
+	StoreBytesRead    atomic.Int64
+	StoreCoalesced    atomic.Int64
+	StorePrefetchHits atomic.Int64
+	StoreRetries      atomic.Int64
 }
 
 // SkipRatio returns the fraction of tiles skipped of those considered.

@@ -2,12 +2,14 @@ package segment
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
+	"repro/internal/blockstore"
 	"repro/internal/obs"
 	"repro/internal/stats"
 )
@@ -43,6 +45,24 @@ func MergeFiles(path string, srcs []*Reader) (int64, error) {
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
+		return 0, err
+	}
+	obs.SegmentWriteSeconds.ObserveSince(start)
+	obs.SegmentWriteBytes.Observe(float64(n))
+	return n, nil
+}
+
+// MergeStore merges srcs into the store under name (see Merge): the
+// stream is built in memory and atomically published with one Put.
+// Returns the object's size in bytes.
+func MergeStore(store blockstore.Store, name string, srcs []*Reader) (int64, error) {
+	start := time.Now()
+	var buf bytes.Buffer
+	n, err := Merge(&buf, srcs)
+	if err != nil {
+		return 0, err
+	}
+	if err := store.Put(name, buf.Bytes()); err != nil {
 		return 0, err
 	}
 	obs.SegmentWriteSeconds.ObserveSince(start)

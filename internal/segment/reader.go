@@ -2,11 +2,13 @@ package segment
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
-	"os"
+	"path/filepath"
 	"time"
 
+	"repro/internal/blockstore"
 	"repro/internal/bufpool"
 	"repro/internal/column"
 	"repro/internal/lz4"
@@ -15,78 +17,106 @@ import (
 	"repro/internal/xxhash"
 )
 
-// Reader reads one open segment file. All block reads flow through
-// the buffer pool: a hit returns resident decompressed bytes, a miss
-// reads the stored block, verifies its checksum, decompresses, and
-// caches the payload. A Reader is safe for concurrent use.
+// Reader reads one open segment object through a block store. All
+// block reads flow through the buffer pool: a hit returns resident
+// decompressed bytes, a miss issues a ranged read (with transient
+// retries), verifies the checksum, decompresses, and caches the
+// payload. A Reader is safe for concurrent use.
 type Reader struct {
-	f        *os.File
+	store    blockstore.Store
+	name     string // object name within the store
+	ownStore bool   // Open created the store; Close closes it
 	fileSize uint64
 	fileID   uint64
 	pool     *bufpool.Pool
+	gap      int64 // coalescing gap threshold (readahead fetches)
 	tiles    []TileMeta
 	stats    *stats.TableStats
 	version  int // 1 = legacy JTSEG001, 2 = dictionary-aware
 }
 
 // ReadInfo reports what one logical block access cost: whether the
-// buffer pool already had the payload, and how many stored bytes were
-// read from disk on a miss (zero on a hit). Scans aggregate these
-// into per-query I/O statistics.
+// buffer pool already had the payload, whether that hit was the first
+// access to a block a fetch pass made resident (Warmed — the fetch
+// already accounted the miss; Prefetched narrows it to asynchronous
+// readahead), and — on a miss — the stored bytes fetched, the ranged
+// read requests issued (retry attempts included), and how many of
+// those were transient-failure retries.
 type ReadInfo struct {
 	Hit         bool
+	Warmed      bool
+	Prefetched  bool
 	StoredBytes int
+	RangeReads  int
+	Retries     int
 }
 
-// Open maps a segment file. Only the header, the fixed tail, and the
-// footer block are read — tile metadata, zone maps, bloom filters,
-// and relation statistics are then in memory, and data blocks load
-// lazily through the pool. The returned Reader owns the file handle.
+// FetchInfo aggregates one coalesced block fetch (FetchBlocks): the
+// ranged read requests issued (retries included), the payload bytes
+// those requests returned (gap bytes included), blocks made resident,
+// block fetches saved by coalescing, and transient retries.
+type FetchInfo struct {
+	RangeReads int64
+	BytesRead  int64
+	Blocks     int64
+	Coalesced  int64
+	Retries    int64
+}
+
+// openTailWindow is the speculative trailing read Open issues: one
+// ranged read that, for most segments, covers the fixed tail and the
+// whole footer block (and, for small segments, the entire object), so
+// opening costs one or two store requests instead of three or four.
+const openTailWindow = 64 << 10
+
+// Open opens a segment file on the local filesystem — the path-based
+// compatibility wrapper over OpenStore. The returned Reader owns its
+// private FS store and closes it on Close.
 func Open(path string, pool *bufpool.Pool) (*Reader, error) {
-	start := time.Now()
-	f, err := os.Open(path)
+	store, err := blockstore.NewFS(filepath.Dir(path))
 	if err != nil {
 		return nil, err
 	}
-	r, err := openFile(f, pool)
+	r, err := OpenStore(store, filepath.Base(path), pool)
 	if err != nil {
-		f.Close()
+		blockstore.Close(store)
 		return nil, err
 	}
-	obs.SegmentOpenSeconds.ObserveSince(start)
+	r.ownStore = true
 	return r, nil
 }
 
-func openFile(f *os.File, pool *bufpool.Pool) (*Reader, error) {
-	fi, err := f.Stat()
+// OpenStore opens the named segment object footer-first: one
+// speculative ranged read of the object's tail (covering the fixed
+// tail, usually the footer, and for small objects the header too),
+// plus at most two follow-up reads when the footer or header fall
+// outside the window. Tile metadata, zone maps, bloom filters, and
+// relation statistics are then in memory; data blocks load lazily —
+// scans fetch only the blocks their zone-map-surviving tiles touch.
+// The Reader does not own the store: closing the Reader drops its
+// cached blocks but leaves the store open.
+func OpenStore(store blockstore.Store, name string, pool *bufpool.Pool) (*Reader, error) {
+	start := time.Now()
+	size, err := store.Size(name)
 	if err != nil {
 		return nil, err
 	}
-	size := fi.Size()
 	if size < int64(len(Magic))+TailSize {
-		return nil, corruptf("file of %d bytes is smaller than header plus tail", size)
+		return nil, corruptf("%s: object of %d bytes is smaller than header plus tail", name, size)
+	}
+	win := int64(openTailWindow)
+	if win > size {
+		win = size
+	}
+	winOff := size - win
+	winBuf, _, err := blockstore.ReadRangeRetry(store, name, winOff, win, 0)
+	if err != nil {
+		return nil, fmt.Errorf("segment %s: open tail [%d,+%d): %w", name, winOff, win, err)
 	}
 
-	var head [len(Magic)]byte
-	if _, err := f.ReadAt(head[:], 0); err != nil {
-		return nil, err
-	}
-	version := 0
-	switch string(head[:]) {
-	case Magic:
-		version = 2
-	case MagicV1:
-		version = 1
-	default:
-		return nil, corruptf("bad header magic %q", head[:])
-	}
-
-	var tail [TailSize]byte
-	if _, err := f.ReadAt(tail[:], size-TailSize); err != nil {
-		return nil, err
-	}
+	tail := winBuf[win-TailSize:]
 	if string(tail[24:32]) != MagicFooter {
-		return nil, corruptf("bad tail magic %q", tail[24:32])
+		return nil, corruptf("%s: bad tail magic %q in tail [%d,+%d)", name, tail[24:32], size-TailSize, TailSize)
 	}
 	footerRef := BlockRef{
 		Off:       binary.LittleEndian.Uint64(tail[0:]),
@@ -102,40 +132,96 @@ func openFile(f *os.File, pool *bufpool.Pool) (*Reader, error) {
 	}
 	// The footer must sit between the header and the tail.
 	if err := checkRef(footerRef, uint64(size)-TailSize); err != nil {
-		return nil, fmt.Errorf("footer: %w", err)
+		return nil, fmt.Errorf("segment %s: footer: %w", name, err)
 	}
 
-	r := &Reader{f: f, fileSize: uint64(size), version: version}
-	footerRaw, err := r.readBlock(footerRef)
+	r := &Reader{
+		store:    store,
+		name:     name,
+		fileSize: uint64(size),
+		gap:      blockstore.DefaultCoalesceGap,
+	}
+
+	// Header: the version magic. Usually already inside the window.
+	var head []byte
+	if winOff == 0 {
+		head = winBuf[:len(Magic)]
+	} else {
+		head, _, err = blockstore.ReadRangeRetry(store, name, 0, int64(len(Magic)), 0)
+		if err != nil {
+			return nil, fmt.Errorf("segment %s: open header [0,+%d): %w", name, len(Magic), err)
+		}
+	}
+	switch string(head) {
+	case Magic:
+		r.version = 2
+	case MagicV1:
+		r.version = 1
+	default:
+		return nil, corruptf("%s: bad header magic %q", name, head)
+	}
+
+	// Footer block: served from the window when it fits, read
+	// separately otherwise (very wide segments).
+	var footerStored []byte
+	if int64(footerRef.Off) >= winOff {
+		footerStored = winBuf[int64(footerRef.Off)-winOff:][:footerRef.StoredLen]
+		if sum := xxhash.Sum64(footerStored); sum != footerRef.Sum {
+			return nil, r.corruptBlock(footerRef, "footer checksum %016x, want %016x", sum, footerRef.Sum)
+		}
+	} else {
+		footerStored, err = r.readStored(footerRef)
+		if err != nil {
+			return nil, fmt.Errorf("footer: %w", err)
+		}
+	}
+	footerRaw, err := r.decodeStored(footerRef, footerStored)
 	if err != nil {
 		return nil, fmt.Errorf("footer: %w", err)
 	}
-	ftr, err := decodeFooter(footerRaw, uint64(size)-TailSize, version)
+	ftr, err := decodeFooter(footerRaw, uint64(size)-TailSize, r.version)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("segment %s: %w", name, err)
 	}
 	r.tiles = ftr.tiles
 	r.stats = ftr.stats
 	r.pool = pool
 	if pool != nil {
-		r.fileID = pool.RegisterFile()
+		r.fileID = pool.RegisterObject(store.Label() + "/" + name)
 	}
+	obs.SegmentOpenSeconds.ObserveSince(start)
 	return r, nil
 }
 
-// Close releases the file handle and drops this file's resident
-// blocks from the shared pool.
+// SetCoalesceGap tunes the readahead coalescing gap threshold: block
+// refs whose dead space is at most gap bytes merge into one ranged
+// read. 0 restores the default; negative disables merging.
+func (r *Reader) SetCoalesceGap(gap int64) {
+	if gap == 0 {
+		gap = blockstore.DefaultCoalesceGap
+	}
+	r.gap = gap
+}
+
+// Close drops this object's resident blocks from the shared pool and,
+// for path-opened readers, closes the private store.
 func (r *Reader) Close() error {
 	if r.pool != nil {
 		r.pool.DropFile(r.fileID)
 	}
-	return r.f.Close()
+	if r.ownStore {
+		return blockstore.Close(r.store)
+	}
+	return nil
 }
+
+// Name returns the segment's object name within its store.
+func (r *Reader) Name() string { return r.name }
 
 // NumTiles returns the number of tiles in the segment.
 func (r *Reader) NumTiles() int { return len(r.tiles) }
 
-// FileSize returns the segment file's size in bytes.
+// FileSize returns the segment object's size in bytes.
 func (r *Reader) FileSize() int64 { return int64(r.fileSize) }
 
 // Tile returns the metadata of tile i. Read-only.
@@ -191,7 +277,8 @@ func (r *Reader) ColumnT(tenant string, tileIdx, colIdx int) (*column.Column, []
 	}
 	if col.Len() != r.tiles[tileIdx].Rows || col.Type() != cm.StorageType {
 		return nil, infos, fmt.Errorf("tile %d column %q: %w", tileIdx, cm.Path,
-			corruptf("block decodes to %d rows of type %d, footer says %d rows of type %d",
+			corruptf("%s: block [%d,+%d) decodes to %d rows of type %d, footer says %d rows of type %d",
+				r.name, cm.Block.Off, cm.Block.StoredLen,
 				col.Len(), col.Type(), r.tiles[tileIdx].Rows, cm.StorageType))
 	}
 	return col, infos, nil
@@ -219,57 +306,161 @@ func (r *Reader) DocsT(tenant string, tileIdx int) ([][]byte, ReadInfo, error) {
 	return docs, info, nil
 }
 
+// FetchBlocks makes refs' payloads pool-resident with as few store
+// requests as possible: refs not already cached are sorted by offset,
+// adjacent refs within the coalescing gap merge into single ranged
+// reads, and each block is verified, decompressed, and inserted
+// unpinned. prefetched marks the insertions for prefetch-hit
+// accounting (the asynchronous readahead path sets it; synchronous
+// pre-scan fetches do not). Failures are not returned: a block whose
+// run failed simply stays non-resident and the demand path reports
+// the error with full context when the scan actually needs it.
+func (r *Reader) FetchBlocks(tenant string, refs []BlockRef, prefetched bool) FetchInfo {
+	var fi FetchInfo
+	if r.pool == nil || len(refs) == 0 {
+		return fi
+	}
+	// Drop refs already resident, dedupe by offset, sort.
+	want := make([]BlockRef, 0, len(refs))
+	seen := make(map[uint64]bool, len(refs))
+	for _, ref := range refs {
+		if seen[ref.Off] || r.pool.Contains(bufpool.Key{File: r.fileID, Off: ref.Off}) {
+			continue
+		}
+		seen[ref.Off] = true
+		want = append(want, ref)
+	}
+	if len(want) == 0 {
+		return fi
+	}
+	sortRefs(want)
+	ranges := make([]blockstore.Range, len(want))
+	for i, ref := range want {
+		ranges[i] = blockstore.Range{Off: int64(ref.Off), Len: int64(ref.StoredLen)}
+	}
+	runs := blockstore.Coalesce(ranges, r.gap, 0)
+	idx := 0
+	for _, run := range runs {
+		blocks := want[idx : idx+run.Blocks]
+		idx += run.Blocks
+		buf, retries, err := blockstore.ReadRangeRetry(r.store, r.name, run.Off, run.Len, 0)
+		fi.RangeReads += int64(1 + retries)
+		fi.Retries += int64(retries)
+		if err != nil {
+			continue
+		}
+		fi.BytesRead += run.Len
+		if run.Blocks > 1 {
+			fi.Coalesced += int64(run.Blocks - 1)
+		}
+		for _, ref := range blocks {
+			stored := buf[int64(ref.Off)-run.Off:][:ref.StoredLen]
+			if xxhash.Sum64(stored) != ref.Sum {
+				continue // demand path re-reads and reports
+			}
+			payload, err := r.decodeStored(ref, stored)
+			if err != nil {
+				continue
+			}
+			if r.pool.Put(tenant, bufpool.Key{File: r.fileID, Off: ref.Off}, payload, prefetched) {
+				fi.Blocks++
+			}
+		}
+	}
+	obs.StoreReadCoalesced.Add(fi.Coalesced)
+	return fi
+}
+
+// isShortRead reports a ranged read that ran past the object's end.
+func isShortRead(err error) bool { return errors.Is(err, io.ErrUnexpectedEOF) }
+
+// sortRefs orders refs by offset (insertion sort: ref lists are a
+// handful of blocks per tile).
+func sortRefs(refs []BlockRef) {
+	for i := 1; i < len(refs); i++ {
+		for j := i; j > 0 && refs[j].Off < refs[j-1].Off; j-- {
+			refs[j], refs[j-1] = refs[j-1], refs[j]
+		}
+	}
+}
+
 // pooledBlock fetches one block's decompressed payload through the
 // buffer pool (or directly when the reader has no pool, as during
 // Open before registration).
 func (r *Reader) pooledBlock(tenant string, ref BlockRef) ([]byte, ReadInfo, error) {
 	if r.pool == nil {
-		b, err := r.readBlock(ref)
-		return b, ReadInfo{StoredBytes: int(ref.StoredLen)}, err
+		b, retries, err := r.readBlock(ref)
+		return b, ReadInfo{StoredBytes: int(ref.StoredLen), RangeReads: 1 + retries, Retries: retries}, err
 	}
+	var retries int
 	h, err := r.pool.GetAs(tenant, bufpool.Key{File: r.fileID, Off: ref.Off}, func() ([]byte, error) {
-		return r.readBlock(ref)
+		b, n, err := r.readBlock(ref)
+		retries = n
+		return b, err
 	})
 	if err != nil {
 		return nil, ReadInfo{}, err
 	}
-	info := ReadInfo{Hit: h.Hit}
+	info := ReadInfo{Hit: h.Hit, Warmed: h.Warmed, Prefetched: h.Prefetched}
 	if !h.Hit {
 		info.StoredBytes = int(ref.StoredLen)
+		info.RangeReads = 1 + retries
+		info.Retries = retries
 	}
 	b := h.Bytes()
 	h.Release()
 	return b, info, nil
 }
 
-// readStored reads and checksum-verifies one block's stored bytes
-// without decompressing — merges copy blocks verbatim through this.
-func (r *Reader) readStored(ref BlockRef) ([]byte, error) {
-	stored := make([]byte, ref.StoredLen)
-	if _, err := r.f.ReadAt(stored, int64(ref.Off)); err != nil {
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return nil, corruptf("block [%d,+%d) truncated", ref.Off, ref.StoredLen)
-		}
-		return nil, err
-	}
-	if sum := xxhash.Sum64(stored); sum != ref.Sum {
-		return nil, corruptf("block at %d: checksum %016x, want %016x", ref.Off, sum, ref.Sum)
-	}
-	return stored, nil
+// corruptBlock builds an ErrCorrupt with the object name and byte
+// range every corruption report must carry (remote stores serve many
+// objects; "block at 4096" without a name is undebuggable).
+func (r *Reader) corruptBlock(ref BlockRef, format string, args ...any) error {
+	prefix := fmt.Sprintf("%s: block [%d,+%d): ", r.name, ref.Off, ref.StoredLen)
+	return corruptf(prefix+format, args...)
 }
 
-// readBlock reads, verifies, and decompresses one block from disk.
-func (r *Reader) readBlock(ref BlockRef) ([]byte, error) {
-	stored, err := r.readStored(ref)
+// readStored reads and checksum-verifies one block's stored bytes
+// without decompressing — merges copy blocks verbatim through this.
+// Transient store errors are retried with backoff before failing.
+func (r *Reader) readStored(ref BlockRef) ([]byte, error) {
+	b, _, err := r.readStoredRetry(ref)
+	return b, err
+}
+
+func (r *Reader) readStoredRetry(ref BlockRef) ([]byte, int, error) {
+	stored, retries, err := blockstore.ReadRangeRetry(r.store, r.name, int64(ref.Off), int64(ref.StoredLen), 0)
 	if err != nil {
-		return nil, err
+		if blockstore.IsNotExist(err) || isShortRead(err) {
+			return nil, retries, r.corruptBlock(ref, "truncated or missing: %v", err)
+		}
+		return nil, retries, fmt.Errorf("segment %s: block [%d,+%d): %w", r.name, ref.Off, ref.StoredLen, err)
 	}
+	if sum := xxhash.Sum64(stored); sum != ref.Sum {
+		return nil, retries, r.corruptBlock(ref, "checksum %016x, want %016x", sum, ref.Sum)
+	}
+	return stored, retries, nil
+}
+
+// decodeStored decompresses one verified stored block.
+func (r *Reader) decodeStored(ref BlockRef, stored []byte) ([]byte, error) {
 	if ref.Codec == codecRaw {
 		return stored, nil
 	}
 	raw, err := lz4.DecompressAlloc(stored, int(ref.RawLen))
 	if err != nil {
-		return nil, fmt.Errorf("%w: block at %d: %v", ErrCorrupt, ref.Off, err)
+		return nil, r.corruptBlock(ref, "lz4: %v", err)
 	}
 	return raw, nil
+}
+
+// readBlock reads, verifies, and decompresses one block, reporting
+// the transient retries taken.
+func (r *Reader) readBlock(ref BlockRef) ([]byte, int, error) {
+	stored, retries, err := r.readStoredRetry(ref)
+	if err != nil {
+		return nil, retries, err
+	}
+	raw, err := r.decodeStored(ref, stored)
+	return raw, retries, err
 }

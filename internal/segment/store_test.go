@@ -1,0 +1,130 @@
+package segment
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/blockstore"
+	"repro/internal/bufpool"
+	"repro/internal/stats"
+	"repro/internal/tile"
+)
+
+// writeStoreSegment writes the standard two-tile test segment as an
+// object on the given store.
+func writeStoreSegment(t testing.TB, store blockstore.Store, name string) ([]*tile.Tile, *stats.TableStats) {
+	t.Helper()
+	t1src := make([]string, 0, 64)
+	t2src := make([]string, 0, 64)
+	for i := 0; i < 64; i++ {
+		t1src = append(t1src, fmt.Sprintf(
+			`{"id":%d,"price":%g,"name":"item-%d","active":%t}`, i, float64(i)*1.5+0.25, i, i%2 == 0))
+		t2src = append(t2src, fmt.Sprintf(
+			`{"user":{"id":%d},"score":%d,"extra_%d":1}`, i, i*10, i))
+	}
+	tiles := []*tile.Tile{buildTile(t, t1src...), buildTile(t, t2src...)}
+	st := stats.New(0, 0)
+	for _, tl := range tiles {
+		st.AddTile(tl)
+	}
+	if _, err := WriteStore(store, name, tiles, st); err != nil {
+		t.Fatalf("WriteStore: %v", err)
+	}
+	return tiles, st
+}
+
+// TestOpenStoreFooterFirst verifies the speculative-tail open protocol:
+// a small segment opens in a handful of requests (size probe + tail
+// window covering header, footer, and tail), never one per block.
+func TestOpenStoreFooterFirst(t *testing.T) {
+	fake := blockstore.NewFakeS3(nil, blockstore.FakeS3Config{})
+	tiles, _ := writeStoreSegment(t, fake, "seg")
+	before := fake.Requests()
+	r, err := OpenStore(fake, "seg", bufpool.New(0))
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	defer r.Close()
+	if got := fake.Requests() - before; got > 3 {
+		t.Errorf("open took %d store requests, want <= 3", got)
+	}
+	if r.NumTiles() != len(tiles) || r.NumRows() != 128 {
+		t.Fatalf("opened %d tiles / %d rows, want %d / 128", r.NumTiles(), r.NumRows(), len(tiles))
+	}
+	// Data blocks still load on demand and decode correctly.
+	docs, info, err := r.Docs(0)
+	if err != nil {
+		t.Fatalf("Docs: %v", err)
+	}
+	if len(docs) != 64 || info.Hit {
+		t.Fatalf("Docs = %d rows, hit=%v; want 64 cold rows", len(docs), info.Hit)
+	}
+}
+
+// TestOpenStoreErrorContext is the regression test for error context:
+// every failure surfaced while opening or demand-reading a segment
+// object names the object and the exact byte range, so remote-store
+// incidents are debuggable from the error string alone.
+func TestOpenStoreErrorContext(t *testing.T) {
+	fake := blockstore.NewFakeS3(nil, blockstore.FakeS3Config{})
+	writeStoreSegment(t, fake, "ctx.seg")
+	size, err := fake.Size("ctx.seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Open against a store whose reads all fail (more failures than the
+	// retry budget): the error names the object and the tail range.
+	fake.FailNextReads(1000)
+	_, err = OpenStore(fake, "ctx.seg", nil)
+	fake.FailNextReads(-1000)
+	if err == nil {
+		t.Fatal("OpenStore succeeded against an always-failing store")
+	}
+	if !blockstore.IsTransient(err) {
+		t.Errorf("open error %v, want transient", err)
+	}
+	msg := err.Error()
+	wantRange := fmt.Sprintf("[%d,+", max64(0, size-int64(openTailWindow)))
+	if !strings.Contains(msg, "ctx.seg") || !strings.Contains(msg, wantRange) {
+		t.Errorf("open error %q lacks object name or byte range %q", msg, wantRange)
+	}
+
+	// Demand reads after a successful open: same contract.
+	r, err := OpenStore(fake, "ctx.seg", bufpool.New(0))
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	defer r.Close()
+	ref := r.Tile(0).Docs
+	fake.FailNextReads(1000)
+	_, _, err = r.readBlock(ref)
+	fake.FailNextReads(-1000)
+	if err == nil {
+		t.Fatal("readBlock succeeded against an always-failing store")
+	}
+	msg = err.Error()
+	wantRange = fmt.Sprintf("[%d,+%d)", ref.Off, ref.StoredLen)
+	if !strings.Contains(msg, "ctx.seg") || !strings.Contains(msg, wantRange) {
+		t.Errorf("demand-read error %q lacks object name or byte range %q", msg, wantRange)
+	}
+
+	// Transient failures below the retry budget are invisible to the
+	// caller — the block arrives, with the retries reported.
+	fake.FailNextReads(2)
+	b, retries, err := r.readBlock(ref)
+	if err != nil || len(b) == 0 {
+		t.Fatalf("readBlock after 2 transient failures: %v", err)
+	}
+	if retries != 2 {
+		t.Errorf("retries = %d, want 2", retries)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -2,12 +2,14 @@ package segment
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
+	"repro/internal/blockstore"
 	"repro/internal/bloom"
 	"repro/internal/column"
 	"repro/internal/keypath"
@@ -53,6 +55,24 @@ func WriteFile(path string, tiles []*tile.Tile, st *stats.TableStats) error {
 	obs.SegmentWriteSeconds.ObserveSince(start)
 	obs.SegmentWriteBytes.Observe(float64(size))
 	return nil
+}
+
+// WriteStore serializes the tiles into the store under name: the
+// stream is built in memory and atomically published with one Put
+// (the store's equivalent of the temp+rename protocol). Returns the
+// object's size in bytes.
+func WriteStore(store blockstore.Store, name string, tiles []*tile.Tile, st *stats.TableStats) (int64, error) {
+	start := time.Now()
+	var buf bytes.Buffer
+	if err := Write(&buf, tiles, st); err != nil {
+		return 0, err
+	}
+	if err := store.Put(name, buf.Bytes()); err != nil {
+		return 0, err
+	}
+	obs.SegmentWriteSeconds.ObserveSince(start)
+	obs.SegmentWriteBytes.Observe(float64(buf.Len()))
+	return int64(buf.Len()), nil
 }
 
 // Write serializes the tiles and statistics as one segment stream:

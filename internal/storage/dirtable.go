@@ -4,13 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/blockstore"
 	"repro/internal/bufpool"
 	"repro/internal/keypath"
 	"repro/internal/manifest"
@@ -35,14 +34,16 @@ import (
 // scans keep reading them; the last release closes the reader, drops
 // its pool blocks, and deletes the dead file.
 type DirTable struct {
-	name    string
-	dir     string
-	pool    *bufpool.Pool
-	ownPool bool
-	cfg     LoaderConfig
-	scancfg scanConfig
-	fanIn   int  // segments merged per compaction round (≥2)
-	auto    bool // compact in the background after appends
+	name     string
+	dir      string // backing directory ("" for non-FS stores)
+	store    blockstore.Store
+	ownStore bool // OpenDirTable created the store; Close closes it
+	pool     *bufpool.Pool
+	ownPool  bool
+	cfg      LoaderConfig
+	scancfg  scanConfig
+	fanIn    int  // segments merged per compaction round (≥2)
+	auto     bool // compact in the background after appends
 
 	// mu guards the current generation: manifest, segment list,
 	// closed flag, and segment-id allocation. nextID is the allocation
@@ -92,14 +93,15 @@ type SegmentCounter interface {
 }
 
 // liveSeg is one open segment of some table generation. refs counts
-// the store's own membership (1 while the segment is in the current
+// the table's own membership (1 while the segment is in the current
 // generation) plus one per in-flight scan pinning it; the release
 // that drops refs to zero closes the reader and, if the segment was
-// compacted away, deletes its file.
+// compacted away, deletes its object.
 type liveSeg struct {
 	rel   *segRelation
+	store blockstore.Store
 	id    uint64
-	path  string
+	file  string // object name within the store
 	rows  int
 	bytes int64
 	refs  atomic.Int64
@@ -112,7 +114,7 @@ func (ls *liveSeg) release() {
 	if ls.refs.Add(-1) == 0 {
 		ls.rel.Close()
 		if ls.drop.Load() {
-			os.Remove(ls.path)
+			ls.store.Delete(ls.file)
 		}
 	}
 }
@@ -132,10 +134,27 @@ const DefaultCompactFanIn = 4
 // background compaction after appends. All block reads flow through
 // pool (a private default-capacity pool is created when nil).
 func OpenDirTable(name, dir string, pool *bufpool.Pool, cfg LoaderConfig, fanIn int, auto bool) (*DirTable, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	store, err := blockstore.NewFS(dir)
+	if err != nil {
 		return nil, err
 	}
-	man, removed, err := manifest.Recover(dir)
+	t, err := OpenDirStore(name, store, pool, cfg, fanIn, auto)
+	if err != nil {
+		blockstore.Close(store)
+		return nil, err
+	}
+	t.dir = dir
+	t.ownStore = true
+	return t, nil
+}
+
+// OpenDirStore opens (or creates) a multi-segment table over any
+// block store — the storage/compute-separated form of OpenDirTable.
+// Catalog, recovery, appends, compaction, and scans all speak the
+// store interface; the caller keeps ownership of the store (Close
+// leaves it open).
+func OpenDirStore(name string, store blockstore.Store, pool *bufpool.Pool, cfg LoaderConfig, fanIn int, auto bool) (*DirTable, error) {
+	man, removed, err := manifest.RecoverStore(store)
 	if err != nil {
 		return nil, err
 	}
@@ -143,10 +162,10 @@ func OpenDirTable(name, dir string, pool *bufpool.Pool, cfg LoaderConfig, fanIn 
 		obs.ManifestRecoveries.Add(1)
 	}
 	if man.Version == 0 {
-		// Fresh directory: commit the empty first generation so the
-		// directory is a recognizable table from here on.
+		// Fresh store: commit the empty first generation so the store
+		// is a recognizable table from here on.
 		man.Version = 1
-		if err := manifest.Commit(dir, man); err != nil {
+		if err := manifest.CommitStore(store, man); err != nil {
 			return nil, err
 		}
 	}
@@ -166,32 +185,41 @@ func OpenDirTable(name, dir string, pool *bufpool.Pool, cfg LoaderConfig, fanIn 
 	}
 	t := &DirTable{
 		name:    name,
-		dir:     dir,
+		store:   store,
 		pool:    pool,
 		ownPool: ownPool,
 		cfg:     cfg,
-		scancfg: scanConfig{skipTiles: cfg.SkipTiles, maxSlots: maxSlots, morselRows: cfg.MorselRows},
+		scancfg: scanCfgOf(cfg, maxSlots),
 		fanIn:   fanIn,
 		auto:    auto,
 		man:     man,
 		nextID:  man.NextID,
 	}
 	for _, s := range man.Segments {
-		path := filepath.Join(dir, s.File)
-		rel, err := OpenSegmentFile(name, path, pool, cfg)
+		rel, err := OpenSegmentStore(name, store, s.File, pool, cfg)
 		if err != nil {
 			for _, ls := range t.segs {
 				ls.rel.Close()
 			}
 			return nil, fmt.Errorf("segment %s: %w", s.File, err)
 		}
-		ls := &liveSeg{rel: rel, id: s.ID, path: path, rows: s.Rows, bytes: s.Bytes}
+		ls := &liveSeg{rel: rel, store: store, id: s.ID, file: s.File, rows: s.Rows, bytes: s.Bytes}
 		ls.refs.Store(1)
 		t.segs = append(t.segs, ls)
 	}
 	obs.SegmentsLive.Add(float64(len(t.segs)))
 	t.updateBacklogGauge()
 	return t, nil
+}
+
+// scanCfgOf derives the scan-core settings from a loader config.
+func scanCfgOf(cfg LoaderConfig, maxSlots int) scanConfig {
+	return scanConfig{
+		skipTiles:  cfg.SkipTiles,
+		maxSlots:   maxSlots,
+		morselRows: cfg.MorselRows,
+		prefetch:   cfg.StorePrefetch,
+	}
 }
 
 func (t *DirTable) Name() string { return t.name }
@@ -406,16 +434,15 @@ func (t *DirTable) AppendTiles(tiles []*tile.Tile, st *stats.TableStats) error {
 	t.mu.Unlock()
 
 	file := manifest.SegmentFileName(id)
-	path := filepath.Join(t.dir, file)
-	if err := segment.WriteFile(path, tiles, st); err != nil {
+	if _, err := segment.WriteStore(t.store, file, tiles, st); err != nil {
 		return err
 	}
-	rel, err := OpenSegmentFile(t.name, path, t.pool, t.cfg)
+	rel, err := OpenSegmentStore(t.name, t.store, file, t.pool, t.cfg)
 	if err != nil {
-		os.Remove(path)
+		t.store.Delete(file)
 		return err
 	}
-	ls := &liveSeg{rel: rel, id: id, path: path, rows: rel.NumRows(), bytes: int64(rel.SizeBytes())}
+	ls := &liveSeg{rel: rel, store: t.store, id: id, file: file, rows: rel.NumRows(), bytes: int64(rel.SizeBytes())}
 	ls.refs.Store(1)
 
 	entry := manifest.Segment{ID: id, File: file, Rows: ls.rows, Bytes: ls.bytes}
@@ -489,7 +516,7 @@ func (t *DirTable) commitGeneration(edit func(*manifest.Manifest), swap func()) 
 	t.mu.Unlock()
 	man.Version++
 	edit(man)
-	if err := manifest.Commit(t.dir, man); err != nil {
+	if err := manifest.CommitStore(t.store, man); err != nil {
 		return err
 	}
 	t.mu.Lock()
@@ -614,17 +641,16 @@ func (t *DirTable) compactOnce() (bool, error) {
 		readers[i] = ls.rel.r
 	}
 	file := manifest.SegmentFileName(id)
-	path := filepath.Join(t.dir, file)
-	n, err := segment.MergeFiles(path, readers)
+	n, err := segment.MergeStore(t.store, file, readers)
 	if err != nil {
 		return false, err
 	}
-	rel, err := OpenSegmentFile(t.name, path, t.pool, t.cfg)
+	rel, err := OpenSegmentStore(t.name, t.store, file, t.pool, t.cfg)
 	if err != nil {
-		os.Remove(path)
+		t.store.Delete(file)
 		return false, err
 	}
-	merged := &liveSeg{rel: rel, id: id, path: path, rows: rel.NumRows(), bytes: int64(rel.SizeBytes())}
+	merged := &liveSeg{rel: rel, store: t.store, id: id, file: file, rows: rel.NumRows(), bytes: int64(rel.SizeBytes())}
 	merged.refs.Store(1)
 
 	dead := make(map[*liveSeg]bool, len(group))
@@ -679,7 +705,7 @@ func (t *DirTable) compactOnce() (bool, error) {
 		// Failed publish: drop the merged output (it is unreferenced)
 		// and keep serving the sources.
 		rel.Close()
-		os.Remove(path)
+		t.store.Delete(file)
 		return false, err
 	}
 	// Retire the sources: mark dead so the final release deletes the
@@ -720,5 +746,11 @@ func (t *DirTable) Close() error {
 	}
 	obs.SegmentsLive.Add(-float64(len(segs)))
 	t.updateBacklogGauge()
+	if t.ownStore {
+		return blockstore.Close(t.store)
+	}
 	return nil
 }
+
+// Store exposes the block store backing this table.
+func (t *DirTable) Store() blockstore.Store { return t.store }

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
+	"repro/internal/blockstore"
 	"repro/internal/expr"
 	"repro/internal/keypath"
 	"repro/internal/manifest"
@@ -247,12 +249,15 @@ func TestDirTableCrashBeforeManifestRenameRecovers(t *testing.T) {
 	// Crash between segment write and manifest rename: the append
 	// fails, the orphan segment stays on disk (nothing runs after a
 	// real crash), and the committed generation is untouched.
-	manifest.Rename = func(oldpath, newpath string) error {
-		return fmt.Errorf("injected crash before rename")
+	blockstore.Rename = func(oldpath, newpath string) error {
+		if strings.HasSuffix(newpath, manifest.FileName) {
+			return fmt.Errorf("injected crash before rename")
+		}
+		return os.Rename(oldpath, newpath)
 	}
 	tiles2, st2 := dirTestBatch(t, dirTestLines(1, 32))
 	err = dt.AppendTiles(tiles2, st2)
-	manifest.Rename = os.Rename
+	blockstore.Rename = os.Rename
 	if err == nil {
 		t.Fatal("AppendTiles succeeded despite failing rename")
 	}

@@ -38,6 +38,16 @@ type LoaderConfig struct {
 	// (parse/mine/extract/JSONB/reorder nanos — Figure 16) across every
 	// load performed with this config.
 	Metrics *tile.Metrics
+	// StoreGapBytes is the block-read coalescing gap threshold for
+	// store-backed scans: adjacent surviving block refs whose dead
+	// space is at most this many bytes merge into one ranged read
+	// (0 selects blockstore.DefaultCoalesceGap; negative disables
+	// merging).
+	StoreGapBytes int64
+	// StorePrefetch enables the bounded morsel-path readahead: while a
+	// worker scans one tile, its next tile's surviving blocks are
+	// fetched asynchronously (one outstanding prefetch per worker).
+	StorePrefetch bool
 }
 
 // DefaultLoaderConfig mirrors the paper's evaluation defaults.
@@ -47,6 +57,7 @@ func DefaultLoaderConfig() LoaderConfig {
 		SinewThreshold: 0.6,
 		Reorder:        true,
 		SkipTiles:      true,
+		StorePrefetch:  true,
 	}
 }
 

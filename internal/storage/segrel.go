@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/blockstore"
 	"repro/internal/bufpool"
 	"repro/internal/column"
+	"repro/internal/expr"
 	"repro/internal/jsonb"
 	"repro/internal/keypath"
 	"repro/internal/obs"
@@ -66,6 +68,26 @@ func OpenSegmentFile(name, path string, pool *bufpool.Pool, cfg LoaderConfig) (*
 	if err != nil {
 		return nil, err
 	}
+	return newSegRelation(name, r, pool, ownPool, cfg), nil
+}
+
+// OpenSegmentStore opens the named segment object of a block store as
+// a disk-backed relation — the storage/compute-separated form of
+// OpenSegmentFile. The caller keeps ownership of the store.
+func OpenSegmentStore(name string, store blockstore.Store, object string, pool *bufpool.Pool, cfg LoaderConfig) (*segRelation, error) {
+	ownPool := pool == nil
+	if ownPool {
+		pool = bufpool.New(0)
+	}
+	r, err := segment.OpenStore(store, object, pool)
+	if err != nil {
+		return nil, err
+	}
+	return newSegRelation(name, r, pool, ownPool, cfg), nil
+}
+
+func newSegRelation(name string, r *segment.Reader, pool *bufpool.Pool, ownPool bool, cfg LoaderConfig) *segRelation {
+	r.SetCoalesceGap(cfg.StoreGapBytes)
 	maxSlots := cfg.Tile.MaxArraySlots
 	if maxSlots <= 0 {
 		maxSlots = keypath.DefaultMaxArraySlots
@@ -76,8 +98,8 @@ func OpenSegmentFile(name, path string, pool *bufpool.Pool, cfg LoaderConfig) (*
 		pool:    pool,
 		ownPool: ownPool,
 		numRows: r.NumRows(),
-		cfg:     scanConfig{skipTiles: cfg.SkipTiles, maxSlots: maxSlots, morselRows: cfg.MorselRows},
-	}, nil
+		cfg:     scanCfgOf(cfg, maxSlots),
+	}
 }
 
 func (r *segRelation) Name() string             { return r.name }
@@ -188,12 +210,90 @@ func (v *segTileView) account(info segment.ReadInfo) {
 		return
 	}
 	if info.Hit {
-		v.cnt.poolHits++
+		switch {
+		case info.Prefetched:
+			// First access to an async-readahead block: the prefetch
+			// pass accounted the miss; this is the readahead paying off.
+			v.cnt.prefetchHits++
+		case info.Warmed:
+			// First access to a block this scan's own pre-scan fetch
+			// inserted: the fetch accounted the miss, so counting a hit
+			// here would make every cold scan look half-cached.
+		default:
+			v.cnt.poolHits++
+		}
 	} else {
 		v.cnt.poolMisses++
 		v.cnt.blocksRead++
 		v.cnt.blockBytes += int64(info.StoredBytes)
+		v.cnt.rangeReads += int64(info.RangeReads)
+		v.cnt.rangeBytes += int64(info.StoredBytes)
+		v.cnt.retries += int64(info.Retries)
 	}
+}
+
+// prepare makes every block this scan can touch on the tile
+// pool-resident in one coalesced pass. The scan loop calls it
+// synchronously after the skip check (so a surviving tile costs one
+// or two ranged reads instead of one per block) and asynchronously
+// from the readahead path (prefetched=true) while the previous tile
+// is still scanning. Idempotent: already-resident blocks are skipped,
+// so the demand accesses that follow are pool hits.
+func (v *segTileView) prepare(accesses []Access, prefetched bool) {
+	refs := v.neededRefs(accesses)
+	if len(refs) == 0 {
+		return
+	}
+	fi := v.rel.r.FetchBlocks(v.cnt.tenant, refs, prefetched)
+	v.cnt.rangeReads += fi.RangeReads
+	v.cnt.rangeBytes += fi.BytesRead
+	v.cnt.coalesced += fi.Coalesced
+	v.cnt.retries += fi.Retries
+	v.cnt.blocksRead += fi.Blocks
+	v.cnt.blockBytes += fi.BytesRead
+	v.cnt.poolMisses += fi.Blocks
+}
+
+// neededRefs computes the conservative set of blocks the access list
+// can touch on this tile, mirroring resolveTileAccess's decision tree
+// from metadata alone: column (and dictionary) blocks for every column
+// a path resolves to, plus the fallback documents whenever any access
+// may read them (JSON-typed accesses, capped array paths, paths with
+// no extracted column, and ambiguous multi-column paths).
+func (v *segTileView) neededRefs(accesses []Access) []segment.BlockRef {
+	maxSlots := v.rel.cfg.maxSlots
+	var refs []segment.BlockRef
+	needDocs := false
+	for _, a := range accesses {
+		if a.Type == expr.TJSON {
+			needDocs = needDocs || mayContainTile(v, a, maxSlots)
+			continue
+		}
+		if _, capped := cappedPrefix(a.Path, maxSlots); capped {
+			needDocs = needDocs || mayContainTile(v, a, maxSlots)
+			continue
+		}
+		cols := v.meta.ColumnsForPath(a.PathEnc)
+		if len(cols) == 0 {
+			needDocs = needDocs || mayContainTile(v, a, maxSlots)
+			continue
+		}
+		if len(cols) > 1 {
+			// Ambiguous typing falls back on per-row NULLs.
+			needDocs = true
+		}
+		for _, ci := range cols {
+			cm := &v.meta.Columns[ci]
+			refs = append(refs, cm.Block)
+			if cm.HasDict {
+				refs = append(refs, cm.Dict)
+			}
+		}
+	}
+	if needDocs {
+		refs = append(refs, v.meta.Docs)
+	}
+	return refs
 }
 
 // Column lazily materializes one extracted column. A block that

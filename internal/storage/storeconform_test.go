@@ -1,0 +1,199 @@
+package storage
+
+// Storage/compute-separation conformance: the same segments answer
+// byte-identical query results whether they live on the local
+// filesystem, in memory, or behind the latency/failure-injecting
+// object-store fake — on the row and batch paths, serial and parallel,
+// across mid-scan compaction, and under injected transient failures.
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/blockstore"
+	"repro/internal/expr"
+	"repro/internal/obs"
+)
+
+// storeConformTable builds the same multi-segment table on a store.
+func storeConformTable(t *testing.T, store blockstore.Store, batches, rows int) *DirTable {
+	t.Helper()
+	cfg := DefaultLoaderConfig()
+	cfg.Tile.TileSize = 16
+	dt, err := OpenDirStore("t", store, nil, cfg, 4, false)
+	if err != nil {
+		t.Fatalf("OpenDirStore(%s): %v", store.Label(), err)
+	}
+	for b := 0; b < batches; b++ {
+		tiles, st := dirTestBatch(t, dirTestLines(b, rows))
+		if err := dt.AppendTiles(tiles, st); err != nil {
+			t.Fatalf("AppendTiles(%s) %d: %v", store.Label(), b, err)
+		}
+	}
+	return dt
+}
+
+func TestStoreConformanceAcrossBackends(t *testing.T) {
+	const batches, rows = 4, 48
+	// Ground truth from the in-memory relation over the same lines.
+	var all []string
+	for b := 0; b < batches; b++ {
+		all = append(all, dirTestLines(b, rows)...)
+	}
+	raw := make([][]byte, len(all))
+	for i, l := range all {
+		raw[i] = []byte(l)
+	}
+	docs, err := parseAll(raw, 2)
+	if err != nil {
+		t.Fatalf("parseAll: %v", err)
+	}
+	cfg := DefaultLoaderConfig()
+	cfg.Tile.TileSize = 16
+	mem := BuildTiles("mem", docs, cfg, 2, nil)
+	accesses := dirTestAccesses()
+
+	fsStore, err := blockstore.NewFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fsStore.Close()
+	fake := blockstore.NewFakeS3(nil, blockstore.FakeS3Config{Latency: 100 * time.Microsecond})
+	stores := []blockstore.Store{fsStore, blockstore.NewMem(), fake}
+
+	for _, workers := range []int{1, 4} {
+		want := rowMultiset(mem, accesses, workers)
+		wantBatch := batchMultiset(mem.(BatchScanner), accesses, workers)
+		for _, store := range stores {
+			dt := storeConformTable(t, store, batches, rows)
+			label := store.Label()
+			sameMultiset(t, label+" rows", rowMultiset(dt, accesses, workers), want)
+			sameMultiset(t, label+" batches", batchMultiset(dt, accesses, workers), wantBatch)
+			if err := dt.Err(); err != nil {
+				t.Fatalf("%s: Err: %v", label, err)
+			}
+			if err := dt.Close(); err != nil {
+				t.Fatalf("%s: Close: %v", label, err)
+			}
+			// The store outlives the table: reopening serves the same
+			// committed generation (read-after-commit visibility).
+			dt2, err := OpenDirStore("t", store, nil, cfg, 4, false)
+			if err != nil {
+				t.Fatalf("reopen %s: %v", label, err)
+			}
+			sameMultiset(t, label+" reopened", rowMultiset(dt2, accesses, workers), want)
+			dt2.Close()
+			// Fresh namespace for the next workers round.
+			for _, name := range mustList(t, store) {
+				store.Delete(name)
+			}
+		}
+	}
+}
+
+func mustList(t *testing.T, s blockstore.Store) []string {
+	t.Helper()
+	names, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+// TestStoreConformanceMidScanCompaction compacts the table while a
+// scan over the pre-compaction generation is mid-flight: the scan's
+// pinned segments stay readable (and are deleted only at the last
+// release), so the result multiset is unaffected.
+func TestStoreConformanceMidScanCompaction(t *testing.T) {
+	const batches, rows = 6, 48
+	fake := blockstore.NewFakeS3(nil, blockstore.FakeS3Config{})
+	dt := storeConformTable(t, fake, batches, rows)
+	defer dt.Close()
+	accesses := dirTestAccesses()
+	want := scanMultiset(dt, accesses)
+
+	got := map[string]int{}
+	var mu sync.Mutex
+	var once sync.Once
+	dt.Scan(accesses, 1, func(w int, row []expr.Value) {
+		once.Do(func() {
+			// Mid-scan: fold the segments this very scan is reading.
+			if rounds, err := dt.Compact(); err != nil || rounds == 0 {
+				t.Errorf("mid-scan Compact = %d rounds, %v", rounds, err)
+			}
+		})
+		key := ""
+		for _, v := range row {
+			key += v.String() + "|"
+		}
+		mu.Lock()
+		got[key]++
+		mu.Unlock()
+	})
+	sameMultiset(t, "mid-scan compaction", got, map[string]int(want))
+	if err := dt.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+	if dt.NumSegments() >= batches {
+		t.Fatalf("NumSegments = %d after compaction, want < %d", dt.NumSegments(), batches)
+	}
+	sameMultiset(t, "post-compaction", scanMultiset(dt, accesses), want)
+}
+
+// TestStoreConformanceTransientFailures scans through a store that
+// fails every few range reads with transient errors: the retry layer
+// absorbs them (no wrong answers, no degraded-scan errors) and the
+// retries surface in the per-scan statistics.
+func TestStoreConformanceTransientFailures(t *testing.T) {
+	const batches, rows = 3, 48
+	clean := blockstore.NewFakeS3(nil, blockstore.FakeS3Config{})
+	dt := storeConformTable(t, clean, batches, rows)
+	accesses := dirTestAccesses()
+	want := scanMultiset(dt, accesses)
+	dt.Close()
+
+	// Same bytes behind a failing fake: every 4th range read errors.
+	failing := blockstore.NewFakeS3(clean.Inner(), blockstore.FakeS3Config{FailEveryN: 4})
+	cfg := DefaultLoaderConfig()
+	cfg.Tile.TileSize = 16
+
+	for _, workers := range []int{1, 4} {
+		// A fresh open per round keeps the buffer pool cold, so every
+		// round actually exercises the failing read path.
+		dt2, err := OpenDirStore("t", failing, nil, cfg, 4, false)
+		if err != nil {
+			t.Fatalf("OpenDirStore(failing): %v", err)
+		}
+		var st obs.ScanStats
+		got := map[string]int{}
+		var mu sync.Mutex
+		dt2.ScanWithStats(context.Background(), accesses, workers, func(w int, row []expr.Value) {
+			key := ""
+			for _, v := range row {
+				key += v.String() + "|"
+			}
+			mu.Lock()
+			got[key]++
+			mu.Unlock()
+		}, &st)
+		sameMultiset(t, "with transient failures", got, want)
+		if err := dt2.Err(); err != nil {
+			t.Fatalf("workers=%d: scan degraded despite retries: %v", workers, err)
+		}
+		if st.StoreRetries.Load() == 0 {
+			t.Errorf("workers=%d: no retries recorded under FailEveryN=4", workers)
+		}
+		if st.StoreRangeReads.Load() <= st.StoreRetries.Load() {
+			t.Errorf("workers=%d: range reads %d not above retries %d",
+				workers, st.StoreRangeReads.Load(), st.StoreRetries.Load())
+		}
+		if err := dt2.Close(); err != nil {
+			t.Fatalf("workers=%d: Close: %v", workers, err)
+		}
+	}
+	if failing.InjectedFailures() == 0 {
+		t.Error("fake injected no failures")
+	}
+}

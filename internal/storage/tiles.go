@@ -213,6 +213,13 @@ type scanCounters struct {
 	batches, rowsVec, rowsFallback int64
 	// Segment-backed scans only: block I/O and buffer-pool traffic.
 	blocksRead, blockBytes, poolHits, poolMisses int64
+	// Store-backed scans only: ranged store requests (retry attempts
+	// included), bytes those requests returned, block fetches saved by
+	// coalescing, pool hits on readahead-resident blocks, and transient
+	// retries. The matching process-wide counters are incremented at
+	// the store layer, so flush forwards these to the per-scan stats
+	// only — adding them globally here would double-count.
+	rangeReads, rangeBytes, coalesced, prefetchHits, retries int64
 	// tenant attributes the scan's buffer-pool charges and byte
 	// accounting to the query's tenant ("" for library calls).
 	tenant string
@@ -252,6 +259,11 @@ func (c *scanCounters) flush(st *obs.ScanStats) {
 	st.BlockBytes.Add(c.blockBytes)
 	st.PoolHits.Add(c.poolHits)
 	st.PoolMisses.Add(c.poolMisses)
+	st.StoreRangeReads.Add(c.rangeReads)
+	st.StoreBytesRead.Add(c.rangeBytes)
+	st.StoreCoalesced.Add(c.coalesced)
+	st.StorePrefetchHits.Add(c.prefetchHits)
+	st.StoreRetries.Add(c.retries)
 }
 
 // scanScratch holds a worker's reusable row buffer and per-tile

@@ -99,6 +99,18 @@ type Options struct {
 	// /metrics, /debug/queries, /debug/trace, and net/http/pprof.
 	// Equivalent to calling ServeDebug directly.
 	DebugAddr string
+	// Store, when non-nil, backs OpenDir and OpenSegment with this
+	// block store instead of the local filesystem: OpenDir treats it
+	// as the table's object namespace (the dir argument is ignored),
+	// OpenSegment treats its path argument as an object name within
+	// it. The caller keeps ownership — Close leaves the store open.
+	// See DESIGN.md §6.9 for the storage contract.
+	Store BlockStore
+	// StoreReadGap tunes block-read coalescing on store-backed scans:
+	// adjacent surviving blocks whose dead gap is at most this many
+	// bytes merge into one ranged read. 0 selects the 32 KiB default;
+	// a negative value disables coalescing (one request per block).
+	StoreReadGap int64
 }
 
 // withDefaults substitutes DefaultOptions for the tile-layout fields
@@ -118,6 +130,8 @@ func (o Options) withDefaults() Options {
 	def.SlowQueryThreshold = o.SlowQueryThreshold
 	def.SlowQueryLog = o.SlowQueryLog
 	def.DebugAddr = o.DebugAddr
+	def.Store = o.Store
+	def.StoreReadGap = o.StoreReadGap
 	return def
 }
 
@@ -148,6 +162,7 @@ func (o Options) loaderConfig() storage.LoaderConfig {
 	cfg.Reorder = o.Reorder
 	cfg.SkipTiles = o.SkipTiles
 	cfg.MorselRows = o.MorselRows
+	cfg.StoreGapBytes = o.StoreReadGap
 	return cfg
 }
 

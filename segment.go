@@ -38,11 +38,22 @@ func (t *Table) WriteSegment(path string) error {
 // table the segment was written from.
 //
 // The returned table holds an open file handle; call Close when done.
+//
+// With opts.Store set, path names an object within that store instead
+// of a filesystem path; the caller keeps ownership of the store.
 func OpenSegment(name, path string, opts Options) (*Table, error) {
 	opts = opts.withDefaults()
 	maybeServeDebug(opts.DebugAddr)
 	pool := bufpool.New(opts.CacheBytes)
-	rel, err := storage.OpenSegmentFile(name, path, pool, opts.loaderConfig())
+	var (
+		rel storage.Relation
+		err error
+	)
+	if opts.Store != nil {
+		rel, err = storage.OpenSegmentStore(name, opts.Store, path, pool, opts.loaderConfig())
+	} else {
+		rel, err = storage.OpenSegmentFile(name, path, pool, opts.loaderConfig())
+	}
 	if err != nil {
 		return nil, err
 	}
